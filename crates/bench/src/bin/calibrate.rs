@@ -1,0 +1,113 @@
+//! Topology calibration probe (not a paper figure).
+//!
+//! Sweeps generator parameters and prints, for each candidate, the two
+//! quantities the reproduction must balance: the static mean Φ (paper:
+//! ≈0.92) and the dynamic BGP transient-problem count under single link
+//! failure (paper: ≈24% of ASes). Used to pick the `GenConfig::sim_scale`
+//! defaults; kept in-tree so the calibration is reproducible.
+
+use stamp_core::phi::{phi_all_destinations, PhiConfig};
+use stamp_experiments::{
+    run_failure_experiment, FailureConfig, FailureScenario, Protocol,
+};
+use stamp_topology::gen::{generate, GenConfig};
+
+fn main() {
+    let ases: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let instances: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    let candidates: Vec<(&str, GenConfig)> = vec![
+        (
+            "default",
+            GenConfig {
+                n_ases: ases,
+                ..GenConfig::sim_scale(7)
+            },
+        ),
+        (
+            "sparse-peering",
+            GenConfig {
+                n_ases: ases,
+                peer_links_per_transit: 0.4,
+                ..GenConfig::sim_scale(7)
+            },
+        ),
+        (
+            "thin-transit",
+            GenConfig {
+                n_ases: ases,
+                peer_links_per_transit: 0.4,
+                transit_provider_weights: vec![0.55, 0.30, 0.10, 0.05],
+                ..GenConfig::sim_scale(7)
+            },
+        ),
+        (
+            "thin-all",
+            GenConfig {
+                n_ases: ases,
+                peer_links_per_transit: 0.3,
+                transit_provider_weights: vec![0.6, 0.3, 0.1],
+                stub_provider_weights: vec![0.45, 0.35, 0.15, 0.05],
+                ..GenConfig::sim_scale(7)
+            },
+        ),
+        (
+            "few-tier1",
+            GenConfig {
+                n_ases: ases,
+                n_tier1: 5,
+                peer_links_per_transit: 0.4,
+                transit_provider_weights: vec![0.55, 0.30, 0.10, 0.05],
+                ..GenConfig::sim_scale(7)
+            },
+        ),
+    ];
+
+    println!(
+        "{:<16} {:>7} {:>7} {:>13} {:>13} {:>13} {:>13}",
+        "preset", "meanPhi", "BGP", "BGP(l/b/c)", "noRCI(l/b/c)", "RBGP(l/b/c)", "STAMP(l/b/c)"
+    );
+    for (name, gen) in candidates {
+        let g = generate(&gen).expect("valid config");
+        let phi = phi_all_destinations(
+            &g,
+            &PhiConfig {
+                samples: 150,
+                ..Default::default()
+            },
+        );
+        let wrate = std::env::var("WRATE").map(|v| v != "0").unwrap_or(true);
+        let cfg = FailureConfig {
+            gen: gen.clone(),
+            instances,
+            seed: 0xCA11,
+            mrai_withdrawals: wrate,
+            ..FailureConfig::default()
+        };
+        let rep = run_failure_experiment(&cfg, FailureScenario::SingleLink, &Protocol::ALL);
+        let lb = |p: Protocol| {
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                rep.of(p).loops_mean(),
+                rep.of(p).blackholes_mean(),
+                rep.of(p).control_affected_mean(),
+            )
+        };
+        println!(
+            "{:<16} {:>7.3} {:>7.1} {:>13} {:>13} {:>13} {:>13}",
+            name,
+            phi.mean,
+            rep.of(Protocol::Bgp).affected_mean(),
+            lb(Protocol::Bgp),
+            lb(Protocol::RbgpNoRci),
+            lb(Protocol::Rbgp),
+            lb(Protocol::Stamp),
+        );
+    }
+}

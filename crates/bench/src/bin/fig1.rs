@@ -1,0 +1,28 @@
+//! Regenerate Figure 1: the CDF of Φ_k over all destinations, with the
+//! §6.1 smart-selection comparison.
+
+use stamp_bench::parse_args;
+use stamp_experiments::render::render_phi_report;
+use stamp_experiments::{run_phi_experiment, PhiExperimentConfig};
+use stamp_topology::GenConfig;
+
+fn main() {
+    let args = parse_args(
+        "fig1 [--ases N] [--seed N] [--smart]\n\
+         Regenerates Figure 1 (CDF of Phi). --smart adds the smart-selection\n\
+         variant (on by default; flag kept for interface stability).",
+    );
+    let seed = args.seed.unwrap_or(0xF161);
+    let cfg = PhiExperimentConfig {
+        gen: GenConfig {
+            n_ases: args.ases.unwrap_or(8000),
+            ..GenConfig::analysis_scale(seed)
+        },
+        with_smart: true,
+        ..Default::default()
+    };
+    let mut cfg = cfg;
+    cfg.gen.seed = seed;
+    let report = run_phi_experiment(&cfg);
+    println!("{}", render_phi_report(&report));
+}

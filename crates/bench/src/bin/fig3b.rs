@@ -1,0 +1,28 @@
+//! Regenerate Figure 3(b): two link failures connected to the same AS —
+//! a single routing event for STAMP's node-disjoint protection.
+
+use stamp_bench::parse_args;
+use stamp_experiments::render::render_failure_report;
+use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};
+use stamp_topology::GenConfig;
+
+fn main() {
+    let args = parse_args(
+        "fig3b [--ases N] [--instances N] [--seed N] [--threads N]\n\
+         Regenerates Figure 3(b) (two failed links, same AS).",
+    );
+    let seed = args.seed.unwrap_or(0xF3B);
+    let mut cfg = FailureConfig {
+        seed,
+        gen: GenConfig {
+            n_ases: args.ases.unwrap_or(2000),
+            ..GenConfig::sim_scale(seed)
+        },
+        instances: args.instances.unwrap_or(30),
+        threads: args.threads,
+        ..FailureConfig::default()
+    };
+    cfg.gen.seed = seed;
+    let report = run_failure_experiment(&cfg, FailureScenario::TwoLinksSameAs, &Protocol::ALL);
+    println!("{}", render_failure_report(&report));
+}

@@ -1,0 +1,27 @@
+//! Regenerate the §6.2.2 single node (AS) failure comparison.
+
+use stamp_bench::parse_args;
+use stamp_experiments::render::render_failure_report;
+use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};
+use stamp_topology::GenConfig;
+
+fn main() {
+    let args = parse_args(
+        "node_failure [--ases N] [--instances N] [--seed N] [--threads N]\n\
+         Regenerates the Sec. 6.2.2 node-failure comparison.",
+    );
+    let seed = args.seed.unwrap_or(0x6F);
+    let mut cfg = FailureConfig {
+        seed,
+        gen: GenConfig {
+            n_ases: args.ases.unwrap_or(2000),
+            ..GenConfig::sim_scale(seed)
+        },
+        instances: args.instances.unwrap_or(30),
+        threads: args.threads,
+        ..FailureConfig::default()
+    };
+    cfg.gen.seed = seed;
+    let report = run_failure_experiment(&cfg, FailureScenario::NodeFailure, &Protocol::ALL);
+    println!("{}", render_failure_report(&report));
+}

@@ -1,0 +1,27 @@
+//! Regenerate the §6.3 partial-deployment analysis (STAMP at tier-1 only).
+
+use stamp_bench::parse_args;
+use stamp_experiments::render::render_partial_report;
+use stamp_experiments::{run_partial_deployment, PartialConfig};
+use stamp_topology::GenConfig;
+
+fn main() {
+    let args = parse_args(
+        "partial_deployment [--ases N] [--instances N] [--seed N]\n\
+         Regenerates the Sec. 6.3 partial-deployment numbers\n\
+         (--instances bounds the evaluated destinations).",
+    );
+    let seed = args.seed.unwrap_or(0x6E3);
+    let mut cfg = PartialConfig {
+        seed,
+        gen: GenConfig {
+            n_ases: args.ases.unwrap_or(4000),
+            ..GenConfig::sim_scale(seed)
+        },
+        max_destinations: args.instances.unwrap_or(400),
+        ..Default::default()
+    };
+    cfg.gen.seed = seed;
+    let report = run_partial_deployment(&cfg);
+    println!("{}", render_partial_report(&report));
+}

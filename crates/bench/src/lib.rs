@@ -1,0 +1,61 @@
+//! Shared CLI plumbing for the figure-regeneration binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--ases N` — topology size (default: per-experiment),
+//! * `--instances N` — scenario instances (default: per-experiment),
+//! * `--seed N` — master seed,
+//! * `--threads N` — worker threads (0 = all cores).
+//!
+//! Unknown flags abort with a usage message; the binaries print the figure
+//! to stdout.
+
+/// Parsed common options.
+#[derive(Debug, Clone, Copy)]
+pub struct CommonArgs {
+    pub ases: Option<usize>,
+    pub instances: Option<usize>,
+    pub seed: Option<u64>,
+    pub threads: usize,
+    /// Extra boolean flag some binaries use (e.g. `--smart` on fig1).
+    pub smart: bool,
+}
+
+/// Parse `std::env::args`, exiting with usage on errors.
+pub fn parse_args(usage: &str) -> CommonArgs {
+    let mut out = CommonArgs {
+        ases: None,
+        instances: None,
+        seed: None,
+        threads: 0,
+        smart: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}\n{usage}", args[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ases" => out.ases = Some(value(&mut i).parse().expect("--ases N")),
+            "--instances" => out.instances = Some(value(&mut i).parse().expect("--instances N")),
+            "--seed" => out.seed = Some(value(&mut i).parse().expect("--seed N")),
+            "--threads" => out.threads = value(&mut i).parse().expect("--threads N"),
+            "--smart" => out.smart = true,
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,45 @@
+//! Path-vector BGP engine over the deterministic event kernel.
+//!
+//! This crate implements the message-level BGP model the paper simulates
+//! (§6.2), structured so the two protocol variants the paper studies —
+//! R-BGP (`stamp-rbgp`) and STAMP (`stamp-core`) — reuse the same machinery
+//! and run on *identical* scenarios:
+//!
+//! * [`types`] — prefixes, process instances (STAMP's red/blue "colours"),
+//!   routes, the paper's two new path attributes (`Lock`, `ET`), R-BGP's
+//!   root-cause information, and update messages;
+//! * [`policy`] — prefer-customer local preference and the valley-free
+//!   export gate;
+//! * [`rib`] — Adj-RIB-In storage and the BGP decision process
+//!   (local-pref ↓, AS-path length ↑, lowest neighbour id), with AS-path
+//!   loop rejection;
+//! * [`router`] — the [`router::RouterLogic`] trait every protocol
+//!   implements, plus [`router::BgpRouter`], the unmodified-BGP baseline;
+//! * [`engine`] — the event loop: FIFO sessions with U[10 ms, 20 ms]
+//!   delays, peer-based MRAI of 30 s × U[0.75, 1.0] with coalescing,
+//!   link/node failure injection, message counters and convergence
+//!   detection;
+//! * [`wire`] — an RFC 4271-style binary UPDATE codec carrying `Lock` and
+//!   `ET` as optional transitive path attributes, demonstrating that
+//!   STAMP's extensions fit existing BGP message formats.
+//!
+//! Omitted BGP features (deliberately, matching the paper's model): iBGP and
+//! MED (each AS is one node; the paper argues centralised intra-AS routing
+//! sidesteps iBGP issues), route reflection, communities, prefix
+//! aggregation, and KEEPALIVE/OPEN session management (sessions exist iff
+//! the underlying link is up).
+
+pub mod engine;
+pub mod policy;
+pub mod rib;
+pub mod router;
+pub mod types;
+pub mod wire;
+
+pub use engine::{Engine, EngineConfig, RunStats, ScenarioEvent};
+pub use policy::{export_ok, local_pref};
+pub use rib::{DecisionOutcome, RibIn};
+pub use router::{BgpRouter, OutMsg, RouterCtx, RouterLogic};
+pub use types::{
+    Color, EventType, PathAttrs, PrefixId, ProcId, Route, RootCause, UpdateKind, UpdateMsg,
+};

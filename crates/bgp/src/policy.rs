@@ -1,0 +1,66 @@
+//! The paper's two standing routing policies (§2.1): prefer-customer and
+//! valley-free export.
+
+use stamp_topology::Relation;
+
+/// Local preference assigned to a route by the relation of the session it
+/// was learned over: customer 300 > peer 200 > provider 100. These are the
+/// conventional values; only the ordering matters.
+#[inline]
+pub fn local_pref(learned_from: Relation) -> u32 {
+    match learned_from {
+        Relation::Customer => 300,
+        Relation::Peer => 200,
+        Relation::Provider => 100,
+    }
+}
+
+/// Local preference of a self-originated prefix (beats everything).
+pub const LOCAL_PREF_ORIGIN: u32 = 1000;
+
+/// The valley-free export gate: may a route learned over `learned_from` be
+/// announced to a neighbour with relation `to`?
+///
+/// * Own prefixes (`learned_from = None`) and customer routes export to
+///   everyone.
+/// * Peer and provider routes export to customers only.
+#[inline]
+pub fn export_ok(learned_from: Option<Relation>, to: Relation) -> bool {
+    match learned_from {
+        None | Some(Relation::Customer) => true,
+        Some(Relation::Peer) | Some(Relation::Provider) => to == Relation::Customer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefer_customer_ordering() {
+        assert!(local_pref(Relation::Customer) > local_pref(Relation::Peer));
+        assert!(local_pref(Relation::Peer) > local_pref(Relation::Provider));
+        assert!(LOCAL_PREF_ORIGIN > local_pref(Relation::Customer));
+    }
+
+    #[test]
+    fn valley_free_export_matrix() {
+        use Relation::*;
+        // Own prefix: to everyone.
+        for to in [Customer, Peer, Provider] {
+            assert!(export_ok(None, to));
+        }
+        // Customer routes: to everyone.
+        for to in [Customer, Peer, Provider] {
+            assert!(export_ok(Some(Customer), to));
+        }
+        // Peer routes: customers only.
+        assert!(export_ok(Some(Peer), Customer));
+        assert!(!export_ok(Some(Peer), Peer));
+        assert!(!export_ok(Some(Peer), Provider));
+        // Provider routes: customers only.
+        assert!(export_ok(Some(Provider), Customer));
+        assert!(!export_ok(Some(Provider), Peer));
+        assert!(!export_ok(Some(Provider), Provider));
+    }
+}

@@ -1,0 +1,522 @@
+//! The per-AS router abstraction and the unmodified-BGP baseline.
+//!
+//! Each AS is a single router (the paper models one node per AS, eBGP only).
+//! A protocol implements [`RouterLogic`]; the engine owns one logic instance
+//! per AS, delivers messages/failures to it and collects the updates it
+//! wants sent. Plain BGP ([`BgpRouter`]) is both the baseline the paper
+//! measures against and the template R-BGP and STAMP extend.
+
+use crate::policy::export_ok;
+use crate::rib::{DecisionOutcome, RibIn};
+use crate::types::{CauseInfo, PrefixId, ProcId, Route, UpdateKind, UpdateMsg, WithdrawInfo};
+use stamp_topology::{AsGraph, AsId, Relation};
+use std::collections::HashMap;
+
+/// An update a router wants delivered to a neighbour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutMsg {
+    pub to: AsId,
+    pub proc: ProcId,
+    pub msg: UpdateMsg,
+}
+
+/// Session liveness view handed to routers (owned by the engine).
+pub trait SessionView {
+    /// Is the session between `a` and its neighbour `b` currently up?
+    fn session_up(&self, a: AsId, b: AsId) -> bool;
+}
+
+/// Everything a router may touch while handling an event.
+pub struct RouterCtx<'a> {
+    /// This router's AS.
+    pub me: AsId,
+    /// The topology (relationships drive policy).
+    pub topo: &'a AsGraph,
+    /// Liveness of adjacent sessions.
+    pub sessions: &'a dyn SessionView,
+    /// Updates to send (engine applies MRAI to announcements).
+    pub out: Vec<OutMsg>,
+    /// Set by the router whenever its forwarding state changed — the engine
+    /// batches these to know when to re-run data-plane checks.
+    pub fib_changed: bool,
+}
+
+impl<'a> RouterCtx<'a> {
+    /// Fresh context for one event at router `me`.
+    pub fn new(me: AsId, topo: &'a AsGraph, sessions: &'a dyn SessionView) -> RouterCtx<'a> {
+        RouterCtx {
+            me,
+            topo,
+            sessions,
+            out: Vec::new(),
+            fib_changed: false,
+        }
+    }
+
+    /// Queue an update to `to` on process `proc`.
+    pub fn send(&mut self, to: AsId, proc: ProcId, msg: UpdateMsg) {
+        self.out.push(OutMsg { to, proc, msg });
+    }
+
+    /// Relation of `n` relative to me, if adjacent.
+    pub fn relation(&self, n: AsId) -> Option<Relation> {
+        self.topo.relation(self.me, n)
+    }
+
+    /// Neighbours with a live session, in deterministic order.
+    pub fn live_neighbors(&self) -> Vec<(AsId, Relation)> {
+        self.topo
+            .neighbors(self.me)
+            .filter(|(n, _)| self.sessions.session_up(self.me, *n))
+            .collect()
+    }
+}
+
+/// Protocol logic of one AS. The engine is generic over this trait, so a
+/// whole simulation runs one protocol (as in the paper: each experiment
+/// compares protocol A's network against protocol B's network on identical
+/// scenarios).
+pub trait RouterLogic {
+    /// Called once at simulation start, after all routers exist.
+    /// Originate own prefixes here.
+    fn on_start(&mut self, ctx: &mut RouterCtx);
+
+    /// An update arrived from `from` on process `proc`.
+    fn on_update(&mut self, ctx: &mut RouterCtx, from: AsId, proc: ProcId, msg: UpdateMsg);
+
+    /// The link to `neighbor` failed (local, instantaneous detection).
+    /// `cause` is the sequence-numbered event record (RCI-aware protocols
+    /// propagate it; others ignore it).
+    fn on_link_down(&mut self, ctx: &mut RouterCtx, neighbor: AsId, cause: CauseInfo);
+
+    /// The link to `neighbor` came (back) up — re-advertise. `cause`
+    /// records the recovery event (state `up = true`).
+    fn on_link_up(&mut self, ctx: &mut RouterCtx, neighbor: AsId, cause: CauseInfo);
+}
+
+/// Current selection for one `(prefix, proc)` at a router.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Selection {
+    /// No route.
+    #[default]
+    None,
+    /// We originate this prefix.
+    Own,
+    /// Best learned route.
+    Learned(DecisionOutcome),
+}
+
+impl Selection {
+    /// Next hop for forwarding (`None` when we originate or have no route).
+    pub fn next_hop(&self) -> Option<AsId> {
+        match self {
+            Selection::Learned(d) => Some(d.neighbor),
+            _ => None,
+        }
+    }
+
+    /// Whether any route (own or learned) is available.
+    pub fn is_some(&self) -> bool {
+        !matches!(self, Selection::None)
+    }
+
+    /// The relation the selection was learned over (`None` for own/none).
+    pub fn learned_from(&self) -> Option<Relation> {
+        match self {
+            Selection::Learned(d) => Some(d.learned_from),
+            _ => None,
+        }
+    }
+
+    /// Full AS path of the selection as stored (receiver not included).
+    pub fn path(&self) -> Option<&[AsId]> {
+        match self {
+            Selection::Learned(d) => Some(&d.route.path),
+            _ => None,
+        }
+    }
+}
+
+/// Unmodified BGP: one process, prefer-customer decision, valley-free
+/// export, no extra attributes.
+#[derive(Debug)]
+pub struct BgpRouter {
+    me: AsId,
+    /// Prefixes this AS originates.
+    own: Vec<PrefixId>,
+    /// Routes learned from neighbours.
+    pub rib: RibIn,
+    /// Current best per prefix.
+    best: HashMap<PrefixId, Selection>,
+    /// Last route advertised per `(neighbor, prefix)` — BGP's Adj-RIB-Out;
+    /// used to suppress no-op updates and to know when a withdraw is due.
+    rib_out: HashMap<(AsId, PrefixId), Route>,
+}
+
+impl BgpRouter {
+    /// Router for `me`, originating the given prefixes.
+    pub fn new(me: AsId, own: Vec<PrefixId>) -> BgpRouter {
+        BgpRouter {
+            me,
+            own,
+            rib: RibIn::new(),
+            best: HashMap::new(),
+            rib_out: HashMap::new(),
+        }
+    }
+
+    /// Current selection for a prefix.
+    pub fn selection(&self, prefix: PrefixId) -> &Selection {
+        self.best.get(&prefix).unwrap_or(&Selection::None)
+    }
+
+    /// Next hop for a prefix (`None` = no route or self-originated).
+    pub fn next_hop(&self, prefix: PrefixId) -> Option<AsId> {
+        self.selection(prefix).next_hop()
+    }
+
+    /// Does this router originate `prefix`?
+    pub fn originates(&self, prefix: PrefixId) -> bool {
+        self.own.contains(&prefix)
+    }
+
+    /// Run the decision process and, if the selection changed, update
+    /// exports to every live neighbour.
+    fn reselect(&mut self, ctx: &mut RouterCtx, prefix: PrefixId) {
+        let new = if self.originates(prefix) {
+            Selection::Own
+        } else {
+            match self.rib.decide(ctx.topo, self.me, prefix, ProcId::ONLY, |n| {
+                ctx.sessions.session_up(self.me, n)
+            }) {
+                Some(d) => Selection::Learned(d),
+                None => Selection::None,
+            }
+        };
+        let old = self.best.get(&prefix).cloned().unwrap_or_default();
+        if new == old {
+            return;
+        }
+        // Forwarding changes exactly when the next hop (or availability)
+        // changes; conservatively flag on any selection change.
+        ctx.fib_changed = true;
+        self.best.insert(prefix, new);
+        self.update_exports(ctx, prefix);
+    }
+
+    /// Desired advertisement towards `n` under the valley-free gate.
+    fn export_for(&self, ctx: &RouterCtx, prefix: PrefixId, n: AsId) -> Option<Route> {
+        let to_rel = ctx.relation(n)?;
+        match self.selection(prefix) {
+            Selection::None => None,
+            Selection::Own => Some(Route::originate(self.me)),
+            Selection::Learned(d) => {
+                if d.neighbor == n {
+                    // Never reflect a route back to its sender (split
+                    // horizon; the path would loop anyway).
+                    return None;
+                }
+                if export_ok(Some(d.learned_from), to_rel) {
+                    Some(d.route.prepend(self.me))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Reconcile desired exports with what each neighbour last heard.
+    fn update_exports(&mut self, ctx: &mut RouterCtx, prefix: PrefixId) {
+        for (n, _) in ctx.live_neighbors() {
+            let desired = self.export_for(ctx, prefix, n);
+            let current = self.rib_out.get(&(n, prefix));
+            match (desired, current) {
+                (None, None) => {}
+                (None, Some(_)) => {
+                    self.rib_out.remove(&(n, prefix));
+                    ctx.send(
+                        n,
+                        ProcId::ONLY,
+                        UpdateMsg {
+                            prefix,
+                            kind: UpdateKind::Withdraw(WithdrawInfo::default()),
+                        },
+                    );
+                }
+                (Some(r), cur) => {
+                    if cur != Some(&r) {
+                        self.rib_out.insert((n, prefix), r.clone());
+                        ctx.send(
+                            n,
+                            ProcId::ONLY,
+                            UpdateMsg {
+                                prefix,
+                                kind: UpdateKind::Announce(r),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// All prefixes this router has any state for.
+    fn known_prefixes(&self) -> Vec<PrefixId> {
+        let mut v: Vec<PrefixId> = self.own.clone();
+        v.extend(self.best.keys().copied());
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl RouterLogic for BgpRouter {
+    fn on_start(&mut self, ctx: &mut RouterCtx) {
+        for prefix in self.own.clone() {
+            self.reselect(ctx, prefix);
+        }
+    }
+
+    fn on_update(&mut self, ctx: &mut RouterCtx, from: AsId, _proc: ProcId, msg: UpdateMsg) {
+        match msg.kind {
+            UpdateKind::Announce(route) => {
+                self.rib.insert(msg.prefix, ProcId::ONLY, from, route);
+            }
+            UpdateKind::Withdraw(_) => {
+                self.rib.remove(msg.prefix, ProcId::ONLY, from);
+            }
+        }
+        self.reselect(ctx, msg.prefix);
+    }
+
+    fn on_link_down(&mut self, ctx: &mut RouterCtx, neighbor: AsId, _cause: CauseInfo) {
+        let affected = self.rib.remove_neighbor(neighbor);
+        // Anything we advertised over the dead session is gone with it.
+        let stale: Vec<(AsId, PrefixId)> = self
+            .rib_out
+            .keys()
+            .filter(|(n, _)| *n == neighbor)
+            .copied()
+            .collect();
+        for k in stale {
+            self.rib_out.remove(&k);
+        }
+        let mut prefixes: Vec<PrefixId> = affected.into_iter().map(|(p, _)| p).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        for p in prefixes {
+            self.reselect(ctx, p);
+        }
+    }
+
+    fn on_link_up(&mut self, ctx: &mut RouterCtx, neighbor: AsId, _cause: CauseInfo) {
+        // Fresh session: neighbour has none of our state. Re-advertise the
+        // current best for every known prefix.
+        for prefix in self.known_prefixes() {
+            if let Some(r) = self.export_for(ctx, prefix, neighbor) {
+                self.rib_out.insert((neighbor, prefix), r.clone());
+                ctx.send(
+                    neighbor,
+                    ProcId::ONLY,
+                    UpdateMsg {
+                        prefix,
+                        kind: UpdateKind::Announce(r),
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_topology::GraphBuilder;
+
+    struct AllUp;
+    impl SessionView for AllUp {
+        fn session_up(&self, _a: AsId, _b: AsId) -> bool {
+            true
+        }
+    }
+
+    /// 0 tier-1; 1, 2 customers of 0; 3 customer of 1 and 2.
+    fn g() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        b.preregister(4);
+        b.customer_of(1, 0).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(3, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    const P: PrefixId = PrefixId(0);
+
+    fn announce(path: &[u32]) -> UpdateMsg {
+        UpdateMsg {
+            prefix: P,
+            kind: UpdateKind::Announce(Route {
+                path: path.iter().map(|&x| AsId(x)).collect(),
+                attrs: Default::default(),
+            }),
+        }
+    }
+
+    fn test_cause() -> CauseInfo {
+        CauseInfo {
+            cause: crate::types::RootCause::link(AsId(3), AsId(1)),
+            seq: 1,
+            up: false,
+        }
+    }
+
+    fn withdraw() -> UpdateMsg {
+        UpdateMsg {
+            prefix: P,
+            kind: UpdateKind::Withdraw(WithdrawInfo::default()),
+        }
+    }
+
+    #[test]
+    fn origin_announces_to_all_neighbors() {
+        let g = g();
+        let mut r = BgpRouter::new(AsId(3), vec![P]);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_start(&mut ctx);
+        let mut tos: Vec<AsId> = ctx.out.iter().map(|m| m.to).collect();
+        tos.sort();
+        assert_eq!(tos, vec![AsId(1), AsId(2)]);
+        for m in &ctx.out {
+            match &m.msg.kind {
+                UpdateKind::Announce(r) => assert_eq!(r.path, vec![AsId(3)]),
+                _ => panic!("expected announce"),
+            }
+        }
+        assert!(ctx.fib_changed);
+    }
+
+    #[test]
+    fn customer_route_propagates_everywhere() {
+        let g = g();
+        // Router 1 learns prefix from customer 3; must export to provider 0.
+        let mut r = BgpRouter::new(AsId(1), vec![]);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, announce(&[3]));
+        assert_eq!(ctx.out.len(), 1);
+        assert_eq!(ctx.out[0].to, AsId(0));
+        match &ctx.out[0].msg.kind {
+            UpdateKind::Announce(route) => {
+                assert_eq!(route.path, vec![AsId(1), AsId(3)]);
+            }
+            _ => panic!("expected announce"),
+        }
+    }
+
+    #[test]
+    fn provider_route_only_exported_to_customers() {
+        let g = g();
+        // Router 1 learns the prefix from its *provider* 0; it must export
+        // to customer 3 but not back to 0.
+        let mut r = BgpRouter::new(AsId(1), vec![]);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(0), ProcId::ONLY, announce(&[0, 2, 9]));
+        assert_eq!(ctx.out.len(), 1);
+        assert_eq!(ctx.out[0].to, AsId(3));
+    }
+
+    #[test]
+    fn no_reannounce_when_selection_unchanged() {
+        let g = g();
+        let mut r = BgpRouter::new(AsId(1), vec![]);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, announce(&[3]));
+        assert_eq!(ctx.out.len(), 1);
+        // Same announcement again: selection unchanged, nothing sent.
+        let mut ctx2 = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx2, AsId(3), ProcId::ONLY, announce(&[3]));
+        assert!(ctx2.out.is_empty());
+        assert!(!ctx2.fib_changed);
+    }
+
+    #[test]
+    fn withdraw_falls_back_to_alternative() {
+        let g = g();
+        // Router 3 hears the prefix from both providers 1 and 2.
+        let mut r = BgpRouter::new(AsId(3), vec![]);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, announce(&[1, 0, 9]));
+        assert_eq!(r.next_hop(P), Some(AsId(1)));
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, announce(&[2, 0, 9]));
+        // 1 still wins the lowest-id tiebreak.
+        assert_eq!(r.next_hop(P), Some(AsId(1)));
+        // Withdraw from 1: fall back to 2.
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, withdraw());
+        assert_eq!(r.next_hop(P), Some(AsId(2)));
+        assert!(ctx.fib_changed);
+    }
+
+    #[test]
+    fn link_down_purges_and_reselects() {
+        let g = g();
+        let mut r = BgpRouter::new(AsId(3), vec![]);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, announce(&[1, 0, 9]));
+        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, announce(&[2, 0, 9]));
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_link_down(&mut ctx, AsId(1), test_cause());
+        assert_eq!(r.next_hop(P), Some(AsId(2)));
+    }
+
+    #[test]
+    fn loses_all_routes_sends_withdraw() {
+        let g = g();
+        // Router 1's only route is from customer 3; it advertised to 0.
+        let mut r = BgpRouter::new(AsId(1), vec![]);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, announce(&[3]));
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, withdraw());
+        assert_eq!(ctx.out.len(), 1);
+        assert_eq!(ctx.out[0].to, AsId(0));
+        assert!(matches!(ctx.out[0].msg.kind, UpdateKind::Withdraw(_)));
+        assert_eq!(r.next_hop(P), None);
+        assert!(!r.selection(P).is_some());
+    }
+
+    #[test]
+    fn link_up_readvertises() {
+        let g = g();
+        let mut r = BgpRouter::new(AsId(3), vec![P]);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_start(&mut ctx);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_link_up(
+            &mut ctx,
+            AsId(2),
+            CauseInfo {
+                cause: crate::types::RootCause::link(AsId(3), AsId(2)),
+                seq: 2,
+                up: true,
+            },
+        );
+        assert_eq!(ctx.out.len(), 1);
+        assert_eq!(ctx.out[0].to, AsId(2));
+        assert!(ctx.out[0].msg.is_announce());
+    }
+
+    #[test]
+    fn split_horizon_no_reflection() {
+        let g = g();
+        // Router 1 learns from provider 0 a path; it must not announce the
+        // route back to 0 even though 0 is... a provider (export already
+        // forbids). Check the customer case: router 3 learns from 1 and
+        // would export to customers — it has none; ensure no echo to 1.
+        let mut r = BgpRouter::new(AsId(3), vec![]);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, announce(&[1, 0, 9]));
+        assert!(ctx.out.is_empty());
+    }
+}

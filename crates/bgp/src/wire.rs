@@ -1,0 +1,578 @@
+//! RFC 4271-style binary codec for UPDATE messages.
+//!
+//! The paper stresses that STAMP's two extensions are "two new path
+//! attributes" — deployable inside standard BGP messages. This module makes
+//! that concrete: updates serialise to RFC 4271 UPDATE framing (16-byte
+//! marker, length, type, withdrawn routes, path attributes, NLRI) with the
+//! extensions carried as optional transitive attributes from the private
+//! range:
+//!
+//! | attribute | type code | length | value |
+//! |-----------|-----------|--------|-------|
+//! | `LOCK`    | 230       | 1      | 0 / 1 (§4.1) |
+//! | `ET`      | 231       | 1      | 0 = Lost, 1 = NotLost (§5.2) |
+//! | `RCI`     | 232       | 5 / 9  | kind byte + AS ids (R-BGP root cause) |
+//! | `FAILOVER`| 233       | 1      | 0 / 1 (R-BGP backup-path marker) |
+//!
+//! Simplifications relative to full RFC 4271 (documented, deliberate):
+//! prefixes are the simulator's 32-bit prefix ids encoded as /32 NLRI;
+//! AS numbers are 4-octet (RFC 6793 style); `NEXT_HOP` carries the
+//! announcing AS id; the red/blue process split is session-level (distinct
+//! TCP ports per the paper), so it does not appear in the message.
+//!
+//! A round-trip property test lives in the crate's proptest suite.
+
+use crate::types::{
+    CauseInfo, EventType, PathAttrs, PrefixId, Route, RootCause, UpdateKind, UpdateMsg,
+    WithdrawInfo,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stamp_topology::AsId;
+use std::fmt;
+
+/// BGP message type code for UPDATE.
+const MSG_TYPE_UPDATE: u8 = 2;
+/// Attribute flags: optional + transitive.
+const FLAGS_OPT_TRANS: u8 = 0xC0;
+/// Attribute flags: well-known transitive.
+const FLAGS_WELL_KNOWN: u8 = 0x40;
+
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_LOCK: u8 = 230;
+const ATTR_ET: u8 = 231;
+const ATTR_RCI: u8 = 232;
+const ATTR_FAILOVER: u8 = 233;
+
+/// AS_PATH segment type: ordered sequence.
+const AS_SEQUENCE: u8 = 2;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input shorter than its framing claims.
+    Truncated,
+    /// Marker bytes are not all-ones.
+    BadMarker,
+    /// Message type is not UPDATE.
+    BadType(u8),
+    /// An attribute or field has an impossible length.
+    BadLength { what: &'static str, len: usize },
+    /// Unknown mandatory structure (unknown optional attrs are skipped).
+    BadValue { what: &'static str, value: u8 },
+    /// The update announces and withdraws nothing.
+    Empty,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadMarker => write!(f, "bad marker"),
+            WireError::BadType(t) => write!(f, "unexpected message type {t}"),
+            WireError::BadLength { what, len } => write!(f, "bad length {len} for {what}"),
+            WireError::BadValue { what, value } => write!(f, "bad value {value} for {what}"),
+            WireError::Empty => write!(f, "update carries no routes"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode one UPDATE to wire bytes.
+pub fn encode(msg: &UpdateMsg) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+
+    match &msg.kind {
+        UpdateKind::Withdraw(info) => {
+            // Withdrawn routes: one /32-style entry for the prefix id.
+            let mut wd = BytesMut::new();
+            put_prefix(&mut wd, msg.prefix);
+            body.put_u16(wd.len() as u16);
+            body.put_slice(&wd);
+            // Path attributes: root cause and/or ET, if any.
+            let mut attrs = BytesMut::new();
+            if let Some(rc) = info.root_cause {
+                put_rci(&mut attrs, rc);
+            }
+            if let Some(et) = info.et {
+                put_attr_header(&mut attrs, FLAGS_OPT_TRANS, ATTR_ET, 1);
+                attrs.put_u8(match et {
+                    EventType::Lost => 0,
+                    EventType::NotLost => 1,
+                });
+            }
+            if info.failover {
+                put_attr_header(&mut attrs, FLAGS_OPT_TRANS, ATTR_FAILOVER, 1);
+                attrs.put_u8(1);
+            }
+            body.put_u16(attrs.len() as u16);
+            body.put_slice(&attrs);
+            // No NLRI.
+        }
+        UpdateKind::Announce(route) => {
+            body.put_u16(0); // no withdrawn routes
+            let mut attrs = BytesMut::new();
+            // ORIGIN = IGP.
+            put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_ORIGIN, 1);
+            attrs.put_u8(0);
+            // AS_PATH: one AS_SEQUENCE of 4-octet ASNs.
+            let plen = 2 + 4 * route.path.len();
+            put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_AS_PATH, plen);
+            attrs.put_u8(AS_SEQUENCE);
+            attrs.put_u8(route.path.len() as u8);
+            for a in &route.path {
+                attrs.put_u32(a.0);
+            }
+            // NEXT_HOP: the announcing AS (AS-level model).
+            put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_NEXT_HOP, 4);
+            attrs.put_u32(route.next_hop().0);
+            // STAMP Lock.
+            if route.attrs.lock {
+                put_attr_header(&mut attrs, FLAGS_OPT_TRANS, ATTR_LOCK, 1);
+                attrs.put_u8(1);
+            }
+            // STAMP ET.
+            if let Some(et) = route.attrs.et {
+                put_attr_header(&mut attrs, FLAGS_OPT_TRANS, ATTR_ET, 1);
+                attrs.put_u8(match et {
+                    EventType::Lost => 0,
+                    EventType::NotLost => 1,
+                });
+            }
+            // R-BGP RCI.
+            if let Some(rc) = route.attrs.root_cause {
+                put_rci(&mut attrs, rc);
+            }
+            // R-BGP failover marker.
+            if route.attrs.failover {
+                put_attr_header(&mut attrs, FLAGS_OPT_TRANS, ATTR_FAILOVER, 1);
+                attrs.put_u8(1);
+            }
+            body.put_u16(attrs.len() as u16);
+            body.put_slice(&attrs);
+            // NLRI.
+            put_prefix(&mut body, msg.prefix);
+        }
+    }
+
+    let mut out = BytesMut::with_capacity(19 + body.len());
+    out.put_bytes(0xFF, 16);
+    out.put_u16(19 + body.len() as u16);
+    out.put_u8(MSG_TYPE_UPDATE);
+    out.put_slice(&body);
+    out.freeze()
+}
+
+fn put_attr_header(buf: &mut BytesMut, flags: u8, code: u8, len: usize) {
+    debug_assert!(len <= u8::MAX as usize, "extended length unsupported");
+    buf.put_u8(flags);
+    buf.put_u8(code);
+    buf.put_u8(len as u8);
+}
+
+fn put_prefix(buf: &mut BytesMut, p: PrefixId) {
+    buf.put_u8(32); // prefix length in bits
+    buf.put_u32(p.0);
+}
+
+fn put_rci(buf: &mut BytesMut, info: CauseInfo) {
+    match info.cause {
+        RootCause::Link(a, b) => {
+            put_attr_header(buf, FLAGS_OPT_TRANS, ATTR_RCI, 14);
+            buf.put_u8(0); // kind: link
+            buf.put_u32(a.0);
+            buf.put_u32(b.0);
+        }
+        RootCause::Node(v) => {
+            put_attr_header(buf, FLAGS_OPT_TRANS, ATTR_RCI, 10);
+            buf.put_u8(1); // kind: node
+            buf.put_u32(v.0);
+        }
+    }
+    buf.put_u32(info.seq);
+    buf.put_u8(u8::from(info.up));
+}
+
+/// Decode one UPDATE from wire bytes.
+pub fn decode(mut buf: Bytes) -> Result<UpdateMsg, WireError> {
+    if buf.len() < 19 {
+        return Err(WireError::Truncated);
+    }
+    for _ in 0..16 {
+        if buf.get_u8() != 0xFF {
+            return Err(WireError::BadMarker);
+        }
+    }
+    let total = buf.get_u16() as usize;
+    if total < 19 {
+        return Err(WireError::Truncated);
+    }
+    let ty = buf.get_u8();
+    if ty != MSG_TYPE_UPDATE {
+        return Err(WireError::BadType(ty));
+    }
+    if total - 19 > buf.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut body = buf.split_to(total - 19);
+
+    // Withdrawn routes.
+    if body.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let wd_len = body.get_u16() as usize;
+    if wd_len > body.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut wd = body.split_to(wd_len);
+    let withdrawn = if wd.has_remaining() {
+        Some(get_prefix(&mut wd)?)
+    } else {
+        None
+    };
+
+    // Path attributes.
+    if body.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let attr_len = body.get_u16() as usize;
+    if attr_len > body.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut attrs_buf = body.split_to(attr_len);
+    let mut path: Option<Vec<AsId>> = None;
+    let mut attrs = PathAttrs::default();
+    let mut root_cause: Option<CauseInfo> = None;
+    while attrs_buf.has_remaining() {
+        if attrs_buf.remaining() < 3 {
+            return Err(WireError::Truncated);
+        }
+        let _flags = attrs_buf.get_u8();
+        let code = attrs_buf.get_u8();
+        let len = attrs_buf.get_u8() as usize;
+        if len > attrs_buf.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let mut val = attrs_buf.split_to(len);
+        match code {
+            ATTR_ORIGIN => {
+                if len != 1 {
+                    return Err(WireError::BadLength {
+                        what: "ORIGIN",
+                        len,
+                    });
+                }
+            }
+            ATTR_AS_PATH => {
+                if len < 2 {
+                    return Err(WireError::BadLength {
+                        what: "AS_PATH",
+                        len,
+                    });
+                }
+                let seg = val.get_u8();
+                if seg != AS_SEQUENCE {
+                    return Err(WireError::BadValue {
+                        what: "AS_PATH segment",
+                        value: seg,
+                    });
+                }
+                let count = val.get_u8() as usize;
+                if val.remaining() != 4 * count {
+                    return Err(WireError::BadLength {
+                        what: "AS_PATH body",
+                        len,
+                    });
+                }
+                let mut p = Vec::with_capacity(count);
+                for _ in 0..count {
+                    p.push(AsId(val.get_u32()));
+                }
+                path = Some(p);
+            }
+            ATTR_NEXT_HOP => {
+                if len != 4 {
+                    return Err(WireError::BadLength {
+                        what: "NEXT_HOP",
+                        len,
+                    });
+                }
+                let _nh = val.get_u32();
+            }
+            ATTR_LOCK => {
+                if len != 1 {
+                    return Err(WireError::BadLength { what: "LOCK", len });
+                }
+                attrs.lock = val.get_u8() != 0;
+            }
+            ATTR_ET => {
+                if len != 1 {
+                    return Err(WireError::BadLength { what: "ET", len });
+                }
+                attrs.et = Some(match val.get_u8() {
+                    0 => EventType::Lost,
+                    _ => EventType::NotLost,
+                });
+            }
+            ATTR_RCI => {
+                let kind = if len >= 1 {
+                    val.get_u8()
+                } else {
+                    return Err(WireError::BadLength { what: "RCI", len });
+                };
+                let cause = match (kind, len) {
+                    (0, 14) => RootCause::Link(AsId(val.get_u32()), AsId(val.get_u32())),
+                    (1, 10) => RootCause::Node(AsId(val.get_u32())),
+                    _ => {
+                        return Err(WireError::BadValue {
+                            what: "RCI kind/len",
+                            value: kind,
+                        })
+                    }
+                };
+                let seq = val.get_u32();
+                let up = val.get_u8() != 0;
+                root_cause = Some(CauseInfo { cause, seq, up });
+            }
+            ATTR_FAILOVER => {
+                if len != 1 {
+                    return Err(WireError::BadLength {
+                        what: "FAILOVER",
+                        len,
+                    });
+                }
+                attrs.failover = val.get_u8() != 0;
+            }
+            // Unknown optional attributes are skipped (standard behaviour).
+            _ => {}
+        }
+    }
+    attrs.root_cause = root_cause;
+
+    // NLRI.
+    let announced = if body.has_remaining() {
+        Some(get_prefix(&mut body)?)
+    } else {
+        None
+    };
+
+    match (announced, withdrawn) {
+        (Some(prefix), _) => {
+            let path = path.ok_or(WireError::BadValue {
+                what: "missing AS_PATH",
+                value: 0,
+            })?;
+            if path.is_empty() {
+                return Err(WireError::BadLength {
+                    what: "AS_PATH empty",
+                    len: 0,
+                });
+            }
+            Ok(UpdateMsg {
+                prefix,
+                kind: UpdateKind::Announce(Route { path, attrs }),
+            })
+        }
+        (None, Some(prefix)) => Ok(UpdateMsg {
+            prefix,
+            kind: UpdateKind::Withdraw(WithdrawInfo {
+                root_cause,
+                et: attrs.et,
+                failover: attrs.failover,
+            }),
+        }),
+        (None, None) => Err(WireError::Empty),
+    }
+}
+
+fn get_prefix(buf: &mut Bytes) -> Result<PrefixId, WireError> {
+    if buf.remaining() < 5 {
+        return Err(WireError::Truncated);
+    }
+    let bits = buf.get_u8();
+    if bits != 32 {
+        return Err(WireError::BadValue {
+            what: "prefix length",
+            value: bits,
+        });
+    }
+    Ok(PrefixId(buf.get_u32()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<AsId> {
+        v.iter().map(|&x| AsId(x)).collect()
+    }
+
+    #[test]
+    fn announce_roundtrip_plain() {
+        let msg = UpdateMsg {
+            prefix: PrefixId(7),
+            kind: UpdateKind::Announce(Route {
+                path: ids(&[4, 2, 1]),
+                attrs: PathAttrs::default(),
+            }),
+        };
+        let bytes = encode(&msg);
+        assert_eq!(decode(bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn announce_roundtrip_with_stamp_attrs() {
+        for et in [EventType::Lost, EventType::NotLost] {
+            let msg = UpdateMsg {
+                prefix: PrefixId(0),
+                kind: UpdateKind::Announce(Route {
+                    path: ids(&[9]),
+                    attrs: PathAttrs {
+                        lock: true,
+                        et: Some(et),
+                        root_cause: None,
+                        failover: false,
+                    },
+                }),
+            };
+            assert_eq!(decode(encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn announce_roundtrip_with_rbgp_attrs() {
+        let msg = UpdateMsg {
+            prefix: PrefixId(3),
+            kind: UpdateKind::Announce(Route {
+                path: ids(&[5, 6]),
+                attrs: PathAttrs {
+                    lock: false,
+                    et: None,
+                    root_cause: Some(CauseInfo {
+                        cause: RootCause::Link(AsId(1), AsId(2)),
+                        seq: 3,
+                        up: false,
+                    }),
+                    failover: true,
+                },
+            }),
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn withdraw_roundtrip() {
+        let plain = UpdateMsg {
+            prefix: PrefixId(11),
+            kind: UpdateKind::Withdraw(WithdrawInfo { root_cause: None, ..Default::default() }),
+        };
+        assert_eq!(decode(encode(&plain)).unwrap(), plain);
+        let rci = UpdateMsg {
+            prefix: PrefixId(11),
+            kind: UpdateKind::Withdraw(WithdrawInfo {
+                root_cause: Some(CauseInfo {
+                    cause: RootCause::Node(AsId(4)),
+                    seq: 9,
+                    up: true,
+                }),
+                et: Some(EventType::NotLost),
+                failover: false,
+            }),
+        };
+        assert_eq!(decode(encode(&rci)).unwrap(), rci);
+        assert_eq!(decode(encode(&UpdateMsg {
+            prefix: PrefixId(5),
+            kind: UpdateKind::Withdraw(WithdrawInfo::loss()),
+        }))
+        .unwrap()
+        .kind
+        .clone(),
+        UpdateKind::Withdraw(WithdrawInfo::loss()));
+    }
+
+    #[test]
+    fn rejects_bad_marker() {
+        let msg = UpdateMsg {
+            prefix: PrefixId(0),
+            kind: UpdateKind::Withdraw(WithdrawInfo::default()),
+        };
+        let mut raw = encode(&msg).to_vec();
+        raw[3] = 0x00;
+        assert_eq!(decode(Bytes::from(raw)), Err(WireError::BadMarker));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let msg = UpdateMsg {
+            prefix: PrefixId(1),
+            kind: UpdateKind::Announce(Route {
+                path: ids(&[4, 2, 1]),
+                attrs: PathAttrs {
+                    lock: true,
+                    et: Some(EventType::Lost),
+                    root_cause: Some(CauseInfo {
+                        cause: RootCause::Link(AsId(1), AsId(2)),
+                        seq: 3,
+                        up: false,
+                    }),
+                    failover: true,
+                },
+            }),
+        };
+        let raw = encode(&msg);
+        for cut in 0..raw.len() {
+            let r = decode(raw.slice(0..cut));
+            assert!(r.is_err(), "decode of {cut}-byte truncation succeeded");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let msg = UpdateMsg {
+            prefix: PrefixId(0),
+            kind: UpdateKind::Withdraw(WithdrawInfo::default()),
+        };
+        let mut raw = encode(&msg).to_vec();
+        raw[18] = 1; // OPEN
+        assert_eq!(decode(Bytes::from(raw)), Err(WireError::BadType(1)));
+    }
+
+    #[test]
+    fn unknown_optional_attr_skipped() {
+        // Hand-build an announce with an extra unknown attribute.
+        let msg = UpdateMsg {
+            prefix: PrefixId(2),
+            kind: UpdateKind::Announce(Route {
+                path: ids(&[8]),
+                attrs: PathAttrs::default(),
+            }),
+        };
+        let raw = encode(&msg).to_vec();
+        // Splice an unknown attr (code 200, len 2) into the attribute
+        // section: rebuild manually.
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        let mut attrs = BytesMut::new();
+        put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_ORIGIN, 1);
+        attrs.put_u8(0);
+        put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_AS_PATH, 6);
+        attrs.put_u8(AS_SEQUENCE);
+        attrs.put_u8(1);
+        attrs.put_u32(8);
+        put_attr_header(&mut attrs, FLAGS_OPT_TRANS, 200, 2);
+        attrs.put_u16(0xBEEF);
+        body.put_u16(attrs.len() as u16);
+        body.put_slice(&attrs);
+        put_prefix(&mut body, PrefixId(2));
+        let mut out = BytesMut::new();
+        out.put_bytes(0xFF, 16);
+        out.put_u16(19 + body.len() as u16);
+        out.put_u8(MSG_TYPE_UPDATE);
+        out.put_slice(&body);
+        let decoded = decode(out.freeze()).unwrap();
+        assert_eq!(decoded, msg);
+        let _ = raw;
+    }
+}

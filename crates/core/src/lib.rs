@@ -1,0 +1,51 @@
+//! STAMP — the SelecTive Announcement Multi-Process routing protocol.
+//!
+//! This crate is the paper's primary contribution: each AS runs a *red* and
+//! a *blue* BGP process whose best paths are downhill node disjoint whenever
+//! both exist, so that any single routing event leaves at least one of them
+//! working.
+//!
+//! * [`router`] — the STAMP router: selective announcements to providers
+//!   (per-provider colour exclusivity), Lock-attribute propagation
+//!   guaranteeing one blue downhill path, ET-attribute generation and
+//!   consumption, instability flags and active-process switching (§4, §5);
+//! * [`lock`] — locked-blue-provider selection strategies (random, as in
+//!   §6.1's baseline, and precomputed "smart" selection);
+//! * [`phi`] — the static Φ analysis of §6.1: the probability that every AS
+//!   obtains both red and blue routes to a destination, exact below a path
+//!   census cap and uniformly sampled above it (Figure 1);
+//! * [`partial`] — the §6.3 partial-deployment analysis (STAMP at tier-1
+//!   ASes only).
+//!
+//! ## Interpretations beyond the paper's text
+//!
+//! The paper defers protocol minutiae to its tech report \[14\], which is not
+//! publicly archived; the following choices are documented here and in
+//! DESIGN.md §5.3:
+//!
+//! 1. **Single-provider (cut) exemption.** An AS with exactly one provider
+//!    announces *both* colours to it (footnote 4 requires the red/blue split
+//!    to happen at the first multi-homed AS up the chain; a cut node admits
+//!    no disjointness anyway).
+//! 2. **Sticky lock.** An AS that holds *any* locked blue customer route
+//!    announces its blue best (which may itself be unlocked) with Lock=1 to
+//!    exactly one provider — preserving the existence guarantee without
+//!    forcing the process to deviate from standard best-path selection.
+//! 3. **Instability flags.** A process is flagged unstable for a prefix when
+//!    it loses its best route or its best route changes due to an update
+//!    with ET=0; the flag clears when a new best installs via an ET=1
+//!    update. Packet forwarding prefers the same-colour stable route, then
+//!    switches colour (at most once), then uses an unstable same-colour
+//!    route rather than dropping.
+//! 4. **Policy-swap withdrawals carry ET=1** (`NotLost`), so STAMP's
+//!    selective-announcement backtracking does not masquerade as failure.
+
+pub mod lock;
+pub mod partial;
+pub mod phi;
+pub mod router;
+
+pub use lock::LockStrategy;
+pub use partial::{partial_deployment_fraction, PartialDeploymentReport};
+pub use phi::{phi_all_destinations, phi_for_destination, PhiConfig, PhiReport};
+pub use router::StampRouter;

@@ -1,0 +1,160 @@
+//! Partial deployment analysis (§6.3): STAMP at tier-1 ASes only.
+//!
+//! When only the tier-1 clique runs STAMP, everyone below announces a single
+//! best path upward (plain BGP), and the tier-1s label whatever diversity
+//! *happens* to reach them as red/blue. An AS then enjoys complementary
+//! routes to destination `d` exactly when two tier-1s hold downhill
+//! node-disjoint stable paths to `d` — every AS can reach every tier-1
+//! (climb to any tier-1, cross the clique once), so the condition is a
+//! property of the destination alone. The paper reports ≈75% of ASes
+//! protected under this deployment, against ≈92% for full deployment
+//! (mean Φ); the gap is the value of STAMP's active steering below the
+//! tier-1s. See DESIGN.md §4 (E6) for the model discussion.
+
+use stamp_eventsim::rng::tags;
+use stamp_eventsim::rng_stream;
+use stamp_topology::graph::{AsGraph, AsId};
+use stamp_topology::routing::StaticRoutes;
+use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
+/// Result of the partial-deployment analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialDeploymentReport {
+    /// Destinations evaluated.
+    pub n_destinations: usize,
+    /// Destinations for which two tier-1s hold downhill node-disjoint
+    /// stable paths.
+    pub protected: usize,
+}
+
+impl PartialDeploymentReport {
+    /// Fraction of ASes with two downhill node-disjoint paths, averaged
+    /// over destinations (the §6.3 "75%" figure).
+    pub fn fraction(&self) -> f64 {
+        if self.n_destinations == 0 {
+            0.0
+        } else {
+            self.protected as f64 / self.n_destinations as f64
+        }
+    }
+}
+
+/// Does destination `d` admit two tier-1s with node-disjoint (except `d`)
+/// stable BGP paths?
+pub fn destination_protected(g: &AsGraph, d: AsId) -> bool {
+    let routes = StaticRoutes::compute(g, d);
+    let tier1s = g.tier1s();
+    let paths: Vec<Vec<AsId>> = tier1s
+        .iter()
+        .filter_map(|&t| routes.path(t))
+        .filter(|p| p.len() >= 2)
+        .collect();
+    for i in 0..paths.len() {
+        for j in (i + 1)..paths.len() {
+            let a: HashSet<AsId> = paths[i][..paths[i].len() - 1].iter().copied().collect();
+            if paths[j][..paths[j].len() - 1]
+                .iter()
+                .all(|v| !a.contains(v))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Evaluate the partial-deployment fraction over up to `max_destinations`
+/// destinations (sampled deterministically when the graph is larger).
+pub fn partial_deployment_fraction(
+    g: &AsGraph,
+    max_destinations: usize,
+    seed: u64,
+) -> PartialDeploymentReport {
+    let mut dests: Vec<AsId> = g.ases().filter(|&v| !g.is_tier1(v)).collect();
+    if dests.len() > max_destinations {
+        let mut rng = rng_stream(seed, tags::WORKLOAD);
+        dests.shuffle(&mut rng);
+        dests.truncate(max_destinations);
+    }
+    let protected = dests
+        .iter()
+        .filter(|&&d| destination_protected(g, d))
+        .count();
+    PartialDeploymentReport {
+        n_destinations: dests.len(),
+        protected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_topology::gen::{generate, GenConfig};
+    use stamp_topology::graph::GraphBuilder;
+
+    /// Diamond: tier-1s 0 and 1 hold disjoint paths to 4 ⇒ protected.
+    #[test]
+    fn diamond_destination_protected() {
+        let mut b = GraphBuilder::new();
+        b.preregister(5);
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(4, 2).unwrap();
+        b.customer_of(4, 3).unwrap();
+        let g = b.build().unwrap();
+        assert!(destination_protected(&g, AsId(4)));
+    }
+
+    /// Funnel: every tier-1 path to 3 passes through 2 ⇒ unprotected.
+    #[test]
+    fn funnel_destination_unprotected() {
+        let mut b = GraphBuilder::new();
+        b.preregister(4);
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(2, 1).unwrap();
+        b.customer_of(3, 2).unwrap();
+        let g = b.build().unwrap();
+        assert!(!destination_protected(&g, AsId(3)));
+    }
+
+    #[test]
+    fn report_fraction_counts() {
+        let mut b = GraphBuilder::new();
+        b.preregister(5);
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(4, 2).unwrap();
+        b.customer_of(4, 3).unwrap();
+        let g = b.build().unwrap();
+        let rep = partial_deployment_fraction(&g, 100, 1);
+        assert_eq!(rep.n_destinations, 3); // 2, 3, 4
+        // 4 is protected; 2 and 3 are single-homed below one tier-1 each.
+        assert_eq!(rep.protected, 1);
+        assert!((rep.fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_below_full_deployment_on_generated() {
+        // The §6.3 ordering: partial (≈75%) below full deployment's mean Φ
+        // (≈92%). Check the ordering holds on a generated topology.
+        let g = generate(&GenConfig::small(23)).unwrap();
+        let partial = partial_deployment_fraction(&g, 120, 5).fraction();
+        let full = crate::phi::phi_all_destinations(&g, &Default::default()).mean;
+        assert!(
+            partial <= full + 0.05,
+            "partial {partial} unexpectedly above full {full}"
+        );
+        assert!(partial > 0.2, "partial fraction {partial} implausibly low");
+    }
+
+    #[test]
+    fn sampling_caps_destinations() {
+        let g = generate(&GenConfig::small(29)).unwrap();
+        let rep = partial_deployment_fraction(&g, 10, 3);
+        assert_eq!(rep.n_destinations, 10);
+    }
+}

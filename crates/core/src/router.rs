@@ -1,0 +1,924 @@
+//! The STAMP router: two coordinated BGP processes per AS.
+//!
+//! Protocol recap (§4.1):
+//!
+//! * The **red** (`ProcId(0)`) and **blue** (`ProcId(1)`) processes each run
+//!   the standard decision process over the routes announced by neighbours'
+//!   same-colour processes.
+//! * Announcements to **customers and peers** proceed freely on both
+//!   colours (standard valley-free export applies per process).
+//! * Announcements to **providers** are selective: the two processes never
+//!   announce to the same provider. An AS holding a locked blue route
+//!   announces blue with Lock=1 to exactly one provider (its *locked blue
+//!   provider*); red routes take precedence to every other provider; blue
+//!   without Lock fills in only where no red route exists.
+//! * A multi-homed **origin** seeds the split: blue+Lock to its chosen blue
+//!   provider, red to the rest. A single-provider AS announces both colours
+//!   to its sole provider (the "cut exemption" — see crate docs).
+//! * Every update carries the **ET** bit (§5.2): `Lost` iff the update was
+//!   transitively caused by a route loss. Receivers use it to flag a
+//!   process unstable and to switch the *active* process their own traffic
+//!   uses.
+
+use crate::lock::LockStrategy;
+use stamp_bgp::policy::export_ok;
+use stamp_bgp::rib::RibIn;
+use stamp_bgp::router::{RouterCtx, RouterLogic, Selection};
+use stamp_bgp::types::{
+    CauseInfo, Color, EventType, PathAttrs, PrefixId, ProcId, Route, UpdateKind, UpdateMsg,
+    WithdrawInfo,
+};
+use stamp_topology::{AsId, Relation};
+use std::collections::HashMap;
+
+/// Per-event ET classification for each colour (`None` = colour untouched).
+type EtByColor = [Option<EventType>; 2];
+
+/// A STAMP router (one per AS).
+#[derive(Debug)]
+pub struct StampRouter {
+    me: AsId,
+    own: Vec<PrefixId>,
+    /// Routes learned from neighbours, keyed by (prefix, process, neighbour).
+    pub rib: RibIn,
+    /// Current best per (prefix, colour).
+    best: HashMap<(PrefixId, Color), Selection>,
+    /// What each neighbour last heard from us, per colour.
+    rib_out: HashMap<(AsId, PrefixId, Color), Route>,
+    /// Which process this AS's own traffic currently uses.
+    active: HashMap<PrefixId, Color>,
+    /// Data-plane instability flags (§5.2).
+    unstable: HashMap<(PrefixId, Color), bool>,
+    /// Locked-blue-provider selection policy.
+    lock_strategy: LockStrategy,
+    /// Sticky lock choice per prefix.
+    lock_current: HashMap<PrefixId, AsId>,
+}
+
+impl StampRouter {
+    /// Router for `me`, originating `own`, with the given lock policy.
+    pub fn new(me: AsId, own: Vec<PrefixId>, lock_strategy: LockStrategy) -> StampRouter {
+        StampRouter {
+            me,
+            own,
+            rib: RibIn::new(),
+            best: HashMap::new(),
+            rib_out: HashMap::new(),
+            active: HashMap::new(),
+            unstable: HashMap::new(),
+            lock_strategy,
+            lock_current: HashMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read-side API (data plane, tests, experiments)
+    // ------------------------------------------------------------------
+
+    /// Current selection of one colour.
+    pub fn selection(&self, prefix: PrefixId, c: Color) -> &Selection {
+        self.best.get(&(prefix, c)).unwrap_or(&Selection::None)
+    }
+
+    /// Next hop of one colour (`None` = origin or no route).
+    pub fn next_hop(&self, prefix: PrefixId, c: Color) -> Option<AsId> {
+        self.selection(prefix, c).next_hop()
+    }
+
+    /// Does this AS originate `prefix`?
+    pub fn originates(&self, prefix: PrefixId) -> bool {
+        self.own.contains(&prefix)
+    }
+
+    /// Is colour `c` currently flagged unstable for `prefix` (§5.2)?
+    pub fn is_unstable(&self, prefix: PrefixId, c: Color) -> bool {
+        *self.unstable.get(&(prefix, c)).unwrap_or(&false)
+    }
+
+    /// The process this AS's own traffic uses (defaults to blue — the
+    /// colour whose existence the Lock attribute guarantees).
+    pub fn active_color(&self, prefix: PrefixId) -> Color {
+        *self.active.get(&prefix).unwrap_or(&Color::Blue)
+    }
+
+    /// The provider currently receiving our locked blue announcement.
+    pub fn lock_target(&self, prefix: PrefixId) -> Option<AsId> {
+        self.lock_current.get(&prefix).copied()
+    }
+
+    /// Which colours `neighbor` last heard from us for `prefix` —
+    /// `(red, blue)`. Per-provider colour exclusivity (§4.2) means a
+    /// multi-provider AS never reports `(true, true)` towards a provider.
+    pub fn announced_colors_to(&self, neighbor: AsId, prefix: PrefixId) -> (bool, bool) {
+        (
+            self.rib_out.contains_key(&(neighbor, prefix, Color::Red)),
+            self.rib_out.contains_key(&(neighbor, prefix, Color::Blue)),
+        )
+    }
+
+    /// Clear all instability flags (harness calls this between the initial
+    /// convergence and the injected failure, so flags reflect only the
+    /// event under measurement).
+    pub fn reset_instability(&mut self) {
+        self.unstable.clear();
+        // Re-derive active colours from route availability.
+        let prefixes: Vec<PrefixId> = self.active.keys().copied().collect();
+        for p in prefixes {
+            self.update_active(p);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Selection and instability
+    // ------------------------------------------------------------------
+
+    /// Re-run the decision process for one colour; returns whether the
+    /// selection changed, updating the instability flag per crate-doc
+    /// rule 3.
+    fn reselect(&mut self, ctx: &RouterCtx, prefix: PrefixId, c: Color, loss: bool) -> bool {
+        let new = if self.originates(prefix) {
+            Selection::Own
+        } else {
+            match self
+                .rib
+                .decide(ctx.topo, self.me, prefix, c.proc(), |n| {
+                    ctx.sessions.session_up(self.me, n)
+                }) {
+                Some(d) => Selection::Learned(d),
+                None => Selection::None,
+            }
+        };
+        let old = self.best.get(&(prefix, c)).cloned().unwrap_or_default();
+        if new == old {
+            // A loss that does not change our best (e.g. a withdrawn
+            // alternative) leaves the process stable.
+            return false;
+        }
+        let has_route = new.is_some();
+        self.best.insert((prefix, c), new);
+        self.unstable.insert((prefix, c), loss || !has_route);
+        true
+    }
+
+    /// Switch the active process per §5.2: move off a process that lost its
+    /// route; move off an unstable process when the other is stable.
+    fn update_active(&mut self, prefix: PrefixId) {
+        let a = self.active_color(prefix);
+        let other = a.other();
+        let cur_ok = self.selection(prefix, a).is_some();
+        let other_ok = self.selection(prefix, other).is_some();
+        let new = if !cur_ok && other_ok {
+            other
+        } else if cur_ok
+            && other_ok
+            && self.is_unstable(prefix, a)
+            && !self.is_unstable(prefix, other)
+        {
+            other
+        } else {
+            a
+        };
+        self.active.insert(prefix, new);
+    }
+
+    // ------------------------------------------------------------------
+    // Selective announcements (§4.1)
+    // ------------------------------------------------------------------
+
+    /// The route colour `c` would announce *upward* (to a provider), if
+    /// any: own prefixes and customer-learned routes only (valley-free).
+    /// The Lock bit is set per the sticky-lock rule (crate docs, rule 2).
+    fn up_route(&self, prefix: PrefixId, c: Color, lock_eligible: bool) -> Option<Route> {
+        match self.selection(prefix, c) {
+            Selection::Own => Some(Route {
+                path: vec![self.me],
+                attrs: PathAttrs {
+                    lock: c == Color::Blue,
+                    ..PathAttrs::default()
+                },
+            }),
+            Selection::Learned(d) if d.learned_from == Relation::Customer => {
+                let mut r = d.route.prepend(self.me);
+                r.attrs.lock = c == Color::Blue && lock_eligible;
+                Some(r)
+            }
+            _ => None,
+        }
+    }
+
+    /// Does this AS hold the lock obligation for `prefix`? True for the
+    /// origin and for any AS holding a locked blue customer route.
+    fn lock_eligible(&self, ctx: &RouterCtx, prefix: PrefixId) -> bool {
+        if self.originates(prefix) {
+            return true;
+        }
+        self.rib
+            .routes(prefix, Color::Blue.proc())
+            .iter()
+            .any(|(n, r)| r.attrs.lock && ctx.relation(*n) == Some(Relation::Customer))
+    }
+
+    /// Desired advertisement state towards every live neighbour for both
+    /// colours. Routes carry `et: None`; the sender stamps ET when a
+    /// message is actually emitted.
+    fn desired_exports(
+        &self,
+        ctx: &RouterCtx,
+        prefix: PrefixId,
+    ) -> (Vec<(AsId, Color, Option<Route>)>, Option<AsId>) {
+        let mut out = Vec::new();
+        let live = ctx.live_neighbors();
+
+        // Customers and peers: both colours, standard valley-free export.
+        for &(n, rel) in &live {
+            if rel == Relation::Provider {
+                continue;
+            }
+            for c in Color::ALL {
+                let desired = match self.selection(prefix, c) {
+                    Selection::Own => Some(Route {
+                        path: vec![self.me],
+                        attrs: PathAttrs {
+                            lock: c == Color::Blue,
+                            ..PathAttrs::default()
+                        },
+                    }),
+                    Selection::Learned(d)
+                        if d.neighbor != n && export_ok(Some(d.learned_from), rel) =>
+                    {
+                        let mut r = d.route.prepend(self.me);
+                        r.attrs.lock = d.route.attrs.lock;
+                        Some(r)
+                    }
+                    _ => None,
+                };
+                out.push((n, c, desired));
+            }
+        }
+
+        // Providers: the selective announcement rules.
+        let providers: Vec<AsId> = live
+            .iter()
+            .filter(|(_, rel)| *rel == Relation::Provider)
+            .map(|(n, _)| *n)
+            .collect();
+        let lock_eligible = self.lock_eligible(ctx, prefix);
+        let red_up = self.up_route(prefix, Color::Red, false);
+        let blue_up = self.up_route(prefix, Color::Blue, lock_eligible);
+
+        let mut lock_target = None;
+        match providers.len() {
+            0 => {}
+            1 => {
+                // Cut exemption: both colours to the sole provider.
+                let n = providers[0];
+                if blue_up.is_some() && lock_eligible {
+                    lock_target = Some(n);
+                }
+                out.push((n, Color::Red, red_up.clone()));
+                out.push((n, Color::Blue, blue_up.clone()));
+            }
+            _ => {
+                let locked_blue = blue_up.as_ref().filter(|r| r.attrs.lock).cloned();
+                if locked_blue.is_some() {
+                    lock_target = self.lock_strategy.choose(
+                        self.me,
+                        prefix,
+                        &providers,
+                        self.lock_current.get(&prefix).copied(),
+                    );
+                }
+                for &n in &providers {
+                    if Some(n) == lock_target {
+                        out.push((n, Color::Blue, locked_blue.clone()));
+                        out.push((n, Color::Red, None));
+                    } else if red_up.is_some() {
+                        out.push((n, Color::Red, red_up.clone()));
+                        out.push((n, Color::Blue, None));
+                    } else if blue_up.is_some() {
+                        // Unlocked blue fills in where no red exists.
+                        let mut r = blue_up.clone().unwrap();
+                        r.attrs.lock = false;
+                        out.push((n, Color::Blue, Some(r)));
+                        out.push((n, Color::Red, None));
+                    } else {
+                        out.push((n, Color::Red, None));
+                        out.push((n, Color::Blue, None));
+                    }
+                }
+            }
+        }
+        (out, lock_target)
+    }
+
+    /// Reconcile desired exports against what neighbours last heard,
+    /// stamping ET per colour: announcements and withdrawals of a colour
+    /// whose best just changed carry that change's classification;
+    /// policy-swap messages carry `NotLost`.
+    fn reconcile(&mut self, ctx: &mut RouterCtx, prefix: PrefixId, et: EtByColor) {
+        let (desired, lock_target) = self.desired_exports(ctx, prefix);
+        match lock_target {
+            Some(t) => {
+                self.lock_current.insert(prefix, t);
+            }
+            None => {
+                self.lock_current.remove(&prefix);
+            }
+        }
+        for (n, c, want) in desired {
+            let key = (n, prefix, c);
+            let have = self.rib_out.get(&key);
+            match (want, have) {
+                (None, None) => {}
+                (None, Some(_)) => {
+                    self.rib_out.remove(&key);
+                    let et_bit = match et[c.proc().0 as usize] {
+                        Some(EventType::Lost) => EventType::Lost,
+                        _ => EventType::NotLost,
+                    };
+                    ctx.send(
+                        n,
+                        c.proc(),
+                        UpdateMsg {
+                            prefix,
+                            kind: UpdateKind::Withdraw(WithdrawInfo {
+                                root_cause: None,
+                                et: Some(et_bit),
+                                failover: false,
+                            }),
+                        },
+                    );
+                }
+                (Some(r), have) => {
+                    if have != Some(&r) {
+                        self.rib_out.insert(key, r.clone());
+                        let mut send = r;
+                        send.attrs.et =
+                            Some(et[c.proc().0 as usize].unwrap_or(EventType::NotLost));
+                        ctx.send(
+                            n,
+                            c.proc(),
+                            UpdateMsg {
+                                prefix,
+                                kind: UpdateKind::Announce(send),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prefixes with any local state.
+    fn known_prefixes(&self) -> Vec<PrefixId> {
+        let mut v: Vec<PrefixId> = self.own.clone();
+        v.extend(self.best.keys().map(|(p, _)| *p));
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Shared tail of every event: reselect touched colours, reconcile,
+    /// update the active process.
+    fn handle_prefix_event(
+        &mut self,
+        ctx: &mut RouterCtx,
+        prefix: PrefixId,
+        touched: &[(Color, bool)],
+        force_reconcile: bool,
+    ) {
+        let mut et: EtByColor = [None, None];
+        let mut changed_any = false;
+        for &(c, loss) in touched {
+            if self.reselect(ctx, prefix, c, loss) {
+                changed_any = true;
+                ctx.fib_changed = true;
+                et[c.proc().0 as usize] = Some(if loss {
+                    EventType::Lost
+                } else {
+                    EventType::NotLost
+                });
+            } else if loss {
+                // Even without a best change, a loss event may flip the
+                // data-plane stability of the in-use route when the loss
+                // came from the best route's announcer (e.g. an ET=0
+                // re-announcement keeping the same next hop). Only flag if
+                // the process still has that neighbour as its selection.
+                // (Covered by the changed case otherwise.)
+            }
+        }
+        if changed_any || force_reconcile {
+            self.reconcile(ctx, prefix, et);
+        }
+        self.update_active(prefix);
+    }
+}
+
+impl RouterLogic for StampRouter {
+    fn on_start(&mut self, ctx: &mut RouterCtx) {
+        for prefix in self.own.clone() {
+            self.handle_prefix_event(
+                ctx,
+                prefix,
+                &[(Color::Red, false), (Color::Blue, false)],
+                true,
+            );
+        }
+    }
+
+    fn on_update(&mut self, ctx: &mut RouterCtx, from: AsId, proc: ProcId, msg: UpdateMsg) {
+        let c = Color::from_proc(proc);
+        let loss = match &msg.kind {
+            UpdateKind::Announce(route) => {
+                let stored = route.clone();
+                self.rib.insert(msg.prefix, proc, from, stored);
+                route.attrs.et == Some(EventType::Lost)
+            }
+            UpdateKind::Withdraw(info) => {
+                self.rib.remove(msg.prefix, proc, from);
+                info.is_loss()
+            }
+        };
+        self.handle_prefix_event(ctx, msg.prefix, &[(c, loss)], false);
+    }
+
+    fn on_link_down(&mut self, ctx: &mut RouterCtx, neighbor: AsId, _cause: CauseInfo) {
+        let affected = self.rib.remove_neighbor(neighbor);
+        // Sessions towards the dead neighbour are gone.
+        let stale: Vec<(AsId, PrefixId, Color)> = self
+            .rib_out
+            .keys()
+            .filter(|(n, _, _)| *n == neighbor)
+            .copied()
+            .collect();
+        for k in stale {
+            self.rib_out.remove(&k);
+        }
+        // A dead lock target is re-chosen on the next reconcile.
+        let relock: Vec<PrefixId> = self
+            .lock_current
+            .iter()
+            .filter(|(_, t)| **t == neighbor)
+            .map(|(p, _)| *p)
+            .collect();
+        for p in &relock {
+            self.lock_current.remove(p);
+        }
+
+        let mut by_prefix: HashMap<PrefixId, Vec<(Color, bool)>> = HashMap::new();
+        for (p, proc) in affected {
+            by_prefix
+                .entry(p)
+                .or_default()
+                .push((Color::from_proc(proc), true));
+        }
+        // Prefixes whose provider set changed need reconciliation even if
+        // no route was lost (the selective announcement pattern depends on
+        // the live provider list).
+        let provider_changed = ctx.relation(neighbor) == Some(Relation::Provider);
+        let mut prefixes: Vec<PrefixId> = self.known_prefixes();
+        prefixes.extend(by_prefix.keys().copied());
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        for p in prefixes {
+            let touched = by_prefix.remove(&p).unwrap_or_default();
+            let force = provider_changed || relock.contains(&p) || !touched.is_empty();
+            self.handle_prefix_event(ctx, p, &touched, force);
+        }
+    }
+
+    fn on_link_up(&mut self, ctx: &mut RouterCtx, _neighbor: AsId, _cause: CauseInfo) {
+        // Fresh session (and possibly a changed provider set): reconcile
+        // every known prefix; new sessions simply receive announcements.
+        for p in self.known_prefixes() {
+            self.handle_prefix_event(
+                ctx,
+                p,
+                &[(Color::Red, false), (Color::Blue, false)],
+                true,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_bgp::engine::{Engine, EngineConfig, ScenarioEvent};
+    use stamp_eventsim::SimDuration;
+    use stamp_topology::{AsGraph, GraphBuilder};
+
+    const P: PrefixId = PrefixId(0);
+
+    /// The diamond:
+    ///
+    /// ```text
+    ///   0 ==== 1      tier-1 peers
+    ///   |      |
+    ///   2      3
+    ///    \    /
+    ///      4        multi-homed origin
+    /// ```
+    fn diamond() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        b.preregister(5);
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(4, 2).unwrap();
+        b.customer_of(4, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    fn engine(g: AsGraph, origin: AsId, seed: u64) -> Engine<StampRouter> {
+        Engine::new(g, EngineConfig::fast(seed), |v| {
+            let own = if v == origin { vec![P] } else { vec![] };
+            StampRouter::new(v, own, LockStrategy::Random { seed })
+        })
+    }
+
+    fn converge(g: &AsGraph, origin: AsId, seed: u64) -> Engine<StampRouter> {
+        let mut e = engine(g.clone(), origin, seed);
+        e.start();
+        e.run_to_quiescence(None);
+        e
+    }
+
+    #[test]
+    fn origin_splits_colors_across_providers() {
+        let g = diamond();
+        let e = converge(&g, AsId(4), 1);
+        let r4 = e.router(AsId(4));
+        let lock = r4.lock_target(P).expect("multi-homed origin locks blue");
+        let other = if lock == AsId(2) { AsId(3) } else { AsId(2) };
+        assert_eq!(r4.announced_colors_to(lock, P), (false, true));
+        assert_eq!(r4.announced_colors_to(other, P), (true, false));
+    }
+
+    #[test]
+    fn every_as_gets_both_colors_on_diamond() {
+        let g = diamond();
+        for seed in [1, 2, 3] {
+            let e = converge(&g, AsId(4), seed);
+            for v in g.ases() {
+                if v == AsId(4) {
+                    continue;
+                }
+                let r = e.router(v);
+                assert!(
+                    r.selection(P, Color::Red).is_some(),
+                    "seed {seed}: {v} missing red"
+                );
+                assert!(
+                    r.selection(P, Color::Blue).is_some(),
+                    "seed {seed}: {v} missing blue"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn red_blue_paths_downhill_disjoint_on_diamond() {
+        use stamp_topology::path::downhill_node_disjoint;
+        let g = diamond();
+        let e = converge(&g, AsId(4), 1);
+        for v in g.ases() {
+            if v == AsId(4) {
+                continue;
+            }
+            let r = e.router(v);
+            let full = |c: Color| -> Vec<AsId> {
+                let mut p = vec![v];
+                p.extend_from_slice(r.selection(P, c).path().unwrap());
+                p
+            };
+            let red = full(Color::Red);
+            let blue = full(Color::Blue);
+            assert_eq!(
+                downhill_node_disjoint(&g, &red, &blue),
+                Some(true),
+                "at {v}: red {red:?} vs blue {blue:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_provider_color_exclusivity() {
+        let g = diamond();
+        let e = converge(&g, AsId(4), 5);
+        for v in g.ases() {
+            let r = e.router(v);
+            let providers = g.providers(v);
+            if providers.len() < 2 {
+                continue; // cut exemption allows both
+            }
+            for &p in providers {
+                let (red, blue) = r.announced_colors_to(p, P);
+                assert!(
+                    !(red && blue),
+                    "{v} announced both colours to provider {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_provider_cut_exemption_carries_both() {
+        let g = diamond();
+        let e = converge(&g, AsId(4), 1);
+        // AS 2 and 3 each have a single provider; whichever colours they
+        // hold must both flow up (blue through the lock chain).
+        let r4 = e.router(AsId(4));
+        let lock = r4.lock_target(P).unwrap();
+        let rl = e.router(lock);
+        // The locked provider holds blue from its customer (the origin) and
+        // passes it up. It may also hold red — but only learned *downhill*
+        // from its own provider (red crossed the tier-1s and came back
+        // down), which valley-free export keeps away from the uplink.
+        assert!(rl.selection(P, Color::Blue).is_some());
+        if let Selection::Learned(d) = rl.selection(P, Color::Red) {
+            assert_eq!(
+                d.learned_from,
+                Relation::Provider,
+                "red at the lock provider must be a downhill route"
+            );
+        }
+        let up = g.providers(lock)[0];
+        assert_eq!(rl.announced_colors_to(up, P), (false, true));
+    }
+
+    #[test]
+    fn blue_failure_keeps_red_working_and_flips_active() {
+        let g = diamond();
+        let mut e = converge(&g, AsId(4), 1);
+        let lock = e.router(AsId(4)).lock_target(P).unwrap();
+        // Fail the origin's blue provider link: the blue downhill path dies.
+        let id = g.link_between(AsId(4), lock).unwrap();
+        e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
+        e.run_to_quiescence(None);
+        // Everyone still reaches 4: the surviving provider now carries both
+        // colours (4 became single-homed ⇒ cut exemption).
+        for v in g.ases() {
+            if v == AsId(4) {
+                continue;
+            }
+            let r = e.router(v);
+            assert!(
+                r.selection(P, Color::Red).is_some() || r.selection(P, Color::Blue).is_some(),
+                "{v} lost all routes"
+            );
+        }
+        // The failed provider itself must have switched away from blue at
+        // some point; after re-convergence its routes work again.
+        let rl = e.router(lock);
+        assert!(rl.selection(P, Color::Red).is_some() || rl.selection(P, Color::Blue).is_some());
+    }
+
+    #[test]
+    fn et_lost_flags_instability_and_switches_active() {
+        let g = diamond();
+        let mut e = converge(&g, AsId(4), 1);
+        let lock = e.router(AsId(4)).lock_target(P).unwrap();
+        // Reset flags post-convergence, as the harness does.
+        // (Routers are only mutable through the engine in this test; the
+        // experiment harness owns engines mutably and resets them. Here we
+        // check flag behaviour via a fresh failure instead.)
+        let id = g.link_between(AsId(4), lock).unwrap();
+        e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
+        e.run_to_quiescence(None);
+        // The tier-1 above the locked chain heard a Lost-flagged event for
+        // blue during convergence; its active process must have a route.
+        for v in g.ases() {
+            if v == AsId(4) {
+                continue;
+            }
+            let r = e.router(v);
+            let a = r.active_color(P);
+            assert!(
+                r.selection(P, a).is_some(),
+                "{v} active colour {a} has no route"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = diamond();
+        let run = |seed: u64| {
+            let mut e = engine(g.clone(), AsId(4), seed);
+            e.start();
+            e.run_to_quiescence(None);
+            let s = e.stats();
+            (s.announcements_sent, s.withdrawals_sent, s.delivered)
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn stamp_message_overhead_under_twice_bgp() {
+        use stamp_bgp::router::BgpRouter;
+        let g = diamond();
+        let mut stamp = engine(g.clone(), AsId(4), 3);
+        stamp.start();
+        stamp.run_to_quiescence(None);
+        let stamp_msgs = stamp.stats().announcements_sent + stamp.stats().withdrawals_sent;
+
+        let mut bgp: Engine<BgpRouter> = Engine::new(g.clone(), EngineConfig::fast(3), |v| {
+            let own = if v == AsId(4) { vec![P] } else { vec![] };
+            BgpRouter::new(v, own)
+        });
+        bgp.start();
+        bgp.run_to_quiescence(None);
+        let bgp_msgs = bgp.stats().announcements_sent + bgp.stats().withdrawals_sent;
+
+        assert!(
+            stamp_msgs <= 2 * bgp_msgs,
+            "STAMP {stamp_msgs} vs BGP {bgp_msgs}: more than twice"
+        );
+        assert!(stamp_msgs > bgp_msgs, "two processes should cost something");
+    }
+}
+
+#[cfg(test)]
+mod et_tests {
+    use super::*;
+    use stamp_bgp::router::SessionView;
+    use stamp_topology::{AsGraph, GraphBuilder};
+
+    struct AllUp;
+    impl SessionView for AllUp {
+        fn session_up(&self, _a: AsId, _b: AsId) -> bool {
+            true
+        }
+    }
+
+    const P: PrefixId = PrefixId(0);
+
+    /// 0 with customers 1 and 2; 1 and 2 each with customer 3 (the origin
+    /// side is elided — we feed routes in by hand).
+    fn g() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        b.preregister(4);
+        b.customer_of(1, 0).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(3, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    fn announce(path: &[u32], proc: ProcId, et: EventType, lock: bool) -> UpdateMsg {
+        UpdateMsg {
+            prefix: P,
+            kind: UpdateKind::Announce(Route {
+                path: path.iter().map(|&x| AsId(x)).collect(),
+                attrs: PathAttrs {
+                    lock,
+                    et: Some(et),
+                    ..Default::default()
+                },
+            }),
+        }
+    }
+
+    #[test]
+    fn et_lost_announce_flags_instability_and_switches_active() {
+        let g = g();
+        let mut r = StampRouter::new(AsId(3), vec![], LockStrategy::Random { seed: 1 });
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        // Learn stable blue then red routes via different providers (blue
+        // first, so the default-blue active choice has a route and sticks).
+        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), announce(&[2, 9], Color::Blue.proc(), EventType::NotLost, true));
+        r.on_update(&mut ctx, AsId(1), Color::Red.proc(), announce(&[1, 9], Color::Red.proc(), EventType::NotLost, false));
+        assert!(!r.is_unstable(P, Color::Red));
+        assert!(!r.is_unstable(P, Color::Blue));
+        assert_eq!(r.active_color(P), Color::Blue);
+        // A Lost-flagged blue replacement arrives: blue becomes unstable
+        // and the active process flips to the stable red.
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), announce(&[2, 8, 9], Color::Blue.proc(), EventType::Lost, true));
+        assert!(r.is_unstable(P, Color::Blue));
+        assert!(!r.is_unstable(P, Color::Red));
+        assert_eq!(r.active_color(P), Color::Red);
+        // A NotLost-flagged blue update clears the flag.
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), announce(&[2, 9], Color::Blue.proc(), EventType::NotLost, true));
+        assert!(!r.is_unstable(P, Color::Blue));
+    }
+
+    #[test]
+    fn withdraw_of_nonbest_leaves_process_stable() {
+        let g = g();
+        let mut r = StampRouter::new(AsId(3), vec![], LockStrategy::Random { seed: 2 });
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(1), Color::Red.proc(), announce(&[1, 9], Color::Red.proc(), EventType::NotLost, false));
+        r.on_update(&mut ctx, AsId(2), Color::Red.proc(), announce(&[2, 8, 9], Color::Red.proc(), EventType::NotLost, false));
+        // Best is via 1 (shorter). Withdrawing the alternative from 2 must
+        // not destabilise the red process.
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(
+            &mut ctx,
+            AsId(2),
+            Color::Red.proc(),
+            UpdateMsg {
+                prefix: P,
+                kind: UpdateKind::Withdraw(WithdrawInfo::loss()),
+            },
+        );
+        assert!(!r.is_unstable(P, Color::Red));
+        assert_eq!(r.next_hop(P, Color::Red), Some(AsId(1)));
+    }
+
+    #[test]
+    fn policy_swap_withdrawal_carries_not_lost() {
+        // The origin 3 (multi-homed to 1 and 2) first has only blue; the
+        // non-lock provider receives blue Lock=0. When red appears (it is
+        // the origin so red is Own from the start)... instead drive a
+        // transit AS: it first learns only blue from a customer, announces
+        // blue to both providers (lock to one, unlocked to the other);
+        // when red arrives from the customer, the unlocked-blue provider
+        // is switched to red — the blue withdrawal must carry ET=NotLost.
+        let mut b = GraphBuilder::new();
+        b.preregister(4);
+        b.customer_of(1, 0).unwrap(); // providers 0... wait: 1's provider is 0
+        b.customer_of(3, 1).unwrap(); // 3 is 1's customer
+        b.customer_of(1, 2).unwrap(); // second provider 2 for AS 1
+        let g = b.build().unwrap();
+        let mut r = StampRouter::new(AsId(1), vec![], LockStrategy::Random { seed: 3 });
+        // Blue (locked) arrives from customer 3.
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(3), Color::Blue.proc(), announce(&[3], Color::Blue.proc(), EventType::NotLost, true));
+        let lock = r.lock_target(P).expect("blue locked to one provider");
+        let other = if lock == AsId(0) { AsId(2) } else { AsId(0) };
+        // The other provider got blue unlocked (no red exists yet).
+        assert_eq!(r.announced_colors_to(other, P), (false, true));
+        // Red arrives from the same customer: red takes precedence at the
+        // non-lock provider, so blue is withdrawn there — with ET=NotLost.
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(3), Color::Red.proc(), announce(&[3], Color::Red.proc(), EventType::NotLost, false));
+        let withdrawal = ctx
+            .out
+            .iter()
+            .find(|m| m.to == other && matches!(m.msg.kind, UpdateKind::Withdraw(_)))
+            .expect("blue must be withdrawn from the non-lock provider");
+        match &withdrawal.msg.kind {
+            UpdateKind::Withdraw(info) => {
+                assert_eq!(
+                    info.et,
+                    Some(EventType::NotLost),
+                    "policy-swap withdrawals must not masquerade as loss"
+                );
+                assert!(!info.is_loss());
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(r.announced_colors_to(other, P), (true, false));
+    }
+
+    #[test]
+    fn lock_rechoice_after_provider_death() {
+        let mut b = GraphBuilder::new();
+        b.preregister(4);
+        b.customer_of(1, 0).unwrap();
+        b.customer_of(1, 2).unwrap();
+        b.customer_of(3, 1).unwrap();
+        let g = b.build().unwrap();
+        let mut r = StampRouter::new(AsId(1), vec![], LockStrategy::Random { seed: 4 });
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(3), Color::Blue.proc(), announce(&[3], Color::Blue.proc(), EventType::NotLost, true));
+        let lock = r.lock_target(P).unwrap();
+        let other = if lock == AsId(0) { AsId(2) } else { AsId(0) };
+        // The lock provider's session dies; the lock must move to the
+        // surviving provider (single provider left ⇒ cut exemption).
+        struct Except(AsId);
+        impl SessionView for Except {
+            fn session_up(&self, _a: AsId, b: AsId) -> bool {
+                b != self.0
+            }
+        }
+        let sessions = Except(lock);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &sessions);
+        r.on_link_down(
+            &mut ctx,
+            lock,
+            CauseInfo {
+                cause: stamp_bgp::types::RootCause::link(AsId(1), lock),
+                seq: 1,
+                up: false,
+            },
+        );
+        assert_eq!(r.lock_target(P), Some(other));
+    }
+
+    #[test]
+    fn reset_instability_rederives_active() {
+        let g = g();
+        let mut r = StampRouter::new(AsId(3), vec![], LockStrategy::Random { seed: 5 });
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(1), Color::Red.proc(), announce(&[1, 9], Color::Red.proc(), EventType::NotLost, false));
+        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), announce(&[2, 9], Color::Blue.proc(), EventType::Lost, true));
+        assert!(r.is_unstable(P, Color::Blue));
+        r.reset_instability();
+        assert!(!r.is_unstable(P, Color::Blue));
+        assert!(!r.is_unstable(P, Color::Red));
+    }
+}

@@ -1,0 +1,33 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The paper's evaluation (§6.2) uses an event-driven simulator with
+//! message-level BGP dynamics: processing and transmission delays uniform in
+//! [10 ms, 20 ms] and a peer-based MRAI timer of 30 s × U[0.75, 1.0]. This
+//! crate is that simulator's kernel, kept protocol-agnostic:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time;
+//! * [`Scheduler`] — a stable-ordered event queue: events at equal times pop
+//!   in insertion order, which (together with seeded RNG) makes every run
+//!   bit-reproducible;
+//! * [`FifoChannel`] — a point-to-point delivery model with random per-message
+//!   delay that still preserves FIFO ordering, as BGP sessions run over TCP
+//!   and never reorder updates;
+//! * [`DelayModel`] / [`LossModel`] — delay sampling and fault injection;
+//! * [`rng_stream`] — cheap deterministic derivation of independent RNG
+//!   streams from a master seed (topology, delays, MRAI factors, workload
+//!   choices all get their own stream so adding a consumer never perturbs
+//!   the others).
+//!
+//! Following the smoltcp design ethos, the kernel is single-threaded and
+//! allocation-light; parallelism lives one level up (independent scenario
+//! instances run on separate threads in `stamp-experiments`).
+
+pub mod channel;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use channel::{ChannelId, DelayModel, FifoChannel, LossModel};
+pub use queue::Scheduler;
+pub use rng::rng_stream;
+pub use time::{SimDuration, SimTime};

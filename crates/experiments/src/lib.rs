@@ -1,0 +1,30 @@
+//! Experiment harness: regenerates every figure and table of the paper.
+//!
+//! Each experiment in DESIGN.md §4 maps to a module here; `stamp-bench`
+//! wraps them in Criterion benches and standalone binaries. All experiments
+//! are deterministic given their seed and run independent scenario
+//! instances in parallel (crossbeam scoped threads).
+//!
+//! | Experiment | Module | Paper artefact |
+//! |---|---|---|
+//! | E1/E1b Φ CDF (random/smart lock) | [`phi_exp`] | Figure 1, §6.1 |
+//! | E2 single link failure | [`failure`] | Figure 2 |
+//! | E3/E4 two link failures | [`failure`] | Figure 3(a)/(b) |
+//! | E5 node failure | [`failure`] | §6.2.2 text |
+//! | E6 partial deployment | [`partial_exp`] | §6.3 text |
+//! | E7 message overhead | [`failure`] (metrics) + [`render`] | §6.3 text |
+//! | E8 convergence delay | [`failure`] (metrics) + [`render`] | §6.3 text |
+
+pub mod failure;
+pub mod phi_exp;
+pub mod partial_exp;
+pub mod render;
+pub mod scenario;
+pub mod stats;
+
+pub use failure::{
+    run_failure_experiment, FailureConfig, FailureReport, Protocol, ProtocolResult,
+};
+pub use phi_exp::{run_phi_experiment, PhiExperimentConfig, PhiExperimentReport};
+pub use partial_exp::{run_partial_deployment, PartialConfig, PartialReport};
+pub use scenario::{sample_workload, FailureScenario, Workload};

@@ -1,0 +1,87 @@
+//! E6: the §6.3 partial-deployment experiment (STAMP at tier-1 ASes only),
+//! reported against the full-deployment mean Φ for the ≈75% vs ≈92%
+//! comparison.
+
+use stamp_core::partial::partial_deployment_fraction;
+use stamp_core::phi::{phi_all_destinations, PhiConfig};
+use stamp_topology::gen::{generate, GenConfig};
+
+/// Configuration of the partial-deployment experiment.
+#[derive(Debug, Clone)]
+pub struct PartialConfig {
+    pub gen: GenConfig,
+    /// Destinations to evaluate (sampled if the topology is larger).
+    pub max_destinations: usize,
+    pub seed: u64,
+    /// Φ parameters for the full-deployment comparison column.
+    pub phi: PhiConfig,
+}
+
+impl Default for PartialConfig {
+    fn default() -> Self {
+        PartialConfig {
+            gen: GenConfig::sim_scale(0x6E3),
+            max_destinations: 600,
+            seed: 0x6E3,
+            phi: PhiConfig::default(),
+        }
+    }
+}
+
+impl PartialConfig {
+    /// Small configuration for tests.
+    pub fn tiny(seed: u64) -> Self {
+        PartialConfig {
+            gen: GenConfig::small(seed),
+            max_destinations: 60,
+            seed,
+            phi: PhiConfig {
+                samples: 100,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Partial-vs-full deployment comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct PartialReport {
+    pub n_ases: usize,
+    pub destinations_evaluated: usize,
+    /// Fraction of ASes with two downhill node-disjoint paths when only
+    /// tier-1s run STAMP (paper: ≈75%).
+    pub partial_fraction: f64,
+    /// Full-deployment mean Φ on the same topology (paper: ≈92%).
+    pub full_mean_phi: f64,
+}
+
+/// Run the §6.3 partial-deployment analysis.
+pub fn run_partial_deployment(cfg: &PartialConfig) -> PartialReport {
+    let g = generate(&cfg.gen).expect("valid generator config");
+    let partial = partial_deployment_fraction(&g, cfg.max_destinations, cfg.seed);
+    let full = phi_all_destinations(&g, &cfg.phi);
+    PartialReport {
+        n_ases: g.n(),
+        destinations_evaluated: partial.n_destinations,
+        partial_fraction: partial.fraction(),
+        full_mean_phi: full.mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_at_most_roughly_full() {
+        let rep = run_partial_deployment(&PartialConfig::tiny(11));
+        assert!(rep.destinations_evaluated > 0);
+        assert!((0.0..=1.0).contains(&rep.partial_fraction));
+        assert!(
+            rep.partial_fraction <= rep.full_mean_phi + 0.08,
+            "partial {} vs full {}",
+            rep.partial_fraction,
+            rep.full_mean_phi
+        );
+    }
+}

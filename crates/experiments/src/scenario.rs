@@ -1,0 +1,263 @@
+//! Failure-scenario workloads (§6.2).
+//!
+//! Each instance of a figure experiment draws a workload: the destination
+//! AS and the set of links (or the node) that fail. The sampling rules
+//! follow the paper's prose:
+//!
+//! * **Single link failure** (Figure 2): "a multi-homed AS fails one of its
+//!   provider links"; the destination AS is the multi-homed AS itself,
+//!   chosen at random.
+//! * **Two links, different ASes** (Figure 3a): "an origin AS fails one of
+//!   its provider links and another randomly selected indirect provider
+//!   link (multi-hop away from the origin AS)" — the second link is a
+//!   customer→provider link in the origin's uphill cone sharing no endpoint
+//!   with the first.
+//! * **Two links, same AS** (Figure 3b): "an origin AS fails a link to one
+//!   of its providers and that provider also fails one of its own provider
+//!   links."
+//! * **Node failure** (§6.2.2): one of the origin's providers fails
+//!   entirely, "withdrawing a route from all its neighbors".
+
+use rand::Rng;
+use stamp_topology::{AsGraph, AsId, LinkId};
+use std::collections::VecDeque;
+
+/// Which failure pattern an experiment injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureScenario {
+    /// Figure 2.
+    SingleLink,
+    /// Figure 3(a).
+    TwoLinksDifferentAs,
+    /// Figure 3(b).
+    TwoLinksSameAs,
+    /// §6.2.2: a provider of the origin fails as a node.
+    NodeFailure,
+}
+
+impl FailureScenario {
+    /// Human-readable label (report headers).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureScenario::SingleLink => "single link failure (Figure 2)",
+            FailureScenario::TwoLinksDifferentAs => {
+                "two link failures, different ASes (Figure 3a)"
+            }
+            FailureScenario::TwoLinksSameAs => "two link failures, same AS (Figure 3b)",
+            FailureScenario::NodeFailure => "single node failure (Sec. 6.2.2)",
+        }
+    }
+}
+
+/// One sampled instance: destination plus what fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// The destination (origin) AS whose prefix everyone routes towards.
+    pub dest: AsId,
+    /// Links that fail simultaneously.
+    pub failed_links: Vec<LinkId>,
+    /// Node that fails (its incident links are not listed in
+    /// `failed_links`; use [`Workload::removed_links`] for reachability).
+    pub failed_node: Option<AsId>,
+}
+
+impl Workload {
+    /// Every link the event removes (explicit links plus the failed node's
+    /// incident links) — the input for post-event reachability.
+    pub fn removed_links(&self, g: &AsGraph) -> Vec<LinkId> {
+        let mut v = self.failed_links.clone();
+        if let Some(node) = self.failed_node {
+            for (i, l) in g.links().iter().enumerate() {
+                if l.touches(node) {
+                    v.push(LinkId(i as u32));
+                }
+            }
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// The uphill cone of `dest`: every direct or indirect provider.
+fn uphill_cone(g: &AsGraph, dest: AsId) -> Vec<AsId> {
+    let mut seen = vec![false; g.n()];
+    let mut queue = VecDeque::new();
+    seen[dest.index()] = true;
+    queue.push_back(dest);
+    let mut cone = Vec::new();
+    while let Some(v) = queue.pop_front() {
+        for &p in g.providers(v) {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                cone.push(p);
+                queue.push_back(p);
+            }
+        }
+    }
+    cone
+}
+
+/// Multi-homed, non-tier-1 ASes — the destination population of §6.2.
+pub fn destination_candidates(g: &AsGraph) -> Vec<AsId> {
+    g.ases()
+        .filter(|&v| !g.is_tier1(v) && g.providers(v).len() >= 2)
+        .collect()
+}
+
+/// Sample one workload; `None` if the topology cannot host the scenario
+/// (e.g. no multi-homed AS at all).
+pub fn sample_workload<R: Rng>(
+    g: &AsGraph,
+    scenario: FailureScenario,
+    rng: &mut R,
+) -> Option<Workload> {
+    let candidates = destination_candidates(g);
+    if candidates.is_empty() {
+        return None;
+    }
+    // A few attempts: some destinations cannot host the multi-link shapes.
+    for _ in 0..64 {
+        let dest = candidates[rng.gen_range(0..candidates.len())];
+        let provs = g.providers(dest);
+        let p = provs[rng.gen_range(0..provs.len())];
+        let first = g.link_between(dest, p).expect("provider link exists");
+        match scenario {
+            FailureScenario::SingleLink => {
+                return Some(Workload {
+                    dest,
+                    failed_links: vec![first],
+                    failed_node: None,
+                });
+            }
+            FailureScenario::NodeFailure => {
+                return Some(Workload {
+                    dest,
+                    failed_links: Vec::new(),
+                    failed_node: Some(p),
+                });
+            }
+            FailureScenario::TwoLinksSameAs => {
+                let pp = g.providers(p);
+                if pp.is_empty() {
+                    continue; // p is tier-1; resample
+                }
+                let q = pp[rng.gen_range(0..pp.len())];
+                let second = g.link_between(p, q).expect("provider link exists");
+                return Some(Workload {
+                    dest,
+                    failed_links: vec![first, second],
+                    failed_node: None,
+                });
+            }
+            FailureScenario::TwoLinksDifferentAs => {
+                let cone = uphill_cone(g, dest);
+                let mut cands: Vec<LinkId> = Vec::new();
+                for &c in &cone {
+                    for &prov in g.providers(c) {
+                        if c == dest || c == p || prov == p || prov == dest {
+                            continue;
+                        }
+                        if let Some(id) = g.link_between(c, prov) {
+                            if id != first {
+                                cands.push(id);
+                            }
+                        }
+                    }
+                }
+                if cands.is_empty() {
+                    continue;
+                }
+                let second = cands[rng.gen_range(0..cands.len())];
+                return Some(Workload {
+                    dest,
+                    failed_links: vec![first, second],
+                    failed_node: None,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stamp_topology::gen::{generate, GenConfig};
+    use stamp_topology::LinkKind;
+
+    fn g() -> AsGraph {
+        generate(&GenConfig::small(41)).unwrap()
+    }
+
+    #[test]
+    fn single_link_targets_a_provider_link_of_dest() {
+        let g = g();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let w = sample_workload(&g, FailureScenario::SingleLink, &mut rng).unwrap();
+            assert!(g.providers(w.dest).len() >= 2);
+            assert_eq!(w.failed_links.len(), 1);
+            let l = g.link(w.failed_links[0]);
+            assert_eq!(l.kind, LinkKind::CustomerProvider);
+            assert_eq!(l.a, w.dest, "dest must be the customer side");
+        }
+    }
+
+    #[test]
+    fn two_links_same_as_share_the_provider() {
+        let g = g();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let w = sample_workload(&g, FailureScenario::TwoLinksSameAs, &mut rng).unwrap();
+            assert_eq!(w.failed_links.len(), 2);
+            let l1 = g.link(w.failed_links[0]);
+            let l2 = g.link(w.failed_links[1]);
+            // l1 = dest->p; l2 = p->q: they share exactly p.
+            assert_eq!(l1.a, w.dest);
+            assert_eq!(l2.a, l1.b, "second link hangs off the failed provider");
+        }
+    }
+
+    #[test]
+    fn two_links_different_as_share_no_endpoint() {
+        let g = g();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let w =
+                sample_workload(&g, FailureScenario::TwoLinksDifferentAs, &mut rng).unwrap();
+            assert_eq!(w.failed_links.len(), 2);
+            let l1 = g.link(w.failed_links[0]);
+            let l2 = g.link(w.failed_links[1]);
+            for x in [l2.a, l2.b] {
+                assert!(x != l1.a && x != l1.b, "links share endpoint {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_failure_removes_all_incident_links() {
+        let g = g();
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = sample_workload(&g, FailureScenario::NodeFailure, &mut rng).unwrap();
+        let node = w.failed_node.unwrap();
+        let removed = w.removed_links(&g);
+        let expect = g.links().iter().filter(|l| l.touches(node)).count();
+        assert_eq!(removed.len(), expect);
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let g = g();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(
+                sample_workload(&g, FailureScenario::SingleLink, &mut a),
+                sample_workload(&g, FailureScenario::SingleLink, &mut b)
+            );
+        }
+    }
+}

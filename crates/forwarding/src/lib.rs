@@ -1,0 +1,27 @@
+//! Data-plane tracing and transient-problem accounting.
+//!
+//! The paper's headline metric (Figures 2 and 3) is the *number of ASes
+//! experiencing transient problems* — routing loops or loss of reachability
+//! — while the control plane converges after an injected routing event.
+//! This crate measures it:
+//!
+//! * [`view`] — the [`view::ForwardingView`] abstraction: a deterministic
+//!   per-protocol forwarding function over `(AS, packet context)` states,
+//!   implemented for plain BGP, R-BGP (normal/escape contexts) and STAMP
+//!   (colour × switched-bit contexts, §5.1's at-most-one colour switch);
+//! * [`trace`] — classification of every AS's data path as
+//!   delivered / loop / blackhole in O(states) via memoised walks of the
+//!   functional graph;
+//! * [`tracker`] — accumulation across a convergence window: an AS counts
+//!   as *affected* if its packets would loop or blackhole at any
+//!   observation instant while the post-event topology still admits a
+//!   valley-free path from it (permanent partition is not a *transient*
+//!   problem).
+
+pub mod trace;
+pub mod tracker;
+pub mod view;
+
+pub use trace::{classify_all, Outcome};
+pub use tracker::TransientTracker;
+pub use view::{BgpView, ForwardingView, RbgpView, StampView, StaticView, Step};

@@ -1,0 +1,215 @@
+//! Transient-problem accumulation across a convergence window.
+
+use crate::trace::{classify_all, Outcome};
+use crate::view::ForwardingView;
+use stamp_bgp::types::RootCause;
+use stamp_topology::AsId;
+
+/// Accumulates "ASes with transient problems" over the observation points
+/// of one convergence episode, per the paper's metric (Figures 2/3):
+/// an AS is affected if at any instant its traffic loops or blackholes
+/// *while the post-event topology still offers it a valley-free path*.
+#[derive(Debug, Clone)]
+pub struct TransientTracker {
+    /// The destination AS (its own fate is not counted).
+    dest: AsId,
+    /// Whether each AS can still reach the destination after the event
+    /// (set from the static solver on the surviving topology).
+    reachable: Vec<bool>,
+    affected: Vec<bool>,
+    affected_by_loop: Vec<bool>,
+    affected_by_blackhole: Vec<bool>,
+    /// Companion control-plane metric ("affected in some ways"): ASes that
+    /// adopted a selection invalidated by the event (or emptied their
+    /// table) at some observation instant. Empty `causes` disables it.
+    causes: Vec<RootCause>,
+    /// Pre-event selection paths per AS (adoption = deviation from these).
+    baseline: Vec<Vec<Vec<AsId>>>,
+    control_affected: Vec<bool>,
+    /// Total observations in which at least one AS looped.
+    pub observations_with_loops: u64,
+    /// Total observations in which at least one AS blackholed.
+    pub observations_with_blackholes: u64,
+    /// Number of observation points recorded.
+    pub observations: u64,
+    /// Whether the most recent observation saw any loop or blackhole
+    /// (harnesses use it to timestamp data-plane recovery).
+    pub last_observation_had_problems: bool,
+}
+
+impl TransientTracker {
+    /// Tracker for `n` ASes towards `dest`; `reachable[v]` must hold the
+    /// post-event reachability of each AS.
+    pub fn new(dest: AsId, reachable: Vec<bool>) -> TransientTracker {
+        let n = reachable.len();
+        TransientTracker {
+            dest,
+            reachable,
+            affected: vec![false; n],
+            affected_by_loop: vec![false; n],
+            affected_by_blackhole: vec![false; n],
+            causes: Vec::new(),
+            baseline: vec![Vec::new(); n],
+            control_affected: vec![false; n],
+            observations_with_loops: 0,
+            observations_with_blackholes: 0,
+            observations: 0,
+            last_observation_had_problems: false,
+        }
+    }
+
+    /// Enable the control-plane companion metric: `causes` identifies the
+    /// event, `baseline_view` is sampled *before* injection so only
+    /// post-event adoptions count.
+    pub fn with_control_metric<V: ForwardingView + ?Sized>(
+        mut self,
+        causes: Vec<RootCause>,
+        baseline_view: &V,
+    ) -> TransientTracker {
+        for i in 0..self.baseline.len() {
+            self.baseline[i] = baseline_view.selection_paths(AsId(i as u32));
+        }
+        self.causes = causes;
+        self
+    }
+
+    /// Record one observation point (typically: after every batch of
+    /// simultaneous events that changed a FIB).
+    pub fn observe<V: ForwardingView + ?Sized>(&mut self, view: &V) {
+        self.observations += 1;
+        let outcomes = classify_all(view);
+        let mut any_loop = false;
+        let mut any_hole = false;
+        for (i, o) in outcomes.iter().enumerate() {
+            if AsId(i as u32) == self.dest || !self.reachable[i] {
+                continue;
+            }
+            match o {
+                Outcome::Delivered => {}
+                Outcome::Loop => {
+                    any_loop = true;
+                    self.affected[i] = true;
+                    self.affected_by_loop[i] = true;
+                }
+                Outcome::Blackhole => {
+                    any_hole = true;
+                    self.affected[i] = true;
+                    self.affected_by_blackhole[i] = true;
+                }
+            }
+        }
+        if any_loop {
+            self.observations_with_loops += 1;
+        }
+        if any_hole {
+            self.observations_with_blackholes += 1;
+        }
+        self.last_observation_had_problems = any_loop || any_hole;
+        if !self.causes.is_empty() {
+            self.observe_control(view);
+        }
+    }
+
+    /// Control-plane pass: an AS is "affected in some ways" when its
+    /// selection set changed from the pre-event baseline and every selected
+    /// path is invalidated by the event (or the set is empty).
+    fn observe_control<V: ForwardingView + ?Sized>(&mut self, view: &V) {
+        for i in 0..self.baseline.len() {
+            let v = AsId(i as u32);
+            if v == self.dest || !self.reachable[i] || self.control_affected[i] {
+                continue;
+            }
+            let paths = view.selection_paths(v);
+            if paths == self.baseline[i] {
+                continue;
+            }
+            let all_bad = paths.is_empty()
+                || paths.iter().all(|p| {
+                    self.causes.iter().any(|c| {
+                        // The stored path excludes the holder itself; the
+                        // first hop's link is (v, path[0]).
+                        let mut full = Vec::with_capacity(p.len() + 1);
+                        full.push(v);
+                        full.extend_from_slice(p);
+                        c.invalidates(&full)
+                    })
+                });
+            if all_bad {
+                self.control_affected[i] = true;
+            }
+        }
+    }
+
+    /// Number of ASes that experienced a transient problem so far.
+    pub fn affected_count(&self) -> usize {
+        self.affected.iter().filter(|a| **a).count()
+    }
+
+    /// Number of ASes that experienced a transient loop.
+    pub fn loop_count(&self) -> usize {
+        self.affected_by_loop.iter().filter(|a| **a).count()
+    }
+
+    /// Number of ASes that experienced a transient blackhole.
+    pub fn blackhole_count(&self) -> usize {
+        self.affected_by_blackhole.iter().filter(|a| **a).count()
+    }
+
+    /// Number of ASes flagged by the control-plane companion metric.
+    pub fn control_affected_count(&self) -> usize {
+        self.control_affected.iter().filter(|a| **a).count()
+    }
+
+    /// Per-AS affected flags.
+    pub fn affected(&self) -> &[bool] {
+        &self.affected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::StaticView;
+
+    fn v(next: Vec<Option<u32>>, origin: u32) -> StaticView {
+        StaticView {
+            next: next.into_iter().map(|o| o.map(AsId)).collect(),
+            origin: AsId(origin),
+        }
+    }
+
+    #[test]
+    fn accumulates_across_observations() {
+        let mut t = TransientTracker::new(AsId(0), vec![true; 4]);
+        // First instant: 3 blackholes, others fine.
+        t.observe(&v(vec![None, Some(0), Some(1), None], 0));
+        assert_eq!(t.affected_count(), 1);
+        // Second instant: 3 recovered, 2 loops with 1.
+        t.observe(&v(vec![None, Some(2), Some(1), Some(2)], 0));
+        // 1 and 2 loop; 3 feeds the loop. All three affected now.
+        assert_eq!(t.affected_count(), 3);
+        // Recovery does not un-affect anyone.
+        t.observe(&v(vec![None, Some(0), Some(1), Some(2)], 0));
+        assert_eq!(t.affected_count(), 3);
+        assert_eq!(t.observations, 3);
+        assert_eq!(t.observations_with_loops, 1);
+        assert_eq!(t.observations_with_blackholes, 1);
+    }
+
+    #[test]
+    fn unreachable_ases_do_not_count() {
+        // AS 2 permanently partitioned: its blackhole is not transient.
+        let mut t = TransientTracker::new(AsId(0), vec![true, true, false]);
+        t.observe(&v(vec![None, Some(0), None], 0));
+        assert_eq!(t.affected_count(), 0);
+    }
+
+    #[test]
+    fn destination_not_counted() {
+        let mut t = TransientTracker::new(AsId(0), vec![true, true]);
+        // Origin "blackholes" by definition in a malformed view; must not
+        // count.
+        t.observe(&v(vec![None, Some(0)], 0));
+        assert_eq!(t.affected_count(), 0);
+    }
+}

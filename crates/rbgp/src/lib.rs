@@ -1,0 +1,30 @@
+//! R-BGP (Kushman et al., NSDI 2007) — the paper's benchmark protocol.
+//!
+//! The STAMP paper compares against R-BGP in two configurations (§6.2):
+//! full R-BGP, whose root-cause information (RCI) "adds significant
+//! complexity to the routing system", and R-BGP without RCI. The mechanisms
+//! implemented here are the ones the comparison exercises:
+//!
+//! * **Failover paths.** In addition to its best path, every AS advertises
+//!   a *failover path* — the available alternative most disjoint from its
+//!   best path — to the next-hop neighbour of its best path. Failover paths
+//!   flow downstream towards potential failures, so the AS adjacent to a
+//!   broken link holds an escape route back through an upstream neighbour.
+//! * **Failover forwarding.** An AS whose best route is gone forwards
+//!   packets to a neighbour that advertised it a failover path, flagged so
+//!   that the neighbour continues along its own failover path rather than
+//!   bouncing the packet straight back.
+//! * **Root-cause information** (RCI mode): updates triggered by a failure
+//!   carry the failed link/node; receivers immediately purge every path —
+//!   best or failover — that traverses the root cause, eliminating stale
+//!   path exploration entirely.
+//!
+//! Omitted R-BGP details (documented): the "don't withdraw before you can
+//! replace" message-ordering optimisation (its data-plane effect — continued
+//! forwarding during convergence — is what the failover machinery already
+//! provides in this AS-level model), and intra-AS (iBGP) distribution,
+//! matching the paper's one-node-per-AS granularity.
+
+pub mod router;
+
+pub use router::{RbgpConfig, RbgpRouter};

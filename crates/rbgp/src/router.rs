@@ -1,0 +1,973 @@
+//! The R-BGP router.
+
+use stamp_bgp::policy::export_ok;
+use stamp_bgp::rib::RibIn;
+use stamp_bgp::router::{RouterCtx, RouterLogic, Selection};
+use stamp_bgp::types::{
+    CauseInfo, PrefixId, ProcId, Route, RootCause, UpdateKind, UpdateMsg, WithdrawInfo,
+};
+use stamp_topology::AsId;
+use std::collections::{HashMap, HashSet};
+
+/// R-BGP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RbgpConfig {
+    /// Run with root-cause information (the full protocol) or without
+    /// (failover paths only) — the two variants of Figures 2 and 3.
+    pub rci: bool,
+    /// Export failover paths irrespective of valley-free gating. R-BGP
+    /// argues backup paths may relax export policy because they carry
+    /// traffic only transiently; `false` applies the standard gate.
+    pub relaxed_failover_export: bool,
+}
+
+impl Default for RbgpConfig {
+    fn default() -> Self {
+        RbgpConfig {
+            rci: true,
+            relaxed_failover_export: true,
+        }
+    }
+}
+
+/// One R-BGP router (single process; `ProcId::ONLY`).
+#[derive(Debug)]
+pub struct RbgpRouter {
+    me: AsId,
+    own: Vec<PrefixId>,
+    cfg: RbgpConfig,
+    /// Normal (best-path) routes learned from neighbours.
+    pub rib: RibIn,
+    /// Failover routes received, per (prefix, advertising neighbour).
+    failover_in: HashMap<(PrefixId, AsId), Route>,
+    /// Current best per prefix.
+    best: HashMap<PrefixId, Selection>,
+    /// Last best-path advertisement per (neighbor, prefix).
+    rib_out: HashMap<(AsId, PrefixId), Route>,
+    /// Our current failover advertisement: (target neighbour, route sent).
+    failover_out: HashMap<PrefixId, (AsId, Route)>,
+    /// Newest cause record per element (RCI mode): element -> (seq, up).
+    known_causes: HashMap<RootCause, (u32, bool)>,
+}
+
+impl RbgpRouter {
+    /// Router for `me`, originating `own`.
+    pub fn new(me: AsId, own: Vec<PrefixId>, cfg: RbgpConfig) -> RbgpRouter {
+        RbgpRouter {
+            me,
+            own,
+            cfg,
+            rib: RibIn::new(),
+            failover_in: HashMap::new(),
+            best: HashMap::new(),
+            rib_out: HashMap::new(),
+            failover_out: HashMap::new(),
+            known_causes: HashMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read-side API (data plane, tests)
+    // ------------------------------------------------------------------
+
+    /// Current best selection.
+    pub fn selection(&self, prefix: PrefixId) -> &Selection {
+        self.best.get(&prefix).unwrap_or(&Selection::None)
+    }
+
+    /// Primary next hop (`None` = origin, no route, or a failover-based
+    /// pseudo-best — the latter forwards as a pinned circuit, not hop by
+    /// hop; see [`Self::escape_route`]).
+    pub fn primary_next(&self, prefix: PrefixId) -> Option<AsId> {
+        match self.selection(prefix) {
+            Selection::Learned(d) if !d.route.attrs.failover => Some(d.neighbor),
+            _ => None,
+        }
+    }
+
+    /// Does this AS originate `prefix`?
+    pub fn originates(&self, prefix: PrefixId) -> bool {
+        self.own.contains(&prefix)
+    }
+
+    /// Escape route when the primary is gone: the failover path some
+    /// neighbour advertised us, not through `me` and (with RCI) not through
+    /// any known root cause. Deterministic choice: shortest advertised
+    /// path, lowest advertiser id. Returns `(advertiser, advertised path)`
+    /// — R-BGP forwards escape packets along that path as a pinned virtual
+    /// circuit, so the data plane needs the full path, not just the next
+    /// hop.
+    pub fn escape_route<F>(&self, prefix: PrefixId, session_ok: F) -> Option<(AsId, &Route)>
+    where
+        F: Fn(AsId) -> bool,
+    {
+        let mut cands: Vec<(u32, AsId, &Route)> = self
+            .failover_in
+            .iter()
+            .filter(|((p, n), r)| {
+                *p == prefix
+                    && session_ok(*n)
+                    && !r.contains(self.me)
+                    && !self.path_invalidated(&r.path)
+            })
+            .map(|((_, n), r)| (r.len(), *n, r))
+            .collect();
+        cands.sort_unstable_by_key(|(len, n, _)| (*len, *n));
+        cands.first().map(|(_, n, r)| (*n, *r))
+    }
+
+    /// Convenience: the advertiser an escape packet would be handed to.
+    pub fn escape_via<F>(&self, prefix: PrefixId, session_ok: F) -> Option<AsId>
+    where
+        F: Fn(AsId) -> bool,
+    {
+        self.escape_route(prefix, session_ok).map(|(n, _)| n)
+    }
+
+    /// Next hop of our own failover path — what an escape-flagged packet
+    /// follows at this AS.
+    pub fn own_failover_next(&self, prefix: PrefixId) -> Option<AsId> {
+        self.failover_out
+            .get(&prefix)
+            .map(|(_, r)| r.path[1])
+    }
+
+    /// The neighbour currently receiving our failover advertisement.
+    pub fn failover_target(&self, prefix: PrefixId) -> Option<AsId> {
+        self.failover_out.get(&prefix).map(|(n, _)| *n)
+    }
+
+    /// Newest cause record per element (RCI mode): element → (seq, up).
+    pub fn known_causes(&self) -> &HashMap<RootCause, (u32, bool)> {
+        &self.known_causes
+    }
+
+    /// Is `rc` currently recorded as failed (down)?
+    pub fn has_active_cause(&self, rc: &RootCause) -> bool {
+        matches!(self.known_causes.get(rc), Some((_, false)))
+    }
+
+    /// Does `path` traverse any element currently recorded as down?
+    fn path_invalidated(&self, path: &[AsId]) -> bool {
+        self.known_causes
+            .iter()
+            .any(|(rc, (_, up))| !up && rc.invalidates(path))
+    }
+
+    // ------------------------------------------------------------------
+    // Core logic
+    // ------------------------------------------------------------------
+
+    /// Learn a cause record: keep only the newest per element; purge every
+    /// stored path through a newly-down element. Returns the prefixes whose
+    /// state changed.
+    fn learn_cause(&mut self, info: CauseInfo) -> Vec<PrefixId> {
+        if !self.cfg.rci {
+            return Vec::new();
+        }
+        match self.known_causes.get(&info.cause) {
+            Some((seq, up)) if *seq >= info.seq && *up == info.up => return Vec::new(),
+            Some((seq, _)) if *seq > info.seq => return Vec::new(), // stale record
+            _ => {}
+        }
+        self.known_causes.insert(info.cause, (info.seq, info.up));
+        if info.up {
+            // Recovery unblocks future paths; nothing stored needs purging.
+            return Vec::new();
+        }
+        let rc = info.cause;
+        let mut touched: Vec<PrefixId> = self
+            .rib
+            .purge(|r| !rc.invalidates(&r.path))
+            .into_iter()
+            .map(|(p, _, _)| p)
+            .collect();
+        let dead_failovers: Vec<(PrefixId, AsId)> = self
+            .failover_in
+            .iter()
+            .filter(|(_, r)| rc.invalidates(&r.path))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in dead_failovers {
+            self.failover_in.remove(&k);
+            touched.push(k.0);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
+    /// Most disjoint usable alternative to the current best (the failover
+    /// path we advertise). Disjointness = fewest shared ASes with the best
+    /// path; ties broken by shorter path, then lower neighbour id.
+    fn compute_failover(&self, ctx: &RouterCtx, prefix: PrefixId) -> Option<(AsId, Route)> {
+        let best = match self.selection(prefix) {
+            Selection::Learned(d) if !d.route.attrs.failover => d.clone(),
+            // Origins need no failover; without a real best there is
+            // nothing to protect.
+            _ => return None,
+        };
+        let best_set: HashSet<AsId> = best.route.path.iter().copied().collect();
+        let mut cand: Option<(usize, u32, AsId, Route)> = None;
+        for (n, r) in self.rib.routes(prefix, ProcId::ONLY) {
+            if n == best.neighbor || r.contains(self.me) {
+                continue;
+            }
+            if !ctx.sessions.session_up(self.me, n) {
+                continue;
+            }
+            if self.path_invalidated(&r.path) {
+                continue;
+            }
+            if !self.cfg.relaxed_failover_export {
+                // Standard gate: only routes we could legitimately export
+                // to the best next hop.
+                let learned_rel = match ctx.relation(n) {
+                    Some(rel) => rel,
+                    None => continue,
+                };
+                let to_rel = match ctx.relation(best.neighbor) {
+                    Some(rel) => rel,
+                    None => continue,
+                };
+                if !export_ok(Some(learned_rel), to_rel) {
+                    continue;
+                }
+            }
+            let shared = r.path.iter().filter(|a| best_set.contains(a)).count();
+            let key = (shared, r.len(), n, r.clone());
+            cand = match cand {
+                None => Some(key),
+                Some(cur) => {
+                    let better = (key.0, key.1, key.2) < (cur.0, cur.1, cur.2);
+                    Some(if better { key } else { cur })
+                }
+            };
+        }
+        cand.map(|(_, _, n, r)| {
+            let mut adv = r.prepend(self.me);
+            adv.attrs.failover = true;
+            (n, adv)
+        })
+    }
+
+    /// Re-run selection; reconcile best-path exports and the failover
+    /// advertisement. `cause` is attached to outgoing updates in RCI mode.
+    fn reselect_and_export(
+        &mut self,
+        ctx: &mut RouterCtx,
+        prefix: PrefixId,
+        cause: Option<CauseInfo>,
+    ) {
+        let old = self.best.get(&prefix).cloned().unwrap_or_default();
+        let new = if self.originates(prefix) {
+            Selection::Own
+        } else {
+            match self
+                .rib
+                .decide(ctx.topo, self.me, prefix, ProcId::ONLY, |n| {
+                    ctx.sessions.session_up(self.me, n)
+                }) {
+                Some(d) => Selection::Learned(d),
+                None => {
+                    // R-BGP continuity: rather than withdrawing, adopt the
+                    // best received failover path as a (failover-flagged)
+                    // pseudo-best. Downstream tables never empty while a
+                    // backup circuit exists. The pseudo-best is *sticky*:
+                    // while the one in use remains usable we keep it, so
+                    // candidate churn during convergence does not ripple
+                    // out as announcement storms.
+                    let sticky = match &old {
+                        Selection::Learned(d)
+                            if d.route.attrs.failover
+                                && ctx.sessions.session_up(self.me, d.neighbor)
+                                && !self.path_invalidated(&d.route.path)
+                                && self
+                                    .failover_in
+                                    .get(&(prefix, d.neighbor))
+                                    .is_some_and(|r| r.path == d.route.path) =>
+                        {
+                            true
+                        }
+                        _ => false,
+                    };
+                    if sticky {
+                        old.clone()
+                    } else {
+                        match self
+                            .escape_route(prefix, |n| ctx.sessions.session_up(self.me, n))
+                        {
+                            Some((advertiser, route)) => {
+                                let mut route = route.clone();
+                                route.attrs.failover = true;
+                                let learned_from = ctx
+                                    .relation(advertiser)
+                                    .expect("escape advertiser is a neighbour");
+                                Selection::Learned(stamp_bgp::rib::DecisionOutcome {
+                                    neighbor: advertiser,
+                                    route,
+                                    learned_from,
+                                })
+                            }
+                            None => Selection::None,
+                        }
+                    }
+                }
+            }
+        };
+        let best_changed = new != old;
+        if best_changed {
+            ctx.fib_changed = true;
+            self.best.insert(prefix, new);
+            self.update_best_exports(ctx, prefix, cause);
+        }
+        // The failover advertisement is recomputed when the best changes or
+        // its current target session died — not on every RIB touch, which
+        // would re-advertise backups throughout convergence churn.
+        let target_dead = self
+            .failover_out
+            .get(&prefix)
+            .is_some_and(|(t, _)| !ctx.sessions.session_up(self.me, *t));
+        if best_changed || target_dead || self.failover_out.get(&prefix).is_none() {
+            self.update_failover_export(ctx, prefix, cause);
+        }
+    }
+
+    /// Desired best-path advertisement towards `n`. Failover-based
+    /// pseudo-bests export with the failover flag (relaxed gate if
+    /// configured — backup paths carry traffic only transiently).
+    fn export_for(&self, ctx: &RouterCtx, prefix: PrefixId, n: AsId) -> Option<Route> {
+        let to_rel = ctx.relation(n)?;
+        match self.selection(prefix) {
+            Selection::None => None,
+            Selection::Own => Some(Route::originate(self.me)),
+            Selection::Learned(d) => {
+                if d.neighbor == n {
+                    return None;
+                }
+                // Continuity (pseudo-best) announcements respect the
+                // standard valley-free gate: R-BGP's export relaxation is
+                // for the *targeted* one-hop failover advertisements, not
+                // for flooding backup paths network-wide (which melts the
+                // message budget during convergence).
+                let gate_ok = export_ok(Some(d.learned_from), to_rel);
+                if gate_ok {
+                    let mut r = d.route.prepend(self.me);
+                    r.attrs.failover = d.route.attrs.failover;
+                    Some(r)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn update_best_exports(
+        &mut self,
+        ctx: &mut RouterCtx,
+        prefix: PrefixId,
+        cause: Option<CauseInfo>,
+    ) {
+        let rc = if self.cfg.rci { cause } else { None };
+        for (n, _) in ctx.live_neighbors() {
+            let desired = self.export_for(ctx, prefix, n);
+            let current = self.rib_out.get(&(n, prefix));
+            match (desired, current) {
+                (None, None) => {}
+                (None, Some(prev)) => {
+                    let was_failover = prev.attrs.failover;
+                    self.rib_out.remove(&(n, prefix));
+                    ctx.send(
+                        n,
+                        ProcId::ONLY,
+                        UpdateMsg {
+                            prefix,
+                            kind: UpdateKind::Withdraw(WithdrawInfo {
+                                root_cause: rc,
+                                failover: was_failover,
+                                ..WithdrawInfo::loss()
+                            }),
+                        },
+                    );
+                }
+                (Some(mut r), cur) => {
+                    if cur != Some(&r) {
+                        self.rib_out.insert((n, prefix), r.clone());
+                        r.attrs.root_cause = rc;
+                        ctx.send(
+                            n,
+                            ProcId::ONLY,
+                            UpdateMsg {
+                                prefix,
+                                kind: UpdateKind::Announce(r),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reconcile the failover advertisement: it goes to the best next hop
+    /// only, and moves (withdraw + announce) when the best next hop or the
+    /// chosen alternative changes.
+    fn update_failover_export(
+        &mut self,
+        ctx: &mut RouterCtx,
+        prefix: PrefixId,
+        cause: Option<CauseInfo>,
+    ) {
+        let rc = if self.cfg.rci { cause } else { None };
+        let desired = self
+            .compute_failover(ctx, prefix)
+            .map(|(_, adv)| adv)
+            .and_then(|adv| {
+                // Target: the best next hop (the downstream direction) —
+                // only meaningful while we hold a real (non-pseudo) best.
+                match self.selection(prefix) {
+                    Selection::Learned(d) if !d.route.attrs.failover => {
+                        Some((d.neighbor, adv))
+                    }
+                    _ => None,
+                }
+            });
+        let current = self.failover_out.get(&prefix).cloned();
+        match (desired, current) {
+            (None, None) => {}
+            (None, Some((old_t, _))) => {
+                self.failover_out.remove(&prefix);
+                if ctx.sessions.session_up(self.me, old_t) {
+                    ctx.send(
+                        old_t,
+                        ProcId::ONLY,
+                        UpdateMsg {
+                            prefix,
+                            kind: UpdateKind::Withdraw(WithdrawInfo {
+                                root_cause: rc,
+                                failover: true,
+                                ..WithdrawInfo::loss()
+                            }),
+                        },
+                    );
+                }
+            }
+            (Some((t, adv)), current) => {
+                if current.as_ref() == Some(&(t, adv.clone())) {
+                    return;
+                }
+                if let Some((old_t, _)) = current {
+                    if old_t != t && ctx.sessions.session_up(self.me, old_t) {
+                        ctx.send(
+                            old_t,
+                            ProcId::ONLY,
+                            UpdateMsg {
+                                prefix,
+                                kind: UpdateKind::Withdraw(WithdrawInfo {
+                                    root_cause: rc,
+                                    failover: true,
+                                    ..WithdrawInfo::loss()
+                                }),
+                            },
+                        );
+                    }
+                }
+                self.failover_out.insert(prefix, (t, adv.clone()));
+                let mut send = adv;
+                send.attrs.root_cause = rc;
+                ctx.send(
+                    t,
+                    ProcId::ONLY,
+                    UpdateMsg {
+                        prefix,
+                        kind: UpdateKind::Announce(send),
+                    },
+                );
+            }
+        }
+    }
+
+    fn known_prefixes(&self) -> Vec<PrefixId> {
+        let mut v: Vec<PrefixId> = self.own.clone();
+        v.extend(self.best.keys().copied());
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl RouterLogic for RbgpRouter {
+    fn on_start(&mut self, ctx: &mut RouterCtx) {
+        for prefix in self.own.clone() {
+            self.reselect_and_export(ctx, prefix, None);
+        }
+    }
+
+    fn on_update(&mut self, ctx: &mut RouterCtx, from: AsId, _proc: ProcId, msg: UpdateMsg) {
+        let prefix = msg.prefix;
+        // Learn any attached cause record *before* judging staleness: a
+        // recovery wave carries the up-record that legitimises the very
+        // paths it re-announces.
+        let cause = match &msg.kind {
+            UpdateKind::Announce(route) => route.attrs.root_cause,
+            UpdateKind::Withdraw(info) => info.root_cause,
+        };
+        let mut touched_by_cause = Vec::new();
+        if let Some(rc) = cause {
+            touched_by_cause = self.learn_cause(rc);
+        }
+        match msg.kind {
+            UpdateKind::Announce(route) => {
+                let stale = self.cfg.rci && self.path_invalidated(&route.path);
+                if route.attrs.failover {
+                    // A failover-flagged announce supersedes the sender's
+                    // previous best-path announcement on this session (an
+                    // implicit update): keeping the old best as a ghost
+                    // would freeze stale selections here.
+                    self.rib.remove(prefix, ProcId::ONLY, from);
+                    if stale {
+                        self.failover_in.remove(&(prefix, from));
+                    } else {
+                        // Failover paths change the data plane, not the RIB.
+                        ctx.fib_changed = true;
+                        self.failover_in.insert((prefix, from), route);
+                    }
+                } else if stale {
+                    // A stale announcement acts as an implicit withdrawal.
+                    self.rib.remove(prefix, ProcId::ONLY, from);
+                } else {
+                    self.rib.insert(prefix, ProcId::ONLY, from, route);
+                }
+            }
+            UpdateKind::Withdraw(info) => {
+                if info.failover {
+                    if self.failover_in.remove(&(prefix, from)).is_some() {
+                        ctx.fib_changed = true;
+                    }
+                } else {
+                    self.rib.remove(prefix, ProcId::ONLY, from);
+                }
+            }
+        }
+        let mut touched = vec![prefix];
+        touched.extend(touched_by_cause);
+        touched.sort_unstable();
+        touched.dedup();
+        for p in touched {
+            self.reselect_and_export(ctx, p, cause);
+        }
+    }
+
+    fn on_link_down(&mut self, ctx: &mut RouterCtx, neighbor: AsId, cause: CauseInfo) {
+        let affected = self.rib.remove_neighbor(neighbor);
+        let dead_fo: Vec<(PrefixId, AsId)> = self
+            .failover_in
+            .keys()
+            .filter(|(_, n)| *n == neighbor)
+            .copied()
+            .collect();
+        let mut touched: Vec<PrefixId> = affected.into_iter().map(|(p, _)| p).collect();
+        for k in dead_fo {
+            self.failover_in.remove(&k);
+            touched.push(k.0);
+        }
+        let stale_out: Vec<(AsId, PrefixId)> = self
+            .rib_out
+            .keys()
+            .filter(|(n, _)| *n == neighbor)
+            .copied()
+            .collect();
+        for k in stale_out {
+            self.rib_out.remove(&k);
+        }
+        let stale_fo_out: Vec<PrefixId> = self
+            .failover_out
+            .iter()
+            .filter(|(_, (n, _))| *n == neighbor)
+            .map(|(p, _)| *p)
+            .collect();
+        for p in stale_fo_out {
+            self.failover_out.remove(&p);
+            touched.push(p);
+        }
+        touched.extend(self.learn_cause(cause));
+        touched.sort_unstable();
+        touched.dedup();
+        for p in touched {
+            self.reselect_and_export(ctx, p, Some(cause));
+        }
+    }
+
+    fn on_link_up(&mut self, ctx: &mut RouterCtx, neighbor: AsId, cause: CauseInfo) {
+        // Record the recovery; the up-state record rides on the
+        // re-advertisement wave and unblocks the element at remote ASes.
+        self.learn_cause(cause);
+        let rc = if self.cfg.rci { Some(cause) } else { None };
+        for prefix in self.known_prefixes() {
+            if let Some(r) = self.export_for(ctx, prefix, neighbor) {
+                self.rib_out.insert((neighbor, prefix), r.clone());
+                let mut send = r;
+                send.attrs.root_cause = rc;
+                ctx.send(
+                    neighbor,
+                    ProcId::ONLY,
+                    UpdateMsg {
+                        prefix,
+                        kind: UpdateKind::Announce(send),
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_bgp::engine::{Engine, EngineConfig, ScenarioEvent};
+    use stamp_eventsim::SimDuration;
+    use stamp_topology::{AsGraph, GraphBuilder};
+
+    const P: PrefixId = PrefixId(0);
+
+    /// The diamond plus a spur:
+    ///
+    /// ```text
+    ///   0 ==== 1      tier-1 peers
+    ///   |      |
+    ///   2      3
+    ///    \    /
+    ///      4        multi-homed origin
+    /// ```
+    fn diamond() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        b.preregister(5);
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(4, 2).unwrap();
+        b.customer_of(4, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    fn engine(g: AsGraph, origin: AsId, cfg: RbgpConfig, seed: u64) -> Engine<RbgpRouter> {
+        Engine::new(g, EngineConfig::fast(seed), move |v| {
+            let own = if v == origin { vec![P] } else { vec![] };
+            RbgpRouter::new(v, own, cfg)
+        })
+    }
+
+    fn converge(g: &AsGraph, origin: AsId, cfg: RbgpConfig, seed: u64) -> Engine<RbgpRouter> {
+        let mut e = engine(g.clone(), origin, cfg, seed);
+        e.start();
+        e.run_to_quiescence(None);
+        e
+    }
+
+    #[test]
+    fn best_paths_match_plain_bgp() {
+        use stamp_topology::StaticRoutes;
+        let g = diamond();
+        let e = converge(&g, AsId(4), RbgpConfig::default(), 3);
+        let truth = StaticRoutes::compute(&g, AsId(4));
+        for v in g.ases() {
+            let expect = truth.route(v).map(|r| r.next_hop).unwrap_or(None);
+            assert_eq!(e.router(v).primary_next(P), expect, "router {v}");
+        }
+    }
+
+    #[test]
+    fn failover_advertised_to_best_next_hop() {
+        let g = diamond();
+        let e = converge(&g, AsId(4), RbgpConfig::default(), 3);
+        // AS 0 reaches 4 via customer 2 (best) and holds an alternative via
+        // peer 1; its failover must be advertised to 2.
+        let r0 = e.router(AsId(0));
+        assert_eq!(r0.primary_next(P), Some(AsId(2)));
+        assert_eq!(r0.failover_target(P), Some(AsId(2)));
+        assert_eq!(r0.own_failover_next(P), Some(AsId(1)));
+        // And 2 received it: escape via 0 once its own routes die.
+        let r2 = e.router(AsId(2));
+        assert_eq!(r2.escape_via(P, |_| true), Some(AsId(0)));
+    }
+
+    #[test]
+    fn rci_purges_stale_paths() {
+        let g = diamond();
+        let mut e = converge(&g, AsId(4), RbgpConfig::default(), 5);
+        let id = g.link_between(AsId(4), AsId(2)).unwrap();
+        e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
+        e.run_to_quiescence(None);
+        let rc = RootCause::link(AsId(4), AsId(2));
+        // The cause rides the update wave: ASes on the withdrawal path
+        // (2 and its provider 0) must know it. ASes whose routes were
+        // unaffected (3, on the surviving side) legitimately may not.
+        for v in [0u32, 2] {
+            assert!(
+                e.router(AsId(v)).has_active_cause(&rc),
+                "AS{v} missing root cause"
+            );
+        }
+        // The real invariant: nobody holds a selection through the dead
+        // link once converged.
+        for v in [0u32, 1, 2, 3] {
+            if let Selection::Learned(d) = e.router(AsId(v)).selection(P) {
+                assert!(
+                    !rc.invalidates(&d.route.path),
+                    "AS{v} kept a stale path {:?}",
+                    d.route.path
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_rci_mode_ignores_causes() {
+        let g = diamond();
+        let cfg = RbgpConfig {
+            rci: false,
+            ..Default::default()
+        };
+        let mut e = converge(&g, AsId(4), cfg, 5);
+        let id = g.link_between(AsId(4), AsId(2)).unwrap();
+        e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
+        e.run_to_quiescence(None);
+        for v in g.ases() {
+            assert!(e.router(v).known_causes().is_empty());
+        }
+        // It still converges to correct routes eventually.
+        use stamp_topology::StaticRoutes;
+        let truth = StaticRoutes::compute(&g.without_links(&[id]), AsId(4));
+        for v in g.ases() {
+            let expect = truth.route(v).map(|r| r.next_hop).unwrap_or(None);
+            assert_eq!(e.router(v).primary_next(P), expect, "router {v}");
+        }
+    }
+
+    #[test]
+    fn escape_skips_paths_through_self_and_causes() {
+        let g = diamond();
+        let mut e = converge(&g, AsId(4), RbgpConfig::default(), 7);
+        // Fail 4–2: AS 2 has no route; its stored failovers must avoid 2
+        // itself and the dead link.
+        let id = g.link_between(AsId(4), AsId(2)).unwrap();
+        e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
+        e.run_to_quiescence(None);
+        let r2 = e.router(AsId(2));
+        if let Some(via) = r2.escape_via(P, |n| e.session_up(AsId(2), n)) {
+            // Any surviving escape must not route through the dead link.
+            let rc = RootCause::link(AsId(4), AsId(2));
+            let fo = r2
+                .failover_in
+                .get(&(P, via))
+                .expect("escape target must hold a failover");
+            assert!(!rc.invalidates(&fo.path));
+            assert!(!fo.contains(AsId(2)));
+        }
+    }
+
+    #[test]
+    fn reconverges_after_failure() {
+        use stamp_topology::StaticRoutes;
+        let g = diamond();
+        for rci in [true, false] {
+            let cfg = RbgpConfig {
+                rci,
+                ..Default::default()
+            };
+            let mut e = converge(&g, AsId(4), cfg, 11);
+            let id = g.link_between(AsId(4), AsId(2)).unwrap();
+            e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
+            e.run_to_quiescence(None);
+            let truth = StaticRoutes::compute(&g.without_links(&[id]), AsId(4));
+            for v in g.ases() {
+                let expect = truth.route(v).map(|r| r.next_hop).unwrap_or(None);
+                assert_eq!(
+                    e.router(v).primary_next(P),
+                    expect,
+                    "rci={rci} router {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn origin_advertises_no_failover() {
+        let g = diamond();
+        let e = converge(&g, AsId(4), RbgpConfig::default(), 13);
+        assert_eq!(e.router(AsId(4)).failover_target(P), None);
+    }
+
+    #[test]
+    fn link_recovery_clears_cause_and_reconverges() {
+        use stamp_topology::StaticRoutes;
+        let g = diamond();
+        let mut e = converge(&g, AsId(4), RbgpConfig::default(), 17);
+        let id = g.link_between(AsId(4), AsId(2)).unwrap();
+        e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
+        e.run_to_quiescence(None);
+        e.inject_after(SimDuration::from_secs(1), ScenarioEvent::RecoverLink(id));
+        e.run_to_quiescence(None);
+        let truth = StaticRoutes::compute(&g, AsId(4));
+        for v in g.ases() {
+            let expect = truth.route(v).map(|r| r.next_hop).unwrap_or(None);
+            assert_eq!(e.router(v).primary_next(P), expect, "router {v}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod continuity_tests {
+    use super::*;
+    use stamp_bgp::router::{RouterCtx, SessionView};
+    use stamp_bgp::types::PathAttrs;
+    use stamp_topology::GraphBuilder;
+
+    struct AllUp;
+    impl SessionView for AllUp {
+        fn session_up(&self, _a: AsId, _b: AsId) -> bool {
+            true
+        }
+    }
+
+    const P: PrefixId = PrefixId(0);
+
+    fn announce(path: &[u32], failover: bool) -> UpdateMsg {
+        UpdateMsg {
+            prefix: P,
+            kind: UpdateKind::Announce(Route {
+                path: path.iter().map(|&x| AsId(x)).collect(),
+                attrs: PathAttrs {
+                    failover,
+                    ..Default::default()
+                },
+            }),
+        }
+    }
+
+    /// 1 between provider 0 and customer 2; peer 3 for diversity.
+    fn g() -> stamp_topology::AsGraph {
+        let mut b = GraphBuilder::new();
+        b.preregister(4);
+        b.customer_of(1, 0).unwrap();
+        b.customer_of(2, 1).unwrap();
+        b.peering(1, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Losing every real route while holding a received failover must
+    /// produce a failover-flagged *announcement* (the continuity rule),
+    /// not a withdrawal — downstream tables never empty.
+    #[test]
+    fn continuity_announces_pseudo_best_instead_of_withdrawing() {
+        let g = g();
+        let mut r = RbgpRouter::new(AsId(1), vec![], RbgpConfig::default());
+        // Real route from customer 2 (exported to provider 0 and peer 3).
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, announce(&[2, 9], false));
+        assert_eq!(r.primary_next(P), Some(AsId(2)));
+        // A failover path arrives from provider 0 (0 routes via us).
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(0), ProcId::ONLY, announce(&[0, 7, 9], true));
+        // The real route dies: continuity kicks in.
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(
+            &mut ctx,
+            AsId(2),
+            ProcId::ONLY,
+            UpdateMsg {
+                prefix: P,
+                kind: UpdateKind::Withdraw(WithdrawInfo::loss()),
+            },
+        );
+        // The selection becomes the failover-flagged pseudo-best; customers
+        // keep a route (continuity), while providers/peers are withdrawn —
+        // the pseudo is provider-learned, so valley-free forbids exporting
+        // it upward/sideways.
+        assert!(
+            matches!(r.selection(P), Selection::Learned(d) if d.route.attrs.failover),
+            "pseudo-best expected, got {:?}",
+            r.selection(P)
+        );
+        assert_eq!(r.primary_next(P), None, "pseudo-bests forward as circuits");
+        assert_eq!(r.escape_via(P, |_| true), Some(AsId(0)));
+        assert!(
+            !ctx.out
+                .iter()
+                .any(|m| m.to == AsId(2) && matches!(m.msg.kind, UpdateKind::Withdraw(_))),
+            "the customer must never see a withdrawal while a circuit exists"
+        );
+        let to_customer = ctx
+            .out
+            .iter()
+            .find(|m| m.to == AsId(2) && m.msg.is_announce())
+            .expect("customer receives the failover-based replacement");
+        match &to_customer.msg.kind {
+            UpdateKind::Announce(route) => {
+                assert!(route.attrs.failover, "replacement is failover-flagged");
+                assert_eq!(route.path[0], AsId(1));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Without any failover, losing everything withdraws normally.
+    #[test]
+    fn no_failover_means_real_withdrawal() {
+        let g = g();
+        let mut r = RbgpRouter::new(AsId(1), vec![], RbgpConfig::default());
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, announce(&[2, 9], false));
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(
+            &mut ctx,
+            AsId(2),
+            ProcId::ONLY,
+            UpdateMsg {
+                prefix: P,
+                kind: UpdateKind::Withdraw(WithdrawInfo::loss()),
+            },
+        );
+        assert_eq!(*r.selection(P), Selection::None);
+        assert!(
+            ctx.out
+                .iter()
+                .any(|m| matches!(m.msg.kind, UpdateKind::Withdraw(_))),
+            "a real withdrawal must propagate"
+        );
+    }
+
+    /// Escape candidates skip paths through the choosing AS itself and, in
+    /// RCI mode, paths through known-down elements.
+    #[test]
+    fn escape_candidate_filtering() {
+        let g = g();
+        let mut r = RbgpRouter::new(AsId(1), vec![], RbgpConfig::default());
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        // Failover through ourselves: unusable.
+        r.on_update(&mut ctx, AsId(0), ProcId::ONLY, announce(&[0, 1, 9], true));
+        assert_eq!(r.escape_via(P, |_| true), None);
+        // A clean failover from the peer.
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, announce(&[3, 8, 9], true));
+        assert_eq!(r.escape_via(P, |_| true), Some(AsId(3)));
+        // Learn that link 8-9 died: the peer's failover is invalid too.
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        r.on_update(
+            &mut ctx,
+            AsId(0),
+            ProcId::ONLY,
+            UpdateMsg {
+                prefix: P,
+                kind: UpdateKind::Withdraw(WithdrawInfo {
+                    root_cause: Some(CauseInfo {
+                        cause: RootCause::link(AsId(8), AsId(9)),
+                        seq: 1,
+                        up: false,
+                    }),
+                    ..WithdrawInfo::loss()
+                }),
+            },
+        );
+        assert_eq!(r.escape_via(P, |_| true), None);
+    }
+}

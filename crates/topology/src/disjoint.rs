@@ -1,0 +1,249 @@
+//! Node-disjointness queries over the uphill DAG.
+//!
+//! Two queries back the Φ analysis of §6.1:
+//!
+//! * [`good_locked_path`] — given a candidate locked blue path `l_i` from a
+//!   destination `m` to a tier-1 AS, is `l_i` *good*? I.e. does an uphill
+//!   path from `m` to a **different** tier-1 AS exist that is node-disjoint
+//!   from `l_i` (sharing only `m`)? If so, STAMP is guaranteed to find a red
+//!   path once `l_i` is locked blue.
+//! * [`two_disjoint_uphill_paths`] — does *any* pair of node-disjoint uphill
+//!   paths from `m` to two distinct tier-1 ASes exist? (Unit-capacity
+//!   max-flow with node splitting; the upper bound for any lock selection
+//!   strategy, used by the smart-selection analysis.)
+
+use crate::graph::{AsGraph, AsId};
+use std::collections::VecDeque;
+
+/// Is `locked` (a full uphill path `[m, …, t]` with `t` tier-1) a *good*
+/// locked blue path? True iff an uphill path from `m` to a tier-1 other than
+/// `t` exists avoiding every node of `locked` except `m` itself.
+pub fn good_locked_path(g: &AsGraph, locked: &[AsId]) -> bool {
+    let m = match locked.first() {
+        Some(&m) => m,
+        None => return false,
+    };
+    let mut banned = vec![false; g.n()];
+    for &v in &locked[1..] {
+        banned[v.index()] = true;
+    }
+    // BFS up the provider edges from m, avoiding banned nodes.
+    let mut seen = vec![false; g.n()];
+    seen[m.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(m);
+    while let Some(v) = queue.pop_front() {
+        if g.is_tier1(v) && v != m {
+            return true;
+        }
+        // A tier-1 m would trivially be its own "other" endpoint; the Φ
+        // analysis only applies to non-tier-1 destinations, but guard anyway.
+        for &p in g.providers(v) {
+            if !banned[p.index()] && !seen[p.index()] {
+                seen[p.index()] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    false
+}
+
+/// Does a pair of node-disjoint uphill paths from `m` to two *distinct*
+/// tier-1 ASes exist?
+///
+/// Reduction: split every AS `v ≠ m` into `v_in → v_out` with capacity 1
+/// (tier-1 splitting also forces the two endpoints to differ), add
+/// `v_out → p_in` for every provider `p` of `v`, connect every tier-1's
+/// `out` node to a super-sink, and ask for max-flow ≥ 2 from `m`.
+/// Edmonds–Karp needs at most two BFS augmentations here.
+pub fn two_disjoint_uphill_paths(g: &AsGraph, m: AsId) -> bool {
+    max_disjoint_uphill_paths(g, m, 2) >= 2
+}
+
+/// Number of pairwise node-disjoint uphill paths from `m` to distinct
+/// tier-1 ASes, up to `limit` (each unit of flow is one disjoint path).
+pub fn max_disjoint_uphill_paths(g: &AsGraph, m: AsId, limit: u32) -> u32 {
+    if g.is_tier1(m) {
+        // Degenerate: m is already at the top; no uphill paths exist.
+        return 0;
+    }
+    let n = g.n();
+    // Node ids in the flow network: v_in = 2v, v_out = 2v + 1, sink = 2n.
+    let sink = 2 * n;
+    let node_of = |v: AsId, out: bool| -> usize { 2 * v.index() + usize::from(out) };
+
+    // Residual capacities in adjacency-map form. The graph is sparse and the
+    // flow bounded by `limit`, so a HashMap-of-edges residual is plenty.
+    let mut cap: std::collections::HashMap<(usize, usize), u32> = std::collections::HashMap::new();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 2 * n + 1];
+    let add_edge = |adj: &mut Vec<Vec<usize>>,
+                        cap: &mut std::collections::HashMap<(usize, usize), u32>,
+                        u: usize,
+                        v: usize,
+                        c: u32| {
+        if cap.get(&(u, v)).is_none() && cap.get(&(v, u)).is_none() {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        *cap.entry((u, v)).or_insert(0) += c;
+        cap.entry((v, u)).or_insert(0);
+    };
+
+    for v in g.ases() {
+        if v != m {
+            let c = 1;
+            add_edge(&mut adj, &mut cap, node_of(v, false), node_of(v, true), c);
+        }
+        for &p in g.providers(v) {
+            let from = node_of(v, true);
+            add_edge(&mut adj, &mut cap, from, node_of(p, false), limit);
+        }
+        if g.is_tier1(v) {
+            add_edge(&mut adj, &mut cap, node_of(v, true), sink, 1);
+        }
+    }
+
+    let source = node_of(m, true);
+    let mut flow = 0u32;
+    while flow < limit {
+        // BFS for an augmenting path.
+        let mut prev: Vec<Option<usize>> = vec![None; 2 * n + 1];
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        prev[source] = Some(source);
+        while let Some(u) = queue.pop_front() {
+            if u == sink {
+                break;
+            }
+            for &w in &adj[u] {
+                if prev[w].is_none() && cap.get(&(u, w)).copied().unwrap_or(0) > 0 {
+                    prev[w] = Some(u);
+                    queue.push_back(w);
+                }
+            }
+        }
+        if prev[sink].is_none() {
+            break;
+        }
+        // Augment by 1 (all node capacities are 1 on the paths that matter).
+        let mut v = sink;
+        while v != source {
+            let u = prev[v].unwrap();
+            *cap.get_mut(&(u, v)).unwrap() -= 1;
+            *cap.get_mut(&(v, u)).unwrap() += 1;
+            v = u;
+        }
+        flow += 1;
+    }
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn ids(v: &[u32]) -> Vec<AsId> {
+        v.iter().map(|&x| AsId(x)).collect()
+    }
+
+    /// Diamond: tier-1s 0, 1; mid 2 (cust of 0), 3 (cust of 1); m = 4
+    /// customer of 2 and 3. Every locked path is good.
+    fn diamond() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(4, 2).unwrap();
+        b.customer_of(4, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Funnel: tier-1s 0, 1; single mid 2 customer of both; m = 3 customer
+    /// of 2 only. Both uphill paths pass through 2, so no locked path is
+    /// good and no disjoint pair exists.
+    fn funnel() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(2, 1).unwrap();
+        b.customer_of(3, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_paths_are_good() {
+        let g = diamond();
+        assert!(good_locked_path(&g, &ids(&[4, 2, 0])));
+        assert!(good_locked_path(&g, &ids(&[4, 3, 1])));
+        assert!(two_disjoint_uphill_paths(&g, AsId(4)));
+    }
+
+    #[test]
+    fn funnel_paths_are_bad() {
+        let g = funnel();
+        assert!(!good_locked_path(&g, &ids(&[3, 2, 0])));
+        assert!(!good_locked_path(&g, &ids(&[3, 2, 1])));
+        assert!(!two_disjoint_uphill_paths(&g, AsId(3)));
+    }
+
+    #[test]
+    fn same_tier1_does_not_count_as_disjoint_pair() {
+        // m 3 has two providers 1, 2, both customers of the single tier-1 0.
+        // Two node-disjoint *walks* to tier-1 exist only up to node 0; the
+        // endpoints collide, so the answer must be false.
+        let mut b = GraphBuilder::new();
+        b.preregister(4); // dense ids == external numbers
+        b.customer_of(1, 0).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(3, 2).unwrap();
+        let g = b.build().unwrap();
+        assert!(!two_disjoint_uphill_paths(&g, AsId(3)));
+        // And the locked path through 1 is not good either.
+        assert!(!good_locked_path(&g, &ids(&[3, 1, 0])));
+    }
+
+    #[test]
+    fn mixed_good_and_bad_locked_paths() {
+        // tier-1s 0, 1. 2 cust of both 0 and 1; m = 3 cust of 2 and of 1.
+        // Paths from 3: [3,2,0], [3,2,1], [3,1].
+        //   [3,2,0]: alternative avoiding 2 and 0: 3-1 → good.
+        //   [3,2,1]: alternative avoiding 2 and 1: none (3-1 blocked) → bad.
+        //   [3,1]:   alternative avoiding 1: 3-2-0 → good.
+        let mut b = GraphBuilder::new();
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(2, 1).unwrap();
+        b.customer_of(3, 2).unwrap();
+        b.customer_of(3, 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(good_locked_path(&g, &ids(&[3, 2, 0])));
+        assert!(!good_locked_path(&g, &ids(&[3, 2, 1])));
+        assert!(good_locked_path(&g, &ids(&[3, 1])));
+        assert!(two_disjoint_uphill_paths(&g, AsId(3)));
+    }
+
+    #[test]
+    fn flow_counts_more_than_two() {
+        // m with three fully disjoint chains to three tier-1s.
+        let mut b = GraphBuilder::new();
+        b.peering(0, 1).unwrap();
+        b.peering(1, 2).unwrap();
+        b.peering(0, 2).unwrap();
+        b.customer_of(3, 0).unwrap();
+        b.customer_of(4, 1).unwrap();
+        b.customer_of(5, 2).unwrap();
+        b.customer_of(6, 3).unwrap();
+        b.customer_of(6, 4).unwrap();
+        b.customer_of(6, 5).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(max_disjoint_uphill_paths(&g, AsId(6), 5), 3);
+    }
+
+    #[test]
+    fn tier1_destination_has_no_uphill_paths() {
+        let g = diamond();
+        assert_eq!(max_disjoint_uphill_paths(&g, AsId(0), 2), 0);
+    }
+}

@@ -1,0 +1,624 @@
+//! The relationship-annotated AS graph.
+//!
+//! ASes are identified by dense [`AsId`]s (`0..n`). Links carry one of the two
+//! business relationships the paper considers (§2.1): customer–provider or
+//! peer–peer. The customer→provider digraph is validated to be acyclic at
+//! build time, which is the standing assumption under which BGP with the
+//! prefer-customer / valley-free policies is safe (Gao–Rexford).
+
+use crate::error::TopologyError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an AS within one [`AsGraph`] (`0..n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl AsId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Identifier of an undirected link within one [`AsGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Business relationship carried by a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// `a` is the customer, `b` is the provider.
+    CustomerProvider,
+    /// `a` and `b` are peers (stored with `a < b`).
+    PeerPeer,
+}
+
+/// An undirected link between two ASes with its relationship annotation.
+///
+/// For [`LinkKind::CustomerProvider`], `a` is the customer and `b` the
+/// provider. For [`LinkKind::PeerPeer`], `a < b` canonically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    pub a: AsId,
+    pub b: AsId,
+    pub kind: LinkKind,
+}
+
+impl Link {
+    /// The other endpoint of this link.
+    #[inline]
+    pub fn other(&self, x: AsId) -> AsId {
+        if x == self.a {
+            self.b
+        } else {
+            self.a
+        }
+    }
+
+    /// Whether `x` is an endpoint of this link.
+    #[inline]
+    pub fn touches(&self, x: AsId) -> bool {
+        self.a == x || self.b == x
+    }
+}
+
+/// Relationship of a neighbour *relative to a given AS*: the neighbour is my
+/// customer, my provider, or my peer.
+///
+/// The derived order (`Customer < Peer < Provider`) is the *preference*
+/// order of the prefer-customer policy: routes learned from a customer beat
+/// routes learned from a peer beat routes learned from a provider.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Relation {
+    Customer,
+    Peer,
+    Provider,
+}
+
+impl Relation {
+    /// The relation seen from the other side of the link.
+    #[inline]
+    pub fn reverse(self) -> Relation {
+        match self {
+            Relation::Customer => Relation::Provider,
+            Relation::Provider => Relation::Customer,
+            Relation::Peer => Relation::Peer,
+        }
+    }
+}
+
+/// Immutable, validated AS-level topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsGraph {
+    n: u32,
+    providers: Vec<Vec<AsId>>,
+    customers: Vec<Vec<AsId>>,
+    peers: Vec<Vec<AsId>>,
+    links: Vec<Link>,
+    /// `(min, max)` endpoint pair → link id.
+    #[serde(skip)]
+    link_index: HashMap<(u32, u32), LinkId>,
+    /// Original (possibly sparse) AS numbers, indexed by dense id.
+    external: Vec<u32>,
+}
+
+impl AsGraph {
+    /// Number of ASes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// All ASes.
+    pub fn ases(&self) -> impl Iterator<Item = AsId> + '_ {
+        (0..self.n).map(AsId)
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All links.
+    #[inline]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The link with the given id.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> Link {
+        self.links[id.index()]
+    }
+
+    /// Look up the link between two ASes, if any.
+    pub fn link_between(&self, a: AsId, b: AsId) -> Option<LinkId> {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.link_index.get(&key).copied()
+    }
+
+    /// Providers of `v` (ASes `v` buys transit from).
+    #[inline]
+    pub fn providers(&self, v: AsId) -> &[AsId] {
+        &self.providers[v.index()]
+    }
+
+    /// Customers of `v`.
+    #[inline]
+    pub fn customers(&self, v: AsId) -> &[AsId] {
+        &self.customers[v.index()]
+    }
+
+    /// Peers of `v`.
+    #[inline]
+    pub fn peers(&self, v: AsId) -> &[AsId] {
+        &self.peers[v.index()]
+    }
+
+    /// All neighbours of `v` with their relation to `v` (neighbour is
+    /// `v`'s Customer / Peer / Provider).
+    pub fn neighbors(&self, v: AsId) -> impl Iterator<Item = (AsId, Relation)> + '_ {
+        let c = self.customers[v.index()]
+            .iter()
+            .map(|&u| (u, Relation::Customer));
+        let p = self.peers[v.index()].iter().map(|&u| (u, Relation::Peer));
+        let pr = self.providers[v.index()]
+            .iter()
+            .map(|&u| (u, Relation::Provider));
+        c.chain(p).chain(pr)
+    }
+
+    /// Total degree of `v`.
+    pub fn degree(&self, v: AsId) -> usize {
+        self.customers[v.index()].len() + self.peers[v.index()].len() + self.providers[v.index()].len()
+    }
+
+    /// Relation of `b` as seen from `a` (`b` is `a`'s …), if adjacent.
+    pub fn relation(&self, a: AsId, b: AsId) -> Option<Relation> {
+        let id = self.link_between(a, b)?;
+        let l = self.links[id.index()];
+        Some(match l.kind {
+            LinkKind::PeerPeer => Relation::Peer,
+            LinkKind::CustomerProvider => {
+                if l.a == a {
+                    // a is the customer, so b is a's provider.
+                    Relation::Provider
+                } else {
+                    Relation::Customer
+                }
+            }
+        })
+    }
+
+    /// Whether `v` is a tier-1 AS (no providers). The tier-1 ASes of the
+    /// paper's RouteViews topology are exactly the provider-free ASes after
+    /// Gao inference.
+    #[inline]
+    pub fn is_tier1(&self, v: AsId) -> bool {
+        self.providers[v.index()].is_empty()
+    }
+
+    /// Whether `v` is a stub AS (no customers).
+    #[inline]
+    pub fn is_stub(&self, v: AsId) -> bool {
+        self.customers[v.index()].is_empty()
+    }
+
+    /// Whether `v` is multi-homed (two or more providers) — the ASes for
+    /// which STAMP's origin colouring (§4.1) applies directly.
+    #[inline]
+    pub fn is_multi_homed(&self, v: AsId) -> bool {
+        self.providers[v.index()].len() >= 2
+    }
+
+    /// All tier-1 ASes.
+    pub fn tier1s(&self) -> Vec<AsId> {
+        self.ases().filter(|&v| self.is_tier1(v)).collect()
+    }
+
+    /// Original AS number for a dense id (identity for generated graphs).
+    #[inline]
+    pub fn external_asn(&self, v: AsId) -> u32 {
+        self.external[v.index()]
+    }
+
+    /// Shortest provider-chain depth below tier-1: 0 for tier-1 ASes,
+    /// otherwise `1 + min(depth of providers)`.
+    pub fn tier_depth(&self) -> Vec<u32> {
+        // BFS from all tier-1s along provider→customer edges.
+        let mut depth = vec![u32::MAX; self.n()];
+        let mut queue = std::collections::VecDeque::new();
+        for v in self.ases() {
+            if self.is_tier1(v) {
+                depth[v.index()] = 0;
+                queue.push_back(v);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let d = depth[v.index()];
+            for &c in self.customers(v) {
+                if depth[c.index()] == u32::MAX {
+                    depth[c.index()] = d + 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+        depth
+    }
+
+    /// Remove a set of links, producing a new graph (used for failure
+    /// scenarios in static analyses; the simulator instead fails links live).
+    pub fn without_links(&self, removed: &[LinkId]) -> AsGraph {
+        let removed: std::collections::HashSet<LinkId> = removed.iter().copied().collect();
+        let mut b = GraphBuilder::new();
+        for v in self.ases() {
+            b.ensure_as(self.external_asn(v));
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            if !removed.contains(&LinkId(i as u32)) {
+                b.add_link(
+                    self.external_asn(l.a),
+                    self.external_asn(l.b),
+                    l.kind,
+                )
+                .expect("re-adding existing valid link");
+            }
+        }
+        b.build().expect("sub-graph of a valid graph is valid")
+    }
+
+    /// Rebuild the link index after deserialisation.
+    pub fn rebuild_index(&mut self) {
+        self.link_index = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ((l.a.0.min(l.b.0), l.a.0.max(l.b.0)), LinkId(i as u32)))
+            .collect();
+    }
+
+    /// Summary statistics used to sanity-check generated topologies.
+    pub fn stats(&self) -> GraphStats {
+        let n = self.n();
+        let mut cp = 0usize;
+        let mut pp = 0usize;
+        for l in &self.links {
+            match l.kind {
+                LinkKind::CustomerProvider => cp += 1,
+                LinkKind::PeerPeer => pp += 1,
+            }
+        }
+        let tier1 = self.ases().filter(|&v| self.is_tier1(v)).count();
+        let stubs = self.ases().filter(|&v| self.is_stub(v)).count();
+        let multi = self
+            .ases()
+            .filter(|&v| !self.is_tier1(v) && self.is_multi_homed(v))
+            .count();
+        let non_tier1 = n - tier1;
+        GraphStats {
+            n_ases: n,
+            n_links: self.links.len(),
+            n_cp_links: cp,
+            n_pp_links: pp,
+            n_tier1: tier1,
+            n_stubs: stubs,
+            multi_homed_frac: if non_tier1 == 0 {
+                0.0
+            } else {
+                multi as f64 / non_tier1 as f64
+            },
+        }
+    }
+}
+
+/// Aggregate topology statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    pub n_ases: usize,
+    pub n_links: usize,
+    pub n_cp_links: usize,
+    pub n_pp_links: usize,
+    pub n_tier1: usize,
+    pub n_stubs: usize,
+    /// Fraction of non-tier-1 ASes with ≥2 providers.
+    pub multi_homed_frac: f64,
+}
+
+/// Incremental builder for [`AsGraph`], accepting sparse external AS numbers.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    ids: HashMap<u32, AsId>,
+    external: Vec<u32>,
+    links: Vec<Link>,
+    link_keys: HashMap<(u32, u32), LinkKind>,
+}
+
+impl GraphBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an AS (idempotent) and return its dense id.
+    pub fn ensure_as(&mut self, asn: u32) -> AsId {
+        let next = AsId(self.external.len() as u32);
+        let external = &mut self.external;
+        *self.ids.entry(asn).or_insert_with(|| {
+            external.push(asn);
+            next
+        })
+    }
+
+    /// Number of ASes registered so far.
+    pub fn n_ases(&self) -> usize {
+        self.external.len()
+    }
+
+    /// Pre-register ASes `0..n` so dense ids equal external numbers
+    /// regardless of the order links are added in. Handy in tests and for
+    /// generated topologies.
+    pub fn preregister(&mut self, n: u32) {
+        for asn in 0..n {
+            self.ensure_as(asn);
+        }
+    }
+
+    /// Add a link. For [`LinkKind::CustomerProvider`], `a` is the customer
+    /// and `b` the provider. Duplicate or conflicting pairs are rejected.
+    pub fn add_link(&mut self, a: u32, b: u32, kind: LinkKind) -> Result<LinkId, TopologyError> {
+        if a == b {
+            return Err(TopologyError::SelfLoop { asn: a });
+        }
+        let key = (a.min(b), a.max(b));
+        if let Some(&prev) = self.link_keys.get(&key) {
+            return Err(if prev == kind && kind == LinkKind::PeerPeer {
+                TopologyError::DuplicateLink { a, b }
+            } else if prev == kind {
+                // Same CustomerProvider kind could still be a conflicting
+                // direction; either way the pair is already present.
+                TopologyError::DuplicateLink { a, b }
+            } else {
+                TopologyError::ConflictingLink { a, b }
+            });
+        }
+        let ia = self.ensure_as(a);
+        let ib = self.ensure_as(b);
+        let link = match kind {
+            LinkKind::CustomerProvider => Link { a: ia, b: ib, kind },
+            LinkKind::PeerPeer => {
+                // Canonical order for peer links.
+                let (x, y) = if ia.0 <= ib.0 { (ia, ib) } else { (ib, ia) };
+                Link { a: x, b: y, kind }
+            }
+        };
+        self.link_keys.insert(key, kind);
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(link);
+        Ok(id)
+    }
+
+    /// Convenience: `customer` buys transit from `provider`.
+    pub fn customer_of(&mut self, customer: u32, provider: u32) -> Result<LinkId, TopologyError> {
+        self.add_link(customer, provider, LinkKind::CustomerProvider)
+    }
+
+    /// Convenience: symmetric peering.
+    pub fn peering(&mut self, a: u32, b: u32) -> Result<LinkId, TopologyError> {
+        self.add_link(a, b, LinkKind::PeerPeer)
+    }
+
+    /// Validate and freeze the graph.
+    ///
+    /// Checks the customer→provider digraph for cycles (Kahn's algorithm) and
+    /// that at least one provider-free AS exists.
+    pub fn build(self) -> Result<AsGraph, TopologyError> {
+        let n = self.external.len() as u32;
+        let mut providers: Vec<Vec<AsId>> = vec![Vec::new(); n as usize];
+        let mut customers: Vec<Vec<AsId>> = vec![Vec::new(); n as usize];
+        let mut peers: Vec<Vec<AsId>> = vec![Vec::new(); n as usize];
+        for l in &self.links {
+            match l.kind {
+                LinkKind::CustomerProvider => {
+                    providers[l.a.index()].push(l.b);
+                    customers[l.b.index()].push(l.a);
+                }
+                LinkKind::PeerPeer => {
+                    peers[l.a.index()].push(l.b);
+                    peers[l.b.index()].push(l.a);
+                }
+            }
+        }
+        // Deterministic neighbour order regardless of insertion order.
+        for v in 0..n as usize {
+            providers[v].sort_unstable();
+            customers[v].sort_unstable();
+            peers[v].sort_unstable();
+        }
+
+        // Kahn's algorithm on customer→provider edges.
+        let mut indeg = vec![0u32; n as usize]; // number of customers (incoming c→p edges seen from provider side)
+        for v in 0..n as usize {
+            indeg[v] = customers[v].len() as u32;
+        }
+        let mut queue: Vec<u32> = (0..n).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut seen = 0u32;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for p in &providers[v as usize] {
+                indeg[p.index()] -= 1;
+                if indeg[p.index()] == 0 {
+                    queue.push(p.0);
+                }
+            }
+        }
+        if seen != n {
+            let member = (0..n as usize)
+                .find(|&v| indeg[v] > 0)
+                .map(|v| self.external[v])
+                .unwrap_or(0);
+            return Err(TopologyError::ProviderCycle { member });
+        }
+        if n > 0 && (0..n as usize).all(|v| !providers[v].is_empty()) {
+            return Err(TopologyError::NoTier1);
+        }
+
+        let link_index = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ((l.a.0.min(l.b.0), l.a.0.max(l.b.0)), LinkId(i as u32)))
+            .collect();
+
+        Ok(AsGraph {
+            n,
+            providers,
+            customers,
+            peers,
+            links: self.links,
+            link_index,
+            external: self.external,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example topology: a small clique of two tier-1s with a
+    /// provider hierarchy below.
+    fn diamond() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        // 0,1 tier-1 peers; 2,3 mid-tier; 4 multi-homed stub.
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(4, 2).unwrap();
+        b.customer_of(4, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_classifies() {
+        let g = diamond();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.n_links(), 5);
+        assert!(g.is_tier1(AsId(0)));
+        assert!(g.is_tier1(AsId(1)));
+        assert!(!g.is_tier1(AsId(2)));
+        assert!(g.is_stub(AsId(4)));
+        assert!(g.is_multi_homed(AsId(4)));
+        assert!(!g.is_multi_homed(AsId(2)));
+        assert_eq!(g.tier1s(), vec![AsId(0), AsId(1)]);
+    }
+
+    #[test]
+    fn relations_are_symmetric_inverses() {
+        let g = diamond();
+        assert_eq!(g.relation(AsId(4), AsId(2)), Some(Relation::Provider));
+        assert_eq!(g.relation(AsId(2), AsId(4)), Some(Relation::Customer));
+        assert_eq!(g.relation(AsId(0), AsId(1)), Some(Relation::Peer));
+        assert_eq!(g.relation(AsId(1), AsId(0)), Some(Relation::Peer));
+        assert_eq!(g.relation(AsId(0), AsId(4)), None);
+    }
+
+    #[test]
+    fn tier_depth_bfs() {
+        let g = diamond();
+        let d = g.tier_depth();
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 0);
+        assert_eq!(d[2], 1);
+        assert_eq!(d[3], 1);
+        assert_eq!(d[4], 2);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        assert_eq!(
+            b.add_link(7, 7, LinkKind::PeerPeer),
+            Err(TopologyError::SelfLoop { asn: 7 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_and_conflicting() {
+        let mut b = GraphBuilder::new();
+        b.customer_of(1, 2).unwrap();
+        assert!(matches!(
+            b.customer_of(1, 2),
+            Err(TopologyError::DuplicateLink { .. })
+        ));
+        assert!(matches!(
+            b.peering(2, 1),
+            Err(TopologyError::ConflictingLink { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_provider_cycle() {
+        let mut b = GraphBuilder::new();
+        b.customer_of(1, 2).unwrap();
+        b.customer_of(2, 3).unwrap();
+        b.customer_of(3, 1).unwrap();
+        // Break the "no tier-1" degenerate case by adding an unrelated AS.
+        b.ensure_as(9);
+        assert!(matches!(
+            b.build(),
+            Err(TopologyError::ProviderCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn without_links_removes() {
+        let g = diamond();
+        let l = g.link_between(AsId(4), AsId(2)).unwrap();
+        let g2 = g.without_links(&[l]);
+        assert_eq!(g2.n_links(), 4);
+        assert_eq!(g2.relation(AsId(4), AsId(2)), None);
+        assert_eq!(g2.relation(AsId(4), AsId(3)), Some(Relation::Provider));
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let g = diamond();
+        let s = g.stats();
+        assert_eq!(s.n_ases, 5);
+        assert_eq!(s.n_cp_links, 4);
+        assert_eq!(s.n_pp_links, 1);
+        assert_eq!(s.n_tier1, 2);
+        assert_eq!(s.n_stubs, 1);
+    }
+
+    #[test]
+    fn neighbors_iterates_all() {
+        let g = diamond();
+        let mut ns: Vec<_> = g.neighbors(AsId(2)).collect();
+        ns.sort();
+        assert_eq!(
+            ns,
+            vec![(AsId(0), Relation::Provider), (AsId(4), Relation::Customer)]
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! Static solver for the unique Gao–Rexford stable routing state.
+//!
+//! Under the paper's standing assumptions (§2.1) — prefer-customer,
+//! valley-free export, acyclic customer–provider hierarchy — BGP is safe and
+//! converges to a unique stable state once tiebreaks are made deterministic.
+//! This module computes that state directly, without simulation, using the
+//! classic three-phase construction:
+//!
+//! 1. **Customer routes** — BFS from the destination along customer→provider
+//!    edges: an AS has a customer route iff it can reach the destination by
+//!    provider→customer steps only.
+//! 2. **Peer routes** — one peer hop into an AS with a customer route (or
+//!    into the destination itself).
+//! 3. **Provider routes** — multi-source Dijkstra descending provider→
+//!    customer edges from every AS routed in phases 1–2, since an AS exports
+//!    its best route (of any kind) to its customers.
+//!
+//! Preference is by route kind first (customer > peer > provider — the
+//! prefer-customer policy), then shortest AS path, then lowest neighbour id.
+//! The simulator (`stamp-bgp`) must converge to exactly this state; the
+//! equality is asserted in integration tests.
+
+use crate::graph::{AsGraph, AsId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Kind of the best route an AS holds in the stable state, classified by the
+/// relation of its first hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RouteKind {
+    /// The AS originates the destination prefix.
+    Origin,
+    /// First hop is a customer.
+    Customer,
+    /// First hop is a peer.
+    Peer,
+    /// First hop is a provider.
+    Provider,
+}
+
+/// Best route of one AS in the stable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticRoute {
+    pub kind: RouteKind,
+    /// AS-path length in links (0 for the origin).
+    pub len: u32,
+    /// Next hop AS (`None` for the origin).
+    pub next_hop: Option<AsId>,
+}
+
+/// The stable routing state of every AS towards one destination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticRoutes {
+    dest: AsId,
+    routes: Vec<Option<StaticRoute>>,
+}
+
+impl StaticRoutes {
+    /// Compute the stable state for destination `dest`.
+    pub fn compute(g: &AsGraph, dest: AsId) -> StaticRoutes {
+        let n = g.n();
+        let mut routes: Vec<Option<StaticRoute>> = vec![None; n];
+        routes[dest.index()] = Some(StaticRoute {
+            kind: RouteKind::Origin,
+            len: 0,
+            next_hop: None,
+        });
+
+        // Phase 1: customer routes — BFS from dest up the provider edges.
+        // cust_len[v] = length of v's best customer route (v != dest).
+        let mut cust_len = vec![u32::MAX; n];
+        cust_len[dest.index()] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(dest);
+        while let Some(v) = queue.pop_front() {
+            let l = cust_len[v.index()];
+            for &p in g.providers(v) {
+                if cust_len[p.index()] == u32::MAX {
+                    cust_len[p.index()] = l + 1;
+                    queue.push_back(p);
+                }
+            }
+        }
+        for v in g.ases() {
+            if v == dest || cust_len[v.index()] == u32::MAX {
+                continue;
+            }
+            let len = cust_len[v.index()];
+            // Deterministic tiebreak: lowest-id customer at distance len-1.
+            let nh = g
+                .customers(v)
+                .iter()
+                .copied()
+                .filter(|c| cust_len[c.index()] == len - 1)
+                .min()
+                .expect("customer at distance len-1 must exist");
+            routes[v.index()] = Some(StaticRoute {
+                kind: RouteKind::Customer,
+                len,
+                next_hop: Some(nh),
+            });
+        }
+
+        // Phase 2: peer routes for ASes without a customer route.
+        for v in g.ases() {
+            if routes[v.index()].is_some() {
+                continue;
+            }
+            let best = g
+                .peers(v)
+                .iter()
+                .copied()
+                .filter(|u| cust_len[u.index()] != u32::MAX)
+                .map(|u| (cust_len[u.index()] + 1, u))
+                .min();
+            if let Some((len, u)) = best {
+                routes[v.index()] = Some(StaticRoute {
+                    kind: RouteKind::Peer,
+                    len,
+                    next_hop: Some(u),
+                });
+            }
+        }
+
+        // Phase 3: provider routes — multi-source Dijkstra descending
+        // provider→customer edges; every routed AS exports its best route to
+        // its customers.
+        let mut heap: BinaryHeap<Reverse<(u32, AsId, AsId)>> = BinaryHeap::new();
+        for v in g.ases() {
+            if let Some(r) = routes[v.index()] {
+                for &c in g.customers(v) {
+                    if routes[c.index()].is_none() {
+                        heap.push(Reverse((r.len + 1, c, v)));
+                    }
+                }
+            }
+        }
+        while let Some(Reverse((len, v, via))) = heap.pop() {
+            if routes[v.index()].is_some() {
+                continue;
+            }
+            routes[v.index()] = Some(StaticRoute {
+                kind: RouteKind::Provider,
+                len,
+                next_hop: Some(via),
+            });
+            for &c in g.customers(v) {
+                if routes[c.index()].is_none() {
+                    heap.push(Reverse((len + 1, c, v)));
+                }
+            }
+        }
+
+        StaticRoutes { dest, routes }
+    }
+
+    /// The destination these routes lead to.
+    #[inline]
+    pub fn dest(&self) -> AsId {
+        self.dest
+    }
+
+    /// Best route of `v`, if the destination is reachable at all.
+    #[inline]
+    pub fn route(&self, v: AsId) -> Option<&StaticRoute> {
+        self.routes[v.index()].as_ref()
+    }
+
+    /// Whether `v` has any valley-free path to the destination.
+    #[inline]
+    pub fn reachable(&self, v: AsId) -> bool {
+        self.routes[v.index()].is_some()
+    }
+
+    /// Number of ASes (including the origin) with a route.
+    pub fn n_reachable(&self) -> usize {
+        self.routes.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Full AS-level path from `v` to the destination (inclusive), following
+    /// next hops through the stable state.
+    pub fn path(&self, v: AsId) -> Option<Vec<AsId>> {
+        let mut seq = vec![v];
+        let mut cur = v;
+        loop {
+            let r = self.routes[cur.index()].as_ref()?;
+            match r.next_hop {
+                None => return Some(seq),
+                Some(nh) => {
+                    seq.push(nh);
+                    cur = nh;
+                    // Lengths strictly decrease along next hops, so the walk
+                    // terminates; guard anyway against internal inconsistency.
+                    if seq.len() > self.routes.len() + 1 {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::path::is_valley_free;
+
+    /// Topology with all three route kinds exercised:
+    ///
+    /// ```text
+    ///   0 ===== 1        (tier-1 peers)
+    ///   |       |
+    ///   2       3        (2 cust of 0; 3 cust of 1)
+    ///   | \     |
+    ///   4  5    6        (4,5 cust of 2; 6 cust of 3)
+    /// ```
+    fn g() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(4, 2).unwrap();
+        b.customer_of(5, 2).unwrap();
+        b.customer_of(6, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn origin_route() {
+        let g = g();
+        let r = StaticRoutes::compute(&g, AsId(4));
+        let o = r.route(AsId(4)).unwrap();
+        assert_eq!(o.kind, RouteKind::Origin);
+        assert_eq!(o.len, 0);
+        assert_eq!(o.next_hop, None);
+    }
+
+    #[test]
+    fn customer_routes_follow_provider_chain() {
+        let g = g();
+        let r = StaticRoutes::compute(&g, AsId(4));
+        // 2 is a provider of 4: customer route of length 1.
+        let r2 = r.route(AsId(2)).unwrap();
+        assert_eq!((r2.kind, r2.len, r2.next_hop), (RouteKind::Customer, 1, Some(AsId(4))));
+        // 0 is a provider of 2.
+        let r0 = r.route(AsId(0)).unwrap();
+        assert_eq!((r0.kind, r0.len, r0.next_hop), (RouteKind::Customer, 2, Some(AsId(2))));
+    }
+
+    #[test]
+    fn peer_route_crosses_tier1() {
+        let g = g();
+        let r = StaticRoutes::compute(&g, AsId(4));
+        // 1 has no customer route to 4; its peer 0 has one of length 2.
+        let r1 = r.route(AsId(1)).unwrap();
+        assert_eq!((r1.kind, r1.len, r1.next_hop), (RouteKind::Peer, 3, Some(AsId(0))));
+    }
+
+    #[test]
+    fn provider_routes_descend() {
+        let g = g();
+        let r = StaticRoutes::compute(&g, AsId(4));
+        // 3 only reaches 4 via its provider 1.
+        let r3 = r.route(AsId(3)).unwrap();
+        assert_eq!((r3.kind, r3.len, r3.next_hop), (RouteKind::Provider, 4, Some(AsId(1))));
+        // 6 via its provider 3.
+        let r6 = r.route(AsId(6)).unwrap();
+        assert_eq!((r6.kind, r6.len, r6.next_hop), (RouteKind::Provider, 5, Some(AsId(3))));
+        // Sibling stub 5 via provider 2.
+        let r5 = r.route(AsId(5)).unwrap();
+        assert_eq!((r5.kind, r5.len, r5.next_hop), (RouteKind::Provider, 2, Some(AsId(2))));
+    }
+
+    #[test]
+    fn prefer_customer_beats_shorter_peer() {
+        // 0 and 1 are tier-1 peers. 1 is also a *customer* of 0 — no:
+        // build instead: dest 3 is customer of 0 and peer of... keep simple:
+        //   0 has customer chain 0->2->3 (len 2) and peer 1 with customer 3
+        //   (peer route would be len 2 as well: 1->3... make customer longer).
+        //   0--1 peers, 3 cust of 1, 3 cust of 2, 2 cust of 0.
+        // 0's customer route to 3: 0-2-3 len 2; peer route 0-1-3 len 2.
+        // Prefer-customer must pick the customer route.
+        let mut b = GraphBuilder::new();
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(3, 2).unwrap();
+        let g = b.build().unwrap();
+        let r = StaticRoutes::compute(&g, AsId(3));
+        let r0 = r.route(AsId(0)).unwrap();
+        assert_eq!(r0.kind, RouteKind::Customer);
+        assert_eq!(r0.next_hop, Some(AsId(2)));
+    }
+
+    #[test]
+    fn paths_are_valley_free_and_consistent() {
+        let g = g();
+        for dest in g.ases() {
+            let r = StaticRoutes::compute(&g, dest);
+            for v in g.ases() {
+                let p = r.path(v).expect("connected graph: all reachable");
+                assert_eq!(*p.first().unwrap(), v);
+                assert_eq!(*p.last().unwrap(), dest);
+                assert!(is_valley_free(&g, &p), "path {:?} to {} not VF", p, dest);
+                assert_eq!(p.len() as u32 - 1, r.route(v).unwrap().len);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_when_partitioned() {
+        let mut b = GraphBuilder::new();
+        b.customer_of(1, 0).unwrap();
+        b.customer_of(3, 2).unwrap(); // separate component
+        let g = b.build().unwrap();
+        let r = StaticRoutes::compute(&g, AsId(1));
+        assert!(r.reachable(AsId(0)));
+        assert!(!r.reachable(AsId(2)));
+        assert!(!r.reachable(AsId(3)));
+        assert_eq!(r.n_reachable(), 2);
+    }
+
+    #[test]
+    fn tiebreak_lowest_neighbor_id() {
+        // dest 9 homed to providers 5 and 4 (both tier-1-ish); 6 customer of
+        // both 5 and 4 — customer routes of equal length via 4 or 5... build:
+        // 6 is provider of both 4 and 5; 4,5 providers of 9.
+        let mut b = GraphBuilder::new();
+        b.customer_of(9, 4).unwrap();
+        b.customer_of(9, 5).unwrap();
+        b.customer_of(4, 6).unwrap();
+        b.customer_of(5, 6).unwrap();
+        let g = b.build().unwrap();
+        // ids are dense: 9->0, 4->1, 5->2, 6->3. 6(dense 3) picks customer
+        // with lowest dense id between 4(1) and 5(2).
+        let r = StaticRoutes::compute(&g, AsId(0));
+        let six = AsId(3);
+        assert_eq!(r.route(six).unwrap().next_hop, Some(AsId(1)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Failure-resilience demo: converge BGP and STAMP on the same generated
+//! Internet-like topology, fail the destination's provider link, and watch
+//! the transient problems each protocol produces — a single-instance
+//! version of the paper's Figure 2, with optional fault injection.
+//!
+//! ```sh
+//! cargo run --release --example failover_demo -- [n_ases] [seed] [drop%]
+//! ```
+
+use stamp_repro::bgp::engine::{Engine, EngineConfig, ScenarioEvent};
+use stamp_repro::bgp::router::BgpRouter;
+use stamp_repro::bgp::types::PrefixId;
+use stamp_repro::eventsim::{LossModel, SimDuration};
+use stamp_repro::forwarding::{BgpView, StampView, TransientTracker};
+use stamp_repro::stamp::{LockStrategy, StampRouter};
+use stamp_repro::topology::{generate, AsId, GenConfig, StaticRoutes};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+    let drop_pct: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.0);
+
+    let g = generate(&GenConfig {
+        n_ases: n,
+        ..GenConfig::sim_scale(seed)
+    })
+    .expect("valid config");
+
+    // Pick a multi-homed destination (a late-rank stub) and fail the
+    // provider link that carries the most traffic towards it — the
+    // interesting cone.
+    // Prefer a destination homed to *thin* transit providers (providers
+    // that themselves have few alternatives) — that is where BGP's
+    // transient problems concentrate.
+    let (dest, provider) = (0..g.n() as u32)
+        .rev()
+        .map(AsId)
+        .filter(|&v| g.providers(v).len() >= 2)
+        .flat_map(|v| g.providers(v).iter().map(move |&p| (v, p)).collect::<Vec<_>>())
+        .min_by_key(|&(_, p)| {
+            if g.is_tier1(p) {
+                usize::MAX // avoid tier-1 providers: too well connected
+            } else {
+                g.providers(p).len() + g.peers(p).len()
+            }
+        })
+        .expect("generated topologies have multi-homed ASes");
+    let failed = g.link_between(dest, provider).unwrap();
+    println!(
+        "topology: {} ASes, {} links; destination {}, failing link to provider {}",
+        g.n(),
+        g.n_links(),
+        dest,
+        provider
+    );
+    if drop_pct > 0.0 {
+        println!("fault injection: dropping {drop_pct}% of protocol messages");
+    }
+
+    let reachable: Vec<bool> = {
+        let r = StaticRoutes::compute(&g.without_links(&[failed]), dest);
+        (0..g.n() as u32).map(|v| r.reachable(AsId(v))).collect()
+    };
+    let prefix = PrefixId(0);
+    let cfg = EngineConfig {
+        seed,
+        loss: LossModel {
+            drop_probability: drop_pct / 100.0,
+        },
+        ..EngineConfig::default()
+    };
+
+    // --- plain BGP ---
+    let mut bgp = Engine::new(g.clone(), cfg.clone(), |v| {
+        BgpRouter::new(v, if v == dest { vec![prefix] } else { vec![] })
+    });
+    bgp.start();
+    bgp.run_to_quiescence(None);
+    let mut bgp_tracker = TransientTracker::new(dest, reachable.clone());
+    bgp.inject_after(SimDuration::from_secs(5), ScenarioEvent::FailLink(failed));
+    bgp.run_until_quiescent(None, |e, _| {
+        bgp_tracker.observe(&BgpView { engine: e, prefix });
+    });
+
+    // --- STAMP on the identical scenario ---
+    let mut stamp = Engine::new(g.clone(), cfg, |v| {
+        StampRouter::new(
+            v,
+            if v == dest { vec![prefix] } else { vec![] },
+            LockStrategy::Random { seed },
+        )
+    });
+    stamp.start();
+    stamp.run_to_quiescence(None);
+    for v in g.ases() {
+        stamp.router_mut(v).reset_instability();
+    }
+    let mut stamp_tracker = TransientTracker::new(dest, reachable);
+    stamp.inject_after(SimDuration::from_secs(5), ScenarioEvent::FailLink(failed));
+    stamp.run_until_quiescent(None, |e, _| {
+        stamp_tracker.observe(&StampView { engine: e, prefix });
+    });
+
+    println!();
+    println!(
+        "{:<8} {:>14} {:>8} {:>12} {:>10}",
+        "protocol", "affected ASes", "loops", "blackholes", "updates"
+    );
+    println!(
+        "{:<8} {:>14} {:>8} {:>12} {:>10}",
+        "BGP",
+        bgp_tracker.affected_count(),
+        bgp_tracker.loop_count(),
+        bgp_tracker.blackhole_count(),
+        bgp.stats().announcements_sent + bgp.stats().withdrawals_sent
+    );
+    println!(
+        "{:<8} {:>14} {:>8} {:>12} {:>10}",
+        "STAMP",
+        stamp_tracker.affected_count(),
+        stamp_tracker.loop_count(),
+        stamp_tracker.blackhole_count(),
+        stamp.stats().announcements_sent + stamp.stats().withdrawals_sent
+    );
+}

@@ -1,0 +1,64 @@
+//! The topology pipeline, end to end: generate an Internet-like AS graph,
+//! compute its stable routing state, dump the AS paths "seen at route
+//! collectors", re-infer the business relationships with Gao's algorithm,
+//! and measure agreement with the ground truth — the same pipeline the
+//! paper used to build its evaluation topology from RouteViews data.
+//!
+//! ```sh
+//! cargo run --release --example inference_pipeline -- [n_ases] [n_vantage]
+//! ```
+
+use stamp_repro::topology::infer::{accuracy, infer, InferConfig};
+use stamp_repro::topology::{caida, generate, AsId, GenConfig, StaticRoutes};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let vantage: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+
+    let g = generate(&GenConfig {
+        n_ases: n,
+        ..GenConfig::sim_scale(23)
+    })
+    .expect("valid config");
+    println!("generated {} ASes / {} links", g.n(), g.n_links());
+
+    // "Route collectors": the stable-state path of every AS towards a
+    // sample of destinations.
+    let mut paths: Vec<Vec<u32>> = Vec::new();
+    let step = (g.n() / vantage).max(1);
+    for dest in (0..g.n()).step_by(step) {
+        let routes = StaticRoutes::compute(&g, AsId(dest as u32));
+        for v in g.ases() {
+            if let Some(p) = routes.path(v) {
+                if p.len() >= 2 {
+                    paths.push(p.iter().map(|a| g.external_asn(*a)).collect());
+                }
+            }
+        }
+    }
+    println!(
+        "collected {} AS paths from {} vantage destinations",
+        paths.len(),
+        g.n().div_ceil(step)
+    );
+
+    let inferred = infer(&paths, &InferConfig::default());
+    let acc = accuracy(&g, &inferred);
+    println!(
+        "Gao inference: {} of {} links covered, {:.1}% of covered links \
+         classified correctly",
+        acc.covered,
+        g.n_links(),
+        acc.precision() * 100.0
+    );
+
+    // Round-trip through the CAIDA serial-1 interchange format.
+    let doc = caida::write(&g);
+    let g2 = caida::parse(&doc).expect("own output parses");
+    println!(
+        "CAIDA serial-1 round-trip: {} ASes / {} links preserved",
+        g2.n(),
+        g2.n_links()
+    );
+}

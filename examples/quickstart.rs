@@ -1,0 +1,94 @@
+//! Quickstart: build a small AS topology, run STAMP on it, and inspect the
+//! complementary red/blue routes it computes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stamp_repro::bgp::engine::{Engine, EngineConfig};
+use stamp_repro::bgp::types::{Color, PrefixId};
+use stamp_repro::stamp::{LockStrategy, StampRouter};
+use stamp_repro::topology::path::downhill_node_disjoint;
+use stamp_repro::topology::{AsId, GraphBuilder};
+
+fn main() {
+    // The paper's running structure: two tier-1 peers, a provider on each
+    // side, and a multi-homed origin at the bottom.
+    //
+    //   0 ===== 1      (tier-1 peer clique)
+    //   |       |
+    //   2       3      (2 customer of 0; 3 customer of 1)
+    //    \     /
+    //      4           (multi-homed origin)
+    let mut b = GraphBuilder::new();
+    b.preregister(5);
+    b.peering(0, 1).unwrap();
+    b.customer_of(2, 0).unwrap();
+    b.customer_of(3, 1).unwrap();
+    b.customer_of(4, 2).unwrap();
+    b.customer_of(4, 3).unwrap();
+    let g = b.build().unwrap();
+
+    // One STAMP router per AS; AS4 originates the prefix.
+    let prefix = PrefixId(0);
+    let mut engine = Engine::new(g.clone(), EngineConfig::default(), |v| {
+        let own = if v == AsId(4) { vec![prefix] } else { vec![] };
+        StampRouter::new(v, own, LockStrategy::Random { seed: 42 })
+    });
+    engine.start();
+    engine.run_to_quiescence(None);
+
+    let origin = engine.router(AsId(4));
+    println!(
+        "origin AS4 locked its blue announcement to provider {}",
+        origin.lock_target(prefix).unwrap()
+    );
+    println!();
+    println!("{:<6} {:<22} {:<22} {}", "AS", "red path", "blue path", "downhill disjoint?");
+    for v in g.ases() {
+        if v == AsId(4) {
+            continue;
+        }
+        let r = engine.router(v);
+        let fmt = |c: Color| -> String {
+            match r.selection(prefix, c).path() {
+                Some(p) => {
+                    let mut full = vec![v];
+                    full.extend_from_slice(p);
+                    full.iter()
+                        .map(|a| a.0.to_string())
+                        .collect::<Vec<_>>()
+                        .join("-")
+                }
+                None => "(none)".into(),
+            }
+        };
+        let disjoint = match (r.selection(prefix, Color::Red).path(), r.selection(prefix, Color::Blue).path()) {
+            (Some(rp), Some(bp)) => {
+                let mut red = vec![v];
+                red.extend_from_slice(rp);
+                let mut blue = vec![v];
+                blue.extend_from_slice(bp);
+                match downhill_node_disjoint(&g, &red, &blue) {
+                    Some(true) => "yes",
+                    Some(false) => "NO",
+                    None => "n/a",
+                }
+            }
+            _ => "n/a",
+        };
+        println!(
+            "{:<6} {:<22} {:<22} {}",
+            v.to_string(),
+            fmt(Color::Red),
+            fmt(Color::Blue),
+            disjoint
+        );
+    }
+    println!();
+    println!(
+        "messages: {} announcements, {} withdrawals",
+        engine.stats().announcements_sent,
+        engine.stats().withdrawals_sent
+    );
+}

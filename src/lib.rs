@@ -1,0 +1,54 @@
+//! Facade crate for the STAMP reproduction: re-exports every workspace
+//! crate under one roof for the examples and integration tests.
+//!
+//! STAMP (Liao, Gao, Guérin, Zhang — ReArch'08/CoNEXT 2008) runs a *red*
+//! and a *blue* BGP process in every AS; selective announcements to
+//! providers make the two computed paths downhill node disjoint, so any
+//! single routing event leaves a working path to every destination.
+//!
+//! # Example: complementary paths on the paper's diamond
+//!
+//! ```
+//! use stamp_repro::bgp::engine::{Engine, EngineConfig};
+//! use stamp_repro::bgp::types::{Color, PrefixId};
+//! use stamp_repro::stamp::{LockStrategy, StampRouter};
+//! use stamp_repro::topology::{AsId, GraphBuilder};
+//!
+//! // Two tier-1 peers, one provider per side, a multi-homed origin below.
+//! let mut b = GraphBuilder::new();
+//! b.preregister(5);
+//! b.peering(0, 1).unwrap();
+//! b.customer_of(2, 0).unwrap();
+//! b.customer_of(3, 1).unwrap();
+//! b.customer_of(4, 2).unwrap();
+//! b.customer_of(4, 3).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let prefix = PrefixId(0);
+//! let mut engine = Engine::new(g.clone(), EngineConfig::fast(1), |v| {
+//!     let own = if v == AsId(4) { vec![prefix] } else { vec![] };
+//!     StampRouter::new(v, own, LockStrategy::Random { seed: 1 })
+//! });
+//! engine.start();
+//! engine.run_to_quiescence(None);
+//!
+//! // Every AS ends up with a route on both processes.
+//! for v in g.ases() {
+//!     if v == AsId(4) { continue; }
+//!     let r = engine.router(v);
+//!     assert!(r.selection(prefix, Color::Red).is_some());
+//!     assert!(r.selection(prefix, Color::Blue).is_some());
+//! }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for the
+//! paper-vs-measured record, and the `examples/` directory for runnable
+//! scenarios.
+
+pub use stamp_bgp as bgp;
+pub use stamp_core as stamp;
+pub use stamp_eventsim as eventsim;
+pub use stamp_experiments as experiments;
+pub use stamp_forwarding as forwarding;
+pub use stamp_rbgp as rbgp;
+pub use stamp_topology as topology;
