@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-1 gate + hermeticity guard.
+#
+# The workspace must build and test offline, with an empty registry
+# cache, forever. Two guards keep it that way:
+#   1. no Cargo.toml may name a dependency outside the stamp_* workspace;
+#   2. no source file may import one of the excised external crates.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fail=0
+
+# --- Guard 1: manifests are workspace-only -------------------------------
+# Collect dependency names from every [dependencies]/[dev-dependencies]/
+# [build-dependencies] section of every manifest.
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    deps=$(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies/) }
+        in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ {
+            name = $1; sub(/[[:space:]]*=.*/, "", name); print name
+        }
+    ' "$manifest")
+    for dep in $deps; do
+        case "$dep" in
+            stamp_*) ;;
+            *)
+                echo "HERMETICITY VIOLATION: $manifest names external dependency '$dep'" >&2
+                fail=1
+                ;;
+        esac
+    done
+done
+
+# --- Guard 2: no imports of the excised crates ---------------------------
+if grep -rEn "use (rand|serde|bytes|parking_lot|criterion|proptest)(::|;)|(^|[^a-z_])crossbeam::" \
+        --include='*.rs' crates src tests examples; then
+    echo "HERMETICITY VIOLATION: source imports an excised external crate" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "hermeticity guards passed"
+
+# --- Tier-1 gate, strictly offline ---------------------------------------
+cargo build --release --offline
+cargo test -q --offline
+echo "tier-1 gate passed (offline)"

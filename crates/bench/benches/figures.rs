@@ -1,9 +1,9 @@
-//! Criterion benches: one per paper figure/table, at reduced scale so the
+//! Figure benches: one per paper figure/table, at reduced scale so the
 //! harness can iterate. The full-scale regenerations are the binaries
 //! (`fig1`, `fig2`, `fig3a`, `fig3b`, `node_failure`, `partial_deployment`,
 //! `overhead`, `convergence`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use stamp_bench::harness::Harness;
 use stamp_experiments::{
     run_failure_experiment, run_partial_deployment, run_phi_experiment, FailureConfig,
     FailureScenario, PartialConfig, PhiExperimentConfig, Protocol,
@@ -23,74 +23,51 @@ fn small_failure_cfg(seed: u64) -> FailureConfig {
     }
 }
 
-fn bench_fig1(c: &mut Criterion) {
-    let cfg = PhiExperimentConfig {
+fn main() {
+    let h = Harness::new().sample_size(10);
+
+    let phi_cfg = PhiExperimentConfig {
         gen: GenConfig::small(1),
         with_smart: false,
         ..PhiExperimentConfig::tiny(1)
     };
-    c.bench_function("fig1_phi_cdf", |b| {
-        b.iter(|| run_phi_experiment(&cfg));
+    h.bench_function("fig1_phi_cdf", || {
+        run_phi_experiment(&phi_cfg);
     });
-}
 
-fn bench_fig2(c: &mut Criterion) {
     let cfg = small_failure_cfg(2);
-    c.bench_function("fig2_single_link_failure", |b| {
-        b.iter(|| run_failure_experiment(&cfg, FailureScenario::SingleLink, &Protocol::ALL));
+    h.bench_function("fig2_single_link_failure", || {
+        run_failure_experiment(&cfg, FailureScenario::SingleLink, &Protocol::ALL);
     });
-}
 
-fn bench_fig3a(c: &mut Criterion) {
     let cfg = small_failure_cfg(3);
-    c.bench_function("fig3a_two_links_different_as", |b| {
-        b.iter(|| {
-            run_failure_experiment(&cfg, FailureScenario::TwoLinksDifferentAs, &Protocol::ALL)
-        });
+    h.bench_function("fig3a_two_links_different_as", || {
+        run_failure_experiment(&cfg, FailureScenario::TwoLinksDifferentAs, &Protocol::ALL);
     });
-}
 
-fn bench_fig3b(c: &mut Criterion) {
     let cfg = small_failure_cfg(4);
-    c.bench_function("fig3b_two_links_same_as", |b| {
-        b.iter(|| run_failure_experiment(&cfg, FailureScenario::TwoLinksSameAs, &Protocol::ALL));
+    h.bench_function("fig3b_two_links_same_as", || {
+        run_failure_experiment(&cfg, FailureScenario::TwoLinksSameAs, &Protocol::ALL);
     });
-}
 
-fn bench_node_failure(c: &mut Criterion) {
     let cfg = small_failure_cfg(5);
-    c.bench_function("node_failure", |b| {
-        b.iter(|| run_failure_experiment(&cfg, FailureScenario::NodeFailure, &Protocol::ALL));
+    h.bench_function("node_failure", || {
+        run_failure_experiment(&cfg, FailureScenario::NodeFailure, &Protocol::ALL);
     });
-}
 
-fn bench_partial_deployment(c: &mut Criterion) {
-    let cfg = PartialConfig::tiny(6);
-    c.bench_function("partial_deployment", |b| {
-        b.iter(|| run_partial_deployment(&cfg));
+    let partial_cfg = PartialConfig::tiny(6);
+    h.bench_function("partial_deployment", || {
+        run_partial_deployment(&partial_cfg);
     });
-}
 
-fn bench_overhead_and_convergence(c: &mut Criterion) {
     // The Sec. 6.3 overhead/convergence tables fall out of the same runs as
     // Figure 2, restricted to BGP vs STAMP.
     let cfg = small_failure_cfg(7);
-    c.bench_function("overhead_convergence_tables", |b| {
-        b.iter(|| {
-            run_failure_experiment(
-                &cfg,
-                FailureScenario::SingleLink,
-                &[Protocol::Bgp, Protocol::Stamp],
-            )
-        });
+    h.bench_function("overhead_convergence_tables", || {
+        run_failure_experiment(
+            &cfg,
+            FailureScenario::SingleLink,
+            &[Protocol::Bgp, Protocol::Stamp],
+        );
     });
 }
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_fig2, bench_fig3a, bench_fig3b,
-              bench_node_failure, bench_partial_deployment,
-              bench_overhead_and_convergence
-}
-criterion_main!(figures);

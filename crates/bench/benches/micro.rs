@@ -2,44 +2,40 @@
 //! static route solver, uphill path counting, data-plane classification
 //! and the wire codec.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stamp_bench::harness::{black_box, Harness};
 use stamp_topology::gen::{generate, GenConfig};
 use stamp_topology::uphill::UphillDag;
 use stamp_topology::{AsId, StaticRoutes};
 
-fn bench_generate(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new().sample_size(20);
+
     let cfg = GenConfig {
         n_ases: 2000,
         ..GenConfig::small(11)
     };
-    c.bench_function("topology_generate_2000", |b| {
-        b.iter(|| generate(black_box(&cfg)).unwrap());
+    h.bench_function("topology_generate_2000", || {
+        generate(black_box(&cfg)).unwrap();
     });
-}
 
-fn bench_static_solver(c: &mut Criterion) {
     let g = generate(&GenConfig {
         n_ases: 2000,
         ..GenConfig::small(12)
     })
     .unwrap();
-    c.bench_function("static_routes_2000", |b| {
-        b.iter(|| StaticRoutes::compute(black_box(&g), AsId(1999)));
+    h.bench_function("static_routes_2000", || {
+        StaticRoutes::compute(black_box(&g), AsId(1999));
     });
-}
 
-fn bench_uphill_dag(c: &mut Criterion) {
     let g = generate(&GenConfig {
         n_ases: 2000,
         ..GenConfig::small(13)
     })
     .unwrap();
-    c.bench_function("uphill_dag_2000", |b| {
-        b.iter(|| UphillDag::new(black_box(&g)));
+    h.bench_function("uphill_dag_2000", || {
+        UphillDag::new(black_box(&g));
     });
-}
 
-fn bench_wire_codec(c: &mut Criterion) {
     use stamp_bgp::types::{PathAttrs, PrefixId, Route, UpdateKind, UpdateMsg};
     use stamp_bgp::wire::{decode, encode};
     let msg = UpdateMsg {
@@ -54,14 +50,7 @@ fn bench_wire_codec(c: &mut Criterion) {
             },
         }),
     };
-    c.bench_function("wire_encode_decode", |b| {
-        b.iter(|| decode(encode(black_box(&msg))).unwrap());
+    h.bench_function("wire_encode_decode", || {
+        decode(&encode(black_box(&msg))).unwrap();
     });
 }
-
-criterion_group! {
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_generate, bench_static_solver, bench_uphill_dag, bench_wire_codec
-}
-criterion_main!(micro);

@@ -9,6 +9,11 @@
 //!
 //! Unknown flags abort with a usage message; the binaries print the figure
 //! to stdout.
+//!
+//! The [`harness`] module is the in-repo micro-benchmark harness backing
+//! `benches/{figures,micro}.rs`.
+
+pub mod harness;
 
 /// Parsed common options.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,203 @@
+//! Minimal big-endian byte codec used by the wire module.
+//!
+//! An in-repo replacement for the small slice of the `bytes` crate API the
+//! UPDATE codec needs: a growable write buffer ([`ByteBuf`]) and a
+//! borrowing cursor ([`ByteReader`]). Method names mirror `bytes`
+//! (`put_*`/`get_*`, `split_to`, `remaining`) so the codec reads like any
+//! other RFC-style encoder.
+//!
+//! Contract: `get_*`/`split_to` panic on underflow, exactly like `bytes`
+//! — callers bounds-check against [`ByteReader::remaining`] first, and the
+//! wire property suite exercises decoder totality on mangled input.
+
+use std::ops::Deref;
+
+/// Growable big-endian write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ByteBuf {
+    data: Vec<u8>,
+}
+
+impl ByteBuf {
+    /// Empty buffer.
+    pub fn new() -> ByteBuf {
+        ByteBuf::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> ByteBuf {
+        ByteBuf {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append one byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Append a big-endian `u16`.
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a slice verbatim.
+    #[inline]
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Append `count` copies of `byte`.
+    #[inline]
+    pub fn put_bytes(&mut self, byte: u8, count: usize) {
+        self.data.resize(self.data.len() + count, byte);
+    }
+
+    /// Number of bytes written.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Consume into the underlying vector.
+    #[inline]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl Deref for ByteBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Borrowing big-endian read cursor.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Cursor over a byte slice.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf }
+    }
+
+    /// Bytes left to read.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether any bytes are left.
+    #[inline]
+    pub fn has_remaining(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Read one byte. Panics on underflow.
+    #[inline]
+    pub fn get_u8(&mut self) -> u8 {
+        let (v, rest) = self.buf.split_first().expect("ByteReader underflow");
+        self.buf = rest;
+        *v
+    }
+
+    /// Read a big-endian `u16`. Panics on underflow.
+    #[inline]
+    pub fn get_u16(&mut self) -> u16 {
+        let (v, rest) = self.buf.split_at(2);
+        self.buf = rest;
+        u16::from_be_bytes([v[0], v[1]])
+    }
+
+    /// Read a big-endian `u32`. Panics on underflow.
+    #[inline]
+    pub fn get_u32(&mut self) -> u32 {
+        let (v, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        u32::from_be_bytes([v[0], v[1], v[2], v[3]])
+    }
+
+    /// Split off the first `len` bytes as their own cursor and advance past
+    /// them. Panics if fewer than `len` bytes remain.
+    #[inline]
+    pub fn split_to(&mut self, len: usize) -> ByteReader<'a> {
+        let (head, rest) = self.buf.split_at(len);
+        self.buf = rest;
+        ByteReader { buf: head }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut b = ByteBuf::with_capacity(16);
+        b.put_u8(0xAB);
+        b.put_u16(0x1234);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_slice(&[1, 2, 3]);
+        b.put_bytes(0xFF, 2);
+        assert_eq!(b.len(), 12);
+
+        let v = b.into_vec();
+        let mut r = ByteReader::new(&v);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        let head = r.split_to(3);
+        assert_eq!(&*head.buf, &[1, 2, 3]);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.get_u8(), 0xFF);
+        assert!(r.has_remaining());
+        assert_eq!(r.get_u8(), 0xFF);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn big_endian_layout_on_the_wire() {
+        let mut b = ByteBuf::new();
+        b.put_u16(0x0102);
+        b.put_u32(0x03040506);
+        assert_eq!(&*b, &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06]);
+    }
+
+    #[test]
+    fn split_to_isolates_the_head() {
+        let v = [9u8, 8, 7, 6];
+        let mut r = ByteReader::new(&v);
+        let mut head = r.split_to(2);
+        assert_eq!(head.get_u8(), 9);
+        assert_eq!(head.get_u8(), 8);
+        assert!(!head.has_remaining());
+        assert_eq!(r.get_u16(), 0x0706);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics_like_bytes() {
+        let v = [1u8];
+        let mut r = ByteReader::new(&v);
+        r.get_u8();
+        r.get_u8();
+    }
+}

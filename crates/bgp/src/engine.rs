@@ -13,9 +13,7 @@
 
 use crate::router::{OutMsg, RouterCtx, RouterLogic, SessionView};
 use crate::types::{PrefixId, ProcId, UpdateKind, UpdateMsg};
-use rand::rngs::StdRng;
-use rand::Rng;
-use stamp_eventsim::rng::tags;
+use stamp_eventsim::rng::{tags, Rng};
 use stamp_eventsim::{rng_stream, DelayModel, FifoChannel, LossModel, Scheduler, SimDuration, SimTime};
 use stamp_topology::{AsGraph, AsId, LinkId};
 use std::collections::HashMap;
@@ -187,8 +185,8 @@ pub struct Engine<R: RouterLogic> {
     cfg: EngineConfig,
     /// Monotonic scenario-event counter (sequence numbers for CauseInfo).
     scenario_seq: u32,
-    delay_rng: StdRng,
-    loss_rng: StdRng,
+    delay_rng: Rng,
+    loss_rng: Rng,
     stats: RunStats,
     started: bool,
 }
@@ -204,7 +202,7 @@ impl<R: RouterLogic> Engine<R> {
         let mut mrai_interval = HashMap::new();
         for l in g.links() {
             for (a, b) in [(l.a, l.b), (l.b, l.a)] {
-                let f: f64 = 0.75 + 0.25 * mrai_rng.gen::<f64>();
+                let f: f64 = 0.75 + 0.25 * mrai_rng.gen_f64();
                 mrai_interval.insert((a, b), cfg.mrai_base.mul_f64(f));
             }
         }

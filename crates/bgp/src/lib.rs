@@ -29,6 +29,7 @@
 //! aggregation, and KEEPALIVE/OPEN session management (sessions exist iff
 //! the underlying link is up).
 
+pub mod bytebuf;
 pub mod engine;
 pub mod policy;
 pub mod rib;

@@ -1,13 +1,12 @@
 //! Core protocol types shared by BGP, R-BGP and STAMP.
 
-use serde::{Deserialize, Serialize};
 use stamp_topology::AsId;
 use std::fmt;
 
 /// Index of a destination prefix in the engine's prefix table. The paper's
 /// experiments converge one destination at a time; the engine nevertheless
 /// supports originating several prefixes concurrently.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PrefixId(pub u32);
 
 impl PrefixId {
@@ -20,7 +19,7 @@ impl PrefixId {
 /// Routing process instance within one AS. Plain BGP and R-BGP run a single
 /// instance (`ProcId(0)`); STAMP runs two — the paper's *red* and *blue*
 /// processes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub u8);
 
 impl ProcId {
@@ -29,7 +28,7 @@ impl ProcId {
 }
 
 /// STAMP's two route colours, mapped onto process instances.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Color {
     Red,
     Blue,
@@ -79,7 +78,7 @@ impl fmt::Display for Color {
 
 /// The paper's ET (Event Type) path attribute (§5.2): one bit recording
 /// whether the update was (transitively) caused by losing a route.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventType {
     /// ET=0 — the update stems from a route loss (withdrawal, failure).
     Lost,
@@ -89,7 +88,7 @@ pub enum EventType {
 
 /// Root-cause information (R-BGP's RCI): identifies the routing event an
 /// update stems from so stale paths through it can be purged immediately.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RootCause {
     /// The link between these two ASes failed (canonical: smaller id first).
     Link(AsId, AsId),
@@ -102,7 +101,7 @@ pub enum RootCause {
 /// number, and the element's new state. Receivers keep only the newest
 /// record per element, so a recovery wave unblocks paths that an earlier
 /// failure wave invalidated (and flapping cannot resurrect stale state).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CauseInfo {
     /// The failed/recovered element.
     pub cause: RootCause,
@@ -136,7 +135,7 @@ impl RootCause {
 
 /// Optional path attributes carried by announcements. Plain BGP leaves all
 /// of them unset; STAMP uses `lock`/`et`; R-BGP uses `root_cause`/`failover`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct PathAttrs {
     /// STAMP Lock attribute (§4.1): guarantees one blue downhill path.
     pub lock: bool,
@@ -153,7 +152,7 @@ pub struct PathAttrs {
 /// `path[0]` is the AS that announced the route to us (the next hop);
 /// `path[last]` is the origin AS. A route announced by the origin itself has
 /// `path = [origin]`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Route {
     pub path: Vec<AsId>,
     pub attrs: PathAttrs,
@@ -213,7 +212,7 @@ impl Route {
 }
 
 /// Reasons a withdrawal (or loss-triggered update) cites.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct WithdrawInfo {
     /// Root cause if the sender runs RCI.
     pub root_cause: Option<CauseInfo>,
@@ -245,7 +244,7 @@ impl WithdrawInfo {
 }
 
 /// Body of an update message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UpdateKind {
     /// Announce (or implicitly replace) a route.
     Announce(Route),
@@ -254,7 +253,7 @@ pub enum UpdateKind {
 }
 
 /// A BGP UPDATE for one prefix on one process instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateMsg {
     pub prefix: PrefixId,
     pub kind: UpdateKind,

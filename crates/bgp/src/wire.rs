@@ -20,13 +20,14 @@
 //! announcing AS id; the red/blue process split is session-level (distinct
 //! TCP ports per the paper), so it does not appear in the message.
 //!
-//! A round-trip property test lives in the crate's proptest suite.
+//! A round-trip property test lives in the root property suite
+//! (`tests/properties.rs`).
 
 use crate::types::{
     CauseInfo, EventType, PathAttrs, PrefixId, Route, RootCause, UpdateKind, UpdateMsg,
     WithdrawInfo,
 };
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::bytebuf::{ByteBuf, ByteReader};
 use stamp_topology::AsId;
 use std::fmt;
 
@@ -81,18 +82,18 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Encode one UPDATE to wire bytes.
-pub fn encode(msg: &UpdateMsg) -> Bytes {
-    let mut body = BytesMut::with_capacity(64);
+pub fn encode(msg: &UpdateMsg) -> Vec<u8> {
+    let mut body = ByteBuf::with_capacity(64);
 
     match &msg.kind {
         UpdateKind::Withdraw(info) => {
             // Withdrawn routes: one /32-style entry for the prefix id.
-            let mut wd = BytesMut::new();
+            let mut wd = ByteBuf::new();
             put_prefix(&mut wd, msg.prefix);
             body.put_u16(wd.len() as u16);
             body.put_slice(&wd);
             // Path attributes: root cause and/or ET, if any.
-            let mut attrs = BytesMut::new();
+            let mut attrs = ByteBuf::new();
             if let Some(rc) = info.root_cause {
                 put_rci(&mut attrs, rc);
             }
@@ -113,7 +114,7 @@ pub fn encode(msg: &UpdateMsg) -> Bytes {
         }
         UpdateKind::Announce(route) => {
             body.put_u16(0); // no withdrawn routes
-            let mut attrs = BytesMut::new();
+            let mut attrs = ByteBuf::new();
             // ORIGIN = IGP.
             put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_ORIGIN, 1);
             attrs.put_u8(0);
@@ -157,27 +158,27 @@ pub fn encode(msg: &UpdateMsg) -> Bytes {
         }
     }
 
-    let mut out = BytesMut::with_capacity(19 + body.len());
+    let mut out = ByteBuf::with_capacity(19 + body.len());
     out.put_bytes(0xFF, 16);
     out.put_u16(19 + body.len() as u16);
     out.put_u8(MSG_TYPE_UPDATE);
     out.put_slice(&body);
-    out.freeze()
+    out.into_vec()
 }
 
-fn put_attr_header(buf: &mut BytesMut, flags: u8, code: u8, len: usize) {
+fn put_attr_header(buf: &mut ByteBuf, flags: u8, code: u8, len: usize) {
     debug_assert!(len <= u8::MAX as usize, "extended length unsupported");
     buf.put_u8(flags);
     buf.put_u8(code);
     buf.put_u8(len as u8);
 }
 
-fn put_prefix(buf: &mut BytesMut, p: PrefixId) {
+fn put_prefix(buf: &mut ByteBuf, p: PrefixId) {
     buf.put_u8(32); // prefix length in bits
     buf.put_u32(p.0);
 }
 
-fn put_rci(buf: &mut BytesMut, info: CauseInfo) {
+fn put_rci(buf: &mut ByteBuf, info: CauseInfo) {
     match info.cause {
         RootCause::Link(a, b) => {
             put_attr_header(buf, FLAGS_OPT_TRANS, ATTR_RCI, 14);
@@ -196,8 +197,9 @@ fn put_rci(buf: &mut BytesMut, info: CauseInfo) {
 }
 
 /// Decode one UPDATE from wire bytes.
-pub fn decode(mut buf: Bytes) -> Result<UpdateMsg, WireError> {
-    if buf.len() < 19 {
+pub fn decode(raw: &[u8]) -> Result<UpdateMsg, WireError> {
+    let mut buf = ByteReader::new(raw);
+    if buf.remaining() < 19 {
         return Err(WireError::Truncated);
     }
     for _ in 0..16 {
@@ -387,7 +389,7 @@ pub fn decode(mut buf: Bytes) -> Result<UpdateMsg, WireError> {
     }
 }
 
-fn get_prefix(buf: &mut Bytes) -> Result<PrefixId, WireError> {
+fn get_prefix(buf: &mut ByteReader<'_>) -> Result<PrefixId, WireError> {
     if buf.remaining() < 5 {
         return Err(WireError::Truncated);
     }
@@ -419,7 +421,7 @@ mod tests {
             }),
         };
         let bytes = encode(&msg);
-        assert_eq!(decode(bytes).unwrap(), msg);
+        assert_eq!(decode(&bytes).unwrap(), msg);
     }
 
     #[test]
@@ -437,7 +439,7 @@ mod tests {
                     },
                 }),
             };
-            assert_eq!(decode(encode(&msg)).unwrap(), msg);
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
         }
     }
 
@@ -459,7 +461,7 @@ mod tests {
                 },
             }),
         };
-        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
     }
 
     #[test]
@@ -468,7 +470,7 @@ mod tests {
             prefix: PrefixId(11),
             kind: UpdateKind::Withdraw(WithdrawInfo { root_cause: None, ..Default::default() }),
         };
-        assert_eq!(decode(encode(&plain)).unwrap(), plain);
+        assert_eq!(decode(&encode(&plain)).unwrap(), plain);
         let rci = UpdateMsg {
             prefix: PrefixId(11),
             kind: UpdateKind::Withdraw(WithdrawInfo {
@@ -481,8 +483,8 @@ mod tests {
                 failover: false,
             }),
         };
-        assert_eq!(decode(encode(&rci)).unwrap(), rci);
-        assert_eq!(decode(encode(&UpdateMsg {
+        assert_eq!(decode(&encode(&rci)).unwrap(), rci);
+        assert_eq!(decode(&encode(&UpdateMsg {
             prefix: PrefixId(5),
             kind: UpdateKind::Withdraw(WithdrawInfo::loss()),
         }))
@@ -498,9 +500,9 @@ mod tests {
             prefix: PrefixId(0),
             kind: UpdateKind::Withdraw(WithdrawInfo::default()),
         };
-        let mut raw = encode(&msg).to_vec();
+        let mut raw = encode(&msg);
         raw[3] = 0x00;
-        assert_eq!(decode(Bytes::from(raw)), Err(WireError::BadMarker));
+        assert_eq!(decode(&raw), Err(WireError::BadMarker));
     }
 
     #[test]
@@ -523,7 +525,7 @@ mod tests {
         };
         let raw = encode(&msg);
         for cut in 0..raw.len() {
-            let r = decode(raw.slice(0..cut));
+            let r = decode(&raw[..cut]);
             assert!(r.is_err(), "decode of {cut}-byte truncation succeeded");
         }
     }
@@ -534,9 +536,9 @@ mod tests {
             prefix: PrefixId(0),
             kind: UpdateKind::Withdraw(WithdrawInfo::default()),
         };
-        let mut raw = encode(&msg).to_vec();
+        let mut raw = encode(&msg);
         raw[18] = 1; // OPEN
-        assert_eq!(decode(Bytes::from(raw)), Err(WireError::BadType(1)));
+        assert_eq!(decode(&raw), Err(WireError::BadType(1)));
     }
 
     #[test]
@@ -549,12 +551,12 @@ mod tests {
                 attrs: PathAttrs::default(),
             }),
         };
-        let raw = encode(&msg).to_vec();
+        let raw = encode(&msg);
         // Splice an unknown attr (code 200, len 2) into the attribute
         // section: rebuild manually.
-        let mut body = BytesMut::new();
+        let mut body = ByteBuf::new();
         body.put_u16(0);
-        let mut attrs = BytesMut::new();
+        let mut attrs = ByteBuf::new();
         put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_ORIGIN, 1);
         attrs.put_u8(0);
         put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_AS_PATH, 6);
@@ -566,12 +568,12 @@ mod tests {
         body.put_u16(attrs.len() as u16);
         body.put_slice(&attrs);
         put_prefix(&mut body, PrefixId(2));
-        let mut out = BytesMut::new();
+        let mut out = ByteBuf::new();
         out.put_bytes(0xFF, 16);
         out.put_u16(19 + body.len() as u16);
         out.put_u8(MSG_TYPE_UPDATE);
         out.put_slice(&body);
-        let decoded = decode(out.freeze()).unwrap();
+        let decoded = decode(&out).unwrap();
         assert_eq!(decoded, msg);
         let _ = raw;
     }

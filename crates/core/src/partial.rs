@@ -15,7 +15,6 @@ use stamp_eventsim::rng::tags;
 use stamp_eventsim::rng_stream;
 use stamp_topology::graph::{AsGraph, AsId};
 use stamp_topology::routing::StaticRoutes;
-use rand::seq::SliceRandom;
 use std::collections::HashSet;
 
 /// Result of the partial-deployment analysis.
@@ -74,7 +73,7 @@ pub fn partial_deployment_fraction(
     let mut dests: Vec<AsId> = g.ases().filter(|&v| !g.is_tier1(v)).collect();
     if dests.len() > max_destinations {
         let mut rng = rng_stream(seed, tags::WORKLOAD);
-        dests.shuffle(&mut rng);
+        rng.shuffle(&mut dests);
         dests.truncate(max_destinations);
     }
     let protected = dests

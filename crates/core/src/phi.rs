@@ -19,9 +19,8 @@
 //! reported alongside the provider choice so deployments can use it
 //! ([`smart_lock_choices`]).
 
-use rand::rngs::StdRng;
 use stamp_bgp::PrefixId;
-use stamp_eventsim::rng::tags;
+use stamp_eventsim::rng::{tags, Rng};
 use stamp_eventsim::rng_stream;
 use stamp_topology::disjoint::good_locked_path;
 use stamp_topology::graph::{AsGraph, AsId};
@@ -116,7 +115,7 @@ pub fn phi_for_destination(
     dag: &UphillDag,
     dest: AsId,
     cfg: &PhiConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> f64 {
     let m = match split_point(g, dest) {
         None => return 1.0,

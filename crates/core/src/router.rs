@@ -766,7 +766,7 @@ mod et_tests {
         b.build().unwrap()
     }
 
-    fn announce(path: &[u32], proc: ProcId, et: EventType, lock: bool) -> UpdateMsg {
+    fn announce(path: &[u32], _proc: ProcId, et: EventType, lock: bool) -> UpdateMsg {
         UpdateMsg {
             prefix: P,
             kind: UpdateKind::Announce(Route {

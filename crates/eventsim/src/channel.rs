@@ -7,7 +7,7 @@
 //! timestamps distinct and the trace easier to read).
 
 use crate::time::{SimDuration, SimTime};
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Identifier of a directed channel (one per ordered neighbour pair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -36,7 +36,7 @@ impl DelayModel {
     }
 
     /// Sample one delay.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> SimDuration {
+    pub fn sample(&self, rng: &mut Rng) -> SimDuration {
         let (lo, hi) = (self.min.as_micros(), self.max.as_micros());
         if hi <= lo {
             return self.min;
@@ -62,8 +62,8 @@ impl LossModel {
     }
 
     /// Should this message be dropped?
-    pub fn drops<R: Rng>(&self, rng: &mut R) -> bool {
-        self.drop_probability > 0.0 && rng.gen::<f64>() < self.drop_probability
+    pub fn drops(&self, rng: &mut Rng) -> bool {
+        rng.gen_bool(self.drop_probability)
     }
 }
 
@@ -85,7 +85,7 @@ impl FifoChannel {
 
     /// Compute the delivery time for a message sent at `now`, preserving
     /// FIFO order with all previously sent messages on this channel.
-    pub fn delivery_time<R: Rng>(&mut self, now: SimTime, rng: &mut R) -> SimTime {
+    pub fn delivery_time(&mut self, now: SimTime, rng: &mut Rng) -> SimTime {
         let natural = now + self.delay.sample(rng);
         let fifo_floor = self.last_delivery + SimDuration::from_micros(1);
         let t = natural.max(fifo_floor);

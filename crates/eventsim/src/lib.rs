@@ -23,11 +23,12 @@
 //! instances run on separate threads in `stamp-experiments`).
 
 pub mod channel;
+pub mod check;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use channel::{ChannelId, DelayModel, FifoChannel, LossModel};
 pub use queue::Scheduler;
-pub use rng::rng_stream;
+pub use rng::{rng_stream, Rng};
 pub use time::{SimDuration, SimTime};

@@ -16,7 +16,7 @@
 
 use crate::scenario::{sample_workload, FailureScenario, Workload};
 use crate::stats;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use stamp_bgp::engine::{Engine, EngineConfig, ScenarioEvent};
 use stamp_bgp::router::{BgpRouter, RouterLogic};
 use stamp_bgp::types::PrefixId;
@@ -485,25 +485,24 @@ pub fn run_failure_experiment(
     let slots: Mutex<Vec<Option<Vec<(Protocol, InstanceMetrics)>>>> =
         Mutex::new(vec![None; cfg.instances]);
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= cfg.instances {
                     break;
                 }
                 let r = run_instance(&g, cfg, scenario, i, protocols);
-                slots.lock()[i] = Some(r);
+                slots.lock().unwrap()[i] = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     let mut results: Vec<(Protocol, ProtocolResult)> = protocols
         .iter()
         .map(|&p| (p, ProtocolResult::default()))
         .collect();
-    for slot in slots.into_inner() {
+    for slot in slots.into_inner().expect("no worker panicked") {
         let instance = slot.expect("all instances ran");
         for (p, m) in instance {
             results

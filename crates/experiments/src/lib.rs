@@ -3,7 +3,7 @@
 //! Each experiment in DESIGN.md §4 maps to a module here; `stamp-bench`
 //! wraps them in Criterion benches and standalone binaries. All experiments
 //! are deterministic given their seed and run independent scenario
-//! instances in parallel (crossbeam scoped threads).
+//! instances in parallel (`std::thread::scope` workers).
 //!
 //! | Experiment | Module | Paper artefact |
 //! |---|---|---|

@@ -18,7 +18,7 @@
 //! * **Node failure** (§6.2.2): one of the origin's providers fails
 //!   entirely, "withdrawing a route from all its neighbors".
 
-use rand::Rng;
+use stamp_eventsim::rng::Rng;
 use stamp_topology::{AsGraph, AsId, LinkId};
 use std::collections::VecDeque;
 
@@ -107,10 +107,10 @@ pub fn destination_candidates(g: &AsGraph) -> Vec<AsId> {
 
 /// Sample one workload; `None` if the topology cannot host the scenario
 /// (e.g. no multi-homed AS at all).
-pub fn sample_workload<R: Rng>(
+pub fn sample_workload(
     g: &AsGraph,
     scenario: FailureScenario,
-    rng: &mut R,
+    rng: &mut Rng,
 ) -> Option<Workload> {
     let candidates = destination_candidates(g);
     if candidates.is_empty() {
@@ -118,9 +118,9 @@ pub fn sample_workload<R: Rng>(
     }
     // A few attempts: some destinations cannot host the multi-link shapes.
     for _ in 0..64 {
-        let dest = candidates[rng.gen_range(0..candidates.len())];
+        let dest = *rng.choose(&candidates).expect("candidates non-empty");
         let provs = g.providers(dest);
-        let p = provs[rng.gen_range(0..provs.len())];
+        let p = *rng.choose(provs).expect("multi-homed");
         let first = g.link_between(dest, p).expect("provider link exists");
         match scenario {
             FailureScenario::SingleLink => {
@@ -142,7 +142,7 @@ pub fn sample_workload<R: Rng>(
                 if pp.is_empty() {
                     continue; // p is tier-1; resample
                 }
-                let q = pp[rng.gen_range(0..pp.len())];
+                let q = *rng.choose(pp).expect("checked non-empty");
                 let second = g.link_between(p, q).expect("provider link exists");
                 return Some(Workload {
                     dest,
@@ -168,7 +168,7 @@ pub fn sample_workload<R: Rng>(
                 if cands.is_empty() {
                     continue;
                 }
-                let second = cands[rng.gen_range(0..cands.len())];
+                let second = *rng.choose(&cands).expect("checked non-empty");
                 return Some(Workload {
                     dest,
                     failed_links: vec![first, second],
@@ -183,8 +183,6 @@ pub fn sample_workload<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use stamp_topology::gen::{generate, GenConfig};
     use stamp_topology::LinkKind;
 
@@ -195,7 +193,7 @@ mod tests {
     #[test]
     fn single_link_targets_a_provider_link_of_dest() {
         let g = g();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..50 {
             let w = sample_workload(&g, FailureScenario::SingleLink, &mut rng).unwrap();
             assert!(g.providers(w.dest).len() >= 2);
@@ -209,7 +207,7 @@ mod tests {
     #[test]
     fn two_links_same_as_share_the_provider() {
         let g = g();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         for _ in 0..50 {
             let w = sample_workload(&g, FailureScenario::TwoLinksSameAs, &mut rng).unwrap();
             assert_eq!(w.failed_links.len(), 2);
@@ -224,7 +222,7 @@ mod tests {
     #[test]
     fn two_links_different_as_share_no_endpoint() {
         let g = g();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..50 {
             let w =
                 sample_workload(&g, FailureScenario::TwoLinksDifferentAs, &mut rng).unwrap();
@@ -240,7 +238,7 @@ mod tests {
     #[test]
     fn node_failure_removes_all_incident_links() {
         let g = g();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let w = sample_workload(&g, FailureScenario::NodeFailure, &mut rng).unwrap();
         let node = w.failed_node.unwrap();
         let removed = w.removed_links(&g);
@@ -251,8 +249,8 @@ mod tests {
     #[test]
     fn deterministic_sampling() {
         let g = g();
-        let mut a = StdRng::seed_from_u64(9);
-        let mut b = StdRng::seed_from_u64(9);
+        let mut a = Rng::seed_from_u64(9);
+        let mut b = Rng::seed_from_u64(9);
         for _ in 0..10 {
             assert_eq!(
                 sample_workload(&g, FailureScenario::SingleLink, &mut a),

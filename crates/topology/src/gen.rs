@@ -19,12 +19,10 @@
 
 use crate::error::TopologyError;
 use crate::graph::{AsGraph, GraphBuilder, LinkKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use stamp_eventsim::rng::Rng;
 
 /// Configuration of the synthetic topology generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenConfig {
     /// Total number of ASes.
     pub n_ases: usize,
@@ -133,9 +131,9 @@ impl GenConfig {
 }
 
 /// Draw an index from non-negative `weights` (at least one positive).
-fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+fn weighted_index(rng: &mut Rng, weights: &[f64]) -> usize {
     let total: f64 = weights.iter().sum();
-    let mut x = rng.gen::<f64>() * total;
+    let mut x = rng.gen_f64() * total;
     for (i, w) in weights.iter().enumerate() {
         x -= w;
         if x <= 0.0 {
@@ -149,7 +147,7 @@ fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
 /// the tier-1 clique, then transit ASes, then stubs.
 pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
     cfg.validate()?;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut b = GraphBuilder::new();
     for asn in 0..cfg.n_ases as u32 {
         b.ensure_as(asn);
@@ -179,7 +177,7 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
     let mut eligible: Vec<u32> = (0..t1 as u32).collect();
 
     let pick_providers =
-        |rng: &mut StdRng, pool: &Vec<u32>, eligible: &Vec<u32>, k: usize| -> Vec<u32> {
+        |rng: &mut Rng, pool: &Vec<u32>, eligible: &Vec<u32>, k: usize| -> Vec<u32> {
             let k = k.min(eligible.len());
             let mut chosen: Vec<u32> = Vec::with_capacity(k);
             let mut attempts = 0;
@@ -188,7 +186,7 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
                 // Mix preferential attachment (pool) with uniform smoothing.
                 let total_weight = pool.len() as f64 + cfg.pref_attach * eligible.len() as f64;
                 let uniform_part = cfg.pref_attach * eligible.len() as f64 / total_weight.max(1.0);
-                let cand = if pool.is_empty() || rng.gen::<f64>() < uniform_part {
+                let cand = if pool.is_empty() || rng.gen_f64() < uniform_part {
                     eligible[rng.gen_range(0..eligible.len())]
                 } else {
                     pool[rng.gen_range(0..pool.len())]
@@ -238,7 +236,7 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
     let transit_ranks: Vec<usize> = (t1..transit_end).collect();
     for &r in &transit_ranks {
         let mut attempts = cfg.peer_links_per_transit.floor() as usize;
-        if rng.gen::<f64>() < cfg.peer_links_per_transit.fract() {
+        if rng.gen_f64() < cfg.peer_links_per_transit.fract() {
             attempts += 1;
         }
         for _ in 0..attempts {

@@ -7,12 +7,11 @@
 //! prefer-customer / valley-free policies is safe (Gao–Rexford).
 
 use crate::error::TopologyError;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Dense identifier of an AS within one [`AsGraph`] (`0..n`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AsId(pub u32);
 
 impl AsId {
@@ -30,7 +29,7 @@ impl fmt::Display for AsId {
 }
 
 /// Identifier of an undirected link within one [`AsGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -42,7 +41,7 @@ impl LinkId {
 }
 
 /// Business relationship carried by a link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkKind {
     /// `a` is the customer, `b` is the provider.
     CustomerProvider,
@@ -54,7 +53,7 @@ pub enum LinkKind {
 ///
 /// For [`LinkKind::CustomerProvider`], `a` is the customer and `b` the
 /// provider. For [`LinkKind::PeerPeer`], `a < b` canonically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Link {
     pub a: AsId,
     pub b: AsId,
@@ -86,7 +85,7 @@ impl Link {
 /// order of the prefer-customer policy: routes learned from a customer beat
 /// routes learned from a peer beat routes learned from a provider.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub enum Relation {
     Customer,
@@ -107,7 +106,7 @@ impl Relation {
 }
 
 /// Immutable, validated AS-level topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AsGraph {
     n: u32,
     providers: Vec<Vec<AsId>>,
@@ -115,7 +114,6 @@ pub struct AsGraph {
     peers: Vec<Vec<AsId>>,
     links: Vec<Link>,
     /// `(min, max)` endpoint pair → link id.
-    #[serde(skip)]
     link_index: HashMap<(u32, u32), LinkId>,
     /// Original (possibly sparse) AS numbers, indexed by dense id.
     external: Vec<u32>,
@@ -332,7 +330,7 @@ impl AsGraph {
 }
 
 /// Aggregate topology statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GraphStats {
     pub n_ases: usize,
     pub n_links: usize,

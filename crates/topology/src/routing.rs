@@ -21,13 +21,12 @@
 //! equality is asserted in integration tests.
 
 use crate::graph::{AsGraph, AsId};
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Kind of the best route an AS holds in the stable state, classified by the
 /// relation of its first hop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RouteKind {
     /// The AS originates the destination prefix.
     Origin,
@@ -40,7 +39,7 @@ pub enum RouteKind {
 }
 
 /// Best route of one AS in the stable state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StaticRoute {
     pub kind: RouteKind,
     /// AS-path length in links (0 for the origin).
@@ -50,7 +49,7 @@ pub struct StaticRoute {
 }
 
 /// The stable routing state of every AS towards one destination.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StaticRoutes {
     dest: AsId,
     routes: Vec<Option<StaticRoute>>,

@@ -14,7 +14,7 @@
 //!   walk exactly uniform over complete paths.
 
 use crate::graph::{AsGraph, AsId};
-use rand::Rng;
+use stamp_eventsim::rng::Rng;
 
 /// Precomputed uphill path counts for one topology.
 #[derive(Debug, Clone)]
@@ -72,7 +72,7 @@ impl UphillDag {
     /// Sample an uphill path `[v, …, tier-1]` uniformly at random among all
     /// such paths. Returns `None` if `v` has no uphill path (impossible in a
     /// validated graph: every AS either is tier-1 or has a provider chain).
-    pub fn sample_path<R: Rng>(&self, g: &AsGraph, v: AsId, rng: &mut R) -> Option<Vec<AsId>> {
+    pub fn sample_path(&self, g: &AsGraph, v: AsId, rng: &mut Rng) -> Option<Vec<AsId>> {
         let mut path = vec![v];
         let mut cur = v;
         while !g.is_tier1(cur) {
@@ -81,7 +81,7 @@ impl UphillDag {
             if total <= 0.0 {
                 return None;
             }
-            let mut x = rng.gen::<f64>() * total;
+            let mut x = rng.gen_f64() * total;
             let mut chosen = *provs.last()?;
             for &p in provs {
                 x -= self.counts[p.index()];
@@ -137,7 +137,7 @@ impl UphillDag {
 /// deployed protocol each AS picks its locked blue provider independently and
 /// uniformly among its providers — which weights paths *non*-uniformly.
 /// This sampler draws from that deployment distribution.
-pub fn sample_random_walk_path<R: Rng>(g: &AsGraph, v: AsId, rng: &mut R) -> Vec<AsId> {
+pub fn sample_random_walk_path(g: &AsGraph, v: AsId, rng: &mut Rng) -> Vec<AsId> {
     let mut path = vec![v];
     let mut cur = v;
     while !g.is_tier1(cur) {
@@ -153,8 +153,6 @@ pub fn sample_random_walk_path<R: Rng>(g: &AsGraph, v: AsId, rng: &mut R) -> Vec
 mod tests {
     use super::*;
     use crate::graph::GraphBuilder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Two tier-1s (0, 1); 2 below both; 3 below 2 and 1.
     ///
@@ -206,7 +204,7 @@ mod tests {
     fn sampling_is_uniform_over_paths() {
         let g = g();
         let dag = UphillDag::new(&g);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let mut hits = std::collections::HashMap::new();
         let trials = 30_000;
         for _ in 0..trials {
@@ -226,7 +224,7 @@ mod tests {
         // path 3-1 has probability 1/2 under the walk but weight 1/3 in the
         // uniform-path model — the distinction the ablation is about.
         let g = g();
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Rng::seed_from_u64(10);
         let trials = 30_000;
         let mut direct = 0usize;
         for _ in 0..trials {
@@ -242,7 +240,7 @@ mod tests {
     fn tier1_path_is_the_empty_walk() {
         let g = g();
         let dag = UphillDag::new(&g);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         assert_eq!(dag.sample_path(&g, AsId(0), &mut rng).unwrap(), vec![AsId(0)]);
         assert_eq!(
             dag.enumerate_paths(&g, AsId(0), 10).unwrap(),

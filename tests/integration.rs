@@ -98,7 +98,15 @@ fn stamp_blue_route_guaranteed_everywhere() {
 #[test]
 fn stamp_network_wide_disjointness_invariants() {
     let g = topo(200, 107);
-    let dest = AsId(180);
+    // The §4.1 colouring (and hence network-wide disjointness) presumes a
+    // multi-homed origin: a single-homed destination funnels every path
+    // through its sole provider, making disjointness structurally
+    // impossible below it. Pick the highest-numbered multi-homed stub.
+    let dest = g
+        .ases()
+        .filter(|&v| g.providers(v).len() >= 2)
+        .last()
+        .expect("generated topology has a multi-homed AS");
     let mut e = Engine::new(g.clone(), EngineConfig::fast(5), |v| {
         StampRouter::new(
             v,

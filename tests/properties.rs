@@ -1,207 +1,221 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! paper's invariants.
+//! Property-based tests (in-repo `check` harness) over the core data
+//! structures and the paper's invariants.
 
-use proptest::prelude::*;
 use stamp_repro::bgp::types::{
     CauseInfo, EventType, PathAttrs, PrefixId, Route, RootCause, UpdateKind, UpdateMsg,
     WithdrawInfo,
 };
 use stamp_repro::bgp::wire::{decode, encode};
+use stamp_repro::eventsim::check::{cases, gen};
+use stamp_repro::eventsim::Rng;
 use stamp_repro::topology::path::{check_valley_free, split_uphill_downhill, ValleyCheck};
 use stamp_repro::topology::uphill::UphillDag;
 use stamp_repro::topology::{generate, AsId, GenConfig, StaticRoutes};
 
 // ---------------------------------------------------------------------
-// Strategies
+// Generators
 // ---------------------------------------------------------------------
 
-fn arb_as_path() -> impl Strategy<Value = Vec<AsId>> {
-    proptest::collection::vec(0u32..100_000, 1..12)
-        .prop_map(|v| v.into_iter().map(AsId).collect())
+fn arb_as_path(rng: &mut Rng) -> Vec<AsId> {
+    gen::vec(rng, 1..12, |r| AsId(r.gen_range(0u32..100_000)))
 }
 
-fn arb_cause() -> impl Strategy<Value = CauseInfo> {
-    (0u32..1000, 0u32..1000, any::<u32>(), any::<bool>(), any::<bool>()).prop_map(
-        |(a, b, seq, up, node)| CauseInfo {
-            cause: if node {
-                RootCause::Node(AsId(a))
-            } else {
-                RootCause::link(AsId(a), AsId(a + b + 1))
-            },
-            seq,
-            up,
+fn arb_cause(rng: &mut Rng) -> CauseInfo {
+    let a = rng.gen_range(0u32..1000);
+    let b = rng.gen_range(0u32..1000);
+    let seq = rng.next_u64() as u32;
+    let up = gen::bool(rng);
+    let node = gen::bool(rng);
+    CauseInfo {
+        cause: if node {
+            RootCause::Node(AsId(a))
+        } else {
+            RootCause::link(AsId(a), AsId(a + b + 1))
         },
-    )
+        seq,
+        up,
+    }
 }
 
-fn arb_attrs() -> impl Strategy<Value = PathAttrs> {
-    (
-        any::<bool>(),
-        proptest::option::of(any::<bool>()),
-        proptest::option::of(arb_cause()),
-        any::<bool>(),
-    )
-        .prop_map(|(lock, et, root_cause, failover)| PathAttrs {
-            lock,
-            et: et.map(|b| if b { EventType::NotLost } else { EventType::Lost }),
-            root_cause,
-            failover,
-        })
+fn arb_et(rng: &mut Rng) -> EventType {
+    if gen::bool(rng) {
+        EventType::NotLost
+    } else {
+        EventType::Lost
+    }
 }
 
-fn arb_update() -> impl Strategy<Value = UpdateMsg> {
-    let announce = (any::<u32>(), arb_as_path(), arb_attrs()).prop_map(|(p, path, attrs)| {
+fn arb_attrs(rng: &mut Rng) -> PathAttrs {
+    PathAttrs {
+        lock: gen::bool(rng),
+        et: gen::option(rng, arb_et),
+        root_cause: gen::option(rng, arb_cause),
+        failover: gen::bool(rng),
+    }
+}
+
+fn arb_update(rng: &mut Rng) -> UpdateMsg {
+    let prefix = PrefixId(rng.next_u64() as u32);
+    if gen::bool(rng) {
         UpdateMsg {
-            prefix: PrefixId(p),
-            kind: UpdateKind::Announce(Route { path, attrs }),
-        }
-    });
-    let withdraw = (
-        any::<u32>(),
-        proptest::option::of(arb_cause()),
-        proptest::option::of(any::<bool>()),
-        any::<bool>(),
-    )
-        .prop_map(|(p, root_cause, et, failover)| UpdateMsg {
-            prefix: PrefixId(p),
-            kind: UpdateKind::Withdraw(WithdrawInfo {
-                root_cause,
-                et: et.map(|b| if b { EventType::NotLost } else { EventType::Lost }),
-                failover,
+            prefix,
+            kind: UpdateKind::Announce(Route {
+                path: arb_as_path(rng),
+                attrs: arb_attrs(rng),
             }),
-        });
-    prop_oneof![announce, withdraw]
+        }
+    } else {
+        UpdateMsg {
+            prefix,
+            kind: UpdateKind::Withdraw(WithdrawInfo {
+                root_cause: gen::option(rng, arb_cause),
+                et: gen::option(rng, arb_et),
+                failover: gen::bool(rng),
+            }),
+        }
+    }
 }
 
-fn arb_gen_config() -> impl Strategy<Value = GenConfig> {
-    (30usize..160, 2usize..6, any::<u64>(), 0.0f64..1.2).prop_map(
-        |(n, t1, seed, peers)| GenConfig {
-            n_ases: n,
-            n_tier1: t1,
-            peer_links_per_transit: peers,
-            seed,
-            ..GenConfig::small(seed)
-        },
-    )
+fn arb_gen_config(rng: &mut Rng) -> GenConfig {
+    let n = rng.gen_range(30usize..160);
+    let t1 = rng.gen_range(2usize..6);
+    let seed = rng.next_u64();
+    let peers = gen::f64_in(rng, 0.0, 1.2);
+    GenConfig {
+        n_ases: n,
+        n_tier1: t1,
+        peer_links_per_transit: peers,
+        seed,
+        ..GenConfig::small(seed)
+    }
 }
 
 // ---------------------------------------------------------------------
 // Wire codec
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// RFC 4271-style encode/decode is the identity on valid updates.
+#[test]
+fn codec_roundtrip() {
+    cases(256, 0xC0DEC, |rng| {
+        let msg = arb_update(rng);
+        let decoded = decode(&encode(&msg)).expect("own encoding decodes");
+        assert_eq!(decoded, msg);
+    });
+}
 
-    /// RFC 4271-style encode/decode is the identity on valid updates.
-    #[test]
-    fn codec_roundtrip(msg in arb_update()) {
-        let decoded = decode(encode(&msg)).expect("own encoding decodes");
-        prop_assert_eq!(decoded, msg);
-    }
-
-    /// Arbitrary byte mangling never panics the decoder.
-    #[test]
-    fn decoder_total_on_mangled_input(
-        msg in arb_update(),
-        idx in 0usize..64,
-        byte in any::<u8>(),
-    ) {
-        let mut raw = encode(&msg).to_vec();
+/// Arbitrary byte mangling never panics the decoder.
+#[test]
+fn decoder_total_on_mangled_input() {
+    cases(256, 0xA16E, |rng| {
+        let msg = arb_update(rng);
+        let mut raw = encode(&msg);
         if !raw.is_empty() {
-            let i = idx % raw.len();
-            raw[i] = byte;
+            let i = rng.gen_range(0usize..raw.len());
+            raw[i] = rng.next_u64() as u8;
         }
-        let _ = decode(bytes::Bytes::from(raw)); // must not panic
-    }
+        let _ = decode(&raw); // must not panic
+    });
 }
 
 // ---------------------------------------------------------------------
 // Topology generation and the static solver
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Generated topologies validate (acyclic hierarchy) and are fully
-    /// connected: the stable state reaches every AS.
-    #[test]
-    fn generated_topologies_connected(cfg in arb_gen_config(), dest_pick in any::<u32>()) {
+/// Generated topologies validate (acyclic hierarchy) and are fully
+/// connected: the stable state reaches every AS.
+#[test]
+fn generated_topologies_connected() {
+    cases(32, 0x701, |rng| {
+        let cfg = arb_gen_config(rng);
         let g = generate(&cfg).expect("generator accepts its own domain");
-        let dest = AsId(dest_pick % g.n() as u32);
+        let dest = AsId(rng.gen_range(0u32..g.n() as u32));
         let routes = StaticRoutes::compute(&g, dest);
-        prop_assert_eq!(routes.n_reachable(), g.n());
-    }
+        assert_eq!(routes.n_reachable(), g.n());
+    });
+}
 
-    /// Every stable-state path is simple, valley-free and has consistent
-    /// length bookkeeping.
-    #[test]
-    fn static_paths_valley_free(cfg in arb_gen_config(), dest_pick in any::<u32>()) {
+/// Every stable-state path is simple, valley-free and has consistent
+/// length bookkeeping.
+#[test]
+fn static_paths_valley_free() {
+    cases(32, 0x702, |rng| {
+        let cfg = arb_gen_config(rng);
         let g = generate(&cfg).expect("valid");
-        let dest = AsId(dest_pick % g.n() as u32);
+        let dest = AsId(rng.gen_range(0u32..g.n() as u32));
         let routes = StaticRoutes::compute(&g, dest);
         for v in g.ases() {
             let p = routes.path(v).expect("connected");
-            prop_assert_eq!(check_valley_free(&g, &p), ValleyCheck::Ok);
-            prop_assert_eq!(p.len() as u32 - 1, routes.route(v).unwrap().len);
+            assert_eq!(check_valley_free(&g, &p), ValleyCheck::Ok);
+            assert_eq!(p.len() as u32 - 1, routes.route(v).unwrap().len);
         }
-    }
+    });
+}
 
-    /// Uphill path counts match exhaustive enumeration when small, and the
-    /// uphill/downhill split covers every stable path.
-    #[test]
-    fn uphill_counts_match_enumeration(cfg in arb_gen_config(), pick in any::<u32>()) {
+/// Uphill path counts match exhaustive enumeration when small, and the
+/// uphill/downhill split covers every stable path.
+#[test]
+fn uphill_counts_match_enumeration() {
+    cases(32, 0x703, |rng| {
+        let cfg = arb_gen_config(rng);
         let g = generate(&cfg).expect("valid");
         let dag = UphillDag::new(&g);
-        let v = AsId(pick % g.n() as u32);
+        let v = AsId(rng.gen_range(0u32..g.n() as u32));
         if let Some(paths) = dag.enumerate_paths(&g, v, 500) {
-            prop_assert_eq!(paths.len() as f64, dag.path_count(v));
+            assert_eq!(paths.len() as f64, dag.path_count(v));
             for p in &paths {
                 // Uphill paths are pure customer→provider chains: their
                 // split has an empty downhill range.
                 let split = split_uphill_downhill(&g, p).expect("valley-free");
-                prop_assert!(split.downhill_range().is_empty() || p.len() == 1);
+                assert!(split.downhill_range().is_empty() || p.len() == 1);
             }
         }
-    }
+    });
+}
 
-    /// Goodness of locked paths is consistent with the max-flow bound:
-    /// a good locked path implies a disjoint pair exists.
-    #[test]
-    fn good_paths_imply_disjoint_pair(cfg in arb_gen_config(), pick in any::<u32>()) {
-        use stamp_repro::topology::disjoint::{good_locked_path, two_disjoint_uphill_paths};
+/// Goodness of locked paths is consistent with the max-flow bound:
+/// a good locked path implies a disjoint pair exists.
+#[test]
+fn good_paths_imply_disjoint_pair() {
+    use stamp_repro::topology::disjoint::{good_locked_path, two_disjoint_uphill_paths};
+    cases(32, 0x704, |rng| {
+        let cfg = arb_gen_config(rng);
         let g = generate(&cfg).expect("valid");
         let dag = UphillDag::new(&g);
-        let m = AsId(pick % g.n() as u32);
+        let m = AsId(rng.gen_range(0u32..g.n() as u32));
         if g.is_tier1(m) || g.providers(m).len() < 2 {
-            return Ok(());
+            return;
         }
         if let Some(paths) = dag.enumerate_paths(&g, m, 200) {
             let any_good = paths.iter().any(|p| good_locked_path(&g, p));
             if any_good {
-                prop_assert!(two_disjoint_uphill_paths(&g, m));
+                assert!(two_disjoint_uphill_paths(&g, m));
             }
             if !two_disjoint_uphill_paths(&g, m) {
-                prop_assert!(!any_good);
+                assert!(!any_good);
             }
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------
 // Protocol dynamics (smaller case counts: each case runs a simulation)
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The event-driven simulator converges to the static stable state on
-    /// arbitrary generated topologies and destinations.
-    #[test]
-    fn simulator_matches_static_solver(seed in any::<u64>(), dest_pick in any::<u32>()) {
-        use stamp_repro::bgp::engine::{Engine, EngineConfig};
-        use stamp_repro::bgp::router::BgpRouter;
-        let g = generate(&GenConfig { n_ases: 60, ..GenConfig::small(seed) }).expect("valid");
-        let dest = AsId(dest_pick % g.n() as u32);
+/// The event-driven simulator converges to the static stable state on
+/// arbitrary generated topologies and destinations.
+#[test]
+fn simulator_matches_static_solver() {
+    use stamp_repro::bgp::engine::{Engine, EngineConfig};
+    use stamp_repro::bgp::router::BgpRouter;
+    cases(8, 0x705, |rng| {
+        let seed = rng.next_u64();
+        let g = generate(&GenConfig {
+            n_ases: 60,
+            ..GenConfig::small(seed)
+        })
+        .expect("valid");
+        let dest = AsId(rng.gen_range(0u32..g.n() as u32));
         let mut e = Engine::new(g.clone(), EngineConfig::fast(seed), |v| {
             BgpRouter::new(v, if v == dest { vec![PrefixId(0)] } else { vec![] })
         });
@@ -209,23 +223,30 @@ proptest! {
         e.run_to_quiescence(None);
         let truth = StaticRoutes::compute(&g, dest);
         for v in g.ases() {
-            prop_assert_eq!(
+            assert_eq!(
                 e.router(v).next_hop(PrefixId(0)),
                 truth.route(v).and_then(|r| r.next_hop)
             );
         }
-    }
+    });
+}
 
-    /// STAMP invariants hold on arbitrary topologies: blue existence,
-    /// per-provider exclusivity, downhill disjointness.
-    #[test]
-    fn stamp_invariants(seed in any::<u64>(), dest_pick in any::<u32>()) {
-        use stamp_repro::bgp::engine::{Engine, EngineConfig};
-        use stamp_repro::bgp::types::Color;
-        use stamp_repro::stamp::{LockStrategy, StampRouter};
-        use stamp_repro::topology::path::downhill_node_disjoint;
-        let g = generate(&GenConfig { n_ases: 60, ..GenConfig::small(seed) }).expect("valid");
-        let dest = AsId(dest_pick % g.n() as u32);
+/// STAMP invariants hold on arbitrary topologies: blue existence,
+/// per-provider exclusivity, downhill disjointness.
+#[test]
+fn stamp_invariants() {
+    use stamp_repro::bgp::engine::{Engine, EngineConfig};
+    use stamp_repro::bgp::types::Color;
+    use stamp_repro::stamp::{LockStrategy, StampRouter};
+    use stamp_repro::topology::path::downhill_node_disjoint;
+    cases(8, 0x706, |rng| {
+        let seed = rng.next_u64();
+        let g = generate(&GenConfig {
+            n_ases: 60,
+            ..GenConfig::small(seed)
+        })
+        .expect("valid");
+        let dest = AsId(rng.gen_range(0u32..g.n() as u32));
         let mut e = Engine::new(g.clone(), EngineConfig::fast(seed), |v| {
             StampRouter::new(
                 v,
@@ -240,11 +261,11 @@ proptest! {
                 continue;
             }
             let r = e.router(v);
-            prop_assert!(r.selection(PrefixId(0), Color::Blue).is_some());
+            assert!(r.selection(PrefixId(0), Color::Blue).is_some());
             if g.providers(v).len() >= 2 {
                 for &p in g.providers(v) {
                     let (red, blue) = r.announced_colors_to(p, PrefixId(0));
-                    prop_assert!(!(red && blue));
+                    assert!(!(red && blue));
                 }
             }
             // Downhill disjointness is guaranteed for upward-built
@@ -259,17 +280,24 @@ proptest! {
                 red.extend_from_slice(rp);
                 let mut blue = vec![v];
                 blue.extend_from_slice(bp);
-                prop_assert!(downhill_node_disjoint(&g, &red, &blue).is_some());
+                assert!(downhill_node_disjoint(&g, &red, &blue).is_some());
             }
         }
-    }
+    });
+}
 
-    /// Determinism: identical seeds give byte-identical run statistics.
-    #[test]
-    fn simulation_deterministic(seed in any::<u64>()) {
-        use stamp_repro::bgp::engine::{Engine, EngineConfig};
-        use stamp_repro::bgp::router::BgpRouter;
-        let g = generate(&GenConfig { n_ases: 50, ..GenConfig::small(seed) }).expect("valid");
+/// Determinism: identical seeds give byte-identical run statistics.
+#[test]
+fn simulation_deterministic() {
+    use stamp_repro::bgp::engine::{Engine, EngineConfig};
+    use stamp_repro::bgp::router::BgpRouter;
+    cases(8, 0x707, |rng| {
+        let seed = rng.next_u64();
+        let g = generate(&GenConfig {
+            n_ases: 50,
+            ..GenConfig::small(seed)
+        })
+        .expect("valid");
         let run = || {
             let mut e = Engine::new(g.clone(), EngineConfig::fast(seed), |v| {
                 BgpRouter::new(v, if v == AsId(0) { vec![PrefixId(0)] } else { vec![] })
@@ -283,6 +311,6 @@ proptest! {
                 e.stats().events,
             )
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
 }
