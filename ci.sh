@@ -43,7 +43,12 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "hermeticity guards passed"
 
+# --- Formatting ----------------------------------------------------------
+cargo fmt --check
+echo "formatting check passed"
+
 # --- Tier-1 gate, strictly offline ---------------------------------------
 cargo build --release --offline
+cargo build --examples --offline
 cargo test -q --offline
 echo "tier-1 gate passed (offline)"

@@ -1,20 +1,103 @@
 //! Micro-benchmarks of the building blocks: topology generation, the
-//! static route solver, uphill path counting, data-plane classification
-//! and the wire codec.
+//! static route solver, uphill path counting, route propagation through
+//! the RIB/decision hot path, full-engine convergence, and the wire codec.
+//!
+//! Emits a machine-readable `BENCH_micro.json` (median/p95 per benchmark)
+//! at the repo root alongside the human-readable report lines; override
+//! the destination with `STAMP_BENCH_MICRO_JSON` (per-bench variables so
+//! one `cargo bench` invocation cannot clobber one report with another).
 
-use stamp_bench::harness::{black_box, Harness};
+use stamp_bench::harness::{black_box, Harness, JsonReport};
 use stamp_topology::gen::{generate, GenConfig};
 use stamp_topology::uphill::UphillDag;
-use stamp_topology::{AsId, StaticRoutes};
+use stamp_topology::{AsId, GraphBuilder, StaticRoutes};
+
+/// The route-propagation hot loop: a 16-neighbour router receives a full
+/// round of announcements (RIB install), runs the decision process and
+/// prepends itself to the winner for re-announcement — the per-update work
+/// every simulated router performs on the convergence path.
+fn bench_route_propagation(h: &Harness, report: &mut JsonReport) {
+    use stamp_bgp::patharena::PathArena;
+    use stamp_bgp::rib::RibIn;
+    use stamp_bgp::types::{PathAttrs, PrefixId, ProcId, Route};
+
+    const NEIGHBORS: u32 = 16;
+    let me = AsId(0);
+    let mut b = GraphBuilder::new();
+    b.preregister(NEIGHBORS + 1);
+    for n in 1..=NEIGHBORS {
+        match n % 3 {
+            0 => b.customer_of(n, 0).unwrap(), // customer of me
+            1 => b.peering(0, n).unwrap(),
+            _ => b.customer_of(0, n).unwrap(), // provider of me
+        };
+    }
+    let g = b.build().unwrap();
+
+    // One 8-hop path template per neighbour (distinct tails, shared origin).
+    let mut arena = PathArena::new();
+    let templates: Vec<Route> = (1..=NEIGHBORS)
+        .map(|n| {
+            let mut path = vec![AsId(n)];
+            for hop in 0..6u32 {
+                path.push(AsId(100 + n * 8 + hop));
+            }
+            path.push(AsId(99)); // common origin
+            Route {
+                path: arena.intern_slice(&path),
+                attrs: PathAttrs::default(),
+            }
+        })
+        .collect();
+
+    let prefix = PrefixId(0);
+    let mut rib = RibIn::new();
+    report.bench(h, "route_propagation", || {
+        for (i, t) in templates.iter().enumerate() {
+            let n = AsId(i as u32 + 1);
+            // One relation lookup per received update, as `on_update` pays.
+            let rel = g.relation(me, n).expect("adjacent");
+            rib.insert(prefix, ProcId::ONLY, n, *t, rel);
+            let d = rib
+                .decide(&arena, me, prefix, ProcId::ONLY, |_| true)
+                .expect("routes present");
+            black_box(d.route.prepend(&mut arena, me));
+        }
+    });
+}
+
+/// Full-engine convergence on a 300-AS synthetic topology: the end-to-end
+/// cost one failure-experiment instance pays per protocol phase.
+fn bench_convergence(h: &Harness, report: &mut JsonReport) {
+    use stamp_bgp::engine::{Engine, EngineConfig};
+    use stamp_bgp::router::BgpRouter;
+    use stamp_bgp::types::PrefixId;
+
+    let g = generate(&GenConfig {
+        n_ases: 300,
+        ..GenConfig::small(21)
+    })
+    .unwrap();
+    let dest = AsId(299);
+    report.bench(h, "bgp_convergence_300", || {
+        let mut e = Engine::new(g.clone(), EngineConfig::fast(5), |v| {
+            BgpRouter::new(v, if v == dest { vec![PrefixId(0)] } else { vec![] })
+        });
+        e.start();
+        e.run_to_quiescence(None);
+        black_box(e.stats().delivered);
+    });
+}
 
 fn main() {
     let h = Harness::new().sample_size(20);
+    let mut report = JsonReport::new();
 
     let cfg = GenConfig {
         n_ases: 2000,
         ..GenConfig::small(11)
     };
-    h.bench_function("topology_generate_2000", || {
+    report.bench(&h, "topology_generate_2000", || {
         generate(black_box(&cfg)).unwrap();
     });
 
@@ -23,7 +106,7 @@ fn main() {
         ..GenConfig::small(12)
     })
     .unwrap();
-    h.bench_function("static_routes_2000", || {
+    report.bench(&h, "static_routes_2000", || {
         StaticRoutes::compute(black_box(&g), AsId(1999));
     });
 
@@ -32,16 +115,22 @@ fn main() {
         ..GenConfig::small(13)
     })
     .unwrap();
-    h.bench_function("uphill_dag_2000", || {
+    report.bench(&h, "uphill_dag_2000", || {
         UphillDag::new(black_box(&g));
     });
 
+    bench_route_propagation(&h, &mut report);
+    bench_convergence(&h, &mut report);
+
+    use stamp_bgp::patharena::PathArena;
     use stamp_bgp::types::{PathAttrs, PrefixId, Route, UpdateKind, UpdateMsg};
     use stamp_bgp::wire::{decode, encode};
+    let mut arena = PathArena::new();
+    let path: Vec<AsId> = (0..8).map(AsId).collect();
     let msg = UpdateMsg {
         prefix: PrefixId(7),
         kind: UpdateKind::Announce(Route {
-            path: (0..8).map(AsId).collect(),
+            path: arena.intern_slice(&path),
             attrs: PathAttrs {
                 lock: true,
                 et: Some(stamp_bgp::types::EventType::NotLost),
@@ -50,7 +139,14 @@ fn main() {
             },
         }),
     };
-    h.bench_function("wire_encode_decode", || {
-        decode(&encode(black_box(&msg))).unwrap();
+    report.bench(&h, "wire_encode_decode", || {
+        let raw = encode(&arena, black_box(&msg));
+        decode(&mut arena, &raw).unwrap();
     });
+
+    // Default to the repo root (cargo runs benches from the crate dir).
+    let path = std::env::var("STAMP_BENCH_MICRO_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json").into());
+    report.write(&path).expect("write bench report");
+    println!("wrote {path}");
 }

@@ -7,9 +7,7 @@
 //! defaults; kept in-tree so the calibration is reproducible.
 
 use stamp_core::phi::{phi_all_destinations, PhiConfig};
-use stamp_experiments::{
-    run_failure_experiment, FailureConfig, FailureScenario, Protocol,
-};
+use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};
 use stamp_topology::gen::{generate, GenConfig};
 
 fn main() {

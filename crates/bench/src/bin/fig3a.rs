@@ -22,7 +22,6 @@ fn main() {
         ..FailureConfig::default()
     };
     cfg.gen.seed = seed;
-    let report =
-        run_failure_experiment(&cfg, FailureScenario::TwoLinksDifferentAs, &Protocol::ALL);
+    let report = run_failure_experiment(&cfg, FailureScenario::TwoLinksDifferentAs, &Protocol::ALL);
     println!("{}", render_failure_report(&report));
 }

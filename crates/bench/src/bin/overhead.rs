@@ -55,7 +55,12 @@ fn main() {
         "{}",
         table(
             "Updates sent (paper: STAMP < 2x BGP with two parallel processes):",
-            &["protocol", "initial convergence", "failure phase", "initial ratio"],
+            &[
+                "protocol",
+                "initial convergence",
+                "failure phase",
+                "initial ratio"
+            ],
             &rows,
         )
     );

@@ -134,6 +134,63 @@ fn env_usize(key: &str) -> Option<usize> {
     std::env::var(key).ok()?.parse().ok()
 }
 
+/// Machine-readable benchmark report: accumulates every benchmark's stats
+/// and writes them as a single JSON document (no external serializer — the
+/// schema is flat enough to emit by hand).
+///
+/// Schema: `{ "benchmarks": [ { "name": str, "median_ns": f, "p95_ns": f,
+/// "mean_ns": f, "min_ns": f, "samples": n, "iters_per_sample": n } ] }`.
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    entries: Vec<(String, BenchStats)>,
+}
+
+impl JsonReport {
+    /// Empty report.
+    pub fn new() -> JsonReport {
+        JsonReport::default()
+    }
+
+    /// Run a benchmark through `h` and record its stats under `name`.
+    pub fn bench<F: FnMut()>(&mut self, h: &Harness, name: &str, f: F) -> BenchStats {
+        let stats = h.bench_function(name, f);
+        self.entries.push((name.to_string(), stats));
+        stats
+    }
+
+    /// Record externally measured stats.
+    pub fn push(&mut self, name: &str, stats: BenchStats) {
+        self.entries.push((name.to_string(), stats));
+    }
+
+    /// Serialise the report.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"benchmarks\": [\n");
+        for (i, (name, b)) in self.entries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \
+                 \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \
+                 \"iters_per_sample\": {} }}{}\n",
+                name.replace('"', "\\\""),
+                b.median_ns,
+                b.p95_ns,
+                b.mean_ns,
+                b.min_ns,
+                b.samples,
+                b.iters_per_sample,
+                if i + 1 == self.entries.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Write the JSON document to `path` (parent directories must exist).
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

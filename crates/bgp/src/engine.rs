@@ -11,10 +11,13 @@
 //! three protocols observe byte-identical topologies, failure choices and
 //! delay sequences.
 
+use crate::patharena::PathArena;
 use crate::router::{OutMsg, RouterCtx, RouterLogic, SessionView};
 use crate::types::{PrefixId, ProcId, UpdateKind, UpdateMsg};
 use stamp_eventsim::rng::{tags, Rng};
-use stamp_eventsim::{rng_stream, DelayModel, FifoChannel, LossModel, Scheduler, SimDuration, SimTime};
+use stamp_eventsim::{
+    rng_stream, DelayModel, FifoChannel, LossModel, Scheduler, SimDuration, SimTime,
+};
 use stamp_topology::{AsGraph, AsId, LinkId};
 use std::collections::HashMap;
 
@@ -176,6 +179,9 @@ struct MraiSlot {
 pub struct Engine<R: RouterLogic> {
     g: AsGraph,
     routers: Vec<R>,
+    /// Hash-consed AS-path storage shared by every router in this engine;
+    /// update messages carry `PathId` handles into it.
+    paths: PathArena,
     sched: Scheduler<Event>,
     state: LinkState,
     channels: HashMap<(AsId, AsId, ProcId), FifoChannel>,
@@ -210,6 +216,7 @@ impl<R: RouterLogic> Engine<R> {
         Engine {
             state: LinkState::new(&g),
             routers,
+            paths: PathArena::new(),
             sched: Scheduler::new(),
             channels: HashMap::new(),
             mrai: HashMap::new(),
@@ -227,6 +234,18 @@ impl<R: RouterLogic> Engine<R> {
     /// The topology.
     pub fn topology(&self) -> &AsGraph {
         &self.g
+    }
+
+    /// The path arena (resolve `PathId` handles held by this engine's
+    /// routers and messages).
+    pub fn paths(&self) -> &PathArena {
+        &self.paths
+    }
+
+    /// Mutable arena access for harnesses that intern paths outside an
+    /// engine-driven event (tests, hand-fed updates).
+    pub fn paths_mut(&mut self) -> &mut PathArena {
+        &mut self.paths
     }
 
     /// Router of one AS (immutable — data-plane snapshots).
@@ -402,9 +421,8 @@ impl<R: RouterLogic> Engine<R> {
         let mut changed = false;
         for (me, other) in [(l.a, l.b), (l.b, l.a)] {
             if self.state.node_ok(me) {
-                changed |= self.with_router_ctx(me, |router, ctx| {
-                    router.on_link_down(ctx, other, cause)
-                });
+                changed |=
+                    self.with_router_ctx(me, |router, ctx| router.on_link_down(ctx, other, cause));
             }
         }
         changed
@@ -427,8 +445,7 @@ impl<R: RouterLogic> Engine<R> {
         };
         let mut changed = false;
         for (me, other) in [(l.a, l.b), (l.b, l.a)] {
-            changed |=
-                self.with_router_ctx(me, |router, ctx| router.on_link_up(ctx, other, cause));
+            changed |= self.with_router_ctx(me, |router, ctx| router.on_link_up(ctx, other, cause));
         }
         changed
     }
@@ -454,9 +471,8 @@ impl<R: RouterLogic> Engine<R> {
                     self.clear_session(v, n);
                     self.clear_session(n, v);
                     if self.state.node_ok(n) {
-                        changed |= self.with_router_ctx(n, |router, ctx| {
-                            router.on_link_down(ctx, v, cause)
-                        });
+                        changed |= self
+                            .with_router_ctx(n, |router, ctx| router.on_link_down(ctx, v, cause));
                     }
                 }
             }
@@ -466,7 +482,8 @@ impl<R: RouterLogic> Engine<R> {
 
     /// Forget MRAI pendings for a directed session (link went down).
     fn clear_session(&mut self, from: AsId, to: AsId) {
-        self.mrai.retain(|(f, t, _, _), _| !(*f == from && *t == to));
+        self.mrai
+            .retain(|(f, t, _, _), _| !(*f == from && *t == to));
     }
 
     fn session_alive(&self, a: AsId, b: AsId) -> bool {
@@ -479,17 +496,22 @@ impl<R: RouterLogic> Engine<R> {
     where
         F: FnOnce(&mut R, &mut RouterCtx),
     {
-        // Destructure to borrow `routers` mutably while `g`/`state` stay
-        // shared — the ctx only reads topology and liveness.
+        // Destructure to borrow `routers` and the arena mutably while
+        // `g`/`state` stay shared — the ctx reads topology and liveness and
+        // interns paths.
         let (out, fib_changed) = {
             let Engine {
-                routers, g, state, ..
+                routers,
+                g,
+                state,
+                paths,
+                ..
             } = self;
             let sessions = Sessions {
                 g: &*g,
                 state: &*state,
             };
-            let mut ctx = RouterCtx::new(v, &*g, &sessions);
+            let mut ctx = RouterCtx::new(v, &*g, &sessions, paths);
             f(&mut routers[v.index()], &mut ctx);
             (ctx.out, ctx.fib_changed)
         };
@@ -818,17 +840,30 @@ mod more_tests {
         b.customer_of(4, 3).unwrap();
         let g = b.build().unwrap();
         let mut e: Engine<BgpRouter> = Engine::new(g.clone(), EngineConfig::fast(5), |v| {
-            BgpRouter::new(v, if v == AsId(4) { vec![PrefixId(0)] } else { vec![] })
+            BgpRouter::new(
+                v,
+                if v == AsId(4) {
+                    vec![PrefixId(0)]
+                } else {
+                    vec![]
+                },
+            )
         });
         e.start();
         e.run_to_quiescence(None);
-        let before: Vec<Option<AsId>> = g.ases().map(|v| e.router(v).next_hop(PrefixId(0))).collect();
+        let before: Vec<Option<AsId>> = g
+            .ases()
+            .map(|v| e.router(v).next_hop(PrefixId(0)))
+            .collect();
         let id = g.link_between(AsId(4), AsId(2)).unwrap();
         // Reset: down now, back up 30 simulated seconds later.
         e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
         e.inject_after(SimDuration::from_secs(31), ScenarioEvent::RecoverLink(id));
         e.run_to_quiescence(None);
-        let after: Vec<Option<AsId>> = g.ases().map(|v| e.router(v).next_hop(PrefixId(0))).collect();
+        let after: Vec<Option<AsId>> = g
+            .ases()
+            .map(|v| e.router(v).next_hop(PrefixId(0)))
+            .collect();
         assert_eq!(before, after, "session reset must be fully transparent");
     }
 
@@ -841,7 +876,14 @@ mod more_tests {
         b.customer_of(2, 1).unwrap();
         let g = b.build().unwrap();
         let mut e: Engine<BgpRouter> = Engine::new(g.clone(), EngineConfig::fast(7), |v| {
-            BgpRouter::new(v, if v == AsId(2) { vec![PrefixId(0)] } else { vec![] })
+            BgpRouter::new(
+                v,
+                if v == AsId(2) {
+                    vec![PrefixId(0)]
+                } else {
+                    vec![]
+                },
+            )
         });
         e.start();
         e.run_to_quiescence(None);
@@ -874,7 +916,14 @@ mod more_tests {
             ..EngineConfig::fast(9)
         };
         let mut e: Engine<BgpRouter> = Engine::new(g, cfg, |v| {
-            BgpRouter::new(v, if v == AsId(4) { vec![PrefixId(0)] } else { vec![] })
+            BgpRouter::new(
+                v,
+                if v == AsId(4) {
+                    vec![PrefixId(0)]
+                } else {
+                    vec![]
+                },
+            )
         });
         e.start();
         let stats = e.run_to_quiescence(Some(SimTime::from_secs(3600)));

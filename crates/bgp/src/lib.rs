@@ -8,6 +8,8 @@
 //! * [`types`] — prefixes, process instances (STAMP's red/blue "colours"),
 //!   routes, the paper's two new path attributes (`Lock`, `ET`), R-BGP's
 //!   root-cause information, and update messages;
+//! * [`patharena`] — hash-consed AS-path storage: every path is interned
+//!   once, routes are `Copy` handles, prepend is an O(1) child intern;
 //! * [`policy`] — prefer-customer local preference and the valley-free
 //!   export gate;
 //! * [`rib`] — Adj-RIB-In storage and the BGP decision process
@@ -31,6 +33,7 @@
 
 pub mod bytebuf;
 pub mod engine;
+pub mod patharena;
 pub mod policy;
 pub mod rib;
 pub mod router;
@@ -38,9 +41,10 @@ pub mod types;
 pub mod wire;
 
 pub use engine::{Engine, EngineConfig, RunStats, ScenarioEvent};
+pub use patharena::{PathArena, PathId};
 pub use policy::{export_ok, local_pref};
-pub use rib::{DecisionOutcome, RibIn};
+pub use rib::{DecisionOutcome, RibEntry, RibIn};
 pub use router::{BgpRouter, OutMsg, RouterCtx, RouterLogic};
 pub use types::{
-    Color, EventType, PathAttrs, PrefixId, ProcId, Route, RootCause, UpdateKind, UpdateMsg,
+    Color, EventType, PathAttrs, PrefixId, ProcId, RootCause, Route, UpdateKind, UpdateMsg,
 };

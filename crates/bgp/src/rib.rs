@@ -1,19 +1,38 @@
 //! Adj-RIB-In storage and the BGP decision process.
+//!
+//! Routes are grouped per `(prefix, process)` in a `BTreeMap` keyed by the
+//! announcing neighbour, so the decision process iterates candidates in
+//! neighbour-id order directly — no per-call collect-and-sort — and every
+//! stored entry is a `Copy` arena handle rather than an owned path. The
+//! announcing neighbour's relation is cached in the entry at insert time
+//! (it is a static property of the topology), so the decision process
+//! never performs graph lookups.
 
+use crate::patharena::PathArena;
 use crate::policy::local_pref;
 use crate::types::{PrefixId, ProcId, Route};
-use stamp_topology::{AsGraph, AsId, Relation};
-use std::collections::HashMap;
+use stamp_topology::{AsId, Relation};
+use std::collections::BTreeMap;
+
+/// One stored route plus the relation it was learned over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RibEntry {
+    /// The route as received (receiver not on the path).
+    pub route: Route,
+    /// Relation of the announcing neighbour (fixed per session; cached so
+    /// `decide` skips the graph's link lookup).
+    pub learned_from: Relation,
+}
 
 /// Per-router routes learned from neighbours, keyed by
-/// `(prefix, process instance, neighbour)`.
+/// `(prefix, process instance)` then neighbour.
 #[derive(Debug, Clone, Default)]
 pub struct RibIn {
-    entries: HashMap<(PrefixId, ProcId, AsId), Route>,
+    entries: BTreeMap<(PrefixId, ProcId), BTreeMap<AsId, RibEntry>>,
 }
 
 /// Result of running the decision process.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DecisionOutcome {
     /// The neighbour the best route was learned from.
     pub neighbor: AsId,
@@ -30,72 +49,91 @@ impl RibIn {
         RibIn::default()
     }
 
-    /// Install (replacing) the route announced by `neighbor`.
-    pub fn insert(&mut self, prefix: PrefixId, proc: ProcId, neighbor: AsId, route: Route) {
-        self.entries.insert((prefix, proc, neighbor), route);
+    /// Install (replacing) the route announced by `neighbor`, learned over
+    /// `learned_from`.
+    pub fn insert(
+        &mut self,
+        prefix: PrefixId,
+        proc: ProcId,
+        neighbor: AsId,
+        route: Route,
+        learned_from: Relation,
+    ) {
+        self.entries.entry((prefix, proc)).or_default().insert(
+            neighbor,
+            RibEntry {
+                route,
+                learned_from,
+            },
+        );
     }
 
     /// Remove the route announced by `neighbor`; returns it if present.
     pub fn remove(&mut self, prefix: PrefixId, proc: ProcId, neighbor: AsId) -> Option<Route> {
-        self.entries.remove(&(prefix, proc, neighbor))
+        let group = self.entries.get_mut(&(prefix, proc))?;
+        let removed = group.remove(&neighbor);
+        if group.is_empty() {
+            self.entries.remove(&(prefix, proc));
+        }
+        removed.map(|e| e.route)
     }
 
     /// Remove every route learned from `neighbor` on any prefix or process
-    /// (session teardown on link failure). Returns the removed keys.
+    /// (session teardown on link failure). Returns the affected
+    /// `(prefix, proc)` keys in ascending order.
     pub fn remove_neighbor(&mut self, neighbor: AsId) -> Vec<(PrefixId, ProcId)> {
-        let keys: Vec<(PrefixId, ProcId, AsId)> = self
-            .entries
-            .keys()
-            .filter(|(_, _, n)| *n == neighbor)
-            .copied()
-            .collect();
-        keys.iter()
-            .map(|k| {
-                self.entries.remove(k);
-                (k.0, k.1)
-            })
-            .collect()
+        let mut dropped = Vec::new();
+        for (&key, group) in self.entries.iter_mut() {
+            if group.remove(&neighbor).is_some() {
+                dropped.push(key);
+            }
+        }
+        self.entries.retain(|_, group| !group.is_empty());
+        dropped
     }
 
-    /// Route announced by `neighbor`, if any.
-    pub fn get(&self, prefix: PrefixId, proc: ProcId, neighbor: AsId) -> Option<&Route> {
-        self.entries.get(&(prefix, proc, neighbor))
+    /// Entry announced by `neighbor`, if any.
+    pub fn get(&self, prefix: PrefixId, proc: ProcId, neighbor: AsId) -> Option<&RibEntry> {
+        self.entries.get(&(prefix, proc))?.get(&neighbor)
     }
 
-    /// All `(neighbor, route)` pairs for one `(prefix, proc)`, in
-    /// deterministic (neighbour id) order.
-    pub fn routes(&self, prefix: PrefixId, proc: ProcId) -> Vec<(AsId, &Route)> {
-        let mut v: Vec<(AsId, &Route)> = self
-            .entries
-            .iter()
-            .filter(|((p, pr, _), _)| *p == prefix && *pr == proc)
-            .map(|((_, _, n), r)| (*n, r))
-            .collect();
-        v.sort_by_key(|(n, _)| *n);
-        v
+    /// All `(neighbor, entry)` pairs for one `(prefix, proc)`, in ascending
+    /// neighbour-id order (the stored order — nothing is built per call).
+    pub fn routes(
+        &self,
+        prefix: PrefixId,
+        proc: ProcId,
+    ) -> impl Iterator<Item = (AsId, RibEntry)> + '_ {
+        self.entries
+            .get(&(prefix, proc))
+            .into_iter()
+            .flat_map(|group| group.iter().map(|(&n, &e)| (n, e)))
     }
 
     /// Retain only routes satisfying `keep`; returns the `(prefix, proc,
-    /// neighbor)` keys that were dropped (used by R-BGP's root-cause purge).
+    /// neighbor)` keys that were dropped, in ascending order (used by
+    /// R-BGP's root-cause purge).
     pub fn purge<F>(&mut self, mut keep: F) -> Vec<(PrefixId, ProcId, AsId)>
     where
         F: FnMut(&Route) -> bool,
     {
-        let dropped: Vec<(PrefixId, ProcId, AsId)> = self
-            .entries
-            .iter()
-            .filter(|(_, r)| !keep(r))
-            .map(|(k, _)| *k)
-            .collect();
-        for k in &dropped {
-            self.entries.remove(k);
+        let mut dropped = Vec::new();
+        for (&(prefix, proc), group) in self.entries.iter_mut() {
+            group.retain(|&n, e| {
+                let ok = keep(&e.route);
+                if !ok {
+                    dropped.push((prefix, proc, n));
+                }
+                ok
+            });
         }
+        self.entries.retain(|_, group| !group.is_empty());
         dropped
     }
 
     /// Number of stored routes (all prefixes and processes).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.values().map(|g| g.len()).sum()
     }
 
     /// Whether the RIB is empty.
@@ -114,7 +152,7 @@ impl RibIn {
     /// 5. lowest neighbour id.
     pub fn decide<F>(
         &self,
-        g: &AsGraph,
+        arena: &PathArena,
         me: AsId,
         prefix: PrefixId,
         proc: ProcId,
@@ -123,32 +161,28 @@ impl RibIn {
     where
         F: Fn(AsId) -> bool,
     {
-        let mut best: Option<(u32, u32, AsId, &Route, Relation)> = None;
-        for (n, r) in self.routes(prefix, proc) {
-            if r.contains(me) || !usable(n) {
+        let mut best: Option<(u32, u32, AsId, RibEntry)> = None;
+        for (n, e) in self.routes(prefix, proc) {
+            if e.route.contains(arena, me) || !usable(n) {
                 continue;
             }
-            let rel = match g.relation(me, n) {
-                Some(rel) => rel,
-                None => continue,
-            };
-            let pref = local_pref(rel);
-            let cand = (pref, r.len(), n, r, rel);
+            let pref = local_pref(e.learned_from);
+            let cand = (pref, e.route.len(arena), n, e);
             best = match best {
                 None => Some(cand),
                 Some(cur) => {
                     // Higher pref wins; then shorter path; then lower id.
-                    let better = (cand.0 > cur.0)
-                        || (cand.0 == cur.0 && cand.1 < cur.1)
-                        || (cand.0 == cur.0 && cand.1 == cur.1 && cand.2 < cur.2);
+                    // Candidates arrive in ascending neighbour order, so
+                    // the id tiebreak is "first seen wins".
+                    let better = (cand.0 > cur.0) || (cand.0 == cur.0 && cand.1 < cur.1);
                     Some(if better { cand } else { cur })
                 }
             };
         }
-        best.map(|(_, _, n, r, rel)| DecisionOutcome {
+        best.map(|(_, _, n, e)| DecisionOutcome {
             neighbor: n,
-            route: r.clone(),
-            learned_from: rel,
+            route: e.route,
+            learned_from: e.learned_from,
         })
     }
 }
@@ -157,13 +191,20 @@ impl RibIn {
 mod tests {
     use super::*;
     use crate::types::PathAttrs;
-    use stamp_topology::GraphBuilder;
+    use stamp_topology::{AsGraph, GraphBuilder};
 
-    fn route(path: &[u32]) -> Route {
+    fn route(a: &mut PathArena, path: &[u32]) -> Route {
+        let ids: Vec<AsId> = path.iter().map(|&x| AsId(x)).collect();
         Route {
-            path: path.iter().map(|&x| AsId(x)).collect(),
+            path: a.intern_slice(&ids),
             attrs: PathAttrs::default(),
         }
+    }
+
+    /// Insert resolving the relation from the graph, as routers do.
+    fn learn(rib: &mut RibIn, g: &AsGraph, me: AsId, p: PrefixId, pr: ProcId, r: Route, n: AsId) {
+        let rel = g.relation(me, n).expect("adjacent");
+        rib.insert(p, pr, n, r, rel);
     }
 
     /// me = 0 with customer 1, peer 2, provider 3; origin 4 somewhere below.
@@ -181,15 +222,20 @@ mod tests {
 
     const P: PrefixId = PrefixId(0);
     const PR: ProcId = ProcId::ONLY;
+    const ME: AsId = AsId(0);
 
     #[test]
     fn prefers_customer_over_shorter_peer() {
         let g = graph();
+        let mut a = PathArena::new();
         let mut rib = RibIn::new();
-        rib.insert(P, PR, AsId(1), route(&[1, 4])); // customer, len 2
-        rib.insert(P, PR, AsId(2), route(&[2, 4])); // peer, len 2
-        rib.insert(P, PR, AsId(3), route(&[3, 4])); // provider, len 2
-        let d = rib.decide(&g, AsId(0), P, PR, |_| true).unwrap();
+        let r1 = route(&mut a, &[1, 4]); // customer, len 2
+        let r2 = route(&mut a, &[2, 4]); // peer, len 2
+        let r3 = route(&mut a, &[3, 4]); // provider, len 2
+        learn(&mut rib, &g, ME, P, PR, r1, AsId(1));
+        learn(&mut rib, &g, ME, P, PR, r2, AsId(2));
+        learn(&mut rib, &g, ME, P, PR, r3, AsId(3));
+        let d = rib.decide(&a, ME, P, PR, |_| true).unwrap();
         assert_eq!(d.neighbor, AsId(1));
         assert_eq!(d.learned_from, Relation::Customer);
     }
@@ -197,68 +243,97 @@ mod tests {
     #[test]
     fn shorter_path_wins_within_same_pref() {
         let g = graph();
+        let mut a = PathArena::new();
         let mut rib = RibIn::new();
-        rib.insert(P, PR, AsId(2), route(&[2, 7, 4]));
-        rib.insert(P, PR, AsId(3), route(&[3, 4]));
+        let r2 = route(&mut a, &[2, 7, 4]);
+        let r3 = route(&mut a, &[3, 4]);
+        learn(&mut rib, &g, ME, P, PR, r2, AsId(2));
+        learn(&mut rib, &g, ME, P, PR, r3, AsId(3));
         // Both non-customer; peer pref (200) beats provider (100) though —
         // so use two providers... only one provider here. Instead compare
         // peer long vs peer short is impossible; check peer beats provider
         // even when longer:
-        let d = rib.decide(&g, AsId(0), P, PR, |_| true).unwrap();
+        let d = rib.decide(&a, ME, P, PR, |_| true).unwrap();
         assert_eq!(d.neighbor, AsId(2), "peer pref beats provider");
         // Now give the peer an even longer path; still wins on pref.
-        rib.insert(P, PR, AsId(2), route(&[2, 7, 8, 4]));
-        let d = rib.decide(&g, AsId(0), P, PR, |_| true).unwrap();
+        let longer = route(&mut a, &[2, 7, 8, 4]);
+        learn(&mut rib, &g, ME, P, PR, longer, AsId(2));
+        let d = rib.decide(&a, ME, P, PR, |_| true).unwrap();
         assert_eq!(d.neighbor, AsId(2));
     }
 
     #[test]
     fn loop_paths_rejected() {
         let g = graph();
+        let mut a = PathArena::new();
         let mut rib = RibIn::new();
-        rib.insert(P, PR, AsId(1), route(&[1, 0, 4])); // contains me=0
-        assert!(rib.decide(&g, AsId(0), P, PR, |_| true).is_none());
-        rib.insert(P, PR, AsId(3), route(&[3, 4]));
-        let d = rib.decide(&g, AsId(0), P, PR, |_| true).unwrap();
+        let looped = route(&mut a, &[1, 0, 4]); // contains me=0
+        learn(&mut rib, &g, ME, P, PR, looped, AsId(1));
+        assert!(rib.decide(&a, ME, P, PR, |_| true).is_none());
+        let clean = route(&mut a, &[3, 4]);
+        learn(&mut rib, &g, ME, P, PR, clean, AsId(3));
+        let d = rib.decide(&a, ME, P, PR, |_| true).unwrap();
         assert_eq!(d.neighbor, AsId(3));
     }
 
     #[test]
     fn unusable_neighbors_skipped() {
         let g = graph();
+        let mut a = PathArena::new();
         let mut rib = RibIn::new();
-        rib.insert(P, PR, AsId(1), route(&[1, 4]));
-        rib.insert(P, PR, AsId(3), route(&[3, 4]));
-        let d = rib
-            .decide(&g, AsId(0), P, PR, |n| n != AsId(1))
-            .unwrap();
+        let r1 = route(&mut a, &[1, 4]);
+        let r3 = route(&mut a, &[3, 4]);
+        learn(&mut rib, &g, ME, P, PR, r1, AsId(1));
+        learn(&mut rib, &g, ME, P, PR, r3, AsId(3));
+        let d = rib.decide(&a, ME, P, PR, |n| n != AsId(1)).unwrap();
         assert_eq!(d.neighbor, AsId(3));
     }
 
     #[test]
     fn remove_neighbor_clears_all_entries() {
+        let mut a = PathArena::new();
         let mut rib = RibIn::new();
-        rib.insert(P, PR, AsId(1), route(&[1, 4]));
-        rib.insert(PrefixId(1), PR, AsId(1), route(&[1, 8]));
-        rib.insert(P, ProcId(1), AsId(1), route(&[1, 4]));
-        rib.insert(P, PR, AsId(2), route(&[2, 4]));
-        let mut dropped = rib.remove_neighbor(AsId(1));
-        dropped.sort();
+        let r14 = route(&mut a, &[1, 4]);
+        let r18 = route(&mut a, &[1, 8]);
+        let r24 = route(&mut a, &[2, 4]);
+        rib.insert(P, PR, AsId(1), r14, Relation::Customer);
+        rib.insert(PrefixId(1), PR, AsId(1), r18, Relation::Customer);
+        rib.insert(P, ProcId(1), AsId(1), r14, Relation::Customer);
+        rib.insert(P, PR, AsId(2), r24, Relation::Peer);
+        let dropped = rib.remove_neighbor(AsId(1));
         assert_eq!(
             dropped,
-            vec![(P, PR), (P, ProcId(1)), (PrefixId(1), PR)]
+            vec![(P, PR), (P, ProcId(1)), (PrefixId(1), PR)],
+            "returned sorted without caller-side sorting"
         );
         assert_eq!(rib.len(), 1);
     }
 
     #[test]
     fn purge_by_predicate() {
+        let mut a = PathArena::new();
         let mut rib = RibIn::new();
-        rib.insert(P, PR, AsId(1), route(&[1, 5, 9]));
-        rib.insert(P, PR, AsId(2), route(&[2, 4]));
-        let dropped = rib.purge(|r| !r.contains(AsId(5)));
+        let bad = route(&mut a, &[1, 5, 9]);
+        let good = route(&mut a, &[2, 4]);
+        rib.insert(P, PR, AsId(1), bad, Relation::Customer);
+        rib.insert(P, PR, AsId(2), good, Relation::Peer);
+        let dropped = rib.purge(|r| !r.contains(&a, AsId(5)));
         assert_eq!(dropped, vec![(P, PR, AsId(1))]);
         assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn routes_iterate_in_neighbor_order() {
+        let mut a = PathArena::new();
+        let mut rib = RibIn::new();
+        let r9 = route(&mut a, &[9, 4]);
+        let r1 = route(&mut a, &[1, 4]);
+        let r5 = route(&mut a, &[5, 4]);
+        rib.insert(P, PR, AsId(9), r9, Relation::Provider);
+        rib.insert(P, PR, AsId(1), r1, Relation::Provider);
+        rib.insert(P, PR, AsId(5), r5, Relation::Provider);
+        let order: Vec<AsId> = rib.routes(P, PR).map(|(n, _)| n).collect();
+        assert_eq!(order, vec![AsId(1), AsId(5), AsId(9)]);
     }
 
     #[test]
@@ -272,21 +347,27 @@ mod tests {
             b.customer_of(3, 2).unwrap();
             b.build().unwrap()
         };
+        let mut a = PathArena::new();
         let mut rib = RibIn::new();
-        rib.insert(P, PR, AsId(2), route(&[2, 3]));
-        rib.insert(P, PR, AsId(1), route(&[1, 3]));
-        let d = rib.decide(&g, AsId(0), P, PR, |_| true).unwrap();
+        let r2 = route(&mut a, &[2, 3]);
+        let r1 = route(&mut a, &[1, 3]);
+        learn(&mut rib, &g, ME, P, PR, r2, AsId(2));
+        learn(&mut rib, &g, ME, P, PR, r1, AsId(1));
+        let d = rib.decide(&a, ME, P, PR, |_| true).unwrap();
         assert_eq!(d.neighbor, AsId(1));
     }
 
     #[test]
     fn processes_are_independent() {
         let g = graph();
+        let mut a = PathArena::new();
         let mut rib = RibIn::new();
-        rib.insert(P, ProcId(0), AsId(1), route(&[1, 4]));
-        rib.insert(P, ProcId(1), AsId(3), route(&[3, 4]));
-        let red = rib.decide(&g, AsId(0), P, ProcId(0), |_| true).unwrap();
-        let blue = rib.decide(&g, AsId(0), P, ProcId(1), |_| true).unwrap();
+        let r1 = route(&mut a, &[1, 4]);
+        let r3 = route(&mut a, &[3, 4]);
+        learn(&mut rib, &g, ME, P, ProcId(0), r1, AsId(1));
+        learn(&mut rib, &g, ME, P, ProcId(1), r3, AsId(3));
+        let red = rib.decide(&a, ME, P, ProcId(0), |_| true).unwrap();
+        let blue = rib.decide(&a, ME, P, ProcId(1), |_| true).unwrap();
         assert_eq!(red.neighbor, AsId(1));
         assert_eq!(blue.neighbor, AsId(3));
     }

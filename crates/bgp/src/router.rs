@@ -6,6 +6,7 @@
 //! wants sent. Plain BGP ([`BgpRouter`]) is both the baseline the paper
 //! measures against and the template R-BGP and STAMP extend.
 
+use crate::patharena::{PathArena, PathId};
 use crate::policy::export_ok;
 use crate::rib::{DecisionOutcome, RibIn};
 use crate::types::{CauseInfo, PrefixId, ProcId, Route, UpdateKind, UpdateMsg, WithdrawInfo};
@@ -13,7 +14,7 @@ use stamp_topology::{AsGraph, AsId, Relation};
 use std::collections::HashMap;
 
 /// An update a router wants delivered to a neighbour.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutMsg {
     pub to: AsId,
     pub proc: ProcId,
@@ -34,6 +35,9 @@ pub struct RouterCtx<'a> {
     pub topo: &'a AsGraph,
     /// Liveness of adjacent sessions.
     pub sessions: &'a dyn SessionView,
+    /// The engine-owned path arena: routers intern paths here when they
+    /// originate or prepend, and read through it for decisions.
+    pub arena: &'a mut PathArena,
     /// Updates to send (engine applies MRAI to announcements).
     pub out: Vec<OutMsg>,
     /// Set by the router whenever its forwarding state changed — the engine
@@ -43,11 +47,17 @@ pub struct RouterCtx<'a> {
 
 impl<'a> RouterCtx<'a> {
     /// Fresh context for one event at router `me`.
-    pub fn new(me: AsId, topo: &'a AsGraph, sessions: &'a dyn SessionView) -> RouterCtx<'a> {
+    pub fn new(
+        me: AsId,
+        topo: &'a AsGraph,
+        sessions: &'a dyn SessionView,
+        arena: &'a mut PathArena,
+    ) -> RouterCtx<'a> {
         RouterCtx {
             me,
             topo,
             sessions,
+            arena,
             out: Vec::new(),
             fib_changed: false,
         }
@@ -95,7 +105,7 @@ pub trait RouterLogic {
 }
 
 /// Current selection for one `(prefix, proc)` at a router.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Selection {
     /// No route.
     #[default]
@@ -128,10 +138,11 @@ impl Selection {
         }
     }
 
-    /// Full AS path of the selection as stored (receiver not included).
-    pub fn path(&self) -> Option<&[AsId]> {
+    /// Arena handle of the selection's AS path as stored (receiver not
+    /// included); resolve through the owning engine's [`PathArena`].
+    pub fn path_id(&self) -> Option<PathId> {
         match self {
-            Selection::Learned(d) => Some(&d.route.path),
+            Selection::Learned(d) => Some(d.route.path),
             _ => None,
         }
     }
@@ -186,14 +197,16 @@ impl BgpRouter {
         let new = if self.originates(prefix) {
             Selection::Own
         } else {
-            match self.rib.decide(ctx.topo, self.me, prefix, ProcId::ONLY, |n| {
-                ctx.sessions.session_up(self.me, n)
-            }) {
+            match self
+                .rib
+                .decide(ctx.arena, self.me, prefix, ProcId::ONLY, |n| {
+                    ctx.sessions.session_up(self.me, n)
+                }) {
                 Some(d) => Selection::Learned(d),
                 None => Selection::None,
             }
         };
-        let old = self.best.get(&prefix).cloned().unwrap_or_default();
+        let old = self.best.get(&prefix).copied().unwrap_or_default();
         if new == old {
             return;
         }
@@ -205,11 +218,11 @@ impl BgpRouter {
     }
 
     /// Desired advertisement towards `n` under the valley-free gate.
-    fn export_for(&self, ctx: &RouterCtx, prefix: PrefixId, n: AsId) -> Option<Route> {
+    fn export_for(&self, ctx: &mut RouterCtx, prefix: PrefixId, n: AsId) -> Option<Route> {
         let to_rel = ctx.relation(n)?;
         match self.selection(prefix) {
             Selection::None => None,
-            Selection::Own => Some(Route::originate(self.me)),
+            Selection::Own => Some(Route::originate(ctx.arena, self.me)),
             Selection::Learned(d) => {
                 if d.neighbor == n {
                     // Never reflect a route back to its sender (split
@@ -217,7 +230,7 @@ impl BgpRouter {
                     return None;
                 }
                 if export_ok(Some(d.learned_from), to_rel) {
-                    Some(d.route.prepend(self.me))
+                    Some(d.route.prepend(ctx.arena, self.me))
                 } else {
                     None
                 }
@@ -245,7 +258,7 @@ impl BgpRouter {
                 }
                 (Some(r), cur) => {
                     if cur != Some(&r) {
-                        self.rib_out.insert((n, prefix), r.clone());
+                        self.rib_out.insert((n, prefix), r);
                         ctx.send(
                             n,
                             ProcId::ONLY,
@@ -280,7 +293,13 @@ impl RouterLogic for BgpRouter {
     fn on_update(&mut self, ctx: &mut RouterCtx, from: AsId, _proc: ProcId, msg: UpdateMsg) {
         match msg.kind {
             UpdateKind::Announce(route) => {
-                self.rib.insert(msg.prefix, ProcId::ONLY, from, route);
+                // The relation is fixed per session; caching it in the RIB
+                // entry keeps the decision process free of graph lookups.
+                // A non-adjacent sender (impossible under the engine) is
+                // simply not stored.
+                if let Some(rel) = ctx.relation(from) {
+                    self.rib.insert(msg.prefix, ProcId::ONLY, from, route, rel);
+                }
             }
             UpdateKind::Withdraw(_) => {
                 self.rib.remove(msg.prefix, ProcId::ONLY, from);
@@ -314,7 +333,7 @@ impl RouterLogic for BgpRouter {
         // current best for every known prefix.
         for prefix in self.known_prefixes() {
             if let Some(r) = self.export_for(ctx, prefix, neighbor) {
-                self.rib_out.insert((neighbor, prefix), r.clone());
+                self.rib_out.insert((neighbor, prefix), r);
                 ctx.send(
                     neighbor,
                     ProcId::ONLY,
@@ -353,14 +372,19 @@ mod tests {
 
     const P: PrefixId = PrefixId(0);
 
-    fn announce(path: &[u32]) -> UpdateMsg {
+    fn announce(a: &mut PathArena, path: &[u32]) -> UpdateMsg {
+        let ids: Vec<AsId> = path.iter().map(|&x| AsId(x)).collect();
         UpdateMsg {
             prefix: P,
             kind: UpdateKind::Announce(Route {
-                path: path.iter().map(|&x| AsId(x)).collect(),
+                path: a.intern_slice(&ids),
                 attrs: Default::default(),
             }),
         }
+    }
+
+    fn ids(v: &[u32]) -> Vec<AsId> {
+        v.iter().map(|&x| AsId(x)).collect()
     }
 
     fn test_cause() -> CauseInfo {
@@ -381,15 +405,18 @@ mod tests {
     #[test]
     fn origin_announces_to_all_neighbors() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = BgpRouter::new(AsId(3), vec![P]);
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
         r.on_start(&mut ctx);
         let mut tos: Vec<AsId> = ctx.out.iter().map(|m| m.to).collect();
         tos.sort();
         assert_eq!(tos, vec![AsId(1), AsId(2)]);
         for m in &ctx.out {
             match &m.msg.kind {
-                UpdateKind::Announce(r) => assert_eq!(r.path, vec![AsId(3)]),
+                UpdateKind::Announce(r) => {
+                    assert_eq!(ctx.arena.as_vec(r.path), vec![AsId(3)])
+                }
                 _ => panic!("expected announce"),
             }
         }
@@ -399,15 +426,17 @@ mod tests {
     #[test]
     fn customer_route_propagates_everywhere() {
         let g = g();
+        let mut a = PathArena::new();
         // Router 1 learns prefix from customer 3; must export to provider 0.
         let mut r = BgpRouter::new(AsId(1), vec![]);
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, announce(&[3]));
+        let m = announce(&mut a, &[3]);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, m);
         assert_eq!(ctx.out.len(), 1);
         assert_eq!(ctx.out[0].to, AsId(0));
         match &ctx.out[0].msg.kind {
             UpdateKind::Announce(route) => {
-                assert_eq!(route.path, vec![AsId(1), AsId(3)]);
+                assert_eq!(ctx.arena.as_vec(route.path), ids(&[1, 3]));
             }
             _ => panic!("expected announce"),
         }
@@ -416,11 +445,13 @@ mod tests {
     #[test]
     fn provider_route_only_exported_to_customers() {
         let g = g();
+        let mut a = PathArena::new();
         // Router 1 learns the prefix from its *provider* 0; it must export
         // to customer 3 but not back to 0.
         let mut r = BgpRouter::new(AsId(1), vec![]);
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(0), ProcId::ONLY, announce(&[0, 2, 9]));
+        let m = announce(&mut a, &[0, 2, 9]);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(0), ProcId::ONLY, m);
         assert_eq!(ctx.out.len(), 1);
         assert_eq!(ctx.out[0].to, AsId(3));
     }
@@ -428,13 +459,16 @@ mod tests {
     #[test]
     fn no_reannounce_when_selection_unchanged() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = BgpRouter::new(AsId(1), vec![]);
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, announce(&[3]));
+        let m = announce(&mut a, &[3]);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, m);
         assert_eq!(ctx.out.len(), 1);
+        drop(ctx);
         // Same announcement again: selection unchanged, nothing sent.
-        let mut ctx2 = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx2, AsId(3), ProcId::ONLY, announce(&[3]));
+        let mut ctx2 = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx2, AsId(3), ProcId::ONLY, m);
         assert!(ctx2.out.is_empty());
         assert!(!ctx2.fib_changed);
     }
@@ -442,17 +476,22 @@ mod tests {
     #[test]
     fn withdraw_falls_back_to_alternative() {
         let g = g();
+        let mut a = PathArena::new();
         // Router 3 hears the prefix from both providers 1 and 2.
         let mut r = BgpRouter::new(AsId(3), vec![]);
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, announce(&[1, 0, 9]));
+        let m1 = announce(&mut a, &[1, 0, 9]);
+        let m2 = announce(&mut a, &[2, 0, 9]);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, m1);
         assert_eq!(r.next_hop(P), Some(AsId(1)));
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, announce(&[2, 0, 9]));
+        drop(ctx);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, m2);
         // 1 still wins the lowest-id tiebreak.
         assert_eq!(r.next_hop(P), Some(AsId(1)));
+        drop(ctx);
         // Withdraw from 1: fall back to 2.
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
         r.on_update(&mut ctx, AsId(1), ProcId::ONLY, withdraw());
         assert_eq!(r.next_hop(P), Some(AsId(2)));
         assert!(ctx.fib_changed);
@@ -461,11 +500,15 @@ mod tests {
     #[test]
     fn link_down_purges_and_reselects() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = BgpRouter::new(AsId(3), vec![]);
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, announce(&[1, 0, 9]));
-        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, announce(&[2, 0, 9]));
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        let m1 = announce(&mut a, &[1, 0, 9]);
+        let m2 = announce(&mut a, &[2, 0, 9]);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, m1);
+        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, m2);
+        drop(ctx);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
         r.on_link_down(&mut ctx, AsId(1), test_cause());
         assert_eq!(r.next_hop(P), Some(AsId(2)));
     }
@@ -473,11 +516,14 @@ mod tests {
     #[test]
     fn loses_all_routes_sends_withdraw() {
         let g = g();
+        let mut a = PathArena::new();
         // Router 1's only route is from customer 3; it advertised to 0.
         let mut r = BgpRouter::new(AsId(1), vec![]);
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, announce(&[3]));
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        let m = announce(&mut a, &[3]);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, m);
+        drop(ctx);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
         r.on_update(&mut ctx, AsId(3), ProcId::ONLY, withdraw());
         assert_eq!(ctx.out.len(), 1);
         assert_eq!(ctx.out[0].to, AsId(0));
@@ -489,10 +535,12 @@ mod tests {
     #[test]
     fn link_up_readvertises() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = BgpRouter::new(AsId(3), vec![P]);
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
         r.on_start(&mut ctx);
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        drop(ctx);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
         r.on_link_up(
             &mut ctx,
             AsId(2),
@@ -510,13 +558,15 @@ mod tests {
     #[test]
     fn split_horizon_no_reflection() {
         let g = g();
+        let mut a = PathArena::new();
         // Router 1 learns from provider 0 a path; it must not announce the
         // route back to 0 even though 0 is... a provider (export already
         // forbids). Check the customer case: router 3 learns from 1 and
         // would export to customers — it has none; ensure no echo to 1.
         let mut r = BgpRouter::new(AsId(3), vec![]);
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, announce(&[1, 0, 9]));
+        let m = announce(&mut a, &[1, 0, 9]);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(1), ProcId::ONLY, m);
         assert!(ctx.out.is_empty());
     }
 }

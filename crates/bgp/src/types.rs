@@ -1,5 +1,6 @@
 //! Core protocol types shared by BGP, R-BGP and STAMP.
 
+use crate::patharena::{PathArena, PathId};
 use stamp_topology::AsId;
 use std::fmt;
 
@@ -131,6 +132,31 @@ impl RootCause {
                 .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a)),
         }
     }
+
+    /// Does the interned path traverse this cause? Zero-allocation chain
+    /// walk (the R-BGP purge/escape hot path).
+    pub fn invalidates_path(&self, arena: &PathArena, path: PathId) -> bool {
+        match *self {
+            RootCause::Node(x) => arena.contains(path, x),
+            RootCause::Link(a, b) => arena.traverses_link(path, a, b),
+        }
+    }
+
+    /// Does `head · path` (a stored path with its holder prepended)
+    /// traverse this cause? Avoids materialising the joined sequence.
+    pub fn invalidates_with_head(&self, head: AsId, path: &[AsId]) -> bool {
+        match *self {
+            RootCause::Node(x) => head == x || path.contains(&x),
+            RootCause::Link(a, b) => {
+                if let Some(&first) = path.first() {
+                    if (head == a && first == b) || (head == b && first == a) {
+                        return true;
+                    }
+                }
+                self.invalidates(path)
+            }
+        }
+    }
 }
 
 /// Optional path attributes carried by announcements. Plain BGP leaves all
@@ -149,20 +175,22 @@ pub struct PathAttrs {
 
 /// A route as stored in a RIB or carried in an announcement.
 ///
-/// `path[0]` is the AS that announced the route to us (the next hop);
-/// `path[last]` is the origin AS. A route announced by the origin itself has
-/// `path = [origin]`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The AS path lives in the engine's [`PathArena`]; the route itself is a
+/// `Copy` handle plus attributes, so installing, re-exporting and queueing
+/// routes never allocates. The path's first AS is the one that announced
+/// the route to us (the next hop); its last is the origin AS. A route
+/// announced by the origin itself has path `[origin]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Route {
-    pub path: Vec<AsId>,
+    pub path: PathId,
     pub attrs: PathAttrs,
 }
 
 impl Route {
     /// Route originating at `origin` (as announced by the origin).
-    pub fn originate(origin: AsId) -> Route {
+    pub fn originate(arena: &mut PathArena, origin: AsId) -> Route {
         Route {
-            path: vec![origin],
+            path: arena.origin_path(origin),
             attrs: PathAttrs::default(),
         }
     }
@@ -170,42 +198,34 @@ impl Route {
     /// AS-path length in links as seen by the *receiver* of this route
     /// (the receiver itself is not on the path yet).
     #[inline]
-    pub fn len(&self) -> u32 {
-        self.path.len() as u32
-    }
-
-    /// Whether the path is empty (never true for valid routes).
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.path.is_empty()
+    pub fn len(&self, arena: &PathArena) -> u32 {
+        arena.path_len(self.path)
     }
 
     /// The announcing neighbour (next hop for the receiver).
     #[inline]
-    pub fn next_hop(&self) -> AsId {
-        self.path[0]
+    pub fn next_hop(&self, arena: &PathArena) -> AsId {
+        arena.head(self.path)
     }
 
     /// The origin AS.
     #[inline]
-    pub fn origin(&self) -> AsId {
-        *self.path.last().expect("routes have non-empty paths")
+    pub fn origin(&self, arena: &PathArena) -> AsId {
+        arena.origin(self.path)
     }
 
     /// Does the path contain `asn` (loop detection)?
     #[inline]
-    pub fn contains(&self, asn: AsId) -> bool {
-        self.path.contains(&asn)
+    pub fn contains(&self, arena: &PathArena, asn: AsId) -> bool {
+        arena.contains(self.path, asn)
     }
 
-    /// The route as `me` would re-announce it: `me` prepended, attributes
-    /// reset to protocol defaults (each protocol then sets its own).
-    pub fn prepend(&self, me: AsId) -> Route {
-        let mut path = Vec::with_capacity(self.path.len() + 1);
-        path.push(me);
-        path.extend_from_slice(&self.path);
+    /// The route as `me` would re-announce it: `me` prepended (an O(1)
+    /// child-node intern), attributes reset to protocol defaults (each
+    /// protocol then sets its own).
+    pub fn prepend(&self, arena: &mut PathArena, me: AsId) -> Route {
         Route {
-            path,
+            path: arena.intern(me, self.path),
             attrs: PathAttrs::default(),
         }
     }
@@ -243,8 +263,9 @@ impl WithdrawInfo {
     }
 }
 
-/// Body of an update message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Body of an update message. `Copy`: the route is an arena handle, so
+/// queueing a message through MRAI slots and FIFO channels costs nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateKind {
     /// Announce (or implicitly replace) a route.
     Announce(Route),
@@ -253,7 +274,7 @@ pub enum UpdateKind {
 }
 
 /// A BGP UPDATE for one prefix on one process instance.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UpdateMsg {
     pub prefix: PrefixId,
     pub kind: UpdateKind,
@@ -285,34 +306,39 @@ mod tests {
 
     #[test]
     fn route_accessors() {
+        let mut a = PathArena::new();
         let r = Route {
-            path: ids(&[3, 2, 1]),
+            path: a.intern_slice(&ids(&[3, 2, 1])),
             attrs: PathAttrs::default(),
         };
-        assert_eq!(r.next_hop(), AsId(3));
-        assert_eq!(r.origin(), AsId(1));
-        assert_eq!(r.len(), 3);
-        assert!(r.contains(AsId(2)));
-        assert!(!r.contains(AsId(9)));
+        assert_eq!(r.next_hop(&a), AsId(3));
+        assert_eq!(r.origin(&a), AsId(1));
+        assert_eq!(r.len(&a), 3);
+        assert!(r.contains(&a, AsId(2)));
+        assert!(!r.contains(&a, AsId(9)));
     }
 
     #[test]
     fn prepend_builds_announcement_path() {
-        let r = Route::originate(AsId(1));
-        let at2 = r.prepend(AsId(2));
-        assert_eq!(at2.path, ids(&[2, 1]));
-        let at5 = at2.prepend(AsId(5));
-        assert_eq!(at5.path, ids(&[5, 2, 1]));
-        assert_eq!(at5.origin(), AsId(1));
-        assert_eq!(at5.next_hop(), AsId(5));
+        let mut a = PathArena::new();
+        let r = Route::originate(&mut a, AsId(1));
+        let at2 = r.prepend(&mut a, AsId(2));
+        assert_eq!(a.as_vec(at2.path), ids(&[2, 1]));
+        let at5 = at2.prepend(&mut a, AsId(5));
+        assert_eq!(a.as_vec(at5.path), ids(&[5, 2, 1]));
+        assert_eq!(at5.origin(&a), AsId(1));
+        assert_eq!(at5.next_hop(&a), AsId(5));
+        // Hash-consing: equal paths are equal handles.
+        assert_eq!(a.intern_slice(&ids(&[5, 2, 1])), at5.path);
     }
 
     #[test]
     fn prepend_resets_attrs() {
-        let mut r = Route::originate(AsId(1));
+        let mut a = PathArena::new();
+        let mut r = Route::originate(&mut a, AsId(1));
         r.attrs.lock = true;
         r.attrs.et = Some(EventType::Lost);
-        let p = r.prepend(AsId(2));
+        let p = r.prepend(&mut a, AsId(2));
         assert_eq!(p.attrs, PathAttrs::default());
     }
 
@@ -330,5 +356,49 @@ mod tests {
         let rc = RootCause::Node(AsId(4));
         assert!(rc.invalidates(&ids(&[1, 4, 2])));
         assert!(!rc.invalidates(&ids(&[1, 3, 2])));
+    }
+
+    #[test]
+    fn invalidates_path_matches_slice_semantics() {
+        let mut a = PathArena::new();
+        for path in [&[7u32, 5, 2, 1][..], &[7, 2, 5, 1], &[7, 5, 3, 2], &[4]] {
+            let slice = ids(path);
+            let id = a.intern_slice(&slice);
+            for rc in [
+                RootCause::link(AsId(5), AsId(2)),
+                RootCause::link(AsId(7), AsId(1)),
+                RootCause::Node(AsId(4)),
+                RootCause::Node(AsId(9)),
+            ] {
+                assert_eq!(
+                    rc.invalidates_path(&a, id),
+                    rc.invalidates(&slice),
+                    "{rc:?} on {path:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalidates_with_head_matches_joined_slice() {
+        let head = AsId(7);
+        for rest in [&[5u32, 2, 1][..], &[2, 5], &[]] {
+            let rest = ids(rest);
+            let mut joined = vec![head];
+            joined.extend_from_slice(&rest);
+            for rc in [
+                RootCause::link(AsId(7), AsId(5)),
+                RootCause::link(AsId(5), AsId(2)),
+                RootCause::Node(AsId(7)),
+                RootCause::Node(AsId(1)),
+                RootCause::Node(AsId(9)),
+            ] {
+                assert_eq!(
+                    rc.invalidates_with_head(head, &rest),
+                    rc.invalidates(&joined),
+                    "{rc:?} on {joined:?}"
+                );
+            }
+        }
     }
 }

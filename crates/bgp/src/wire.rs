@@ -23,11 +23,12 @@
 //! A round-trip property test lives in the root property suite
 //! (`tests/properties.rs`).
 
+use crate::bytebuf::{ByteBuf, ByteReader};
+use crate::patharena::PathArena;
 use crate::types::{
-    CauseInfo, EventType, PathAttrs, PrefixId, Route, RootCause, UpdateKind, UpdateMsg,
+    CauseInfo, EventType, PathAttrs, PrefixId, RootCause, Route, UpdateKind, UpdateMsg,
     WithdrawInfo,
 };
-use crate::bytebuf::{ByteBuf, ByteReader};
 use stamp_topology::AsId;
 use std::fmt;
 
@@ -81,8 +82,9 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Encode one UPDATE to wire bytes.
-pub fn encode(msg: &UpdateMsg) -> Vec<u8> {
+/// Encode one UPDATE to wire bytes, resolving the route's AS path by
+/// walking `arena` (no intermediate path materialisation).
+pub fn encode(arena: &PathArena, msg: &UpdateMsg) -> Vec<u8> {
     let mut body = ByteBuf::with_capacity(64);
 
     match &msg.kind {
@@ -118,17 +120,19 @@ pub fn encode(msg: &UpdateMsg) -> Vec<u8> {
             // ORIGIN = IGP.
             put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_ORIGIN, 1);
             attrs.put_u8(0);
-            // AS_PATH: one AS_SEQUENCE of 4-octet ASNs.
-            let plen = 2 + 4 * route.path.len();
+            // AS_PATH: one AS_SEQUENCE of 4-octet ASNs, walked straight out
+            // of the arena.
+            let count = route.len(arena) as usize;
+            let plen = 2 + 4 * count;
             put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_AS_PATH, plen);
             attrs.put_u8(AS_SEQUENCE);
-            attrs.put_u8(route.path.len() as u8);
-            for a in &route.path {
+            attrs.put_u8(count as u8);
+            for a in arena.iter(route.path) {
                 attrs.put_u32(a.0);
             }
             // NEXT_HOP: the announcing AS (AS-level model).
             put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_NEXT_HOP, 4);
-            attrs.put_u32(route.next_hop().0);
+            attrs.put_u32(route.next_hop(arena).0);
             // STAMP Lock.
             if route.attrs.lock {
                 put_attr_header(&mut attrs, FLAGS_OPT_TRANS, ATTR_LOCK, 1);
@@ -196,8 +200,9 @@ fn put_rci(buf: &mut ByteBuf, info: CauseInfo) {
     buf.put_u8(u8::from(info.up));
 }
 
-/// Decode one UPDATE from wire bytes.
-pub fn decode(raw: &[u8]) -> Result<UpdateMsg, WireError> {
+/// Decode one UPDATE from wire bytes, interning the announced AS path into
+/// `arena` (re-decoding a message yields the identical `PathId`).
+pub fn decode(arena: &mut PathArena, raw: &[u8]) -> Result<UpdateMsg, WireError> {
     let mut buf = ByteReader::new(raw);
     if buf.remaining() < 19 {
         return Err(WireError::Truncated);
@@ -374,7 +379,10 @@ pub fn decode(raw: &[u8]) -> Result<UpdateMsg, WireError> {
             }
             Ok(UpdateMsg {
                 prefix,
-                kind: UpdateKind::Announce(Route { path, attrs }),
+                kind: UpdateKind::Announce(Route {
+                    path: arena.intern_slice(&path),
+                    attrs,
+                }),
             })
         }
         (None, Some(prefix)) => Ok(UpdateMsg {
@@ -411,66 +419,93 @@ mod tests {
         v.iter().map(|&x| AsId(x)).collect()
     }
 
+    fn announce(a: &mut PathArena, prefix: u32, path: &[u32], attrs: PathAttrs) -> UpdateMsg {
+        UpdateMsg {
+            prefix: PrefixId(prefix),
+            kind: UpdateKind::Announce(Route {
+                path: a.intern_slice(&ids(path)),
+                attrs,
+            }),
+        }
+    }
+
     #[test]
     fn announce_roundtrip_plain() {
-        let msg = UpdateMsg {
-            prefix: PrefixId(7),
-            kind: UpdateKind::Announce(Route {
-                path: ids(&[4, 2, 1]),
-                attrs: PathAttrs::default(),
-            }),
-        };
-        let bytes = encode(&msg);
-        assert_eq!(decode(&bytes).unwrap(), msg);
+        let mut a = PathArena::new();
+        let msg = announce(&mut a, 7, &[4, 2, 1], PathAttrs::default());
+        let bytes = encode(&a, &msg);
+        // Decoding into the same arena re-interns the identical path, so
+        // the handles — and therefore the whole message — compare equal.
+        assert_eq!(decode(&mut a, &bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn announce_roundtrip_into_fresh_arena() {
+        let mut a = PathArena::new();
+        let msg = announce(&mut a, 7, &[4, 2, 1], PathAttrs::default());
+        let bytes = encode(&a, &msg);
+        let mut b = PathArena::new();
+        let decoded = decode(&mut b, &bytes).unwrap();
+        match decoded.kind {
+            UpdateKind::Announce(r) => assert_eq!(b.as_vec(r.path), ids(&[4, 2, 1])),
+            _ => panic!("expected announce"),
+        }
     }
 
     #[test]
     fn announce_roundtrip_with_stamp_attrs() {
+        let mut a = PathArena::new();
         for et in [EventType::Lost, EventType::NotLost] {
-            let msg = UpdateMsg {
-                prefix: PrefixId(0),
-                kind: UpdateKind::Announce(Route {
-                    path: ids(&[9]),
-                    attrs: PathAttrs {
-                        lock: true,
-                        et: Some(et),
-                        root_cause: None,
-                        failover: false,
-                    },
-                }),
-            };
-            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+            let msg = announce(
+                &mut a,
+                0,
+                &[9],
+                PathAttrs {
+                    lock: true,
+                    et: Some(et),
+                    root_cause: None,
+                    failover: false,
+                },
+            );
+            let bytes = encode(&a, &msg);
+            assert_eq!(decode(&mut a, &bytes).unwrap(), msg);
         }
     }
 
     #[test]
     fn announce_roundtrip_with_rbgp_attrs() {
-        let msg = UpdateMsg {
-            prefix: PrefixId(3),
-            kind: UpdateKind::Announce(Route {
-                path: ids(&[5, 6]),
-                attrs: PathAttrs {
-                    lock: false,
-                    et: None,
-                    root_cause: Some(CauseInfo {
-                        cause: RootCause::Link(AsId(1), AsId(2)),
-                        seq: 3,
-                        up: false,
-                    }),
-                    failover: true,
-                },
-            }),
-        };
-        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        let mut a = PathArena::new();
+        let msg = announce(
+            &mut a,
+            3,
+            &[5, 6],
+            PathAttrs {
+                lock: false,
+                et: None,
+                root_cause: Some(CauseInfo {
+                    cause: RootCause::Link(AsId(1), AsId(2)),
+                    seq: 3,
+                    up: false,
+                }),
+                failover: true,
+            },
+        );
+        let bytes = encode(&a, &msg);
+        assert_eq!(decode(&mut a, &bytes).unwrap(), msg);
     }
 
     #[test]
     fn withdraw_roundtrip() {
+        let mut a = PathArena::new();
         let plain = UpdateMsg {
             prefix: PrefixId(11),
-            kind: UpdateKind::Withdraw(WithdrawInfo { root_cause: None, ..Default::default() }),
+            kind: UpdateKind::Withdraw(WithdrawInfo {
+                root_cause: None,
+                ..Default::default()
+            }),
         };
-        assert_eq!(decode(&encode(&plain)).unwrap(), plain);
+        let bytes = encode(&a, &plain);
+        assert_eq!(decode(&mut a, &bytes).unwrap(), plain);
         let rci = UpdateMsg {
             prefix: PrefixId(11),
             kind: UpdateKind::Withdraw(WithdrawInfo {
@@ -483,75 +518,73 @@ mod tests {
                 failover: false,
             }),
         };
-        assert_eq!(decode(&encode(&rci)).unwrap(), rci);
-        assert_eq!(decode(&encode(&UpdateMsg {
+        let bytes = encode(&a, &rci);
+        assert_eq!(decode(&mut a, &bytes).unwrap(), rci);
+        let loss = UpdateMsg {
             prefix: PrefixId(5),
             kind: UpdateKind::Withdraw(WithdrawInfo::loss()),
-        }))
-        .unwrap()
-        .kind
-        .clone(),
-        UpdateKind::Withdraw(WithdrawInfo::loss()));
+        };
+        let bytes = encode(&a, &loss);
+        assert_eq!(
+            decode(&mut a, &bytes).unwrap().kind,
+            UpdateKind::Withdraw(WithdrawInfo::loss())
+        );
     }
 
     #[test]
     fn rejects_bad_marker() {
+        let mut a = PathArena::new();
         let msg = UpdateMsg {
             prefix: PrefixId(0),
             kind: UpdateKind::Withdraw(WithdrawInfo::default()),
         };
-        let mut raw = encode(&msg);
+        let mut raw = encode(&a, &msg);
         raw[3] = 0x00;
-        assert_eq!(decode(&raw), Err(WireError::BadMarker));
+        assert_eq!(decode(&mut a, &raw), Err(WireError::BadMarker));
     }
 
     #[test]
     fn rejects_truncation_at_every_boundary() {
-        let msg = UpdateMsg {
-            prefix: PrefixId(1),
-            kind: UpdateKind::Announce(Route {
-                path: ids(&[4, 2, 1]),
-                attrs: PathAttrs {
-                    lock: true,
-                    et: Some(EventType::Lost),
-                    root_cause: Some(CauseInfo {
-                        cause: RootCause::Link(AsId(1), AsId(2)),
-                        seq: 3,
-                        up: false,
-                    }),
-                    failover: true,
-                },
-            }),
-        };
-        let raw = encode(&msg);
+        let mut a = PathArena::new();
+        let msg = announce(
+            &mut a,
+            1,
+            &[4, 2, 1],
+            PathAttrs {
+                lock: true,
+                et: Some(EventType::Lost),
+                root_cause: Some(CauseInfo {
+                    cause: RootCause::Link(AsId(1), AsId(2)),
+                    seq: 3,
+                    up: false,
+                }),
+                failover: true,
+            },
+        );
+        let raw = encode(&a, &msg);
         for cut in 0..raw.len() {
-            let r = decode(&raw[..cut]);
+            let r = decode(&mut a, &raw[..cut]);
             assert!(r.is_err(), "decode of {cut}-byte truncation succeeded");
         }
     }
 
     #[test]
     fn rejects_wrong_type() {
+        let mut a = PathArena::new();
         let msg = UpdateMsg {
             prefix: PrefixId(0),
             kind: UpdateKind::Withdraw(WithdrawInfo::default()),
         };
-        let mut raw = encode(&msg);
+        let mut raw = encode(&a, &msg);
         raw[18] = 1; // OPEN
-        assert_eq!(decode(&raw), Err(WireError::BadType(1)));
+        assert_eq!(decode(&mut a, &raw), Err(WireError::BadType(1)));
     }
 
     #[test]
     fn unknown_optional_attr_skipped() {
         // Hand-build an announce with an extra unknown attribute.
-        let msg = UpdateMsg {
-            prefix: PrefixId(2),
-            kind: UpdateKind::Announce(Route {
-                path: ids(&[8]),
-                attrs: PathAttrs::default(),
-            }),
-        };
-        let raw = encode(&msg);
+        let mut a = PathArena::new();
+        let msg = announce(&mut a, 2, &[8], PathAttrs::default());
         // Splice an unknown attr (code 200, len 2) into the attribute
         // section: rebuild manually.
         let mut body = ByteBuf::new();
@@ -573,8 +606,7 @@ mod tests {
         out.put_u16(19 + body.len() as u16);
         out.put_u8(MSG_TYPE_UPDATE);
         out.put_slice(&body);
-        let decoded = decode(&out).unwrap();
+        let decoded = decode(&mut a, &out).unwrap();
         assert_eq!(decoded, msg);
-        let _ = raw;
     }
 }

@@ -131,7 +131,7 @@ mod tests {
         let g = b.build().unwrap();
         let rep = partial_deployment_fraction(&g, 100, 1);
         assert_eq!(rep.n_destinations, 3); // 2, 3, 4
-        // 4 is protected; 2 and 3 are single-homed below one tier-1 each.
+                                           // 4 is protected; 2 and 3 are single-homed below one tier-1 each.
         assert_eq!(rep.protected, 1);
         assert!((rep.fraction() - 1.0 / 3.0).abs() < 1e-9);
     }

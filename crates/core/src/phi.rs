@@ -73,11 +73,7 @@ impl PhiReport {
         if self.per_destination.is_empty() {
             return 0.0;
         }
-        let c = self
-            .per_destination
-            .iter()
-            .filter(|(_, p)| *p <= x)
-            .count();
+        let c = self.per_destination.iter().filter(|(_, p)| *p <= x).count();
         c as f64 / self.per_destination.len() as f64
     }
 

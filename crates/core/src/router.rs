@@ -21,6 +21,7 @@
 //!   uses.
 
 use crate::lock::LockStrategy;
+use stamp_bgp::patharena::PathArena;
 use stamp_bgp::policy::export_ok;
 use stamp_bgp::rib::RibIn;
 use stamp_bgp::router::{RouterCtx, RouterLogic, Selection};
@@ -139,16 +140,14 @@ impl StampRouter {
         let new = if self.originates(prefix) {
             Selection::Own
         } else {
-            match self
-                .rib
-                .decide(ctx.topo, self.me, prefix, c.proc(), |n| {
-                    ctx.sessions.session_up(self.me, n)
-                }) {
+            match self.rib.decide(ctx.arena, self.me, prefix, c.proc(), |n| {
+                ctx.sessions.session_up(self.me, n)
+            }) {
                 Some(d) => Selection::Learned(d),
                 None => Selection::None,
             }
         };
-        let old = self.best.get(&(prefix, c)).cloned().unwrap_or_default();
+        let old = self.best.get(&(prefix, c)).copied().unwrap_or_default();
         if new == old {
             // A loss that does not change our best (e.g. a withdrawn
             // alternative) leaves the process stable.
@@ -188,17 +187,23 @@ impl StampRouter {
     /// The route colour `c` would announce *upward* (to a provider), if
     /// any: own prefixes and customer-learned routes only (valley-free).
     /// The Lock bit is set per the sticky-lock rule (crate docs, rule 2).
-    fn up_route(&self, prefix: PrefixId, c: Color, lock_eligible: bool) -> Option<Route> {
+    fn up_route(
+        &self,
+        arena: &mut PathArena,
+        prefix: PrefixId,
+        c: Color,
+        lock_eligible: bool,
+    ) -> Option<Route> {
         match self.selection(prefix, c) {
             Selection::Own => Some(Route {
-                path: vec![self.me],
+                path: arena.origin_path(self.me),
                 attrs: PathAttrs {
                     lock: c == Color::Blue,
                     ..PathAttrs::default()
                 },
             }),
             Selection::Learned(d) if d.learned_from == Relation::Customer => {
-                let mut r = d.route.prepend(self.me);
+                let mut r = d.route.prepend(arena, self.me);
                 r.attrs.lock = c == Color::Blue && lock_eligible;
                 Some(r)
             }
@@ -208,14 +213,13 @@ impl StampRouter {
 
     /// Does this AS hold the lock obligation for `prefix`? True for the
     /// origin and for any AS holding a locked blue customer route.
-    fn lock_eligible(&self, ctx: &RouterCtx, prefix: PrefixId) -> bool {
+    fn lock_eligible(&self, prefix: PrefixId) -> bool {
         if self.originates(prefix) {
             return true;
         }
         self.rib
             .routes(prefix, Color::Blue.proc())
-            .iter()
-            .any(|(n, r)| r.attrs.lock && ctx.relation(*n) == Some(Relation::Customer))
+            .any(|(_, e)| e.route.attrs.lock && e.learned_from == Relation::Customer)
     }
 
     /// Desired advertisement state towards every live neighbour for both
@@ -223,7 +227,7 @@ impl StampRouter {
     /// message is actually emitted.
     fn desired_exports(
         &self,
-        ctx: &RouterCtx,
+        ctx: &mut RouterCtx,
         prefix: PrefixId,
     ) -> (Vec<(AsId, Color, Option<Route>)>, Option<AsId>) {
         let mut out = Vec::new();
@@ -237,7 +241,7 @@ impl StampRouter {
             for c in Color::ALL {
                 let desired = match self.selection(prefix, c) {
                     Selection::Own => Some(Route {
-                        path: vec![self.me],
+                        path: ctx.arena.origin_path(self.me),
                         attrs: PathAttrs {
                             lock: c == Color::Blue,
                             ..PathAttrs::default()
@@ -246,7 +250,7 @@ impl StampRouter {
                     Selection::Learned(d)
                         if d.neighbor != n && export_ok(Some(d.learned_from), rel) =>
                     {
-                        let mut r = d.route.prepend(self.me);
+                        let mut r = d.route.prepend(ctx.arena, self.me);
                         r.attrs.lock = d.route.attrs.lock;
                         Some(r)
                     }
@@ -262,9 +266,9 @@ impl StampRouter {
             .filter(|(_, rel)| *rel == Relation::Provider)
             .map(|(n, _)| *n)
             .collect();
-        let lock_eligible = self.lock_eligible(ctx, prefix);
-        let red_up = self.up_route(prefix, Color::Red, false);
-        let blue_up = self.up_route(prefix, Color::Blue, lock_eligible);
+        let lock_eligible = self.lock_eligible(prefix);
+        let red_up = self.up_route(ctx.arena, prefix, Color::Red, false);
+        let blue_up = self.up_route(ctx.arena, prefix, Color::Blue, lock_eligible);
 
         let mut lock_target = None;
         match providers.len() {
@@ -275,11 +279,11 @@ impl StampRouter {
                 if blue_up.is_some() && lock_eligible {
                     lock_target = Some(n);
                 }
-                out.push((n, Color::Red, red_up.clone()));
-                out.push((n, Color::Blue, blue_up.clone()));
+                out.push((n, Color::Red, red_up));
+                out.push((n, Color::Blue, blue_up));
             }
             _ => {
-                let locked_blue = blue_up.as_ref().filter(|r| r.attrs.lock).cloned();
+                let locked_blue = blue_up.filter(|r| r.attrs.lock);
                 if locked_blue.is_some() {
                     lock_target = self.lock_strategy.choose(
                         self.me,
@@ -290,14 +294,14 @@ impl StampRouter {
                 }
                 for &n in &providers {
                     if Some(n) == lock_target {
-                        out.push((n, Color::Blue, locked_blue.clone()));
+                        out.push((n, Color::Blue, locked_blue));
                         out.push((n, Color::Red, None));
                     } else if red_up.is_some() {
-                        out.push((n, Color::Red, red_up.clone()));
+                        out.push((n, Color::Red, red_up));
                         out.push((n, Color::Blue, None));
                     } else if blue_up.is_some() {
                         // Unlocked blue fills in where no red exists.
-                        let mut r = blue_up.clone().unwrap();
+                        let mut r = blue_up.unwrap();
                         r.attrs.lock = false;
                         out.push((n, Color::Blue, Some(r)));
                         out.push((n, Color::Red, None));
@@ -351,10 +355,9 @@ impl StampRouter {
                 }
                 (Some(r), have) => {
                     if have != Some(&r) {
-                        self.rib_out.insert(key, r.clone());
+                        self.rib_out.insert(key, r);
                         let mut send = r;
-                        send.attrs.et =
-                            Some(et[c.proc().0 as usize].unwrap_or(EventType::NotLost));
+                        send.attrs.et = Some(et[c.proc().0 as usize].unwrap_or(EventType::NotLost));
                         ctx.send(
                             n,
                             c.proc(),
@@ -428,10 +431,11 @@ impl RouterLogic for StampRouter {
 
     fn on_update(&mut self, ctx: &mut RouterCtx, from: AsId, proc: ProcId, msg: UpdateMsg) {
         let c = Color::from_proc(proc);
-        let loss = match &msg.kind {
+        let loss = match msg.kind {
             UpdateKind::Announce(route) => {
-                let stored = route.clone();
-                self.rib.insert(msg.prefix, proc, from, stored);
+                if let Some(rel) = ctx.relation(from) {
+                    self.rib.insert(msg.prefix, proc, from, route, rel);
+                }
                 route.attrs.et == Some(EventType::Lost)
             }
             UpdateKind::Withdraw(info) => {
@@ -491,12 +495,7 @@ impl RouterLogic for StampRouter {
         // Fresh session (and possibly a changed provider set): reconcile
         // every known prefix; new sessions simply receive announcements.
         for p in self.known_prefixes() {
-            self.handle_prefix_event(
-                ctx,
-                p,
-                &[(Color::Red, false), (Color::Blue, false)],
-                true,
-            );
+            self.handle_prefix_event(ctx, p, &[(Color::Red, false), (Color::Blue, false)], true);
         }
     }
 }
@@ -589,7 +588,7 @@ mod tests {
             let r = e.router(v);
             let full = |c: Color| -> Vec<AsId> {
                 let mut p = vec![v];
-                p.extend_from_slice(r.selection(P, c).path().unwrap());
+                p.extend(e.paths().iter(r.selection(P, c).path_id().unwrap()));
                 p
             };
             let red = full(Color::Red);
@@ -614,10 +613,7 @@ mod tests {
             }
             for &p in providers {
                 let (red, blue) = r.announced_colors_to(p, P);
-                assert!(
-                    !(red && blue),
-                    "{v} announced both colours to provider {p}"
-                );
+                assert!(!(red && blue), "{v} announced both colours to provider {p}");
             }
         }
     }
@@ -766,11 +762,12 @@ mod et_tests {
         b.build().unwrap()
     }
 
-    fn announce(path: &[u32], _proc: ProcId, et: EventType, lock: bool) -> UpdateMsg {
+    fn announce(a: &mut PathArena, path: &[u32], et: EventType, lock: bool) -> UpdateMsg {
+        let ids: Vec<AsId> = path.iter().map(|&x| AsId(x)).collect();
         UpdateMsg {
             prefix: P,
             kind: UpdateKind::Announce(Route {
-                path: path.iter().map(|&x| AsId(x)).collect(),
+                path: a.intern_slice(&ids),
                 attrs: PathAttrs {
                     lock,
                     et: Some(et),
@@ -783,38 +780,49 @@ mod et_tests {
     #[test]
     fn et_lost_announce_flags_instability_and_switches_active() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = StampRouter::new(AsId(3), vec![], LockStrategy::Random { seed: 1 });
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
         // Learn stable blue then red routes via different providers (blue
         // first, so the default-blue active choice has a route and sticks).
-        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), announce(&[2, 9], Color::Blue.proc(), EventType::NotLost, true));
-        r.on_update(&mut ctx, AsId(1), Color::Red.proc(), announce(&[1, 9], Color::Red.proc(), EventType::NotLost, false));
+        let blue = announce(&mut a, &[2, 9], EventType::NotLost, true);
+        let red = announce(&mut a, &[1, 9], EventType::NotLost, false);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), blue);
+        r.on_update(&mut ctx, AsId(1), Color::Red.proc(), red);
         assert!(!r.is_unstable(P, Color::Red));
         assert!(!r.is_unstable(P, Color::Blue));
         assert_eq!(r.active_color(P), Color::Blue);
+        drop(ctx);
         // A Lost-flagged blue replacement arrives: blue becomes unstable
         // and the active process flips to the stable red.
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), announce(&[2, 8, 9], Color::Blue.proc(), EventType::Lost, true));
+        let lost = announce(&mut a, &[2, 8, 9], EventType::Lost, true);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), lost);
         assert!(r.is_unstable(P, Color::Blue));
         assert!(!r.is_unstable(P, Color::Red));
         assert_eq!(r.active_color(P), Color::Red);
+        drop(ctx);
         // A NotLost-flagged blue update clears the flag.
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), announce(&[2, 9], Color::Blue.proc(), EventType::NotLost, true));
+        let restored = announce(&mut a, &[2, 9], EventType::NotLost, true);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), restored);
         assert!(!r.is_unstable(P, Color::Blue));
     }
 
     #[test]
     fn withdraw_of_nonbest_leaves_process_stable() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = StampRouter::new(AsId(3), vec![], LockStrategy::Random { seed: 2 });
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(1), Color::Red.proc(), announce(&[1, 9], Color::Red.proc(), EventType::NotLost, false));
-        r.on_update(&mut ctx, AsId(2), Color::Red.proc(), announce(&[2, 8, 9], Color::Red.proc(), EventType::NotLost, false));
+        let short = announce(&mut a, &[1, 9], EventType::NotLost, false);
+        let long = announce(&mut a, &[2, 8, 9], EventType::NotLost, false);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(1), Color::Red.proc(), short);
+        r.on_update(&mut ctx, AsId(2), Color::Red.proc(), long);
+        drop(ctx);
         // Best is via 1 (shorter). Withdrawing the alternative from 2 must
         // not destabilise the red process.
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
         r.on_update(
             &mut ctx,
             AsId(2),
@@ -843,18 +851,22 @@ mod et_tests {
         b.customer_of(3, 1).unwrap(); // 3 is 1's customer
         b.customer_of(1, 2).unwrap(); // second provider 2 for AS 1
         let g = b.build().unwrap();
+        let mut a = PathArena::new();
         let mut r = StampRouter::new(AsId(1), vec![], LockStrategy::Random { seed: 3 });
         // Blue (locked) arrives from customer 3.
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(3), Color::Blue.proc(), announce(&[3], Color::Blue.proc(), EventType::NotLost, true));
+        let blue = announce(&mut a, &[3], EventType::NotLost, true);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(3), Color::Blue.proc(), blue);
         let lock = r.lock_target(P).expect("blue locked to one provider");
         let other = if lock == AsId(0) { AsId(2) } else { AsId(0) };
         // The other provider got blue unlocked (no red exists yet).
         assert_eq!(r.announced_colors_to(other, P), (false, true));
+        drop(ctx);
         // Red arrives from the same customer: red takes precedence at the
         // non-lock provider, so blue is withdrawn there — with ET=NotLost.
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(3), Color::Red.proc(), announce(&[3], Color::Red.proc(), EventType::NotLost, false));
+        let red = announce(&mut a, &[3], EventType::NotLost, false);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(3), Color::Red.proc(), red);
         let withdrawal = ctx
             .out
             .iter()
@@ -882,11 +894,14 @@ mod et_tests {
         b.customer_of(1, 2).unwrap();
         b.customer_of(3, 1).unwrap();
         let g = b.build().unwrap();
+        let mut a = PathArena::new();
         let mut r = StampRouter::new(AsId(1), vec![], LockStrategy::Random { seed: 4 });
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(3), Color::Blue.proc(), announce(&[3], Color::Blue.proc(), EventType::NotLost, true));
+        let blue = announce(&mut a, &[3], EventType::NotLost, true);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(3), Color::Blue.proc(), blue);
         let lock = r.lock_target(P).unwrap();
         let other = if lock == AsId(0) { AsId(2) } else { AsId(0) };
+        drop(ctx);
         // The lock provider's session dies; the lock must move to the
         // surviving provider (single provider left ⇒ cut exemption).
         struct Except(AsId);
@@ -896,7 +911,7 @@ mod et_tests {
             }
         }
         let sessions = Except(lock);
-        let mut ctx = RouterCtx::new(AsId(1), &g, &sessions);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &sessions, &mut a);
         r.on_link_down(
             &mut ctx,
             lock,
@@ -912,10 +927,13 @@ mod et_tests {
     #[test]
     fn reset_instability_rederives_active() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = StampRouter::new(AsId(3), vec![], LockStrategy::Random { seed: 5 });
-        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(1), Color::Red.proc(), announce(&[1, 9], Color::Red.proc(), EventType::NotLost, false));
-        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), announce(&[2, 9], Color::Blue.proc(), EventType::Lost, true));
+        let red = announce(&mut a, &[1, 9], EventType::NotLost, false);
+        let blue = announce(&mut a, &[2, 9], EventType::Lost, true);
+        let mut ctx = RouterCtx::new(AsId(3), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(1), Color::Red.proc(), red);
+        r.on_update(&mut ctx, AsId(2), Color::Blue.proc(), blue);
         assert!(r.is_unstable(P, Color::Blue));
         r.reset_instability();
         assert!(!r.is_unstable(P, Color::Blue));

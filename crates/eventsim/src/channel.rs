@@ -6,8 +6,8 @@
 //! previous one on the same channel (plus one microsecond, keeping event
 //! timestamps distinct and the trace easier to read).
 
-use crate::time::{SimDuration, SimTime};
 use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a directed channel (one per ordered neighbour pair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -16,7 +16,6 @@
 
 use crate::scenario::{sample_workload, FailureScenario, Workload};
 use crate::stats;
-use std::sync::Mutex;
 use stamp_bgp::engine::{Engine, EngineConfig, ScenarioEvent};
 use stamp_bgp::router::{BgpRouter, RouterLogic};
 use stamp_bgp::types::PrefixId;
@@ -28,6 +27,7 @@ use stamp_rbgp::{RbgpConfig, RbgpRouter};
 use stamp_topology::gen::{generate, GenConfig};
 use stamp_topology::{AsGraph, AsId, StaticRoutes};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The prefix every experiment converges (one destination at a time, as in
 /// the paper).
@@ -160,6 +160,12 @@ pub struct InstanceMetrics {
     /// Seconds from injection to the last observation that still saw any
     /// forwarding problem (E8, data-plane recovery; 0 = never disrupted).
     pub data_recovery_s: f64,
+    /// Distinct AS paths interned by the engine's `PathArena` over the
+    /// whole run — the de-duplicated path population every RIB entry,
+    /// rib-out slot and in-flight message shares. Deterministic (intern
+    /// order is event order), so it participates in the byte-identical
+    /// regression checks.
+    pub interned_paths: usize,
 }
 
 /// Aggregated per-protocol results.
@@ -366,6 +372,7 @@ where
         data_recovery_s: last_problem
             .map(|t| t.since(inject_time).as_secs_f64())
             .unwrap_or(0.0),
+        interned_paths: e.paths().node_count(),
     }
 }
 
@@ -539,6 +546,8 @@ mod tests {
             // the AS population.
             for m in &r.per_instance {
                 assert!(m.affected < rep.n_ases);
+                // A converged run interned at least the origination chain.
+                assert!(m.interned_paths > 0, "{}", p.label());
             }
         }
     }
@@ -548,7 +557,10 @@ mod tests {
         let cfg = FailureConfig::tiny(13);
         let a = run_failure_experiment(&cfg, FailureScenario::SingleLink, &[Protocol::Bgp]);
         let b = run_failure_experiment(&cfg, FailureScenario::SingleLink, &[Protocol::Bgp]);
-        assert_eq!(a.of(Protocol::Bgp).per_instance, b.of(Protocol::Bgp).per_instance);
+        assert_eq!(
+            a.of(Protocol::Bgp).per_instance,
+            b.of(Protocol::Bgp).per_instance
+        );
     }
 
     #[test]

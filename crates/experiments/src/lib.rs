@@ -16,15 +16,13 @@
 //! | E8 convergence delay | [`failure`] (metrics) + [`render`] | §6.3 text |
 
 pub mod failure;
-pub mod phi_exp;
 pub mod partial_exp;
+pub mod phi_exp;
 pub mod render;
 pub mod scenario;
 pub mod stats;
 
-pub use failure::{
-    run_failure_experiment, FailureConfig, FailureReport, Protocol, ProtocolResult,
-};
-pub use phi_exp::{run_phi_experiment, PhiExperimentConfig, PhiExperimentReport};
+pub use failure::{run_failure_experiment, FailureConfig, FailureReport, Protocol, ProtocolResult};
 pub use partial_exp::{run_partial_deployment, PartialConfig, PartialReport};
+pub use phi_exp::{run_phi_experiment, PhiExperimentConfig, PhiExperimentReport};
 pub use scenario::{sample_workload, FailureScenario, Workload};

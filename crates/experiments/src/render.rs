@@ -212,7 +212,10 @@ pub fn render_phi_report(r: &PhiExperimentReport) -> String {
         "  destinations with Phi > 0.9  : {:5.1}%   (paper: > 75%)",
         high * 100.0
     );
-    let _ = writeln!(out, "  mean Phi                     : {mean:5.3}   (paper: 0.92)");
+    let _ = writeln!(
+        out,
+        "  mean Phi                     : {mean:5.3}   (paper: 0.92)"
+    );
     if let Some(smart) = &r.smart {
         let _ = writeln!(
             out,
@@ -257,11 +260,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_width() {
-        let s = ascii_bars(
-            "t",
-            &[("a".into(), 10.0), ("bb".into(), 5.0)],
-            20,
-        );
+        let s = ascii_bars("t", &[("a".into(), 10.0), ("bb".into(), 5.0)], 20);
         assert!(s.contains("####################"), "{s}");
         assert!(s.contains("##########"), "{s}");
         assert!(s.contains("10.0") && s.contains("5.0"));

@@ -40,9 +40,7 @@ impl FailureScenario {
     pub fn label(&self) -> &'static str {
         match self {
             FailureScenario::SingleLink => "single link failure (Figure 2)",
-            FailureScenario::TwoLinksDifferentAs => {
-                "two link failures, different ASes (Figure 3a)"
-            }
+            FailureScenario::TwoLinksDifferentAs => "two link failures, different ASes (Figure 3a)",
             FailureScenario::TwoLinksSameAs => "two link failures, same AS (Figure 3b)",
             FailureScenario::NodeFailure => "single node failure (Sec. 6.2.2)",
         }
@@ -107,11 +105,7 @@ pub fn destination_candidates(g: &AsGraph) -> Vec<AsId> {
 
 /// Sample one workload; `None` if the topology cannot host the scenario
 /// (e.g. no multi-homed AS at all).
-pub fn sample_workload(
-    g: &AsGraph,
-    scenario: FailureScenario,
-    rng: &mut Rng,
-) -> Option<Workload> {
+pub fn sample_workload(g: &AsGraph, scenario: FailureScenario, rng: &mut Rng) -> Option<Workload> {
     let candidates = destination_candidates(g);
     if candidates.is_empty() {
         return None;
@@ -224,8 +218,7 @@ mod tests {
         let g = g();
         let mut rng = Rng::seed_from_u64(3);
         for _ in 0..50 {
-            let w =
-                sample_workload(&g, FailureScenario::TwoLinksDifferentAs, &mut rng).unwrap();
+            let w = sample_workload(&g, FailureScenario::TwoLinksDifferentAs, &mut rng).unwrap();
             assert_eq!(w.failed_links.len(), 2);
             let l1 = g.link(w.failed_links[0]);
             let l2 = g.link(w.failed_links[1]);

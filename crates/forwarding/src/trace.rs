@@ -123,10 +123,7 @@ mod tests {
     #[test]
     fn self_loop_is_a_loop() {
         let view = v(vec![None, Some(1)], 0);
-        assert_eq!(
-            classify_all(&view),
-            vec![Outcome::Delivered, Outcome::Loop]
-        );
+        assert_eq!(classify_all(&view), vec![Outcome::Delivered, Outcome::Loop]);
     }
 
     #[test]

@@ -125,14 +125,9 @@ impl TransientTracker {
             }
             let all_bad = paths.is_empty()
                 || paths.iter().all(|p| {
-                    self.causes.iter().any(|c| {
-                        // The stored path excludes the holder itself; the
-                        // first hop's link is (v, path[0]).
-                        let mut full = Vec::with_capacity(p.len() + 1);
-                        full.push(v);
-                        full.extend_from_slice(p);
-                        c.invalidates(&full)
-                    })
+                    // The stored path excludes the holder itself; the first
+                    // hop's link is (v, path[0]).
+                    self.causes.iter().any(|c| c.invalidates_with_head(v, p))
                 });
             if all_bad {
                 self.control_affected[i] = true;

@@ -74,8 +74,8 @@ impl ForwardingView for BgpView<'_> {
     }
 
     fn selection_paths(&self, v: AsId) -> Vec<Vec<AsId>> {
-        match self.engine.router(v).selection(self.prefix).path() {
-            Some(p) => vec![p.to_vec()],
+        match self.engine.router(v).selection(self.prefix).path_id() {
+            Some(p) => vec![self.engine.paths().as_vec(p)],
             None => Vec::new(),
         }
     }
@@ -122,12 +122,12 @@ impl ForwardingView for RbgpView<'_> {
         // Primary gone: commit the packet to the chosen failover circuit.
         // Delivered iff every link of the advertised path is alive; the
         // packet cannot escape a second time.
-        match r.escape_route(self.prefix, session_ok) {
+        match r.escape_route(self.engine.paths(), self.prefix, session_ok) {
             Some((_advertiser, route)) => {
                 // route.path = [advertiser, …, dest]; the circuit walks it
-                // from `at`.
+                // from `at` (a zero-allocation arena chain walk).
                 let mut prev = at;
-                for &hop in &route.path {
+                for hop in self.engine.paths().iter(route.path) {
                     if !self.engine.session_up(prev, hop) {
                         return Step::Drop;
                     }
@@ -140,8 +140,8 @@ impl ForwardingView for RbgpView<'_> {
     }
 
     fn selection_paths(&self, v: AsId) -> Vec<Vec<AsId>> {
-        match self.engine.router(v).selection(self.prefix).path() {
-            Some(p) => vec![p.to_vec()],
+        match self.engine.router(v).selection(self.prefix).path_id() {
+            Some(p) => vec![self.engine.paths().as_vec(p)],
             None => Vec::new(),
         }
     }
@@ -254,7 +254,11 @@ impl ForwardingView for StampView<'_> {
         let r = self.engine.router(v);
         Color::ALL
             .iter()
-            .filter_map(|c| r.selection(self.prefix, *c).path().map(|p| p.to_vec()))
+            .filter_map(|c| {
+                r.selection(self.prefix, *c)
+                    .path_id()
+                    .map(|p| self.engine.paths().as_vec(p))
+            })
             .collect()
     }
 }

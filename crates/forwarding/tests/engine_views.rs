@@ -7,9 +7,7 @@ use stamp_bgp::router::BgpRouter;
 use stamp_bgp::types::PrefixId;
 use stamp_core::{LockStrategy, StampRouter};
 use stamp_eventsim::SimDuration;
-use stamp_forwarding::{
-    classify_all, BgpView, Outcome, RbgpView, StampView, TransientTracker,
-};
+use stamp_forwarding::{classify_all, BgpView, Outcome, RbgpView, StampView, TransientTracker};
 use stamp_rbgp::{RbgpConfig, RbgpRouter};
 use stamp_topology::{AsGraph, AsId, GraphBuilder, StaticRoutes};
 

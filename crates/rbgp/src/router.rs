@@ -1,13 +1,14 @@
 //! The R-BGP router.
 
+use stamp_bgp::patharena::PathArena;
 use stamp_bgp::policy::export_ok;
 use stamp_bgp::rib::RibIn;
 use stamp_bgp::router::{RouterCtx, RouterLogic, Selection};
 use stamp_bgp::types::{
-    CauseInfo, PrefixId, ProcId, Route, RootCause, UpdateKind, UpdateMsg, WithdrawInfo,
+    CauseInfo, PrefixId, ProcId, RootCause, Route, UpdateKind, UpdateMsg, WithdrawInfo,
 };
 use stamp_topology::AsId;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// R-BGP configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,39 +98,46 @@ impl RbgpRouter {
     /// — R-BGP forwards escape packets along that path as a pinned virtual
     /// circuit, so the data plane needs the full path, not just the next
     /// hop.
-    pub fn escape_route<F>(&self, prefix: PrefixId, session_ok: F) -> Option<(AsId, &Route)>
+    pub fn escape_route<F>(
+        &self,
+        arena: &PathArena,
+        prefix: PrefixId,
+        session_ok: F,
+    ) -> Option<(AsId, Route)>
     where
         F: Fn(AsId) -> bool,
     {
-        let mut cands: Vec<(u32, AsId, &Route)> = self
-            .failover_in
-            .iter()
-            .filter(|((p, n), r)| {
-                *p == prefix
-                    && session_ok(*n)
-                    && !r.contains(self.me)
-                    && !self.path_invalidated(&r.path)
-            })
-            .map(|((_, n), r)| (r.len(), *n, r))
-            .collect();
-        cands.sort_unstable_by_key(|(len, n, _)| (*len, *n));
-        cands.first().map(|(_, n, r)| (*n, *r))
+        let mut best: Option<(u32, AsId, Route)> = None;
+        for (&(p, n), r) in &self.failover_in {
+            if p != prefix
+                || !session_ok(n)
+                || r.contains(arena, self.me)
+                || self.path_invalidated(arena, r)
+            {
+                continue;
+            }
+            let key = (r.len(arena), n);
+            if best.as_ref().is_none_or(|(len, bn, _)| key < (*len, *bn)) {
+                best = Some((key.0, n, *r));
+            }
+        }
+        best.map(|(_, n, r)| (n, r))
     }
 
     /// Convenience: the advertiser an escape packet would be handed to.
-    pub fn escape_via<F>(&self, prefix: PrefixId, session_ok: F) -> Option<AsId>
+    pub fn escape_via<F>(&self, arena: &PathArena, prefix: PrefixId, session_ok: F) -> Option<AsId>
     where
         F: Fn(AsId) -> bool,
     {
-        self.escape_route(prefix, session_ok).map(|(n, _)| n)
+        self.escape_route(arena, prefix, session_ok).map(|(n, _)| n)
     }
 
     /// Next hop of our own failover path — what an escape-flagged packet
     /// follows at this AS.
-    pub fn own_failover_next(&self, prefix: PrefixId) -> Option<AsId> {
+    pub fn own_failover_next(&self, arena: &PathArena, prefix: PrefixId) -> Option<AsId> {
         self.failover_out
             .get(&prefix)
-            .map(|(_, r)| r.path[1])
+            .map(|(_, r)| arena.head(arena.tail(r.path)))
     }
 
     /// The neighbour currently receiving our failover advertisement.
@@ -147,11 +155,12 @@ impl RbgpRouter {
         matches!(self.known_causes.get(rc), Some((_, false)))
     }
 
-    /// Does `path` traverse any element currently recorded as down?
-    fn path_invalidated(&self, path: &[AsId]) -> bool {
+    /// Does the route's path traverse any element currently recorded as
+    /// down? Zero-allocation chain walks per recorded cause.
+    fn path_invalidated(&self, arena: &PathArena, route: &Route) -> bool {
         self.known_causes
             .iter()
-            .any(|(rc, (_, up))| !up && rc.invalidates(path))
+            .any(|(rc, (_, up))| !up && rc.invalidates_path(arena, route.path))
     }
 
     // ------------------------------------------------------------------
@@ -161,7 +170,7 @@ impl RbgpRouter {
     /// Learn a cause record: keep only the newest per element; purge every
     /// stored path through a newly-down element. Returns the prefixes whose
     /// state changed.
-    fn learn_cause(&mut self, info: CauseInfo) -> Vec<PrefixId> {
+    fn learn_cause(&mut self, arena: &PathArena, info: CauseInfo) -> Vec<PrefixId> {
         if !self.cfg.rci {
             return Vec::new();
         }
@@ -178,14 +187,14 @@ impl RbgpRouter {
         let rc = info.cause;
         let mut touched: Vec<PrefixId> = self
             .rib
-            .purge(|r| !rc.invalidates(&r.path))
+            .purge(|r| !rc.invalidates_path(arena, r.path))
             .into_iter()
             .map(|(p, _, _)| p)
             .collect();
         let dead_failovers: Vec<(PrefixId, AsId)> = self
             .failover_in
             .iter()
-            .filter(|(_, r)| rc.invalidates(&r.path))
+            .filter(|(_, r)| rc.invalidates_path(arena, r.path))
             .map(|(k, _)| *k)
             .collect();
         for k in dead_failovers {
@@ -200,42 +209,34 @@ impl RbgpRouter {
     /// Most disjoint usable alternative to the current best (the failover
     /// path we advertise). Disjointness = fewest shared ASes with the best
     /// path; ties broken by shorter path, then lower neighbour id.
-    fn compute_failover(&self, ctx: &RouterCtx, prefix: PrefixId) -> Option<(AsId, Route)> {
+    fn compute_failover(&self, ctx: &mut RouterCtx, prefix: PrefixId) -> Option<(AsId, Route)> {
         let best = match self.selection(prefix) {
-            Selection::Learned(d) if !d.route.attrs.failover => d.clone(),
+            Selection::Learned(d) if !d.route.attrs.failover => *d,
             // Origins need no failover; without a real best there is
             // nothing to protect.
             _ => return None,
         };
-        let best_set: HashSet<AsId> = best.route.path.iter().copied().collect();
         let mut cand: Option<(usize, u32, AsId, Route)> = None;
-        for (n, r) in self.rib.routes(prefix, ProcId::ONLY) {
-            if n == best.neighbor || r.contains(self.me) {
+        for (n, e) in self.rib.routes(prefix, ProcId::ONLY) {
+            let r = e.route;
+            if n == best.neighbor || r.contains(ctx.arena, self.me) {
                 continue;
             }
             if !ctx.sessions.session_up(self.me, n) {
                 continue;
             }
-            if self.path_invalidated(&r.path) {
+            if self.path_invalidated(ctx.arena, &r) {
                 continue;
             }
             if !self.cfg.relaxed_failover_export {
                 // Standard gate: only routes we could legitimately export
                 // to the best next hop.
-                let learned_rel = match ctx.relation(n) {
-                    Some(rel) => rel,
-                    None => continue,
-                };
-                let to_rel = match ctx.relation(best.neighbor) {
-                    Some(rel) => rel,
-                    None => continue,
-                };
-                if !export_ok(Some(learned_rel), to_rel) {
+                if !export_ok(Some(e.learned_from), best.learned_from) {
                     continue;
                 }
             }
-            let shared = r.path.iter().filter(|a| best_set.contains(a)).count();
-            let key = (shared, r.len(), n, r.clone());
+            let shared = ctx.arena.shared_with(r.path, best.route.path);
+            let key = (shared, r.len(ctx.arena), n, r);
             cand = match cand {
                 None => Some(key),
                 Some(cur) => {
@@ -245,7 +246,7 @@ impl RbgpRouter {
             };
         }
         cand.map(|(_, _, n, r)| {
-            let mut adv = r.prepend(self.me);
+            let mut adv = r.prepend(ctx.arena, self.me);
             adv.attrs.failover = true;
             (n, adv)
         })
@@ -259,13 +260,13 @@ impl RbgpRouter {
         prefix: PrefixId,
         cause: Option<CauseInfo>,
     ) {
-        let old = self.best.get(&prefix).cloned().unwrap_or_default();
+        let old = self.best.get(&prefix).copied().unwrap_or_default();
         let new = if self.originates(prefix) {
             Selection::Own
         } else {
             match self
                 .rib
-                .decide(ctx.topo, self.me, prefix, ProcId::ONLY, |n| {
+                .decide(ctx.arena, self.me, prefix, ProcId::ONLY, |n| {
                     ctx.sessions.session_up(self.me, n)
                 }) {
                 Some(d) => Selection::Learned(d),
@@ -281,7 +282,7 @@ impl RbgpRouter {
                         Selection::Learned(d)
                             if d.route.attrs.failover
                                 && ctx.sessions.session_up(self.me, d.neighbor)
-                                && !self.path_invalidated(&d.route.path)
+                                && !self.path_invalidated(ctx.arena, &d.route)
                                 && self
                                     .failover_in
                                     .get(&(prefix, d.neighbor))
@@ -292,13 +293,12 @@ impl RbgpRouter {
                         _ => false,
                     };
                     if sticky {
-                        old.clone()
+                        old
                     } else {
-                        match self
-                            .escape_route(prefix, |n| ctx.sessions.session_up(self.me, n))
-                        {
-                            Some((advertiser, route)) => {
-                                let mut route = route.clone();
+                        match self.escape_route(ctx.arena, prefix, |n| {
+                            ctx.sessions.session_up(self.me, n)
+                        }) {
+                            Some((advertiser, mut route)) => {
                                 route.attrs.failover = true;
                                 let learned_from = ctx
                                     .relation(advertiser)
@@ -336,11 +336,11 @@ impl RbgpRouter {
     /// Desired best-path advertisement towards `n`. Failover-based
     /// pseudo-bests export with the failover flag (relaxed gate if
     /// configured — backup paths carry traffic only transiently).
-    fn export_for(&self, ctx: &RouterCtx, prefix: PrefixId, n: AsId) -> Option<Route> {
+    fn export_for(&self, ctx: &mut RouterCtx, prefix: PrefixId, n: AsId) -> Option<Route> {
         let to_rel = ctx.relation(n)?;
         match self.selection(prefix) {
             Selection::None => None,
-            Selection::Own => Some(Route::originate(self.me)),
+            Selection::Own => Some(Route::originate(ctx.arena, self.me)),
             Selection::Learned(d) => {
                 if d.neighbor == n {
                     return None;
@@ -352,7 +352,7 @@ impl RbgpRouter {
                 // message budget during convergence).
                 let gate_ok = export_ok(Some(d.learned_from), to_rel);
                 if gate_ok {
-                    let mut r = d.route.prepend(self.me);
+                    let mut r = d.route.prepend(ctx.arena, self.me);
                     r.attrs.failover = d.route.attrs.failover;
                     Some(r)
                 } else {
@@ -392,7 +392,7 @@ impl RbgpRouter {
                 }
                 (Some(mut r), cur) => {
                     if cur != Some(&r) {
-                        self.rib_out.insert((n, prefix), r.clone());
+                        self.rib_out.insert((n, prefix), r);
                         r.attrs.root_cause = rc;
                         ctx.send(
                             n,
@@ -425,13 +425,11 @@ impl RbgpRouter {
                 // Target: the best next hop (the downstream direction) —
                 // only meaningful while we hold a real (non-pseudo) best.
                 match self.selection(prefix) {
-                    Selection::Learned(d) if !d.route.attrs.failover => {
-                        Some((d.neighbor, adv))
-                    }
+                    Selection::Learned(d) if !d.route.attrs.failover => Some((d.neighbor, adv)),
                     _ => None,
                 }
             });
-        let current = self.failover_out.get(&prefix).cloned();
+        let current = self.failover_out.get(&prefix).copied();
         match (desired, current) {
             (None, None) => {}
             (None, Some((old_t, _))) => {
@@ -452,7 +450,7 @@ impl RbgpRouter {
                 }
             }
             (Some((t, adv)), current) => {
-                if current.as_ref() == Some(&(t, adv.clone())) {
+                if current == Some((t, adv)) {
                     return;
                 }
                 if let Some((old_t, _)) = current {
@@ -471,7 +469,7 @@ impl RbgpRouter {
                         );
                     }
                 }
-                self.failover_out.insert(prefix, (t, adv.clone()));
+                self.failover_out.insert(prefix, (t, adv));
                 let mut send = adv;
                 send.attrs.root_cause = rc;
                 ctx.send(
@@ -513,11 +511,11 @@ impl RouterLogic for RbgpRouter {
         };
         let mut touched_by_cause = Vec::new();
         if let Some(rc) = cause {
-            touched_by_cause = self.learn_cause(rc);
+            touched_by_cause = self.learn_cause(ctx.arena, rc);
         }
         match msg.kind {
             UpdateKind::Announce(route) => {
-                let stale = self.cfg.rci && self.path_invalidated(&route.path);
+                let stale = self.cfg.rci && self.path_invalidated(ctx.arena, &route);
                 if route.attrs.failover {
                     // A failover-flagged announce supersedes the sender's
                     // previous best-path announcement on this session (an
@@ -534,8 +532,8 @@ impl RouterLogic for RbgpRouter {
                 } else if stale {
                     // A stale announcement acts as an implicit withdrawal.
                     self.rib.remove(prefix, ProcId::ONLY, from);
-                } else {
-                    self.rib.insert(prefix, ProcId::ONLY, from, route);
+                } else if let Some(rel) = ctx.relation(from) {
+                    self.rib.insert(prefix, ProcId::ONLY, from, route, rel);
                 }
             }
             UpdateKind::Withdraw(info) => {
@@ -589,7 +587,7 @@ impl RouterLogic for RbgpRouter {
             self.failover_out.remove(&p);
             touched.push(p);
         }
-        touched.extend(self.learn_cause(cause));
+        touched.extend(self.learn_cause(ctx.arena, cause));
         touched.sort_unstable();
         touched.dedup();
         for p in touched {
@@ -600,11 +598,11 @@ impl RouterLogic for RbgpRouter {
     fn on_link_up(&mut self, ctx: &mut RouterCtx, neighbor: AsId, cause: CauseInfo) {
         // Record the recovery; the up-state record rides on the
         // re-advertisement wave and unblocks the element at remote ASes.
-        self.learn_cause(cause);
+        self.learn_cause(ctx.arena, cause);
         let rc = if self.cfg.rci { Some(cause) } else { None };
         for prefix in self.known_prefixes() {
             if let Some(r) = self.export_for(ctx, prefix, neighbor) {
-                self.rib_out.insert((neighbor, prefix), r.clone());
+                self.rib_out.insert((neighbor, prefix), r);
                 let mut send = r;
                 send.attrs.root_cause = rc;
                 ctx.send(
@@ -684,10 +682,10 @@ mod tests {
         let r0 = e.router(AsId(0));
         assert_eq!(r0.primary_next(P), Some(AsId(2)));
         assert_eq!(r0.failover_target(P), Some(AsId(2)));
-        assert_eq!(r0.own_failover_next(P), Some(AsId(1)));
+        assert_eq!(r0.own_failover_next(e.paths(), P), Some(AsId(1)));
         // And 2 received it: escape via 0 once its own routes die.
         let r2 = e.router(AsId(2));
-        assert_eq!(r2.escape_via(P, |_| true), Some(AsId(0)));
+        assert_eq!(r2.escape_via(e.paths(), P, |_| true), Some(AsId(0)));
     }
 
     #[test]
@@ -712,9 +710,9 @@ mod tests {
         for v in [0u32, 1, 2, 3] {
             if let Selection::Learned(d) = e.router(AsId(v)).selection(P) {
                 assert!(
-                    !rc.invalidates(&d.route.path),
+                    !rc.invalidates_path(e.paths(), d.route.path),
                     "AS{v} kept a stale path {:?}",
-                    d.route.path
+                    e.paths().as_vec(d.route.path)
                 );
             }
         }
@@ -753,15 +751,15 @@ mod tests {
         e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
         e.run_to_quiescence(None);
         let r2 = e.router(AsId(2));
-        if let Some(via) = r2.escape_via(P, |n| e.session_up(AsId(2), n)) {
+        if let Some(via) = r2.escape_via(e.paths(), P, |n| e.session_up(AsId(2), n)) {
             // Any surviving escape must not route through the dead link.
             let rc = RootCause::link(AsId(4), AsId(2));
             let fo = r2
                 .failover_in
                 .get(&(P, via))
                 .expect("escape target must hold a failover");
-            assert!(!rc.invalidates(&fo.path));
-            assert!(!fo.contains(AsId(2)));
+            assert!(!rc.invalidates_path(e.paths(), fo.path));
+            assert!(!fo.contains(e.paths(), AsId(2)));
         }
     }
 
@@ -781,11 +779,7 @@ mod tests {
             let truth = StaticRoutes::compute(&g.without_links(&[id]), AsId(4));
             for v in g.ases() {
                 let expect = truth.route(v).map(|r| r.next_hop).unwrap_or(None);
-                assert_eq!(
-                    e.router(v).primary_next(P),
-                    expect,
-                    "rci={rci} router {v}"
-                );
+                assert_eq!(e.router(v).primary_next(P), expect, "rci={rci} router {v}");
             }
         }
     }
@@ -831,11 +825,12 @@ mod continuity_tests {
 
     const P: PrefixId = PrefixId(0);
 
-    fn announce(path: &[u32], failover: bool) -> UpdateMsg {
+    fn announce(a: &mut PathArena, path: &[u32], failover: bool) -> UpdateMsg {
+        let ids: Vec<AsId> = path.iter().map(|&x| AsId(x)).collect();
         UpdateMsg {
             prefix: P,
             kind: UpdateKind::Announce(Route {
-                path: path.iter().map(|&x| AsId(x)).collect(),
+                path: a.intern_slice(&ids),
                 attrs: PathAttrs {
                     failover,
                     ..Default::default()
@@ -860,16 +855,21 @@ mod continuity_tests {
     #[test]
     fn continuity_announces_pseudo_best_instead_of_withdrawing() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = RbgpRouter::new(AsId(1), vec![], RbgpConfig::default());
         // Real route from customer 2 (exported to provider 0 and peer 3).
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, announce(&[2, 9], false));
+        let real = announce(&mut a, &[2, 9], false);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, real);
         assert_eq!(r.primary_next(P), Some(AsId(2)));
+        drop(ctx);
         // A failover path arrives from provider 0 (0 routes via us).
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(0), ProcId::ONLY, announce(&[0, 7, 9], true));
+        let fo = announce(&mut a, &[0, 7, 9], true);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(0), ProcId::ONLY, fo);
+        drop(ctx);
         // The real route dies: continuity kicks in.
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
         r.on_update(
             &mut ctx,
             AsId(2),
@@ -889,7 +889,7 @@ mod continuity_tests {
             r.selection(P)
         );
         assert_eq!(r.primary_next(P), None, "pseudo-bests forward as circuits");
-        assert_eq!(r.escape_via(P, |_| true), Some(AsId(0)));
+        assert_eq!(r.escape_via(ctx.arena, P, |_| true), Some(AsId(0)));
         assert!(
             !ctx.out
                 .iter()
@@ -904,7 +904,7 @@ mod continuity_tests {
         match &to_customer.msg.kind {
             UpdateKind::Announce(route) => {
                 assert!(route.attrs.failover, "replacement is failover-flagged");
-                assert_eq!(route.path[0], AsId(1));
+                assert_eq!(ctx.arena.head(route.path), AsId(1));
             }
             _ => unreachable!(),
         }
@@ -914,10 +914,13 @@ mod continuity_tests {
     #[test]
     fn no_failover_means_real_withdrawal() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = RbgpRouter::new(AsId(1), vec![], RbgpConfig::default());
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, announce(&[2, 9], false));
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        let real = announce(&mut a, &[2, 9], false);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(2), ProcId::ONLY, real);
+        drop(ctx);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
         r.on_update(
             &mut ctx,
             AsId(2),
@@ -941,17 +944,22 @@ mod continuity_tests {
     #[test]
     fn escape_candidate_filtering() {
         let g = g();
+        let mut a = PathArena::new();
         let mut r = RbgpRouter::new(AsId(1), vec![], RbgpConfig::default());
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
         // Failover through ourselves: unusable.
-        r.on_update(&mut ctx, AsId(0), ProcId::ONLY, announce(&[0, 1, 9], true));
-        assert_eq!(r.escape_via(P, |_| true), None);
+        let via_self = announce(&mut a, &[0, 1, 9], true);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(0), ProcId::ONLY, via_self);
+        assert_eq!(r.escape_via(ctx.arena, P, |_| true), None);
+        drop(ctx);
         // A clean failover from the peer.
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
-        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, announce(&[3, 8, 9], true));
-        assert_eq!(r.escape_via(P, |_| true), Some(AsId(3)));
+        let clean = announce(&mut a, &[3, 8, 9], true);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
+        r.on_update(&mut ctx, AsId(3), ProcId::ONLY, clean);
+        assert_eq!(r.escape_via(ctx.arena, P, |_| true), Some(AsId(3)));
+        drop(ctx);
         // Learn that link 8-9 died: the peer's failover is invalid too.
-        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp);
+        let mut ctx = RouterCtx::new(AsId(1), &g, &AllUp, &mut a);
         r.on_update(
             &mut ctx,
             AsId(0),
@@ -968,6 +976,6 @@ mod continuity_tests {
                 }),
             },
         );
-        assert_eq!(r.escape_via(P, |_| true), None);
+        assert_eq!(r.escape_via(ctx.arena, P, |_| true), None);
     }
 }

@@ -77,10 +77,10 @@ pub fn max_disjoint_uphill_paths(g: &AsGraph, m: AsId, limit: u32) -> u32 {
     let mut cap: std::collections::HashMap<(usize, usize), u32> = std::collections::HashMap::new();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 2 * n + 1];
     let add_edge = |adj: &mut Vec<Vec<usize>>,
-                        cap: &mut std::collections::HashMap<(usize, usize), u32>,
-                        u: usize,
-                        v: usize,
-                        c: u32| {
+                    cap: &mut std::collections::HashMap<(usize, usize), u32>,
+                    u: usize,
+                    v: usize,
+                    c: u32| {
         if cap.get(&(u, v)).is_none() && cap.get(&(v, u)).is_none() {
             adj[u].push(v);
             adj[v].push(u);

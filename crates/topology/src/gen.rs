@@ -251,7 +251,9 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
                 if partner == r {
                     continue;
                 }
-                if b.add_link(r as u32, partner as u32, LinkKind::PeerPeer).is_ok() {
+                if b.add_link(r as u32, partner as u32, LinkKind::PeerPeer)
+                    .is_ok()
+                {
                     break;
                 }
             }
@@ -323,7 +325,9 @@ mod tests {
             ..GenConfig::small(5)
         };
         let g = generate(&cfg).unwrap();
-        let t1_degree: usize = (0..cfg.n_tier1).map(|i| g.customers(AsId(i as u32)).len()).sum();
+        let t1_degree: usize = (0..cfg.n_tier1)
+            .map(|i| g.customers(AsId(i as u32)).len())
+            .sum();
         assert!(
             t1_degree as f64 / cfg.n_tier1 as f64 > 10.0,
             "tier-1s should accumulate many customers"

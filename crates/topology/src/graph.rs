@@ -84,9 +84,7 @@ impl Link {
 /// The derived order (`Customer < Peer < Provider`) is the *preference*
 /// order of the prefer-customer policy: routes learned from a customer beat
 /// routes learned from a peer beat routes learned from a provider.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Relation {
     Customer,
     Peer,
@@ -188,7 +186,9 @@ impl AsGraph {
 
     /// Total degree of `v`.
     pub fn degree(&self, v: AsId) -> usize {
-        self.customers[v.index()].len() + self.peers[v.index()].len() + self.providers[v.index()].len()
+        self.customers[v.index()].len()
+            + self.peers[v.index()].len()
+            + self.providers[v.index()].len()
     }
 
     /// Relation of `b` as seen from `a` (`b` is `a`'s …), if adjacent.
@@ -274,12 +274,8 @@ impl AsGraph {
         }
         for (i, l) in self.links.iter().enumerate() {
             if !removed.contains(&LinkId(i as u32)) {
-                b.add_link(
-                    self.external_asn(l.a),
-                    self.external_asn(l.b),
-                    l.kind,
-                )
-                .expect("re-adding existing valid link");
+                b.add_link(self.external_asn(l.a), self.external_asn(l.b), l.kind)
+                    .expect("re-adding existing valid link");
             }
         }
         b.build().expect("sub-graph of a valid graph is valid")

@@ -253,12 +253,7 @@ mod tests {
     fn infers_simple_hierarchy() {
         // Star: 0 is the high-degree provider of 1, 2, 3; paths climb
         // through 0.
-        let paths = vec![
-            vec![1, 0, 2],
-            vec![2, 0, 3],
-            vec![3, 0, 1],
-            vec![1, 0, 3],
-        ];
+        let paths = vec![vec![1, 0, 2], vec![2, 0, 3], vec![3, 0, 1], vec![1, 0, 3]];
         let t = infer(&paths, &InferConfig::default());
         assert_eq!(t.kind(1, 0), Some(InferredKind::SecondProviderOfFirst));
         // Same pair queried the other way round: 0 is the provider.

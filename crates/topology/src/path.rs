@@ -170,11 +170,8 @@ pub fn downhill_node_disjoint(g: &AsGraph, p1: &[AsId], p2: &[AsId]) -> Option<b
     };
     let d1 = downhill_nodes(g, p1)?;
     let d2 = downhill_nodes(g, p2)?;
-    let set: std::collections::HashSet<AsId> = d1
-        .iter()
-        .copied()
-        .filter(|&v| v != d && v != s)
-        .collect();
+    let set: std::collections::HashSet<AsId> =
+        d1.iter().copied().filter(|&v| v != d && v != s).collect();
     Some(!d2.iter().any(|&v| v != d && v != s && set.contains(&v)))
 }
 

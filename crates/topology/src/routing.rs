@@ -242,10 +242,16 @@ mod tests {
         let r = StaticRoutes::compute(&g, AsId(4));
         // 2 is a provider of 4: customer route of length 1.
         let r2 = r.route(AsId(2)).unwrap();
-        assert_eq!((r2.kind, r2.len, r2.next_hop), (RouteKind::Customer, 1, Some(AsId(4))));
+        assert_eq!(
+            (r2.kind, r2.len, r2.next_hop),
+            (RouteKind::Customer, 1, Some(AsId(4)))
+        );
         // 0 is a provider of 2.
         let r0 = r.route(AsId(0)).unwrap();
-        assert_eq!((r0.kind, r0.len, r0.next_hop), (RouteKind::Customer, 2, Some(AsId(2))));
+        assert_eq!(
+            (r0.kind, r0.len, r0.next_hop),
+            (RouteKind::Customer, 2, Some(AsId(2)))
+        );
     }
 
     #[test]
@@ -254,7 +260,10 @@ mod tests {
         let r = StaticRoutes::compute(&g, AsId(4));
         // 1 has no customer route to 4; its peer 0 has one of length 2.
         let r1 = r.route(AsId(1)).unwrap();
-        assert_eq!((r1.kind, r1.len, r1.next_hop), (RouteKind::Peer, 3, Some(AsId(0))));
+        assert_eq!(
+            (r1.kind, r1.len, r1.next_hop),
+            (RouteKind::Peer, 3, Some(AsId(0)))
+        );
     }
 
     #[test]
@@ -263,13 +272,22 @@ mod tests {
         let r = StaticRoutes::compute(&g, AsId(4));
         // 3 only reaches 4 via its provider 1.
         let r3 = r.route(AsId(3)).unwrap();
-        assert_eq!((r3.kind, r3.len, r3.next_hop), (RouteKind::Provider, 4, Some(AsId(1))));
+        assert_eq!(
+            (r3.kind, r3.len, r3.next_hop),
+            (RouteKind::Provider, 4, Some(AsId(1)))
+        );
         // 6 via its provider 3.
         let r6 = r.route(AsId(6)).unwrap();
-        assert_eq!((r6.kind, r6.len, r6.next_hop), (RouteKind::Provider, 5, Some(AsId(3))));
+        assert_eq!(
+            (r6.kind, r6.len, r6.next_hop),
+            (RouteKind::Provider, 5, Some(AsId(3)))
+        );
         // Sibling stub 5 via provider 2.
         let r5 = r.route(AsId(5)).unwrap();
-        assert_eq!((r5.kind, r5.len, r5.next_hop), (RouteKind::Provider, 2, Some(AsId(2))));
+        assert_eq!(
+            (r5.kind, r5.len, r5.next_hop),
+            (RouteKind::Provider, 2, Some(AsId(2)))
+        );
     }
 
     #[test]

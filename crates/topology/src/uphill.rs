@@ -241,7 +241,10 @@ mod tests {
         let g = g();
         let dag = UphillDag::new(&g);
         let mut rng = Rng::seed_from_u64(1);
-        assert_eq!(dag.sample_path(&g, AsId(0), &mut rng).unwrap(), vec![AsId(0)]);
+        assert_eq!(
+            dag.sample_path(&g, AsId(0), &mut rng).unwrap(),
+            vec![AsId(0)]
+        );
         assert_eq!(
             dag.enumerate_paths(&g, AsId(0), 10).unwrap(),
             vec![vec![AsId(0)]]

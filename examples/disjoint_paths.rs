@@ -20,10 +20,7 @@ fn main() {
         let text = std::fs::read_to_string(path).expect("readable relationship file");
         caida::parse(&text).expect("valid serial-1 relationship file")
     } else {
-        let n: usize = args
-            .first()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(2000);
+        let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(2000);
         generate(&GenConfig {
             n_ases: n,
             ..GenConfig::analysis_scale(17)
@@ -62,8 +59,14 @@ fn main() {
             11
         )
     );
-    println!("mean Phi, random lock selection : {:.3}  (paper: 0.92)", random.mean);
-    println!("mean Phi, smart lock selection  : {:.3}  (paper: 0.97)", smart.mean);
+    println!(
+        "mean Phi, random lock selection : {:.3}  (paper: 0.92)",
+        random.mean
+    );
+    println!(
+        "mean Phi, smart lock selection  : {:.3}  (paper: 0.97)",
+        smart.mean
+    );
     println!(
         "destinations with Phi <= 0.7    : {:.1}%  (paper: < 10%)",
         random.cdf_at(0.7) * 100.0

@@ -37,7 +37,12 @@ fn main() {
         .rev()
         .map(AsId)
         .filter(|&v| g.providers(v).len() >= 2)
-        .flat_map(|v| g.providers(v).iter().map(move |&p| (v, p)).collect::<Vec<_>>())
+        .flat_map(|v| {
+            g.providers(v)
+                .iter()
+                .map(move |&p| (v, p))
+                .collect::<Vec<_>>()
+        })
         .min_by_key(|&(_, p)| {
             if g.is_tier1(p) {
                 usize::MAX // avoid tier-1 providers: too well connected

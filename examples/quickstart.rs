@@ -44,37 +44,38 @@ fn main() {
         origin.lock_target(prefix).unwrap()
     );
     println!();
-    println!("{:<6} {:<22} {:<22} {}", "AS", "red path", "blue path", "downhill disjoint?");
+    println!(
+        "{:<6} {:<22} {:<22} {}",
+        "AS", "red path", "blue path", "downhill disjoint?"
+    );
     for v in g.ases() {
         if v == AsId(4) {
             continue;
         }
         let r = engine.router(v);
+        let resolve = |c: Color| -> Option<Vec<AsId>> {
+            r.selection(prefix, c).path_id().map(|p| {
+                let mut full = vec![v];
+                full.extend(engine.paths().iter(p));
+                full
+            })
+        };
         let fmt = |c: Color| -> String {
-            match r.selection(prefix, c).path() {
-                Some(p) => {
-                    let mut full = vec![v];
-                    full.extend_from_slice(p);
-                    full.iter()
-                        .map(|a| a.0.to_string())
-                        .collect::<Vec<_>>()
-                        .join("-")
-                }
+            match resolve(c) {
+                Some(full) => full
+                    .iter()
+                    .map(|a| a.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join("-"),
                 None => "(none)".into(),
             }
         };
-        let disjoint = match (r.selection(prefix, Color::Red).path(), r.selection(prefix, Color::Blue).path()) {
-            (Some(rp), Some(bp)) => {
-                let mut red = vec![v];
-                red.extend_from_slice(rp);
-                let mut blue = vec![v];
-                blue.extend_from_slice(bp);
-                match downhill_node_disjoint(&g, &red, &blue) {
-                    Some(true) => "yes",
-                    Some(false) => "NO",
-                    None => "n/a",
-                }
-            }
+        let disjoint = match (resolve(Color::Red), resolve(Color::Blue)) {
+            (Some(red), Some(blue)) => match downhill_node_disjoint(&g, &red, &blue) {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "n/a",
+            },
             _ => "n/a",
         };
         println!(

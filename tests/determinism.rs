@@ -1,0 +1,48 @@
+//! Determinism regression tests for the arena-backed route representation.
+//!
+//! The `PathArena` assigns ids sequentially in intern order, and intern
+//! order is fixed by the deterministic event schedule — so equal seeds must
+//! produce byte-identical metrics, run over run and regardless of how many
+//! worker threads the experiment harness uses (each instance owns its
+//! engines and arenas; threads only partition instances). These tests pin
+//! that invariant: a scheduler or arena change that makes results depend on
+//! intern timing or thread interleaving fails here first.
+
+use stamp_repro::experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};
+
+/// The full single-link-failure workload, run twice with identical
+/// configuration: every per-instance metric of every protocol must match
+/// exactly (f64 fields included — bitwise equality, not tolerance).
+#[test]
+fn single_link_failure_metrics_identical_across_runs() {
+    let cfg = FailureConfig::tiny(0xD17E);
+    let a = run_failure_experiment(&cfg, FailureScenario::SingleLink, &Protocol::ALL);
+    let b = run_failure_experiment(&cfg, FailureScenario::SingleLink, &Protocol::ALL);
+    for p in Protocol::ALL {
+        assert_eq!(
+            a.of(p).per_instance,
+            b.of(p).per_instance,
+            "{} diverged across identical runs",
+            p.label()
+        );
+    }
+}
+
+/// The same workload at `threads = 1` vs `threads = 2`: worker count must
+/// not leak into the results (instances are partitioned, never shared).
+#[test]
+fn single_link_failure_metrics_identical_across_thread_counts() {
+    let mut cfg = FailureConfig::tiny(0xD17E);
+    cfg.threads = 1;
+    let serial = run_failure_experiment(&cfg, FailureScenario::SingleLink, &Protocol::ALL);
+    cfg.threads = 2;
+    let parallel = run_failure_experiment(&cfg, FailureScenario::SingleLink, &Protocol::ALL);
+    for p in Protocol::ALL {
+        assert_eq!(
+            serial.of(p).per_instance,
+            parallel.of(p).per_instance,
+            "{} diverged between threads=1 and threads=2",
+            p.label()
+        );
+    }
+}

@@ -140,14 +140,14 @@ fn stamp_network_wide_disjointness_invariants() {
         // the residue is exactly why the paper's Figure 2 still shows a
         // small nonzero STAMP bar.
         if let (Some(rp), Some(bp)) = (
-            r.selection(P, Color::Red).path(),
-            r.selection(P, Color::Blue).path(),
+            r.selection(P, Color::Red).path_id(),
+            r.selection(P, Color::Blue).path_id(),
         ) {
             both += 1;
             let mut red = vec![v];
-            red.extend_from_slice(rp);
+            red.extend(e.paths().iter(rp));
             let mut blue = vec![v];
-            blue.extend_from_slice(bp);
+            blue.extend(e.paths().iter(bp));
             if downhill_node_disjoint(&g, &red, &blue) == Some(true) {
                 disjoint += 1;
             }
@@ -206,7 +206,10 @@ fn lemma_3_1_additions_strictly_gentler_than_withdrawals() {
 
     // Addition episode: recover it.
     let mut add_tracker = TransientTracker::new(dest, reachable_full);
-    e.inject_after(SimDuration::from_secs(5), ScenarioEvent::RecoverLink(failed));
+    e.inject_after(
+        SimDuration::from_secs(5),
+        ScenarioEvent::RecoverLink(failed),
+    );
     e.run_until_quiescent(None, |eng, _| {
         add_tracker.observe(&BgpView {
             engine: eng,

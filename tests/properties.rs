@@ -1,8 +1,9 @@
 //! Property-based tests (in-repo `check` harness) over the core data
 //! structures and the paper's invariants.
 
+use stamp_repro::bgp::patharena::PathArena;
 use stamp_repro::bgp::types::{
-    CauseInfo, EventType, PathAttrs, PrefixId, Route, RootCause, UpdateKind, UpdateMsg,
+    CauseInfo, EventType, PathAttrs, PrefixId, RootCause, Route, UpdateKind, UpdateMsg,
     WithdrawInfo,
 };
 use stamp_repro::bgp::wire::{decode, encode};
@@ -54,13 +55,14 @@ fn arb_attrs(rng: &mut Rng) -> PathAttrs {
     }
 }
 
-fn arb_update(rng: &mut Rng) -> UpdateMsg {
+fn arb_update(arena: &mut PathArena, rng: &mut Rng) -> UpdateMsg {
     let prefix = PrefixId(rng.next_u64() as u32);
     if gen::bool(rng) {
+        let path = arb_as_path(rng);
         UpdateMsg {
             prefix,
             kind: UpdateKind::Announce(Route {
-                path: arb_as_path(rng),
+                path: arena.intern_slice(&path),
                 attrs: arb_attrs(rng),
             }),
         }
@@ -94,13 +96,78 @@ fn arb_gen_config(rng: &mut Rng) -> GenConfig {
 // Wire codec
 // ---------------------------------------------------------------------
 
-/// RFC 4271-style encode/decode is the identity on valid updates.
+/// RFC 4271-style encode/decode is the identity on valid updates. With the
+/// arena-backed codec, decoding into the *same* arena re-interns the path
+/// to the identical `PathId`, so whole-message equality holds exactly.
 #[test]
 fn codec_roundtrip() {
     cases(256, 0xC0DEC, |rng| {
-        let msg = arb_update(rng);
-        let decoded = decode(&encode(&msg)).expect("own encoding decodes");
+        let mut arena = PathArena::new();
+        let msg = arb_update(&mut arena, rng);
+        let raw = encode(&arena, &msg);
+        let decoded = decode(&mut arena, &raw).expect("own encoding decodes");
         assert_eq!(decoded, msg);
+    });
+}
+
+/// Decoding into a *fresh* arena preserves the path contents (the handles
+/// differ across arenas; the resolved AS sequences must not).
+#[test]
+fn codec_roundtrip_across_arenas() {
+    cases(128, 0xC0DE2, |rng| {
+        let mut arena = PathArena::new();
+        let msg = arb_update(&mut arena, rng);
+        let raw = encode(&arena, &msg);
+        let mut fresh = PathArena::new();
+        let decoded = decode(&mut fresh, &raw).expect("own encoding decodes");
+        assert_eq!(decoded.prefix, msg.prefix);
+        match (msg.kind, decoded.kind) {
+            (UpdateKind::Announce(a), UpdateKind::Announce(b)) => {
+                assert_eq!(arena.as_vec(a.path), fresh.as_vec(b.path));
+                assert_eq!(a.attrs, b.attrs);
+            }
+            (UpdateKind::Withdraw(a), UpdateKind::Withdraw(b)) => assert_eq!(a, b),
+            (a, b) => panic!("kind changed across codec: {a:?} vs {b:?}"),
+        }
+    });
+}
+
+/// Attribute-bearing routes — STAMP Lock/ET, R-BGP RCI `CauseInfo` and the
+/// failover flag, in every combination — survive the arena-backed codec.
+#[test]
+fn codec_roundtrip_attribute_bearing() {
+    cases(256, 0xA77B5, |rng| {
+        let mut arena = PathArena::new();
+        let path = arb_as_path(rng);
+        // Force a fully attribute-laden route (plain routes are covered by
+        // `codec_roundtrip`); each attribute still varies in value.
+        let attrs = PathAttrs {
+            lock: gen::bool(rng),
+            et: Some(arb_et(rng)),
+            root_cause: Some(arb_cause(rng)),
+            failover: gen::bool(rng),
+        };
+        let msg = UpdateMsg {
+            prefix: PrefixId(rng.next_u64() as u32),
+            kind: UpdateKind::Announce(Route {
+                path: arena.intern_slice(&path),
+                attrs,
+            }),
+        };
+        let raw = encode(&arena, &msg);
+        assert_eq!(decode(&mut arena, &raw).unwrap(), msg);
+
+        // Withdrawals carrying RCI + ET + failover likewise round-trip.
+        let wd = UpdateMsg {
+            prefix: PrefixId(rng.next_u64() as u32),
+            kind: UpdateKind::Withdraw(WithdrawInfo {
+                root_cause: Some(arb_cause(rng)),
+                et: Some(arb_et(rng)),
+                failover: gen::bool(rng),
+            }),
+        };
+        let raw = encode(&arena, &wd);
+        assert_eq!(decode(&mut arena, &raw).unwrap(), wd);
     });
 }
 
@@ -108,13 +175,14 @@ fn codec_roundtrip() {
 #[test]
 fn decoder_total_on_mangled_input() {
     cases(256, 0xA16E, |rng| {
-        let msg = arb_update(rng);
-        let mut raw = encode(&msg);
+        let mut arena = PathArena::new();
+        let msg = arb_update(&mut arena, rng);
+        let mut raw = encode(&arena, &msg);
         if !raw.is_empty() {
             let i = rng.gen_range(0usize..raw.len());
             raw[i] = rng.next_u64() as u8;
         }
-        let _ = decode(&raw); // must not panic
+        let _ = decode(&mut arena, &raw); // must not panic
     });
 }
 
@@ -273,13 +341,13 @@ fn stamp_invariants() {
             // here we assert only that the computed paths are valley-free
             // (disjointness statistics live in the integration suite).
             if let (Some(rp), Some(bp)) = (
-                r.selection(PrefixId(0), Color::Red).path(),
-                r.selection(PrefixId(0), Color::Blue).path(),
+                r.selection(PrefixId(0), Color::Red).path_id(),
+                r.selection(PrefixId(0), Color::Blue).path_id(),
             ) {
                 let mut red = vec![v];
-                red.extend_from_slice(rp);
+                red.extend(e.paths().iter(rp));
                 let mut blue = vec![v];
-                blue.extend_from_slice(bp);
+                blue.extend(e.paths().iter(bp));
                 assert!(downhill_node_disjoint(&g, &red, &blue).is_some());
             }
         }
@@ -300,7 +368,14 @@ fn simulation_deterministic() {
         .expect("valid");
         let run = || {
             let mut e = Engine::new(g.clone(), EngineConfig::fast(seed), |v| {
-                BgpRouter::new(v, if v == AsId(0) { vec![PrefixId(0)] } else { vec![] })
+                BgpRouter::new(
+                    v,
+                    if v == AsId(0) {
+                        vec![PrefixId(0)]
+                    } else {
+                        vec![]
+                    },
+                )
             });
             e.start();
             e.run_to_quiescence(None);
