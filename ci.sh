@@ -52,3 +52,9 @@ cargo build --release --offline
 cargo build --examples --offline
 cargo test -q --offline
 echo "tier-1 gate passed (offline)"
+
+# --- Workload smoke campaign ---------------------------------------------
+# Tiny (timeline × destination × seed) grid at 1 and 4 workers; the binary
+# asserts the byte-identical aggregate hash (exits non-zero on divergence).
+cargo run --release --offline -q -p stamp_bench --bin campaign -- --smoke
+echo "smoke campaign passed (deterministic aggregate hash)"

@@ -81,13 +81,13 @@ fn main() {
             },
         );
         let wrate = std::env::var("WRATE").map(|v| v != "0").unwrap_or(true);
-        let cfg = FailureConfig {
+        let mut cfg = FailureConfig {
             gen: gen.clone(),
             instances,
             seed: 0xCA11,
-            mrai_withdrawals: wrate,
             ..FailureConfig::default()
         };
+        cfg.params.mrai_withdrawals = wrate;
         let rep = run_failure_experiment(&cfg, FailureScenario::SingleLink, &Protocol::ALL);
         let lb = |p: Protocol| {
             format!(

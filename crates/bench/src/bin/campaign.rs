@@ -1,0 +1,305 @@
+//! `campaign`: BGP vs R-BGP vs STAMP across the scenario-timeline
+//! families, on a sharded `(timeline × destination × seed)` grid.
+//!
+//! The five families exercise dynamics the paper's one-shot figures never
+//! see: a sub-MRAI link flap train, staggered two-link failures, a
+//! correlated tier-2 regional outage, rolling maintenance windows over
+//! providers, and random background churn. The grid runs twice — one
+//! worker, then all cores — asserting the byte-identical aggregate hash
+//! (the determinism contract of `stamp_workload::campaign`) and reporting
+//! the wall-clock speedup. Results (disruption/recovery aggregates plus
+//! throughput) go to `BENCH_campaign.json`.
+//!
+//! `--smoke` is the CI gate: a tiny fast-parameter grid, determinism
+//! assertion only, no JSON written.
+
+use stamp_bench::parse_args;
+use stamp_eventsim::rng::tags;
+use stamp_eventsim::{rng_stream, Rng, SimDuration};
+use stamp_topology::gen::generate;
+use stamp_topology::{AsGraph, AsId, GenConfig};
+use stamp_workload::{
+    background_churn, choose_k, correlated_node_outage, destination_candidates, flap_train,
+    maintenance_windows, provider_cone, run_campaign, staggered_link_failures, CampaignConfig,
+    CampaignReport, Protocol, RunParams, Timeline,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The protocols the campaign compares (the R-BGP variant runs with RCI).
+const PROTOCOLS: [Protocol; 3] = [Protocol::Bgp, Protocol::Rbgp, Protocol::Stamp];
+
+/// Build the five scenario-timeline families from one seeded stream.
+///
+/// Every draw comes from `rng_stream(seed, tags::TIMELINE)`, so the whole
+/// campaign — timelines included — is byte-reproducible from its seed.
+/// Four families anchor on the campaign's own destinations (their provider
+/// links and cones are what the grid's cells route over, so the events
+/// actually intersect measured paths); churn is mesh-global.
+fn families(g: &AsGraph, rng: &mut Rng, dests: &[AsId], smoke: bool) -> Vec<Timeline> {
+    let dest = |i: usize| dests[i % dests.len()];
+    let s = SimDuration::from_secs;
+
+    // 1. A provider link of the first destination flapping faster than
+    //    MRAI (30 s): period 10 s, half duty.
+    let fa = dest(0);
+    let fb = g.providers(fa)[0];
+    let flap = Timeline::from_events(
+        "flap-train",
+        flap_train(fa, fb, s(0), s(10), 0.5, if smoke { 3 } else { 6 }),
+    );
+
+    // 2. Staggered two-link failure: both provider links of a multi-homed
+    //    destination, the second while the network is still exploring the
+    //    first withdrawal (the slow-motion Figure 3b).
+    let sd = dest(1);
+    let sp = g.providers(sd);
+    let stagger = Timeline::from_events(
+        "staggered-two-link",
+        staggered_link_failures(&[(sd, sp[0]), (sd, sp[1])], s(0), s(15)),
+    );
+
+    // 3. A correlated regional outage: a slice of a destination's provider
+    //    cone fails as one event and recovers together two minutes later.
+    let cone = provider_cone(g, dest(2));
+    let region = choose_k(rng, &cone, (cone.len() / 4).clamp(1, 3));
+    let outage = Timeline::from_events(
+        "regional-outage",
+        correlated_node_outage(&region, s(0), Some(s(120))),
+    );
+
+    // 4. Rolling maintenance: two providers of a destination drain for
+    //    60 s, one at a time.
+    let md = dest(3);
+    let mp = g.providers(md);
+    let maint = Timeline::from_events(
+        "maintenance-drain",
+        maintenance_windows(&[mp[0], mp[1 % mp.len()]], s(0), s(60), s(180)),
+    );
+
+    // 5. Random background churn across the whole mesh.
+    let churn = Timeline::from_events(
+        "background-churn",
+        background_churn(g, rng, s(0), s(240), if smoke { 6 } else { 12 }, s(30)),
+    );
+
+    vec![flap, stagger, outage, maint, churn]
+}
+
+struct GridRun {
+    report: CampaignReport,
+    wall_1: f64,
+    wall_n: f64,
+    threads_n: usize,
+}
+
+/// Run the grid at one worker, then at `threads_n`, asserting the
+/// byte-identical aggregate.
+fn run_twice(
+    g: &AsGraph,
+    timelines: &[Timeline],
+    dests: &[AsId],
+    cfg: &mut CampaignConfig,
+    threads_n: usize,
+) -> GridRun {
+    cfg.threads = 1;
+    let t0 = Instant::now();
+    let serial = run_campaign(g, timelines, dests, cfg).expect("timelines resolve");
+    let wall_1 = t0.elapsed().as_secs_f64();
+
+    cfg.threads = threads_n;
+    let t0 = Instant::now();
+    let parallel = run_campaign(g, timelines, dests, cfg).expect("timelines resolve");
+    let wall_n = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        serial.hash, parallel.hash,
+        "campaign aggregate diverged between 1 and {threads_n} workers"
+    );
+    GridRun {
+        report: parallel,
+        wall_1,
+        wall_n,
+        threads_n,
+    }
+}
+
+fn print_report(run: &GridRun, protocols: &[Protocol]) {
+    let rep = &run.report;
+    let cells = rep.cells.len();
+    println!(
+        "campaign: {} ASes, {} timelines × {} cells, hash 0x{:016x}",
+        rep.n_ases,
+        rep.timeline_names.len(),
+        cells,
+        rep.hash
+    );
+    println!(
+        "{:<20} {:<18} {:>9} {:>9} {:>12} {:>12} {:>12}",
+        "timeline", "protocol", "affected", "loops", "recovery_s", "converge_s", "updates"
+    );
+    for (t, name) in rep.timeline_names.iter().enumerate() {
+        for &p in protocols {
+            let a = rep.aggregate(t, p);
+            println!(
+                "{:<20} {:<18} {:>9.2} {:>9.2} {:>12.2} {:>12.2} {:>12.1}",
+                name,
+                p.label(),
+                a.affected_mean,
+                a.loops_mean,
+                a.data_recovery_mean_s,
+                a.convergence_mean_s,
+                a.updates_failure_mean
+            );
+        }
+    }
+    let tp1 = cells as f64 / run.wall_1;
+    let tpn = cells as f64 / run.wall_n;
+    println!(
+        "wall clock: {:.2} s at 1 worker ({tp1:.2} cells/s), {:.2} s at {} workers \
+         ({tpn:.2} cells/s) — speedup {:.2}×",
+        run.wall_1,
+        run.wall_n,
+        run.threads_n,
+        run.wall_1 / run.wall_n
+    );
+}
+
+fn write_json(run: &GridRun, protocols: &[Protocol], path: &str) {
+    let rep = &run.report;
+    let cells = rep.cells.len();
+    let mut s = String::from("{\n  \"campaign\": {\n");
+    let _ = writeln!(s, "    \"n_ases\": {},", rep.n_ases);
+    let _ = writeln!(s, "    \"cells\": {cells},");
+    let _ = writeln!(s, "    \"hash\": \"0x{:016x}\",", rep.hash);
+    let _ = writeln!(s, "    \"wall_s_threads_1\": {:.3},", run.wall_1);
+    let _ = writeln!(s, "    \"wall_s_threads_n\": {:.3},", run.wall_n);
+    let _ = writeln!(s, "    \"threads_n\": {},", run.threads_n);
+    let _ = writeln!(
+        s,
+        "    \"throughput_cells_per_s_1\": {:.3},",
+        cells as f64 / run.wall_1
+    );
+    let _ = writeln!(
+        s,
+        "    \"throughput_cells_per_s_n\": {:.3},",
+        cells as f64 / run.wall_n
+    );
+    let _ = writeln!(s, "    \"speedup\": {:.3},", run.wall_1 / run.wall_n);
+    s.push_str("    \"families\": [\n");
+    let mut first = true;
+    for (t, name) in rep.timeline_names.iter().enumerate() {
+        for &p in protocols {
+            let a = rep.aggregate(t, p);
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "      {{ \"timeline\": \"{name}\", \"protocol\": \"{}\", \
+                 \"cells\": {}, \"affected_mean\": {:.3}, \"loops_mean\": {:.3}, \
+                 \"blackholes_mean\": {:.3}, \"data_recovery_mean_s\": {:.3}, \
+                 \"convergence_mean_s\": {:.3}, \"updates_failure_mean\": {:.3} }}",
+                p.label(),
+                a.cells,
+                a.affected_mean,
+                a.loops_mean,
+                a.blackholes_mean,
+                a.data_recovery_mean_s,
+                a.convergence_mean_s,
+                a.updates_failure_mean
+            );
+        }
+    }
+    s.push_str("\n    ]\n  }\n}\n");
+    std::fs::write(path, s).expect("write BENCH_campaign.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args = parse_args(
+        "campaign [--ases N] [--dests N] [--seeds N] [--seed N] [--threads N] \
+         [--scn FILE]... [--smoke]\n\
+         Runs the scenario-timeline campaign (flap trains, staggered failures,\n\
+         regional outages, maintenance drains, background churn) for BGP, R-BGP\n\
+         and STAMP over a (timeline × destination × seed) grid, twice (1 worker,\n\
+         then --threads/all), asserts the byte-identical aggregate hash, and\n\
+         writes BENCH_campaign.json.\n\
+         --scn FILE (repeatable): run timelines parsed from .scn files instead\n\
+         of the built-in families (see scenarios/ for samples).\n\
+         --smoke: tiny fast grid, determinism assertion only (the CI gate).",
+    );
+    let seed = args.seed.unwrap_or(0xCA4A16);
+    let smoke = args.smoke;
+
+    let gen = if smoke {
+        GenConfig::small(seed)
+    } else {
+        GenConfig {
+            n_ases: args.ases.unwrap_or(500),
+            ..GenConfig::small(seed)
+        }
+    };
+    let g = generate(&gen).expect("valid generator config");
+
+    let mut rng = rng_stream(seed, tags::TIMELINE);
+    let n_dests = args.dests.unwrap_or(if smoke { 2 } else { 4 });
+    let dests = choose_k(&mut rng, &destination_candidates(&g), n_dests);
+    if dests.is_empty() {
+        eprintln!(
+            "campaign: no destinations (--dests {n_dests}, {} multi-homed candidates \
+             in the topology) — nothing to run",
+            destination_candidates(&g).len()
+        );
+        std::process::exit(2);
+    }
+    // Campaigns are data: `--scn` files replace the built-in families.
+    let timelines: Vec<Timeline> = if args.scn.is_empty() {
+        families(&g, &mut rng, &dests, smoke)
+    } else {
+        args.scn
+            .iter()
+            .map(|path| {
+                let text =
+                    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+                text.parse::<Timeline>()
+                    .unwrap_or_else(|e| panic!("parse {path}: {e}"))
+            })
+            .collect()
+    };
+    let n_seeds = args.seeds.unwrap_or(if smoke { 1 } else { 2 });
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| seed ^ (i << 17)).collect();
+
+    let mut cfg = CampaignConfig {
+        params: if smoke {
+            RunParams::fast()
+        } else {
+            RunParams::default()
+        },
+        protocols: PROTOCOLS.to_vec(),
+        seeds,
+        threads: 0,
+    };
+    let threads_n = if args.threads > 0 {
+        args.threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(4)
+    };
+
+    let run = run_twice(&g, &timelines, &dests, &mut cfg, threads_n);
+    if smoke {
+        println!(
+            "smoke campaign OK: {} cells, hash 0x{:016x} identical at 1 and {} workers",
+            run.report.cells.len(),
+            run.report.hash,
+            run.threads_n
+        );
+        return;
+    }
+    print_report(&run, &PROTOCOLS);
+    write_json(&run, &PROTOCOLS, "BENCH_campaign.json");
+}

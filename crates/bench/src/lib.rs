@@ -16,7 +16,7 @@
 pub mod harness;
 
 /// Parsed common options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CommonArgs {
     pub ases: Option<usize>,
     pub instances: Option<usize>,
@@ -24,6 +24,16 @@ pub struct CommonArgs {
     pub threads: usize,
     /// Extra boolean flag some binaries use (e.g. `--smart` on fig1).
     pub smart: bool,
+    /// CI smoke mode (`campaign --smoke`): tiny grid, determinism check
+    /// only.
+    pub smoke: bool,
+    /// Destination-axis size of a campaign grid (`--dests N`).
+    pub dests: Option<usize>,
+    /// Seed-axis size of a campaign grid (`--seeds N`).
+    pub seeds: Option<usize>,
+    /// `.scn` scenario files (`--scn FILE`, repeatable): campaign timelines
+    /// loaded as data instead of the built-in families.
+    pub scn: Vec<String>,
 }
 
 /// Parse `std::env::args`, exiting with usage on errors.
@@ -34,6 +44,10 @@ pub fn parse_args(usage: &str) -> CommonArgs {
         seed: None,
         threads: 0,
         smart: false,
+        smoke: false,
+        dests: None,
+        seeds: None,
+        scn: Vec::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -51,6 +65,10 @@ pub fn parse_args(usage: &str) -> CommonArgs {
             "--seed" => out.seed = Some(value(&mut i).parse().expect("--seed N")),
             "--threads" => out.threads = value(&mut i).parse().expect("--threads N"),
             "--smart" => out.smart = true,
+            "--smoke" => out.smoke = true,
+            "--dests" => out.dests = Some(value(&mut i).parse().expect("--dests N")),
+            "--seeds" => out.seeds = Some(value(&mut i).parse().expect("--seeds N")),
+            "--scn" => out.scn.push(value(&mut i)),
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);

@@ -30,5 +30,5 @@ pub mod time;
 
 pub use channel::{ChannelId, DelayModel, FifoChannel, LossModel};
 pub use queue::Scheduler;
-pub use rng::{rng_stream, Rng};
+pub use rng::{derive_seed, rng_stream, Rng};
 pub use time::{SimDuration, SimTime};

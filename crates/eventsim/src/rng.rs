@@ -161,9 +161,16 @@ macro_rules! impl_sample_range {
 
 impl_sample_range!(u32, u64, usize);
 
+/// Derive an independent sub-seed from a master seed and a purpose tag —
+/// the mixing step behind [`rng_stream`], exposed so harnesses that need a
+/// *seed* per grid cell (not a stream) share the same decorrelation.
+pub fn derive_seed(master_seed: u64, tag: u64) -> u64 {
+    splitmix64(master_seed ^ splitmix64(tag))
+}
+
 /// Derive an independent RNG stream from a master seed and a purpose tag.
 pub fn rng_stream(master_seed: u64, tag: u64) -> Rng {
-    Rng::seed_from_u64(splitmix64(master_seed ^ splitmix64(tag)))
+    Rng::seed_from_u64(derive_seed(master_seed, tag))
 }
 
 /// Conventional stream tags used across the workspace (one place, so no two
@@ -183,6 +190,10 @@ pub mod tags {
     pub const LOSS: u64 = 6;
     /// Φ-analysis path sampling.
     pub const PHI_SAMPLING: u64 = 7;
+    /// Scenario-timeline generation (flap trains, churn, outages).
+    pub const TIMELINE: u64 = 8;
+    /// Campaign grid cell seed derivation.
+    pub const CAMPAIGN: u64 = 9;
 }
 
 #[cfg(test)]

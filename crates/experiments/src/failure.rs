@@ -3,64 +3,33 @@
 //! For each of `instances` independently sampled workloads, the four
 //! protocols of the paper — BGP, R-BGP without RCI, R-BGP, STAMP — run the
 //! *identical* scenario: same topology, same destination, same failed
-//! links, same delay model and seeds. The harness:
+//! links, same delay model and seeds. Since the `stamp_workload` refactor
+//! the workloads themselves are canned timelines
+//! ([`stamp_workload::canned`]) and each instance is driven by the shared
+//! cell machinery ([`stamp_workload::campaign::run_protocol_cell`]):
 //!
-//! 1. converges the network from cold start,
-//! 2. clears measurement state (STAMP instability flags),
-//! 3. injects the failure(s) simultaneously,
-//! 4. observes the data plane during re-convergence (throttled to one
+//! 1. converge the network from cold start,
+//! 2. clear measurement state (STAMP instability flags),
+//! 3. play the instance's timeline (for the paper's shapes: all failures
+//!    at one instant),
+//! 4. observe the data plane during re-convergence (throttled to one
 //!    observation per `observe_interval` of simulated time — transients
 //!    shorter than the throttle can be missed, equally for all protocols),
-//! 5. reports the number of ASes with transient problems, message counts
+//! 5. report the number of ASes with transient problems, message counts
 //!    and convergence delay (the §6.3 metrics fall out of the same runs).
 
-use crate::scenario::{sample_workload, FailureScenario, Workload};
 use crate::stats;
-use stamp_bgp::engine::{Engine, EngineConfig, ScenarioEvent};
-use stamp_bgp::router::{BgpRouter, RouterLogic};
-use stamp_bgp::types::PrefixId;
-use stamp_core::{LockStrategy, StampRouter};
 use stamp_eventsim::rng::tags;
-use stamp_eventsim::{rng_stream, DelayModel, SimDuration, SimTime};
-use stamp_forwarding::{BgpView, ForwardingView, RbgpView, StampView, TransientTracker};
-use stamp_rbgp::{RbgpConfig, RbgpRouter};
+use stamp_eventsim::rng_stream;
 use stamp_topology::gen::{generate, GenConfig};
-use stamp_topology::{AsGraph, AsId, StaticRoutes};
+use stamp_topology::{AsId, StaticRoutes};
+use stamp_workload::campaign::{run_protocol_cell, RunParams};
+use stamp_workload::canned::sample_canned;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// The prefix every experiment converges (one destination at a time, as in
-/// the paper).
-pub const PREFIX: PrefixId = PrefixId(0);
-
-/// Protocols compared in Figures 2 and 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Protocol {
-    Bgp,
-    RbgpNoRci,
-    Rbgp,
-    Stamp,
-}
-
-impl Protocol {
-    /// All four, in the paper's bar order.
-    pub const ALL: [Protocol; 4] = [
-        Protocol::Bgp,
-        Protocol::RbgpNoRci,
-        Protocol::Rbgp,
-        Protocol::Stamp,
-    ];
-
-    /// Paper's label.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Protocol::Bgp => "BGP",
-            Protocol::RbgpNoRci => "R-BGP without RCI",
-            Protocol::Rbgp => "R-BGP",
-            Protocol::Stamp => "STAMP",
-        }
-    }
-}
+pub use stamp_workload::campaign::{InstanceMetrics, Protocol, PREFIX};
+pub use stamp_workload::canned::FailureScenario;
 
 /// Experiment configuration; defaults follow §6.2 where the paper is
 /// explicit (delays, MRAI, 100 instances) and DESIGN.md where it is not.
@@ -72,20 +41,9 @@ pub struct FailureConfig {
     pub instances: usize,
     /// Master seed.
     pub seed: u64,
-    /// Message delay model (paper: U[10 ms, 20 ms]).
-    pub delay: DelayModel,
-    /// MRAI base (paper: 30 s × U[0.75, 1.0] per session).
-    pub mrai_base: SimDuration,
-    /// Disable MRAI (fast tests only).
-    pub mrai_enabled: bool,
-    /// Rate-limit withdrawals too (paper-era simulator behaviour).
-    pub mrai_withdrawals: bool,
-    /// Delay between reaching quiescence and injecting the failure.
-    pub inject_delay: SimDuration,
-    /// Data-plane observation throttle (simulated time).
-    pub observe_interval: SimDuration,
-    /// Safety deadline per convergence phase (simulated time).
-    pub phase_deadline: SimDuration,
+    /// Engine/measurement knobs shared by every instance (delay model,
+    /// MRAI, injection guard, observation throttle, phase deadline).
+    pub params: RunParams,
     /// Worker threads (0 = all available).
     pub threads: usize,
 }
@@ -96,13 +54,7 @@ impl Default for FailureConfig {
             gen: GenConfig::sim_scale(0xBEEF),
             instances: 100,
             seed: 0xBEEF,
-            delay: DelayModel::paper_default(),
-            mrai_base: SimDuration::from_secs(30),
-            mrai_enabled: true,
-            mrai_withdrawals: true,
-            inject_delay: SimDuration::from_secs(5),
-            observe_interval: SimDuration::from_millis(100),
-            phase_deadline: SimDuration::from_secs(4 * 3600),
+            params: RunParams::default(),
             threads: 0,
         }
     }
@@ -115,57 +67,10 @@ impl FailureConfig {
             gen: GenConfig::small(seed),
             instances: 3,
             seed,
-            delay: DelayModel::fixed(SimDuration::from_millis(1)),
-            mrai_base: SimDuration::ZERO,
-            mrai_enabled: false,
-            mrai_withdrawals: false,
-            inject_delay: SimDuration::from_secs(1),
-            observe_interval: SimDuration::from_micros(1),
-            phase_deadline: SimDuration::from_secs(3600),
+            params: RunParams::fast(),
             threads: 0,
         }
     }
-
-    fn engine_config(&self, instance_seed: u64) -> EngineConfig {
-        EngineConfig {
-            seed: instance_seed,
-            delay: self.delay,
-            mrai_base: self.mrai_base,
-            mrai_enabled: self.mrai_enabled,
-            mrai_withdrawals: self.mrai_withdrawals,
-            loss: stamp_eventsim::LossModel::none(),
-        }
-    }
-}
-
-/// Per-instance measurements of one protocol.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct InstanceMetrics {
-    /// ASes with transient problems (the Figure 2/3 metric).
-    pub affected: usize,
-    /// ASes that saw a transient loop (subset of `affected`).
-    pub affected_loops: usize,
-    /// ASes that saw a transient blackhole (subset of `affected`).
-    pub affected_blackholes: usize,
-    /// Control-plane companion metric: ASes that adopted a selection
-    /// invalidated by the event ("affected in some ways", see DESIGN.md).
-    pub control_affected: usize,
-    /// Updates sent during initial convergence (E7 baseline).
-    pub updates_initial: u64,
-    /// Updates sent while re-converging after the failure (E7).
-    pub updates_failure: u64,
-    /// Seconds of simulated time from injection to the last FIB change
-    /// (E8, control plane).
-    pub convergence_delay_s: f64,
-    /// Seconds from injection to the last observation that still saw any
-    /// forwarding problem (E8, data-plane recovery; 0 = never disrupted).
-    pub data_recovery_s: f64,
-    /// Distinct AS paths interned by the engine's `PathArena` over the
-    /// whole run — the de-duplicated path population every RIB entry,
-    /// rib-out slot and in-flight message shares. Deterministic (intern
-    /// order is event order), so it participates in the byte-identical
-    /// regression checks.
-    pub interned_paths: usize,
 }
 
 /// Aggregated per-protocol results.
@@ -286,99 +191,9 @@ impl FailureReport {
     }
 }
 
-/// Run one instance of one protocol on a prepared workload.
-fn drive<R, MkR, Reset, MkV>(
-    g: &AsGraph,
-    cfg: &FailureConfig,
-    engine_cfg: EngineConfig,
-    w: &Workload,
-    reachable: &[bool],
-    make_router: MkR,
-    reset: Reset,
-    mk_view: MkV,
-) -> InstanceMetrics
-where
-    R: RouterLogic,
-    MkR: FnMut(AsId) -> R,
-    Reset: FnOnce(&mut Engine<R>),
-    MkV: for<'a> Fn(&'a Engine<R>) -> Box<dyn ForwardingView + 'a>,
-{
-    let mut e = Engine::new(g.clone(), engine_cfg, make_router);
-    e.start();
-    e.run_to_quiescence(Some(SimTime::ZERO + cfg.phase_deadline));
-    let s0 = *e.stats();
-    let updates_initial = s0.announcements_sent + s0.withdrawals_sent;
-
-    reset(&mut e);
-
-    for l in &w.failed_links {
-        e.inject_after(cfg.inject_delay, ScenarioEvent::FailLink(*l));
-    }
-    if let Some(node) = w.failed_node {
-        e.inject_after(cfg.inject_delay, ScenarioEvent::FailNode(node));
-    }
-    let inject_time = e.now() + cfg.inject_delay;
-    let deadline = inject_time + cfg.phase_deadline;
-
-    let causes: Vec<stamp_bgp::types::RootCause> = {
-        let mut v: Vec<stamp_bgp::types::RootCause> = w
-            .failed_links
-            .iter()
-            .map(|l| {
-                let link = g.link(*l);
-                stamp_bgp::types::RootCause::link(link.a, link.b)
-            })
-            .collect();
-        if let Some(node) = w.failed_node {
-            v.push(stamp_bgp::types::RootCause::Node(node));
-        }
-        v
-    };
-    let mut tracker = {
-        let baseline = mk_view(&e);
-        TransientTracker::new(w.dest, reachable.to_vec())
-            .with_control_metric(causes, baseline.as_ref())
-    };
-    let mut last_obs: Option<SimTime> = None;
-    let mut last_problem: Option<SimTime> = None;
-    e.run_until_quiescent(Some(deadline), |eng, t| {
-        let due = match last_obs {
-            None => true,
-            Some(prev) => t.since(prev) >= cfg.observe_interval,
-        };
-        if due {
-            let view = mk_view(eng);
-            tracker.observe(view.as_ref());
-            if tracker.last_observation_had_problems {
-                last_problem = Some(t);
-            }
-            last_obs = Some(t);
-        }
-    });
-    // Final state (should be problem-free after convergence; counted so a
-    // non-converged run is visible in the numbers).
-    let view = mk_view(&e);
-    tracker.observe(view.as_ref());
-
-    let s1 = e.stats();
-    InstanceMetrics {
-        affected: tracker.affected_count(),
-        affected_loops: tracker.loop_count(),
-        affected_blackholes: tracker.blackhole_count(),
-        control_affected: tracker.control_affected_count(),
-        updates_initial,
-        updates_failure: s1.announcements_sent + s1.withdrawals_sent - updates_initial,
-        convergence_delay_s: s1.last_fib_change.since(inject_time).as_secs_f64(),
-        data_recovery_s: last_problem
-            .map(|t| t.since(inject_time).as_secs_f64())
-            .unwrap_or(0.0),
-        interned_paths: e.paths().node_count(),
-    }
-}
-
 /// Run one instance (all requested protocols on the identical workload).
 fn run_instance(
-    g: &AsGraph,
+    g: &stamp_topology::AsGraph,
     cfg: &FailureConfig,
     scenario: FailureScenario,
     instance: usize,
@@ -388,86 +203,33 @@ fn run_instance(
         .seed
         .wrapping_add((instance as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut wl_rng = rng_stream(instance_seed, tags::WORKLOAD);
-    let w = sample_workload(g, scenario, &mut wl_rng)
+    let w = sample_canned(g, scenario, &mut wl_rng)
         .expect("generated topologies always host the paper's scenarios");
-    let removed = w.removed_links(g);
+    let removed = w
+        .timeline
+        .removed_links(g)
+        .expect("canned timelines resolve against their own topology");
     let g_after = g.without_links(&removed);
     let truth = StaticRoutes::compute(&g_after, w.dest);
     let reachable: Vec<bool> = (0..g.n() as u32)
         .map(|v| truth.reachable(AsId(v)))
         .collect();
-    let own = |v: AsId, dest: AsId| if v == dest { vec![PREFIX] } else { vec![] };
 
     protocols
         .iter()
         .map(|&p| {
-            let engine_cfg = cfg.engine_config(instance_seed);
-            let m = match p {
-                Protocol::Bgp => drive(
+            (
+                p,
+                run_protocol_cell(
                     g,
-                    cfg,
-                    engine_cfg,
-                    &w,
+                    &cfg.params,
+                    &w.timeline,
+                    w.dest,
                     &reachable,
-                    |v| BgpRouter::new(v, own(v, w.dest)),
-                    |_| {},
-                    |e| {
-                        Box::new(BgpView {
-                            engine: e,
-                            prefix: PREFIX,
-                        })
-                    },
+                    p,
+                    instance_seed,
                 ),
-                Protocol::Rbgp | Protocol::RbgpNoRci => {
-                    let rcfg = RbgpConfig {
-                        rci: p == Protocol::Rbgp,
-                        ..Default::default()
-                    };
-                    drive(
-                        g,
-                        cfg,
-                        engine_cfg,
-                        &w,
-                        &reachable,
-                        |v| RbgpRouter::new(v, own(v, w.dest), rcfg),
-                        |_| {},
-                        |e| {
-                            Box::new(RbgpView {
-                                engine: e,
-                                prefix: PREFIX,
-                            })
-                        },
-                    )
-                }
-                Protocol::Stamp => drive(
-                    g,
-                    cfg,
-                    engine_cfg,
-                    &w,
-                    &reachable,
-                    |v| {
-                        StampRouter::new(
-                            v,
-                            own(v, w.dest),
-                            LockStrategy::Random {
-                                seed: instance_seed,
-                            },
-                        )
-                    },
-                    |e| {
-                        for v in 0..e.topology().n() as u32 {
-                            e.router_mut(AsId(v)).reset_instability();
-                        }
-                    },
-                    |e| {
-                        Box::new(StampView {
-                            engine: e,
-                            prefix: PREFIX,
-                        })
-                    },
-                ),
-            };
-            (p, m)
+            )
         })
         .collect()
 }

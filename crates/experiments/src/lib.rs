@@ -19,10 +19,11 @@ pub mod failure;
 pub mod partial_exp;
 pub mod phi_exp;
 pub mod render;
-pub mod scenario;
 pub mod stats;
 
 pub use failure::{run_failure_experiment, FailureConfig, FailureReport, Protocol, ProtocolResult};
 pub use partial_exp::{run_partial_deployment, PartialConfig, PartialReport};
 pub use phi_exp::{run_phi_experiment, PhiExperimentConfig, PhiExperimentReport};
-pub use scenario::{sample_workload, FailureScenario, Workload};
+// Workload sampling moved to `stamp_workload`; re-exported for the bench
+// binaries and integration tests that keep importing it from here.
+pub use stamp_workload::canned::{destination_candidates, sample_canned, FailureScenario};

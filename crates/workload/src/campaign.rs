@@ -1,0 +1,669 @@
+//! The sharded campaign runner: a `(timeline × destination × seed)` grid
+//! fanned across `std::thread::scope` workers.
+//!
+//! Each grid cell converges a fresh network (one [`Engine`] + `PathArena`
+//! per cell per protocol, nothing shared), plays the cell's timeline, and
+//! measures the paper's disruption/recovery metrics. Workers claim cells
+//! from an atomic counter and write results into a pre-sized slot vector,
+//! so the merged report is in *cell-index order no matter how the threads
+//! interleave* — a campaign's aggregate (and its [`CampaignReport::hash`])
+//! is byte-identical at any worker count. That is the whole determinism
+//! argument: randomness is derived per cell from the cell's coordinates,
+//! never from worker identity or wall-clock.
+
+use crate::timeline::{Timeline, TimelineError};
+use stamp_bgp::engine::{Engine, EngineConfig};
+use stamp_bgp::router::{BgpRouter, RouterLogic};
+use stamp_bgp::types::PrefixId;
+use stamp_core::{LockStrategy, StampRouter};
+use stamp_eventsim::rng::tags;
+use stamp_eventsim::{derive_seed, DelayModel, SimDuration, SimTime};
+use stamp_forwarding::{BgpView, ForwardingView, RbgpView, StampView, TransientTracker};
+use stamp_rbgp::{RbgpConfig, RbgpRouter};
+use stamp_topology::{AsGraph, AsId, StaticRoutes};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The prefix every run converges (one destination at a time, as in the
+/// paper).
+pub const PREFIX: PrefixId = PrefixId(0);
+
+/// Protocols compared by campaigns and the figure experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Protocol {
+    Bgp,
+    RbgpNoRci,
+    Rbgp,
+    Stamp,
+}
+
+impl Protocol {
+    /// All four, in the paper's bar order.
+    pub const ALL: [Protocol; 4] = [
+        Protocol::Bgp,
+        Protocol::RbgpNoRci,
+        Protocol::Rbgp,
+        Protocol::Stamp,
+    ];
+
+    /// Paper's label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::Bgp => "BGP",
+            Protocol::RbgpNoRci => "R-BGP without RCI",
+            Protocol::Rbgp => "R-BGP",
+            Protocol::Stamp => "STAMP",
+        }
+    }
+
+    fn discriminant(&self) -> u64 {
+        match self {
+            Protocol::Bgp => 0,
+            Protocol::RbgpNoRci => 1,
+            Protocol::Rbgp => 2,
+            Protocol::Stamp => 3,
+        }
+    }
+}
+
+/// Per-cell measurements of one protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceMetrics {
+    /// ASes with transient problems (the Figure 2/3 metric).
+    pub affected: usize,
+    /// ASes that saw a transient loop (subset of `affected`).
+    pub affected_loops: usize,
+    /// ASes that saw a transient blackhole (subset of `affected`).
+    pub affected_blackholes: usize,
+    /// Control-plane companion metric: ASes that adopted a selection
+    /// invalidated by the event ("affected in some ways", see DESIGN.md).
+    pub control_affected: usize,
+    /// Updates sent during initial convergence (E7 baseline).
+    pub updates_initial: u64,
+    /// Updates sent while re-converging after the timeline started (E7).
+    pub updates_failure: u64,
+    /// Seconds of simulated time from the timeline's *last* event to the
+    /// last FIB change (E8, control plane). For the paper's one-shot
+    /// workloads the last event is the injection instant.
+    pub convergence_delay_s: f64,
+    /// Seconds from the timeline's last event to the last observation that
+    /// still saw any forwarding problem (E8, data-plane recovery;
+    /// 0 = never disrupted after the final event).
+    pub data_recovery_s: f64,
+    /// Distinct AS paths interned by the engine's `PathArena` over the
+    /// whole run — deterministic (intern order is event order), so it
+    /// participates in the byte-identical regression checks.
+    pub interned_paths: usize,
+}
+
+impl InstanceMetrics {
+    /// Feed every field into an FNV-1a accumulator (f64s by bit pattern),
+    /// so aggregate hashes detect any metric drift.
+    fn fnv_into(&self, h: &mut Fnv1a) {
+        h.write_u64(self.affected as u64);
+        h.write_u64(self.affected_loops as u64);
+        h.write_u64(self.affected_blackholes as u64);
+        h.write_u64(self.control_affected as u64);
+        h.write_u64(self.updates_initial);
+        h.write_u64(self.updates_failure);
+        h.write_u64(self.convergence_delay_s.to_bits());
+        h.write_u64(self.data_recovery_s.to_bits());
+        h.write_u64(self.interned_paths as u64);
+    }
+}
+
+/// FNV-1a 64-bit (hermetic; stable across platforms and runs).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    }
+}
+
+/// Engine and measurement knobs shared by every cell of a run; defaults
+/// follow §6.2 where the paper is explicit.
+#[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Message delay model (paper: U[10 ms, 20 ms]).
+    pub delay: DelayModel,
+    /// MRAI base (paper: 30 s × U[0.75, 1.0] per session).
+    pub mrai_base: SimDuration,
+    /// Disable MRAI (fast tests only).
+    pub mrai_enabled: bool,
+    /// Rate-limit withdrawals too (paper-era simulator behaviour).
+    pub mrai_withdrawals: bool,
+    /// Delay between reaching quiescence and the timeline's epoch.
+    pub inject_delay: SimDuration,
+    /// Data-plane observation throttle (simulated time).
+    pub observe_interval: SimDuration,
+    /// Safety deadline per convergence phase (simulated time).
+    pub phase_deadline: SimDuration,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            delay: DelayModel::paper_default(),
+            mrai_base: SimDuration::from_secs(30),
+            mrai_enabled: true,
+            mrai_withdrawals: true,
+            inject_delay: SimDuration::from_secs(5),
+            observe_interval: SimDuration::from_millis(100),
+            phase_deadline: SimDuration::from_secs(4 * 3600),
+        }
+    }
+}
+
+impl RunParams {
+    /// A configuration small enough for unit/integration tests: fixed 1 ms
+    /// delays, no MRAI.
+    pub fn fast() -> RunParams {
+        RunParams {
+            delay: DelayModel::fixed(SimDuration::from_millis(1)),
+            mrai_base: SimDuration::ZERO,
+            mrai_enabled: false,
+            mrai_withdrawals: false,
+            inject_delay: SimDuration::from_secs(1),
+            observe_interval: SimDuration::from_micros(1),
+            phase_deadline: SimDuration::from_secs(3600),
+        }
+    }
+
+    /// Engine configuration for one cell.
+    pub fn engine_config(&self, seed: u64) -> EngineConfig {
+        EngineConfig {
+            seed,
+            delay: self.delay,
+            mrai_base: self.mrai_base,
+            mrai_enabled: self.mrai_enabled,
+            mrai_withdrawals: self.mrai_withdrawals,
+            loss: stamp_eventsim::LossModel::none(),
+        }
+    }
+}
+
+/// Converge one network, play one timeline, measure one protocol.
+///
+/// `reachable[v]` must hold the post-timeline reachability of each AS
+/// (compute it from [`Timeline::removed_links`]). The timeline is injected
+/// at an epoch `inject_delay` after initial quiescence; all offsets are
+/// absolute from that epoch, and recovery metrics are measured from the
+/// *last* event (the "settle point") — nothing is injected after it, so
+/// anything still broken later is a transient of the protocol, not of the
+/// workload.
+pub fn drive_timeline<R, MkR, Reset, MkV>(
+    g: &AsGraph,
+    params: &RunParams,
+    engine_cfg: EngineConfig,
+    timeline: &Timeline,
+    dest: AsId,
+    reachable: &[bool],
+    make_router: MkR,
+    reset: Reset,
+    mk_view: MkV,
+) -> InstanceMetrics
+where
+    R: RouterLogic,
+    MkR: FnMut(AsId) -> R,
+    Reset: FnOnce(&mut Engine<R>),
+    MkV: for<'a> Fn(&'a Engine<R>) -> Box<dyn ForwardingView + 'a>,
+{
+    let schedule = timeline
+        .resolve(g)
+        .expect("timeline must resolve against the campaign topology");
+    let mut e = Engine::new(g.clone(), engine_cfg, make_router);
+    e.start();
+    e.run_to_quiescence(Some(SimTime::ZERO + params.phase_deadline));
+    let s0 = *e.stats();
+    let updates_initial = s0.announcements_sent + s0.withdrawals_sent;
+
+    reset(&mut e);
+
+    let epoch = e.now() + params.inject_delay;
+    for (at, ev) in schedule {
+        e.inject_at(epoch + at, ev);
+    }
+    let settle = epoch + timeline.end();
+    let deadline = settle + params.phase_deadline;
+
+    let mut tracker = {
+        let baseline = mk_view(&e);
+        TransientTracker::new(dest, reachable.to_vec())
+            .with_control_metric(timeline.root_causes(), baseline.as_ref())
+    };
+    let mut last_obs: Option<SimTime> = None;
+    let mut last_problem: Option<SimTime> = None;
+    e.run_until_quiescent(Some(deadline), |eng, t| {
+        let due = match last_obs {
+            None => true,
+            Some(prev) => t.since(prev) >= params.observe_interval,
+        };
+        if due {
+            let view = mk_view(eng);
+            tracker.observe(view.as_ref());
+            if tracker.last_observation_had_problems {
+                last_problem = Some(t);
+            }
+            last_obs = Some(t);
+        }
+    });
+    // Final state (should be problem-free after convergence; counted so a
+    // non-converged run is visible in the numbers).
+    let view = mk_view(&e);
+    tracker.observe(view.as_ref());
+
+    let s1 = e.stats();
+    InstanceMetrics {
+        affected: tracker.affected_count(),
+        affected_loops: tracker.loop_count(),
+        affected_blackholes: tracker.blackhole_count(),
+        control_affected: tracker.control_affected_count(),
+        updates_initial,
+        updates_failure: s1.announcements_sent + s1.withdrawals_sent - updates_initial,
+        convergence_delay_s: s1.last_fib_change.since(settle).as_secs_f64(),
+        data_recovery_s: last_problem
+            .map(|t| t.since(settle).as_secs_f64())
+            .unwrap_or(0.0),
+        interned_paths: e.paths().node_count(),
+    }
+}
+
+/// Run one `(timeline, dest)` cell for one protocol. `seed` drives the
+/// engine's delay/MRAI streams and STAMP's lock choices.
+pub fn run_protocol_cell(
+    g: &AsGraph,
+    params: &RunParams,
+    timeline: &Timeline,
+    dest: AsId,
+    reachable: &[bool],
+    protocol: Protocol,
+    seed: u64,
+) -> InstanceMetrics {
+    let engine_cfg = params.engine_config(seed);
+    let own = |v: AsId| if v == dest { vec![PREFIX] } else { vec![] };
+    match protocol {
+        Protocol::Bgp => drive_timeline(
+            g,
+            params,
+            engine_cfg,
+            timeline,
+            dest,
+            reachable,
+            |v| BgpRouter::new(v, own(v)),
+            |_| {},
+            |e| {
+                Box::new(BgpView {
+                    engine: e,
+                    prefix: PREFIX,
+                })
+            },
+        ),
+        Protocol::Rbgp | Protocol::RbgpNoRci => {
+            let rcfg = RbgpConfig {
+                rci: protocol == Protocol::Rbgp,
+                ..Default::default()
+            };
+            drive_timeline(
+                g,
+                params,
+                engine_cfg,
+                timeline,
+                dest,
+                reachable,
+                |v| RbgpRouter::new(v, own(v), rcfg),
+                |_| {},
+                |e| {
+                    Box::new(RbgpView {
+                        engine: e,
+                        prefix: PREFIX,
+                    })
+                },
+            )
+        }
+        Protocol::Stamp => drive_timeline(
+            g,
+            params,
+            engine_cfg,
+            timeline,
+            dest,
+            reachable,
+            |v| StampRouter::new(v, own(v), LockStrategy::Random { seed }),
+            |e| {
+                for v in 0..e.topology().n() as u32 {
+                    e.router_mut(AsId(v)).reset_instability();
+                }
+            },
+            |e| {
+                Box::new(StampView {
+                    engine: e,
+                    prefix: PREFIX,
+                })
+            },
+        ),
+    }
+}
+
+/// Campaign configuration: the seed axis of the grid plus shared knobs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Engine/measurement knobs shared by every cell.
+    pub params: RunParams,
+    /// Protocols run on every cell.
+    pub protocols: Vec<Protocol>,
+    /// The seed axis: every `(timeline, dest)` pair runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// Paper-parameter campaign over all four protocols, one seed.
+    pub fn paper(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            params: RunParams::default(),
+            protocols: Protocol::ALL.to_vec(),
+            seeds: vec![seed],
+            threads: 0,
+        }
+    }
+
+    /// Fast test campaign (no MRAI, fixed delays).
+    pub fn fast(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            params: RunParams::fast(),
+            protocols: Protocol::ALL.to_vec(),
+            seeds: vec![seed],
+            threads: 0,
+        }
+    }
+}
+
+/// One grid coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignCell {
+    /// Index into the campaign's timeline list.
+    pub timeline: usize,
+    /// The destination AS converged towards.
+    pub dest: AsId,
+    /// The seed-axis value.
+    pub seed: u64,
+}
+
+/// Results of one cell: metrics per protocol, in config order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    pub cell: CampaignCell,
+    pub metrics: Vec<(Protocol, InstanceMetrics)>,
+}
+
+/// Per-`(timeline, protocol)` aggregate over all matching cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Aggregate {
+    pub cells: usize,
+    pub affected_mean: f64,
+    pub loops_mean: f64,
+    pub blackholes_mean: f64,
+    pub updates_failure_mean: f64,
+    pub convergence_mean_s: f64,
+    pub data_recovery_mean_s: f64,
+}
+
+/// A complete campaign: merged cells (grid order) and the aggregate hash.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    pub n_ases: usize,
+    /// Names of the campaign's timelines, grid order.
+    pub timeline_names: Vec<String>,
+    /// Every cell, in deterministic grid order (timeline-major, then
+    /// destination, then seed) regardless of worker interleaving.
+    pub cells: Vec<CellResult>,
+    /// FNV-1a over every metric of every cell in merge order — two
+    /// campaigns are byte-identical iff their hashes match.
+    pub hash: u64,
+}
+
+impl CampaignReport {
+    /// Aggregate one `(timeline, protocol)` slice of the grid.
+    pub fn aggregate(&self, timeline: usize, p: Protocol) -> Aggregate {
+        let mut agg = Aggregate::default();
+        for c in self.cells.iter().filter(|c| c.cell.timeline == timeline) {
+            if let Some((_, m)) = c.metrics.iter().find(|(q, _)| *q == p) {
+                agg.cells += 1;
+                agg.affected_mean += m.affected as f64;
+                agg.loops_mean += m.affected_loops as f64;
+                agg.blackholes_mean += m.affected_blackholes as f64;
+                agg.updates_failure_mean += m.updates_failure as f64;
+                agg.convergence_mean_s += m.convergence_delay_s;
+                agg.data_recovery_mean_s += m.data_recovery_s;
+            }
+        }
+        if agg.cells > 0 {
+            let n = agg.cells as f64;
+            agg.affected_mean /= n;
+            agg.loops_mean /= n;
+            agg.blackholes_mean /= n;
+            agg.updates_failure_mean /= n;
+            agg.convergence_mean_s /= n;
+            agg.data_recovery_mean_s /= n;
+        }
+        agg
+    }
+}
+
+/// Deterministic per-cell seed: a function of the cell's coordinates and
+/// the seed-axis value only — never of worker identity.
+fn cell_seed(cell: &CampaignCell) -> u64 {
+    let coord = ((cell.timeline as u64) << 32) | cell.dest.0 as u64;
+    derive_seed(derive_seed(cell.seed, tags::CAMPAIGN), coord)
+}
+
+/// Run a campaign: the full `timelines × dests × seeds` grid, sharded
+/// across `cfg.threads` workers (0 = all cores), merged in grid order.
+///
+/// Fails fast (before spawning anything) if any timeline does not resolve
+/// against `g`.
+pub fn run_campaign(
+    g: &AsGraph,
+    timelines: &[Timeline],
+    dests: &[AsId],
+    cfg: &CampaignConfig,
+) -> Result<CampaignReport, TimelineError> {
+    // Validate the whole grid up front; workers may then expect().
+    let mut removed_per_timeline = Vec::with_capacity(timelines.len());
+    for t in timelines {
+        t.resolve(g)?;
+        removed_per_timeline.push(t.removed_links(g)?);
+    }
+    // Post-timeline reachability per (timeline, dest) — shared read-only.
+    let reachable: Vec<Vec<Vec<bool>>> = removed_per_timeline
+        .iter()
+        .map(|removed| {
+            let g_after = g.without_links(removed);
+            dests
+                .iter()
+                .map(|&d| {
+                    let truth = StaticRoutes::compute(&g_after, d);
+                    (0..g.n() as u32)
+                        .map(|v| truth.reachable(AsId(v)))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut cells = Vec::with_capacity(timelines.len() * dests.len() * cfg.seeds.len());
+    for t in 0..timelines.len() {
+        for (di, &dest) in dests.iter().enumerate() {
+            for &seed in &cfg.seeds {
+                cells.push((
+                    CampaignCell {
+                        timeline: t,
+                        dest,
+                        seed,
+                    },
+                    di,
+                ));
+            }
+        }
+    }
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .min(cells.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; cells.len()]);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let (cell, di) = cells[i];
+                let seed = cell_seed(&cell);
+                let metrics: Vec<(Protocol, InstanceMetrics)> = cfg
+                    .protocols
+                    .iter()
+                    .map(|&p| {
+                        (
+                            p,
+                            run_protocol_cell(
+                                g,
+                                &cfg.params,
+                                &timelines[cell.timeline],
+                                cell.dest,
+                                &reachable[cell.timeline][di],
+                                p,
+                                seed,
+                            ),
+                        )
+                    })
+                    .collect();
+                slots.lock().unwrap()[i] = Some(CellResult { cell, metrics });
+            });
+        }
+    });
+
+    let cells: Vec<CellResult> = slots
+        .into_inner()
+        .expect("no worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("all cells ran"))
+        .collect();
+    let mut h = Fnv1a::new();
+    for c in &cells {
+        h.write_u64(c.cell.timeline as u64);
+        h.write_u64(c.cell.dest.0 as u64);
+        h.write_u64(c.cell.seed);
+        for (p, m) in &c.metrics {
+            h.write_u64(p.discriminant());
+            m.fnv_into(&mut h);
+        }
+    }
+    Ok(CampaignReport {
+        n_ases: g.n(),
+        timeline_names: timelines.iter().map(|t| t.name().to_string()).collect(),
+        cells,
+        hash: h.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canned::{destination_candidates, sample_canned, FailureScenario};
+    use crate::timeline::{flap_train, maintenance_windows, Timeline};
+    use stamp_eventsim::{rng_stream, SimDuration};
+    use stamp_topology::gen::{generate, GenConfig};
+
+    fn grid(seed: u64) -> (AsGraph, Vec<Timeline>, Vec<AsId>) {
+        let g = generate(&GenConfig::small(seed)).unwrap();
+        let dests: Vec<AsId> = destination_candidates(&g).into_iter().take(2).collect();
+        let d0 = dests[0];
+        let p = g.providers(d0)[0];
+        let timelines = vec![
+            Timeline::from_events(
+                "flap",
+                flap_train(d0, p, SimDuration::ZERO, SimDuration::from_secs(2), 0.5, 3),
+            ),
+            Timeline::from_events(
+                "maint",
+                maintenance_windows(
+                    &[p],
+                    SimDuration::ZERO,
+                    SimDuration::from_secs(10),
+                    SimDuration::from_secs(30),
+                ),
+            ),
+        ];
+        (g, timelines, dests)
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_worker_counts() {
+        let (g, timelines, dests) = grid(21);
+        let mut cfg = CampaignConfig::fast(5);
+        cfg.protocols = vec![Protocol::Bgp, Protocol::Stamp];
+        cfg.seeds = vec![1, 2];
+        cfg.threads = 1;
+        let serial = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+        cfg.threads = 4;
+        let parallel = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+        assert_eq!(serial.hash, parallel.hash);
+        assert_eq!(serial.cells, parallel.cells);
+        assert_eq!(serial.cells.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn aggregates_cover_the_grid() {
+        let (g, timelines, dests) = grid(23);
+        let mut cfg = CampaignConfig::fast(7);
+        cfg.protocols = vec![Protocol::Bgp];
+        cfg.seeds = vec![9];
+        let rep = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+        for t in 0..timelines.len() {
+            let agg = rep.aggregate(t, Protocol::Bgp);
+            assert_eq!(agg.cells, dests.len());
+            assert!(agg.affected_mean >= 0.0);
+        }
+        // An unknown protocol slice is empty, not a panic.
+        assert_eq!(rep.aggregate(0, Protocol::Stamp).cells, 0);
+    }
+
+    #[test]
+    fn canned_workload_cell_matches_protocol_expectations() {
+        // A canned Figure-2 cell: a recovered network must end with zero
+        // remaining problems, and STAMP must not do worse than the
+        // AS-population bound.
+        let g = generate(&GenConfig::small(41)).unwrap();
+        let mut rng = rng_stream(3, stamp_eventsim::rng::tags::WORKLOAD);
+        let w = sample_canned(&g, FailureScenario::SingleLink, &mut rng).unwrap();
+        let removed = w.timeline.removed_links(&g).unwrap();
+        let g_after = g.without_links(&removed);
+        let truth = StaticRoutes::compute(&g_after, w.dest);
+        let reachable: Vec<bool> = (0..g.n() as u32)
+            .map(|v| truth.reachable(AsId(v)))
+            .collect();
+        let params = RunParams::fast();
+        for p in Protocol::ALL {
+            let m = run_protocol_cell(&g, &params, &w.timeline, w.dest, &reachable, p, 11);
+            assert!(m.affected < g.n(), "{}", p.label());
+            assert!(m.interned_paths > 0, "{}", p.label());
+        }
+    }
+}

@@ -1,8 +1,10 @@
-//! Failure-scenario workloads (§6.2).
+//! The paper's §6.2 failure shapes as canned timelines.
 //!
 //! Each instance of a figure experiment draws a workload: the destination
-//! AS and the set of links (or the node) that fail. The sampling rules
-//! follow the paper's prose:
+//! AS and a one-shot timeline of what fails. The sampling rules follow the
+//! paper's prose (the draw sequence is unchanged from the original
+//! `experiments::scenario` sampler, so figure workloads are identical
+//! seed-for-seed):
 //!
 //! * **Single link failure** (Figure 2): "a multi-homed AS fails one of its
 //!   provider links"; the destination AS is the multi-homed AS itself,
@@ -18,9 +20,10 @@
 //! * **Node failure** (§6.2.2): one of the origin's providers fails
 //!   entirely, "withdrawing a route from all its neighbors".
 
+use crate::timeline::{provider_cone, NetEvent, Timeline};
 use stamp_eventsim::rng::Rng;
+use stamp_eventsim::SimDuration;
 use stamp_topology::{AsGraph, AsId, LinkId};
-use std::collections::VecDeque;
 
 /// Which failure pattern an experiment injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,55 +48,26 @@ impl FailureScenario {
             FailureScenario::NodeFailure => "single node failure (Sec. 6.2.2)",
         }
     }
+
+    /// Canonical timeline name (also the `.scn` header of the canned form).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FailureScenario::SingleLink => "fig2-single-link",
+            FailureScenario::TwoLinksDifferentAs => "fig3a-two-links-different-as",
+            FailureScenario::TwoLinksSameAs => "fig3b-two-links-same-as",
+            FailureScenario::NodeFailure => "node-failure",
+        }
+    }
 }
 
-/// One sampled instance: destination plus what fails.
+/// One sampled instance: the destination plus the event timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Workload {
+pub struct CannedWorkload {
     /// The destination (origin) AS whose prefix everyone routes towards.
     pub dest: AsId,
-    /// Links that fail simultaneously.
-    pub failed_links: Vec<LinkId>,
-    /// Node that fails (its incident links are not listed in
-    /// `failed_links`; use [`Workload::removed_links`] for reachability).
-    pub failed_node: Option<AsId>,
-}
-
-impl Workload {
-    /// Every link the event removes (explicit links plus the failed node's
-    /// incident links) — the input for post-event reachability.
-    pub fn removed_links(&self, g: &AsGraph) -> Vec<LinkId> {
-        let mut v = self.failed_links.clone();
-        if let Some(node) = self.failed_node {
-            for (i, l) in g.links().iter().enumerate() {
-                if l.touches(node) {
-                    v.push(LinkId(i as u32));
-                }
-            }
-        }
-        v.sort_unstable();
-        v.dedup();
-        v
-    }
-}
-
-/// The uphill cone of `dest`: every direct or indirect provider.
-fn uphill_cone(g: &AsGraph, dest: AsId) -> Vec<AsId> {
-    let mut seen = vec![false; g.n()];
-    let mut queue = VecDeque::new();
-    seen[dest.index()] = true;
-    queue.push_back(dest);
-    let mut cone = Vec::new();
-    while let Some(v) = queue.pop_front() {
-        for &p in g.providers(v) {
-            if !seen[p.index()] {
-                seen[p.index()] = true;
-                cone.push(p);
-                queue.push_back(p);
-            }
-        }
-    }
-    cone
+    /// What happens (all failures at offset zero — the paper's one-shot
+    /// simultaneous events).
+    pub timeline: Timeline,
 }
 
 /// Multi-homed, non-tier-1 ASes — the destination population of §6.2.
@@ -103,13 +77,24 @@ pub fn destination_candidates(g: &AsGraph) -> Vec<AsId> {
         .collect()
 }
 
-/// Sample one workload; `None` if the topology cannot host the scenario
-/// (e.g. no multi-homed AS at all).
-pub fn sample_workload(g: &AsGraph, scenario: FailureScenario, rng: &mut Rng) -> Option<Workload> {
+/// Sample one canned workload; `None` if the topology cannot host the
+/// scenario (e.g. no multi-homed AS at all).
+pub fn sample_canned(
+    g: &AsGraph,
+    scenario: FailureScenario,
+    rng: &mut Rng,
+) -> Option<CannedWorkload> {
     let candidates = destination_candidates(g);
     if candidates.is_empty() {
         return None;
     }
+    let canned = |dest: AsId, events: Vec<NetEvent>| {
+        let mut t = Timeline::new(scenario.slug());
+        for ev in events {
+            t.push(SimDuration::ZERO, ev);
+        }
+        Some(CannedWorkload { dest, timeline: t })
+    };
     // A few attempts: some destinations cannot host the multi-link shapes.
     for _ in 0..64 {
         let dest = *rng.choose(&candidates).expect("candidates non-empty");
@@ -118,18 +103,10 @@ pub fn sample_workload(g: &AsGraph, scenario: FailureScenario, rng: &mut Rng) ->
         let first = g.link_between(dest, p).expect("provider link exists");
         match scenario {
             FailureScenario::SingleLink => {
-                return Some(Workload {
-                    dest,
-                    failed_links: vec![first],
-                    failed_node: None,
-                });
+                return canned(dest, vec![NetEvent::LinkDown(dest, p)]);
             }
             FailureScenario::NodeFailure => {
-                return Some(Workload {
-                    dest,
-                    failed_links: Vec::new(),
-                    failed_node: Some(p),
-                });
+                return canned(dest, vec![NetEvent::NodeDown(p)]);
             }
             FailureScenario::TwoLinksSameAs => {
                 let pp = g.providers(p);
@@ -137,15 +114,13 @@ pub fn sample_workload(g: &AsGraph, scenario: FailureScenario, rng: &mut Rng) ->
                     continue; // p is tier-1; resample
                 }
                 let q = *rng.choose(pp).expect("checked non-empty");
-                let second = g.link_between(p, q).expect("provider link exists");
-                return Some(Workload {
+                return canned(
                     dest,
-                    failed_links: vec![first, second],
-                    failed_node: None,
-                });
+                    vec![NetEvent::LinkDown(dest, p), NetEvent::LinkDown(p, q)],
+                );
             }
             FailureScenario::TwoLinksDifferentAs => {
-                let cone = uphill_cone(g, dest);
+                let cone = provider_cone(g, dest);
                 let mut cands: Vec<LinkId> = Vec::new();
                 for &c in &cone {
                     for &prov in g.providers(c) {
@@ -163,11 +138,11 @@ pub fn sample_workload(g: &AsGraph, scenario: FailureScenario, rng: &mut Rng) ->
                     continue;
                 }
                 let second = *rng.choose(&cands).expect("checked non-empty");
-                return Some(Workload {
+                let l = g.link(second);
+                return canned(
                     dest,
-                    failed_links: vec![first, second],
-                    failed_node: None,
-                });
+                    vec![NetEvent::LinkDown(dest, p), NetEvent::LinkDown(l.a, l.b)],
+                );
             }
         }
     }
@@ -184,17 +159,30 @@ mod tests {
         generate(&GenConfig::small(41)).unwrap()
     }
 
+    fn only_links(w: &CannedWorkload, g: &AsGraph) -> Vec<LinkId> {
+        w.timeline
+            .events()
+            .iter()
+            .map(|e| match e.ev {
+                NetEvent::LinkDown(a, b) => g.link_between(a, b).expect("resolvable"),
+                other => panic!("expected link failure, got {other:?}"),
+            })
+            .collect()
+    }
+
     #[test]
     fn single_link_targets_a_provider_link_of_dest() {
         let g = g();
         let mut rng = Rng::seed_from_u64(1);
         for _ in 0..50 {
-            let w = sample_workload(&g, FailureScenario::SingleLink, &mut rng).unwrap();
+            let w = sample_canned(&g, FailureScenario::SingleLink, &mut rng).unwrap();
             assert!(g.providers(w.dest).len() >= 2);
-            assert_eq!(w.failed_links.len(), 1);
-            let l = g.link(w.failed_links[0]);
+            let links = only_links(&w, &g);
+            assert_eq!(links.len(), 1);
+            let l = g.link(links[0]);
             assert_eq!(l.kind, LinkKind::CustomerProvider);
             assert_eq!(l.a, w.dest, "dest must be the customer side");
+            assert_eq!(w.timeline.name(), "fig2-single-link");
         }
     }
 
@@ -203,10 +191,11 @@ mod tests {
         let g = g();
         let mut rng = Rng::seed_from_u64(2);
         for _ in 0..50 {
-            let w = sample_workload(&g, FailureScenario::TwoLinksSameAs, &mut rng).unwrap();
-            assert_eq!(w.failed_links.len(), 2);
-            let l1 = g.link(w.failed_links[0]);
-            let l2 = g.link(w.failed_links[1]);
+            let w = sample_canned(&g, FailureScenario::TwoLinksSameAs, &mut rng).unwrap();
+            let links = only_links(&w, &g);
+            assert_eq!(links.len(), 2);
+            let l1 = g.link(links[0]);
+            let l2 = g.link(links[1]);
             // l1 = dest->p; l2 = p->q: they share exactly p.
             assert_eq!(l1.a, w.dest);
             assert_eq!(l2.a, l1.b, "second link hangs off the failed provider");
@@ -218,10 +207,11 @@ mod tests {
         let g = g();
         let mut rng = Rng::seed_from_u64(3);
         for _ in 0..50 {
-            let w = sample_workload(&g, FailureScenario::TwoLinksDifferentAs, &mut rng).unwrap();
-            assert_eq!(w.failed_links.len(), 2);
-            let l1 = g.link(w.failed_links[0]);
-            let l2 = g.link(w.failed_links[1]);
+            let w = sample_canned(&g, FailureScenario::TwoLinksDifferentAs, &mut rng).unwrap();
+            let links = only_links(&w, &g);
+            assert_eq!(links.len(), 2);
+            let l1 = g.link(links[0]);
+            let l2 = g.link(links[1]);
             for x in [l2.a, l2.b] {
                 assert!(x != l1.a && x != l1.b, "links share endpoint {x}");
             }
@@ -232,23 +222,27 @@ mod tests {
     fn node_failure_removes_all_incident_links() {
         let g = g();
         let mut rng = Rng::seed_from_u64(4);
-        let w = sample_workload(&g, FailureScenario::NodeFailure, &mut rng).unwrap();
-        let node = w.failed_node.unwrap();
-        let removed = w.removed_links(&g);
+        let w = sample_canned(&g, FailureScenario::NodeFailure, &mut rng).unwrap();
+        let node = match w.timeline.events()[0].ev {
+            NetEvent::NodeDown(v) => v,
+            other => panic!("expected node failure, got {other:?}"),
+        };
+        let removed = w.timeline.removed_links(&g).unwrap();
         let expect = g.links().iter().filter(|l| l.touches(node)).count();
         assert_eq!(removed.len(), expect);
     }
 
     #[test]
-    fn deterministic_sampling() {
+    fn deterministic_sampling_and_scn_round_trip() {
         let g = g();
         let mut a = Rng::seed_from_u64(9);
         let mut b = Rng::seed_from_u64(9);
         for _ in 0..10 {
-            assert_eq!(
-                sample_workload(&g, FailureScenario::SingleLink, &mut a),
-                sample_workload(&g, FailureScenario::SingleLink, &mut b)
-            );
+            let wa = sample_canned(&g, FailureScenario::SingleLink, &mut a);
+            let wb = sample_canned(&g, FailureScenario::SingleLink, &mut b);
+            assert_eq!(wa, wb);
+            let t = wa.unwrap().timeline;
+            assert_eq!(t.to_scn().parse::<Timeline>().unwrap(), t);
         }
     }
 }

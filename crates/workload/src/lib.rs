@@ -1,0 +1,41 @@
+//! Declarative scenario workloads: timelines, the `.scn` DSL and the
+//! sharded campaign runner.
+//!
+//! The paper's evaluation is a handful of one-shot failure shapes; this
+//! crate is the layer that turns "a scenario" into *data* and "an
+//! experiment" into a *grid*:
+//!
+//! * [`timeline`] — the [`Timeline`] model (timestamped [`NetEvent`]s at
+//!   offsets from an injection epoch) plus reusable generators: link flap
+//!   trains, staggered multi-link failures, correlated node outages within
+//!   a tier or provider cone, rolling maintenance windows and random
+//!   background churn — all byte-reproducible from a seed via
+//!   `rng_stream(seed, tags::TIMELINE)`;
+//! * [`dsl`] — the `.scn` plain-text format with a round-trip
+//!   `to_string`/`parse` guarantee, so campaigns live in files, not code;
+//! * [`canned`] — the paper's Figure 2/3a/3b and §6.2.2 workloads expressed
+//!   as canned one-shot timelines (the figure experiments sample through
+//!   these);
+//! * [`campaign`] — the `(timeline × destination × seed)` grid runner:
+//!   `std::thread::scope` workers each own their engines and path arenas,
+//!   results merge in grid order, and the report carries an FNV-1a
+//!   aggregate hash that is byte-identical at any worker count.
+//!
+//! See DESIGN.md §8 for the model, grammar and determinism argument.
+
+pub mod campaign;
+pub mod canned;
+pub mod dsl;
+pub mod timeline;
+
+pub use campaign::{
+    run_campaign, run_protocol_cell, Aggregate, CampaignCell, CampaignConfig, CampaignReport,
+    CellResult, InstanceMetrics, Protocol, RunParams, PREFIX,
+};
+pub use canned::{destination_candidates, sample_canned, CannedWorkload, FailureScenario};
+pub use dsl::{parse_scn, ScnError, ScnErrorKind};
+pub use timeline::{
+    background_churn, choose_k, correlated_node_outage, flap_train, maintenance_windows,
+    provider_cone, staggered_link_failures, tier_members, NetEvent, Timeline, TimelineError,
+    TimelineEvent,
+};

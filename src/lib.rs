@@ -52,3 +52,4 @@ pub use stamp_experiments as experiments;
 pub use stamp_forwarding as forwarding;
 pub use stamp_rbgp as rbgp;
 pub use stamp_topology as topology;
+pub use stamp_workload as workload;

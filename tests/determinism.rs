@@ -1,4 +1,5 @@
-//! Determinism regression tests for the arena-backed route representation.
+//! Determinism regression tests for the arena-backed route representation
+//! and the workload/campaign layer above it.
 //!
 //! The `PathArena` assigns ids sequentially in intern order, and intern
 //! order is fixed by the deterministic event schedule — so equal seeds must
@@ -7,8 +8,20 @@
 //! engines and arenas; threads only partition instances). These tests pin
 //! that invariant: a scheduler or arena change that makes results depend on
 //! intern timing or thread interleaving fails here first.
+//!
+//! The flap-train cases extend the same contract to scenario timelines:
+//! sub-MRAI link flapping must quiesce to the never-flapped RIB, and a
+//! campaign grid must merge byte-identically at any worker count.
 
+use stamp_repro::bgp::engine::{Engine, EngineConfig};
+use stamp_repro::bgp::router::BgpRouter;
+use stamp_repro::bgp::types::PrefixId;
+use stamp_repro::eventsim::{DelayModel, LossModel, SimDuration};
 use stamp_repro::experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};
+use stamp_repro::topology::{generate, AsId, GenConfig};
+use stamp_repro::workload::{
+    destination_candidates, flap_train, run_campaign, CampaignConfig, RunParams, Timeline,
+};
 
 /// The full single-link-failure workload, run twice with identical
 /// configuration: every per-instance metric of every protocol must match
@@ -26,6 +39,107 @@ fn single_link_failure_metrics_identical_across_runs() {
             p.label()
         );
     }
+}
+
+/// A link flapping faster than MRAI (2 s period against a 30 s timer) must
+/// still quiesce after the last flap, and the final RIB — next hop *and*
+/// full selected AS path at every router — must be byte-identical to a run
+/// that never flapped: the flap train ends with the link up, so any
+/// residue (a stale MRAI pending, a lost withdrawal, a path-exploration
+/// leftover) is a bug this test catches.
+#[test]
+fn sub_mrai_flap_train_quiesces_to_the_never_flapped_state() {
+    let g = generate(&GenConfig::small(0xF1A9)).unwrap();
+    let dest = destination_candidates(&g)[0];
+    let p = g.providers(dest)[0];
+    let cfg = EngineConfig {
+        seed: 0xF1A9,
+        delay: DelayModel::fixed(SimDuration::from_millis(1)),
+        mrai_base: SimDuration::from_secs(30),
+        mrai_enabled: true,
+        mrai_withdrawals: true,
+        loss: LossModel::none(),
+    };
+    let run = |flap: bool| -> Vec<(Option<AsId>, Option<Vec<AsId>>)> {
+        let mut e = Engine::new(g.clone(), cfg.clone(), |v| {
+            let own = if v == dest { vec![PrefixId(0)] } else { vec![] };
+            BgpRouter::new(v, own)
+        });
+        e.start();
+        e.run_to_quiescence(None);
+        if flap {
+            let t = Timeline::from_events(
+                "flap",
+                flap_train(
+                    dest,
+                    p,
+                    SimDuration::ZERO,
+                    SimDuration::from_secs(2),
+                    0.5,
+                    5,
+                ),
+            );
+            let epoch = e.now() + SimDuration::from_secs(1);
+            for (at, ev) in t.resolve(&g).unwrap() {
+                e.inject_at(epoch + at, ev);
+            }
+            // `run_to_quiescence(None)` returns only when the event queue
+            // drains — termination itself is the quiescence assertion.
+            e.run_to_quiescence(None);
+        }
+        g.ases()
+            .map(|v| {
+                let nh = e.router(v).next_hop(PrefixId(0));
+                let path = e
+                    .router(v)
+                    .selection(PrefixId(0))
+                    .path_id()
+                    .map(|id| e.paths().as_vec(id));
+                (nh, path)
+            })
+            .collect()
+    };
+    assert_eq!(run(true), run(false), "flap residue in the final RIB");
+}
+
+/// The same flap train as a campaign grid cell, run at 1 worker and at 4:
+/// the merged cells and the aggregate hash must be byte-identical — worker
+/// interleaving must never reach the metrics.
+#[test]
+fn flap_campaign_identical_across_worker_counts() {
+    let g = generate(&GenConfig::small(0xF1A9)).unwrap();
+    let dests: Vec<AsId> = destination_candidates(&g).into_iter().take(3).collect();
+    let p = g.providers(dests[0])[0];
+    let timelines = vec![Timeline::from_events(
+        "flap",
+        flap_train(
+            dests[0],
+            p,
+            SimDuration::ZERO,
+            SimDuration::from_secs(2),
+            0.5,
+            4,
+        ),
+    )];
+    let mut cfg = CampaignConfig {
+        params: RunParams {
+            delay: DelayModel::fixed(SimDuration::from_millis(1)),
+            mrai_base: SimDuration::from_secs(30),
+            mrai_enabled: true,
+            mrai_withdrawals: true,
+            inject_delay: SimDuration::from_secs(1),
+            observe_interval: SimDuration::from_millis(100),
+            phase_deadline: SimDuration::from_secs(4 * 3600),
+        },
+        protocols: vec![Protocol::Bgp, Protocol::Stamp],
+        seeds: vec![1, 2],
+        threads: 1,
+    };
+    let serial = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+    cfg.threads = 4;
+    let parallel = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+    assert_eq!(serial.hash, parallel.hash, "aggregate hash diverged");
+    assert_eq!(serial.cells, parallel.cells, "cells diverged");
 }
 
 /// The same workload at `threads = 1` vs `threads = 2`: worker count must

@@ -389,3 +389,171 @@ fn simulation_deterministic() {
         assert_eq!(run(), run());
     });
 }
+
+// ---------------------------------------------------------------------
+// Scenario timelines and the .scn DSL
+// ---------------------------------------------------------------------
+
+mod workload_props {
+    use super::*;
+    use stamp_repro::eventsim::SimDuration;
+    use stamp_repro::workload::{
+        background_churn, correlated_node_outage, flap_train, maintenance_windows, parse_scn,
+        staggered_link_failures, NetEvent, ScnErrorKind, Timeline, TimelineEvent,
+    };
+
+    const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
+
+    fn arb_name(rng: &mut Rng) -> String {
+        let n = rng.gen_range(1usize..16);
+        (0..n)
+            .map(|_| NAME_CHARS[rng.gen_range(0usize..NAME_CHARS.len())] as char)
+            .collect()
+    }
+
+    fn arb_net_event(rng: &mut Rng) -> NetEvent {
+        let a = AsId(rng.gen_range(0u32..1000));
+        let b = AsId(rng.gen_range(0u32..1000));
+        match rng.gen_range(0u32..4) {
+            0 => NetEvent::LinkDown(a, b),
+            1 => NetEvent::LinkUp(a, b),
+            2 => NetEvent::NodeDown(a),
+            _ => NetEvent::NodeUp(a),
+        }
+    }
+
+    /// A well-formed timeline: random name, events at accumulated
+    /// (non-decreasing, sometimes equal) offsets.
+    fn arb_timeline(rng: &mut Rng) -> Timeline {
+        let n = rng.gen_range(0usize..24);
+        let mut at = SimDuration::ZERO;
+        let events: Vec<TimelineEvent> = (0..n)
+            .map(|_| {
+                // Zero deltas are common on purpose: equal-time events
+                // exercise the stable-order tie-break.
+                at = at + SimDuration::from_micros(rng.gen_range(0u64..=2_500_000));
+                TimelineEvent {
+                    at,
+                    ev: arb_net_event(rng),
+                }
+            })
+            .collect();
+        Timeline::from_events(arb_name(rng), events)
+    }
+
+    /// The DSL round-trip guarantee: print → parse recovers the identical
+    /// timeline (name, microsecond offsets, event order — including
+    /// equal-time runs).
+    #[test]
+    fn scn_round_trips_exactly() {
+        cases(256, 0x5C4, |rng| {
+            let t = arb_timeline(rng);
+            let text = t.to_scn();
+            let back = parse_scn(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+            assert_eq!(back, t);
+        });
+    }
+
+    /// Parsing enforces the non-decreasing invariant: swapping two
+    /// distinct-time lines of a printed timeline must be rejected.
+    #[test]
+    fn scn_rejects_decreasing_times() {
+        cases(128, 0x5C5, |rng| {
+            let t = arb_timeline(rng);
+            let distinct: Vec<SimDuration> = {
+                let mut ts: Vec<SimDuration> = t.events().iter().map(|e| e.at).collect();
+                ts.dedup();
+                ts
+            };
+            if distinct.len() < 2 {
+                return; // nothing to misorder
+            }
+            let text = t.to_scn();
+            let mut lines: Vec<&str> = text.lines().collect();
+            // Move the last event line to just after the header: its offset
+            // is strictly greater than the first event's, so the document
+            // is now misordered.
+            let last = lines.pop().expect("has events");
+            lines.insert(1, last);
+            let doc = lines.join("\n");
+            let err = parse_scn(&doc).expect_err("misordered document accepted");
+            assert_eq!(err.kind, ScnErrorKind::DecreasingTime, "{doc}");
+        });
+    }
+
+    /// Every generator yields a well-formed (non-decreasing) timeline
+    /// under arbitrary parameters.
+    #[test]
+    fn generators_yield_non_decreasing_timelines() {
+        let g = generate(&GenConfig::small(0x9E4)).expect("valid");
+        cases(128, 0x5C6, |rng| {
+            let start = SimDuration::from_micros(rng.gen_range(0u64..10_000_000));
+            let period = SimDuration::from_micros(rng.gen_range(1u64..60_000_000));
+            let duty = rng.gen_f64();
+            let a = AsId(rng.gen_range(0u32..100));
+            let b = AsId(rng.gen_range(0u32..100));
+            let cycles = rng.gen_range(0u32..8);
+            let gap = SimDuration::from_micros(rng.gen_range(0u64..1_000_000));
+            let restore = if rng.gen_bool(0.5) {
+                Some(period)
+            } else {
+                None
+            };
+            let mw_gap = SimDuration::from_micros(rng.gen_range(0u64..90_000_000));
+            let horizon = SimDuration::from_secs(rng.gen_range(1u64..600));
+            let flaps = rng.gen_range(0usize..30);
+            let batches = vec![
+                flap_train(a, b, start, period, duty, cycles),
+                staggered_link_failures(&[(a, b), (b, a), (a, AsId(7))], start, gap),
+                correlated_node_outage(&[a, b], start, restore),
+                maintenance_windows(&[a, b], start, period, mw_gap),
+                background_churn(&g, rng, start, horizon, flaps, period),
+            ];
+            for (i, batch) in batches.into_iter().enumerate() {
+                let t = Timeline::from_events("gen", batch);
+                assert!(t.is_well_formed(), "generator {i} misordered");
+                // And each survives the DSL round trip.
+                assert_eq!(parse_scn(&t.to_scn()).unwrap(), t, "generator {i}");
+            }
+        });
+    }
+
+    /// `removed_links` replay agrees with a direct net-liveness fold for
+    /// link-only timelines on a real graph.
+    #[test]
+    fn removed_links_matches_naive_replay() {
+        let g = generate(&GenConfig::small(0x9E5)).expect("valid");
+        cases(64, 0x5C7, |rng| {
+            let n = rng.gen_range(0usize..20);
+            let mut at = SimDuration::ZERO;
+            let events: Vec<TimelineEvent> = (0..n)
+                .map(|_| {
+                    at = at + SimDuration::from_micros(rng.gen_range(0u64..1_000_000));
+                    let l = g.links()[rng.gen_range(0usize..g.n_links())];
+                    let ev = if rng.gen_bool(0.5) {
+                        NetEvent::LinkDown(l.a, l.b)
+                    } else {
+                        NetEvent::LinkUp(l.a, l.b)
+                    };
+                    TimelineEvent { at, ev }
+                })
+                .collect();
+            let t = Timeline::from_events("links", events);
+            let mut down = std::collections::HashSet::new();
+            for e in t.events() {
+                match e.ev {
+                    NetEvent::LinkDown(a, b) => {
+                        down.insert(g.link_between(a, b).unwrap());
+                    }
+                    NetEvent::LinkUp(a, b) => {
+                        down.remove(&g.link_between(a, b).unwrap());
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            let mut expect: Vec<_> = down.into_iter().collect();
+            expect.sort_unstable();
+            assert_eq!(t.removed_links(&g).unwrap(), expect);
+        });
+    }
+}
