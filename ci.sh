@@ -47,11 +47,17 @@ echo "hermeticity guards passed"
 cargo fmt --check
 echo "formatting check passed"
 
+# --- Lints ---------------------------------------------------------------
+cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "clippy passed (workspace, all targets, -D warnings)"
+
 # --- Tier-1 gate, strictly offline ---------------------------------------
 cargo build --release --offline
 cargo build --examples --offline
 cargo test -q --offline
-echo "tier-1 gate passed (offline)"
+# The crate-level doctest is the sim-facade quickstart — a gate of its own.
+cargo test --doc --offline
+echo "tier-1 gate passed (offline, incl. doctests)"
 
 # --- Workload smoke campaign ---------------------------------------------
 # Tiny (timeline × destination × seed) grid at 1 and 4 workers; the binary

@@ -67,11 +67,11 @@ fn bench_route_propagation(h: &Harness, report: &mut JsonReport) {
 }
 
 /// Full-engine convergence on a 300-AS synthetic topology: the end-to-end
-/// cost one failure-experiment instance pays per protocol phase.
+/// cost one failure-experiment instance pays per protocol phase (wired
+/// through the `sim` facade, like every consumer).
 fn bench_convergence(h: &Harness, report: &mut JsonReport) {
-    use stamp_bgp::engine::{Engine, EngineConfig};
-    use stamp_bgp::router::BgpRouter;
     use stamp_bgp::types::PrefixId;
+    use stamp_workload::Sim;
 
     let g = generate(&GenConfig {
         n_ases: 300,
@@ -80,12 +80,56 @@ fn bench_convergence(h: &Harness, report: &mut JsonReport) {
     .unwrap();
     let dest = AsId(299);
     report.bench(h, "bgp_convergence_300", || {
-        let mut e = Engine::new(g.clone(), EngineConfig::fast(5), |v| {
-            BgpRouter::new(v, if v == dest { vec![PrefixId(0)] } else { vec![] })
-        });
-        e.start();
-        e.run_to_quiescence(None);
-        black_box(e.stats().delivered);
+        let mut sim = Sim::on(&g)
+            .originate(dest, PrefixId(0))
+            .seed(5)
+            .fast()
+            .build()
+            .unwrap();
+        black_box(sim.converge().delivered);
+    });
+}
+
+/// One data-plane observation tick on a converged 300-AS BGP network —
+/// the inner loop of every failure measurement. Two variants pin the
+/// redesign's satellite claim: `boxed` is the pre-redesign path (a fresh
+/// `Box<dyn ForwardingView>` per observation, dynamic dispatch into the
+/// tracker), `static` is the probe path (the view on the stack,
+/// `TransientTracker::observe` monomorphised over the concrete view).
+fn bench_observe_loop(h: &Harness, report: &mut JsonReport) {
+    use stamp_bgp::types::PrefixId;
+    use stamp_forwarding::{BgpView, ForwardingView, TransientTracker};
+    use stamp_workload::Sim;
+
+    let g = generate(&GenConfig {
+        n_ases: 300,
+        ..GenConfig::small(21)
+    })
+    .unwrap();
+    let dest = AsId(299);
+    let prefix = PrefixId(0);
+    let mut sim = Sim::on(&g)
+        .originate(dest, prefix)
+        .seed(5)
+        .fast()
+        .build()
+        .unwrap();
+    sim.converge();
+    let e = sim.bgp().expect("default protocol is BGP");
+    let reachable = vec![true; g.n()];
+
+    let mut tracker = TransientTracker::new(dest, reachable.clone());
+    report.bench(h, "observe_loop_boxed", || {
+        let view: Box<dyn ForwardingView + '_> = Box::new(BgpView { engine: e, prefix });
+        tracker.observe(view.as_ref());
+        black_box(tracker.observations);
+    });
+
+    let mut tracker = TransientTracker::new(dest, reachable);
+    report.bench(h, "observe_loop_static", || {
+        let view = BgpView { engine: e, prefix };
+        tracker.observe(&view);
+        black_box(tracker.observations);
     });
 }
 
@@ -121,6 +165,7 @@ fn main() {
 
     bench_route_propagation(&h, &mut report);
     bench_convergence(&h, &mut report);
+    bench_observe_loop(&h, &mut report);
 
     use stamp_bgp::patharena::PathArena;
     use stamp_bgp::types::{PathAttrs, PrefixId, Route, UpdateKind, UpdateMsg};

@@ -5,6 +5,11 @@
 //! ≈0.92) and the dynamic BGP transient-problem count under single link
 //! failure (paper: ≈24% of ASes). Used to pick the `GenConfig::sim_scale`
 //! defaults; kept in-tree so the calibration is reproducible.
+//!
+//! Instances run through `run_failure_experiment`, whose cells are
+//! `sim`-facade sessions — same builder, registry and probe path as every
+//! other consumer, so calibration numbers are comparable with campaign
+//! output by construction.
 
 use stamp_core::phi::{phi_all_destinations, PhiConfig};
 use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};

@@ -15,76 +15,20 @@
 
 use stamp_bench::parse_args;
 use stamp_eventsim::rng::tags;
-use stamp_eventsim::{rng_stream, Rng, SimDuration};
+use stamp_eventsim::rng_stream;
 use stamp_topology::gen::generate;
 use stamp_topology::{AsGraph, AsId, GenConfig};
 use stamp_workload::{
-    background_churn, choose_k, correlated_node_outage, destination_candidates, flap_train,
-    maintenance_windows, provider_cone, run_campaign, staggered_link_failures, CampaignConfig,
+    choose_k, destination_candidates, run_campaign, smoke_grid, standard_families, CampaignConfig,
     CampaignReport, Protocol, RunParams, Timeline,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// The protocols the campaign compares (the R-BGP variant runs with RCI).
+/// Default protocol set (the R-BGP variant runs with RCI); override with
+/// `--protocols bgp,rbgp-norci,rbgp,stamp` (labels or aliases, see
+/// `Protocol::from_str`).
 const PROTOCOLS: [Protocol; 3] = [Protocol::Bgp, Protocol::Rbgp, Protocol::Stamp];
-
-/// Build the five scenario-timeline families from one seeded stream.
-///
-/// Every draw comes from `rng_stream(seed, tags::TIMELINE)`, so the whole
-/// campaign — timelines included — is byte-reproducible from its seed.
-/// Four families anchor on the campaign's own destinations (their provider
-/// links and cones are what the grid's cells route over, so the events
-/// actually intersect measured paths); churn is mesh-global.
-fn families(g: &AsGraph, rng: &mut Rng, dests: &[AsId], smoke: bool) -> Vec<Timeline> {
-    let dest = |i: usize| dests[i % dests.len()];
-    let s = SimDuration::from_secs;
-
-    // 1. A provider link of the first destination flapping faster than
-    //    MRAI (30 s): period 10 s, half duty.
-    let fa = dest(0);
-    let fb = g.providers(fa)[0];
-    let flap = Timeline::from_events(
-        "flap-train",
-        flap_train(fa, fb, s(0), s(10), 0.5, if smoke { 3 } else { 6 }),
-    );
-
-    // 2. Staggered two-link failure: both provider links of a multi-homed
-    //    destination, the second while the network is still exploring the
-    //    first withdrawal (the slow-motion Figure 3b).
-    let sd = dest(1);
-    let sp = g.providers(sd);
-    let stagger = Timeline::from_events(
-        "staggered-two-link",
-        staggered_link_failures(&[(sd, sp[0]), (sd, sp[1])], s(0), s(15)),
-    );
-
-    // 3. A correlated regional outage: a slice of a destination's provider
-    //    cone fails as one event and recovers together two minutes later.
-    let cone = provider_cone(g, dest(2));
-    let region = choose_k(rng, &cone, (cone.len() / 4).clamp(1, 3));
-    let outage = Timeline::from_events(
-        "regional-outage",
-        correlated_node_outage(&region, s(0), Some(s(120))),
-    );
-
-    // 4. Rolling maintenance: two providers of a destination drain for
-    //    60 s, one at a time.
-    let md = dest(3);
-    let mp = g.providers(md);
-    let maint = Timeline::from_events(
-        "maintenance-drain",
-        maintenance_windows(&[mp[0], mp[1 % mp.len()]], s(0), s(60), s(180)),
-    );
-
-    // 5. Random background churn across the whole mesh.
-    let churn = Timeline::from_events(
-        "background-churn",
-        background_churn(g, rng, s(0), s(240), if smoke { 6 } else { 12 }, s(30)),
-    );
-
-    vec![flap, stagger, outage, maint, churn]
-}
 
 struct GridRun {
     report: CampaignReport,
@@ -220,66 +164,95 @@ fn write_json(run: &GridRun, protocols: &[Protocol], path: &str) {
 fn main() {
     let args = parse_args(
         "campaign [--ases N] [--dests N] [--seeds N] [--seed N] [--threads N] \
-         [--scn FILE]... [--smoke]\n\
+         [--protocols LIST] [--scn FILE]... [--smoke]\n\
          Runs the scenario-timeline campaign (flap trains, staggered failures,\n\
          regional outages, maintenance drains, background churn) for BGP, R-BGP\n\
          and STAMP over a (timeline × destination × seed) grid, twice (1 worker,\n\
          then --threads/all), asserts the byte-identical aggregate hash, and\n\
          writes BENCH_campaign.json.\n\
+         --protocols LIST: comma-separated protocols to compare (labels or\n\
+         aliases: bgp, rbgp-norci, rbgp, stamp; default bgp,rbgp,stamp).\n\
          --scn FILE (repeatable): run timelines parsed from .scn files instead\n\
          of the built-in families (see scenarios/ for samples).\n\
          --smoke: tiny fast grid, determinism assertion only (the CI gate).",
     );
     let seed = args.seed.unwrap_or(0xCA4A16);
     let smoke = args.smoke;
-
-    let gen = if smoke {
-        GenConfig::small(seed)
-    } else {
-        GenConfig {
-            n_ases: args.ases.unwrap_or(500),
-            ..GenConfig::small(seed)
-        }
-    };
-    let g = generate(&gen).expect("valid generator config");
-
-    let mut rng = rng_stream(seed, tags::TIMELINE);
-    let n_dests = args.dests.unwrap_or(if smoke { 2 } else { 4 });
-    let dests = choose_k(&mut rng, &destination_candidates(&g), n_dests);
-    if dests.is_empty() {
-        eprintln!(
-            "campaign: no destinations (--dests {n_dests}, {} multi-homed candidates \
-             in the topology) — nothing to run",
-            destination_candidates(&g).len()
-        );
-        std::process::exit(2);
-    }
-    // Campaigns are data: `--scn` files replace the built-in families.
-    let timelines: Vec<Timeline> = if args.scn.is_empty() {
-        families(&g, &mut rng, &dests, smoke)
-    } else {
-        args.scn
-            .iter()
-            .map(|path| {
-                let text =
-                    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-                text.parse::<Timeline>()
-                    .unwrap_or_else(|e| panic!("parse {path}: {e}"))
+    let protocols: Vec<Protocol> = match &args.protocols {
+        None => PROTOCOLS.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
             })
-            .collect()
+            .collect(),
     };
-    let n_seeds = args.seeds.unwrap_or(if smoke { 1 } else { 2 });
-    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| seed ^ (i << 17)).collect();
 
-    let mut cfg = CampaignConfig {
-        params: if smoke {
-            RunParams::fast()
+    // The default-flag smoke invocation (the CI gate) takes its grid from
+    // `smoke_grid` — the same constructor the golden determinism test
+    // pins, so the two cannot drift apart. Any override flag switches to
+    // the generic construction below.
+    let smoke_default = smoke
+        && args.scn.is_empty()
+        && args.ases.is_none()
+        && args.dests.is_none()
+        && args.seeds.is_none()
+        && args.protocols.is_none();
+    let (g, timelines, dests, mut cfg) = if smoke_default {
+        smoke_grid(seed)
+    } else {
+        let gen = if smoke {
+            GenConfig::small(seed)
         } else {
-            RunParams::default()
-        },
-        protocols: PROTOCOLS.to_vec(),
-        seeds,
-        threads: 0,
+            GenConfig {
+                n_ases: args.ases.unwrap_or(500),
+                ..GenConfig::small(seed)
+            }
+        };
+        let g = generate(&gen).expect("valid generator config");
+
+        let mut rng = rng_stream(seed, tags::TIMELINE);
+        let n_dests = args.dests.unwrap_or(if smoke { 2 } else { 4 });
+        let dests = choose_k(&mut rng, &destination_candidates(&g), n_dests);
+        if dests.is_empty() {
+            eprintln!(
+                "campaign: no destinations (--dests {n_dests}, {} multi-homed candidates \
+                 in the topology) — nothing to run",
+                destination_candidates(&g).len()
+            );
+            std::process::exit(2);
+        }
+        // Campaigns are data: `--scn` files replace the built-in families.
+        let timelines: Vec<Timeline> = if args.scn.is_empty() {
+            standard_families(&g, &mut rng, &dests, smoke)
+        } else {
+            args.scn
+                .iter()
+                .map(|path| {
+                    let text = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| panic!("read {path}: {e}"));
+                    text.parse::<Timeline>()
+                        .unwrap_or_else(|e| panic!("parse {path}: {e}"))
+                })
+                .collect()
+        };
+        let n_seeds = args.seeds.unwrap_or(if smoke { 1 } else { 2 });
+        let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| seed ^ (i << 17)).collect();
+
+        let cfg = CampaignConfig {
+            params: if smoke {
+                RunParams::fast()
+            } else {
+                RunParams::paper()
+            },
+            protocols: protocols.clone(),
+            seeds,
+            threads: 0,
+        };
+        (g, timelines, dests, cfg)
     };
     let threads_n = if args.threads > 0 {
         args.threads
@@ -300,6 +273,6 @@ fn main() {
         );
         return;
     }
-    print_report(&run, &PROTOCOLS);
-    write_json(&run, &PROTOCOLS, "BENCH_campaign.json");
+    print_report(&run, &protocols);
+    write_json(&run, &protocols, "BENCH_campaign.json");
 }

@@ -34,6 +34,9 @@ pub struct CommonArgs {
     /// `.scn` scenario files (`--scn FILE`, repeatable): campaign timelines
     /// loaded as data instead of the built-in families.
     pub scn: Vec<String>,
+    /// Comma-separated protocol list (`--protocols bgp,stamp`); binaries
+    /// parse each entry via `Protocol::from_str` (labels or aliases).
+    pub protocols: Option<String>,
 }
 
 /// Parse `std::env::args`, exiting with usage on errors.
@@ -48,6 +51,7 @@ pub fn parse_args(usage: &str) -> CommonArgs {
         dests: None,
         seeds: None,
         scn: Vec::new(),
+        protocols: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -69,6 +73,7 @@ pub fn parse_args(usage: &str) -> CommonArgs {
             "--dests" => out.dests = Some(value(&mut i).parse().expect("--dests N")),
             "--seeds" => out.seeds = Some(value(&mut i).parse().expect("--seeds N")),
             "--scn" => out.scn.push(value(&mut i)),
+            "--protocols" => out.protocols = Some(value(&mut i)),
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);

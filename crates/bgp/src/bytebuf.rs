@@ -165,7 +165,7 @@ mod tests {
         assert_eq!(r.get_u16(), 0x1234);
         assert_eq!(r.get_u32(), 0xDEAD_BEEF);
         let head = r.split_to(3);
-        assert_eq!(&*head.buf, &[1, 2, 3]);
+        assert_eq!(head.buf, &[1, 2, 3]);
         assert_eq!(r.remaining(), 2);
         assert_eq!(r.get_u8(), 0xFF);
         assert!(r.has_remaining());

@@ -1021,7 +1021,7 @@ mod tests {
             let id = g.link_between(AsId(4), AsId(2)).unwrap();
             e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
             e.run_to_quiescence(None);
-            let s = e.stats().clone();
+            let s = *e.stats();
             (
                 s.announcements_sent,
                 s.withdrawals_sent,

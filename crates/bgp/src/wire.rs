@@ -264,13 +264,11 @@ pub fn decode(arena: &mut PathArena, raw: &[u8]) -> Result<UpdateMsg, WireError>
         }
         let mut val = attrs_buf.split_to(len);
         match code {
-            ATTR_ORIGIN => {
-                if len != 1 {
-                    return Err(WireError::BadLength {
-                        what: "ORIGIN",
-                        len,
-                    });
-                }
+            ATTR_ORIGIN if len != 1 => {
+                return Err(WireError::BadLength {
+                    what: "ORIGIN",
+                    len,
+                });
             }
             ATTR_AS_PATH => {
                 if len < 2 {

@@ -35,6 +35,10 @@ use std::collections::HashMap;
 /// Per-event ET classification for each colour (`None` = colour untouched).
 type EtByColor = [Option<EventType>; 2];
 
+/// Desired per-neighbour advertisement state — `(neighbor, colour, route
+/// to announce or `None` to withdraw)` — plus the chosen blue lock target.
+type DesiredExports = (Vec<(AsId, Color, Option<Route>)>, Option<AsId>);
+
 /// A STAMP router (one per AS).
 #[derive(Debug)]
 pub struct StampRouter {
@@ -166,17 +170,11 @@ impl StampRouter {
         let other = a.other();
         let cur_ok = self.selection(prefix, a).is_some();
         let other_ok = self.selection(prefix, other).is_some();
-        let new = if !cur_ok && other_ok {
-            other
-        } else if cur_ok
-            && other_ok
-            && self.is_unstable(prefix, a)
-            && !self.is_unstable(prefix, other)
-        {
-            other
-        } else {
-            a
-        };
+        // Switch iff the other process holds a route and either we lost
+        // ours, or ours is unstable while the other is stable.
+        let switch = other_ok
+            && (!cur_ok || (self.is_unstable(prefix, a) && !self.is_unstable(prefix, other)));
+        let new = if switch { other } else { a };
         self.active.insert(prefix, new);
     }
 
@@ -225,11 +223,7 @@ impl StampRouter {
     /// Desired advertisement state towards every live neighbour for both
     /// colours. Routes carry `et: None`; the sender stamps ET when a
     /// message is actually emitted.
-    fn desired_exports(
-        &self,
-        ctx: &mut RouterCtx,
-        prefix: PrefixId,
-    ) -> (Vec<(AsId, Color, Option<Route>)>, Option<AsId>) {
+    fn desired_exports(&self, ctx: &mut RouterCtx, prefix: PrefixId) -> DesiredExports {
         let mut out = Vec::new();
         let live = ctx.live_neighbors();
 
@@ -299,9 +293,8 @@ impl StampRouter {
                     } else if red_up.is_some() {
                         out.push((n, Color::Red, red_up));
                         out.push((n, Color::Blue, None));
-                    } else if blue_up.is_some() {
+                    } else if let Some(mut r) = blue_up {
                         // Unlocked blue fills in where no red exists.
-                        let mut r = blue_up.unwrap();
                         r.attrs.lock = false;
                         out.push((n, Color::Blue, Some(r)));
                         out.push((n, Color::Red, None));

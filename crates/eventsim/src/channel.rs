@@ -142,7 +142,7 @@ mod tests {
         for i in 0..500 {
             // Bursty sender: messages every 0–2 ms, delays 10–20 ms, so the
             // natural delivery times would frequently reorder.
-            send = send + SimDuration::from_micros((i % 3) * 1000);
+            send += SimDuration::from_micros((i % 3) * 1000);
             let t = ch.delivery_time(send, &mut rng);
             assert!(t > last, "reordered: {t:?} after {last:?}");
             last = t;

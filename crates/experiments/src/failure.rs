@@ -3,10 +3,12 @@
 //! For each of `instances` independently sampled workloads, the four
 //! protocols of the paper — BGP, R-BGP without RCI, R-BGP, STAMP — run the
 //! *identical* scenario: same topology, same destination, same failed
-//! links, same delay model and seeds. Since the `stamp_workload` refactor
-//! the workloads themselves are canned timelines
-//! ([`stamp_workload::canned`]) and each instance is driven by the shared
-//! cell machinery ([`stamp_workload::campaign::run_protocol_cell`]):
+//! links, same delay model and seeds. The workloads themselves are canned
+//! timelines ([`stamp_workload::canned`]) and each instance is driven by
+//! the shared cell machinery
+//! ([`stamp_workload::campaign::run_protocol_cell`], a thin wrapper over
+//! the `sim` facade: protocol construction is a `ProtocolSpec` registry
+//! lookup, observation a `MetricsProbe`):
 //!
 //! 1. converge the network from cold start,
 //! 2. clear measurement state (STAMP instability flags),
@@ -30,6 +32,10 @@ use std::sync::Mutex;
 
 pub use stamp_workload::campaign::{InstanceMetrics, Protocol, PREFIX};
 pub use stamp_workload::canned::FailureScenario;
+
+/// One worker slot: the per-protocol metrics of one instance, `None`
+/// until that instance has run.
+type InstanceSlot = Option<Vec<(Protocol, InstanceMetrics)>>;
 
 /// Experiment configuration; defaults follow §6.2 where the paper is
 /// explicit (delays, MRAI, 100 instances) and DESIGN.md where it is not.
@@ -251,8 +257,7 @@ pub fn run_failure_experiment(
     .min(cfg.instances.max(1));
 
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Vec<(Protocol, InstanceMetrics)>>>> =
-        Mutex::new(vec![None; cfg.instances]);
+    let slots: Mutex<Vec<InstanceSlot>> = Mutex::new(vec![None; cfg.instances]);
 
     std::thread::scope(|s| {
         for _ in 0..threads {

@@ -43,11 +43,15 @@ pub fn ascii_cdf(title: &str, sorted_values: &[f64], width: usize, height: usize
     let n = sorted_values.len();
     // grid[y][x]: y = 0 top (Φ = 1), y = height-1 bottom (Φ = 0).
     let mut grid = vec![vec![' '; width]; height];
-    for x in 0..width {
-        let frac = (x as f64 + 0.5) / width as f64;
-        let idx = ((frac * n as f64) as usize).min(n - 1);
-        let phi = sorted_values[idx].clamp(0.0, 1.0);
-        let y = ((1.0 - phi) * (height - 1) as f64).round() as usize;
+    let star_rows: Vec<usize> = (0..width)
+        .map(|x| {
+            let frac = (x as f64 + 0.5) / width as f64;
+            let idx = ((frac * n as f64) as usize).min(n - 1);
+            let phi = sorted_values[idx].clamp(0.0, 1.0);
+            ((1.0 - phi) * (height - 1) as f64).round() as usize
+        })
+        .collect();
+    for (x, &y) in star_rows.iter().enumerate() {
         grid[y][x] = '*';
     }
     for (y, row) in grid.iter().enumerate() {

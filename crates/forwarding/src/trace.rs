@@ -115,8 +115,8 @@ mod tests {
         let view = v(vec![None, Some(2), Some(3), Some(1), Some(1)], 0);
         let got = classify_all(&view);
         assert_eq!(got[0], Outcome::Delivered);
-        for i in 1..5 {
-            assert_eq!(got[i], Outcome::Loop, "state {i}");
+        for (i, o) in got.iter().enumerate().skip(1) {
+            assert_eq!(*o, Outcome::Loop, "state {i}");
         }
     }
 

@@ -1,6 +1,11 @@
 //! Integration tests: the per-protocol forwarding views over live engines,
 //! reproducing miniature versions of the paper's Figure 2 comparison on the
 //! diamond topology.
+//!
+//! This crate sits *below* the `stamp_workload::sim` facade (which depends
+//! on it), so these are the one set of engine-driving tests that wire
+//! `Engine::new` by hand — they pin the view layer's own contract; every
+//! consumer above goes through `SimBuilder`.
 
 use stamp_bgp::engine::{Engine, EngineConfig, ScenarioEvent};
 use stamp_bgp::router::BgpRouter;

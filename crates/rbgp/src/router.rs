@@ -278,20 +278,14 @@ impl RbgpRouter {
                     // while the one in use remains usable we keep it, so
                     // candidate churn during convergence does not ripple
                     // out as announcement storms.
-                    let sticky = match &old {
-                        Selection::Learned(d)
-                            if d.route.attrs.failover
-                                && ctx.sessions.session_up(self.me, d.neighbor)
-                                && !self.path_invalidated(ctx.arena, &d.route)
-                                && self
-                                    .failover_in
-                                    .get(&(prefix, d.neighbor))
-                                    .is_some_and(|r| r.path == d.route.path) =>
-                        {
-                            true
-                        }
-                        _ => false,
-                    };
+                    let sticky = matches!(&old, Selection::Learned(d)
+                        if d.route.attrs.failover
+                            && ctx.sessions.session_up(self.me, d.neighbor)
+                            && !self.path_invalidated(ctx.arena, &d.route)
+                            && self
+                                .failover_in
+                                .get(&(prefix, d.neighbor))
+                                .is_some_and(|r| r.path == d.route.path));
                     if sticky {
                         old
                     } else {
@@ -328,7 +322,7 @@ impl RbgpRouter {
             .failover_out
             .get(&prefix)
             .is_some_and(|(t, _)| !ctx.sessions.session_up(self.me, *t));
-        if best_changed || target_dead || self.failover_out.get(&prefix).is_none() {
+        if best_changed || target_dead || !self.failover_out.contains_key(&prefix) {
             self.update_failover_export(ctx, prefix, cause);
         }
     }

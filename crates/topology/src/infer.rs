@@ -122,7 +122,7 @@ pub fn infer(paths: &[Vec<u32>], cfg: &InferConfig) -> InferredTopology {
             if a == b {
                 continue;
             }
-            if i + 1 <= j {
+            if i < j {
                 // Uphill: b provides transit for a.
                 *votes.entry((b, a)).or_insert(0) += 1;
             } else {
@@ -327,8 +327,10 @@ mod tests {
             vec![7, 2, 10],
             vec![10, 9, 3],
         ];
-        let mut cfg = InferConfig::default();
-        cfg.degree_ratio = 1.0; // disable the peer phase for this test
+        let cfg = InferConfig {
+            degree_ratio: 1.0, // disable the peer phase for this test
+            ..Default::default()
+        };
         let t = infer(&paths, &cfg);
         assert_eq!(t.kind(2, 9), Some(InferredKind::Sibling));
     }

@@ -11,16 +11,18 @@
 //! argument: randomness is derived per cell from the cell's coordinates,
 //! never from worker identity or wall-clock.
 
-use crate::timeline::{Timeline, TimelineError};
-use stamp_bgp::engine::{Engine, EngineConfig};
-use stamp_bgp::router::{BgpRouter, RouterLogic};
+use crate::sim::Sim;
+use crate::timeline::{
+    background_churn, choose_k, correlated_node_outage, flap_train, maintenance_windows,
+    provider_cone, staggered_link_failures, Timeline, TimelineError,
+};
+use stamp_bgp::engine::EngineConfig;
 use stamp_bgp::types::PrefixId;
-use stamp_core::{LockStrategy, StampRouter};
-use stamp_eventsim::rng::tags;
-use stamp_eventsim::{derive_seed, DelayModel, SimDuration, SimTime};
-use stamp_forwarding::{BgpView, ForwardingView, RbgpView, StampView, TransientTracker};
-use stamp_rbgp::{RbgpConfig, RbgpRouter};
+use stamp_eventsim::rng::{tags, Rng};
+use stamp_eventsim::{derive_seed, DelayModel, LossModel, SimDuration};
 use stamp_topology::{AsGraph, AsId, StaticRoutes};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -46,14 +48,11 @@ impl Protocol {
         Protocol::Stamp,
     ];
 
-    /// Paper's label.
+    /// Paper's label (also the canonical [`fmt::Display`] form; round-trips
+    /// through [`Protocol::from_str`]). The string lives in the protocol's
+    /// registry row — one source of truth per variant.
     pub fn label(&self) -> &'static str {
-        match self {
-            Protocol::Bgp => "BGP",
-            Protocol::RbgpNoRci => "R-BGP without RCI",
-            Protocol::Rbgp => "R-BGP",
-            Protocol::Stamp => "STAMP",
-        }
+        crate::sim::ProtocolSpec::of(*self).label
     }
 
     fn discriminant(&self) -> u64 {
@@ -63,6 +62,59 @@ impl Protocol {
             Protocol::Rbgp => 2,
             Protocol::Stamp => 3,
         }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad`, not `write_str`: honour width/alignment specifiers so
+        // labels line up in report tables.
+        f.pad(self.label())
+    }
+}
+
+/// Error of [`Protocol::from_str`]: the input matched no label or alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProtocolError {
+    input: String,
+}
+
+impl fmt::Display for ParseProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown protocol {:?} (expected one of: {})",
+            self.input,
+            crate::sim::REGISTRY
+                .iter()
+                .map(|s| s.aliases[0])
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseProtocolError {}
+
+impl FromStr for Protocol {
+    type Err = ParseProtocolError;
+
+    /// Case-insensitive parse of a paper label ("R-BGP") or a CLI alias
+    /// ("rbgp") — the alias table lives in the protocol registry
+    /// ([`crate::sim::REGISTRY`]), so a new protocol parses the moment it
+    /// is registered.
+    fn from_str(s: &str) -> Result<Protocol, ParseProtocolError> {
+        let wanted = s.trim();
+        for spec in &crate::sim::REGISTRY {
+            if spec.label.eq_ignore_ascii_case(wanted)
+                || spec.aliases.iter().any(|a| a.eq_ignore_ascii_case(wanted))
+            {
+                return Ok(spec.protocol);
+            }
+        }
+        Err(ParseProtocolError {
+            input: s.to_string(),
+        })
     }
 }
 
@@ -146,6 +198,9 @@ pub struct RunParams {
     pub observe_interval: SimDuration,
     /// Safety deadline per convergence phase (simulated time).
     pub phase_deadline: SimDuration,
+    /// Message loss fault injection (zero in the paper's experiments; the
+    /// failover demo exposes the knob).
+    pub loss: LossModel,
 }
 
 impl Default for RunParams {
@@ -158,11 +213,18 @@ impl Default for RunParams {
             inject_delay: SimDuration::from_secs(5),
             observe_interval: SimDuration::from_millis(100),
             phase_deadline: SimDuration::from_secs(4 * 3600),
+            loss: LossModel::none(),
         }
     }
 }
 
 impl RunParams {
+    /// The paper's §6.2 parameters — an explicit name for
+    /// [`RunParams::default`].
+    pub fn paper() -> RunParams {
+        RunParams::default()
+    }
+
     /// A configuration small enough for unit/integration tests: fixed 1 ms
     /// delays, no MRAI.
     pub fn fast() -> RunParams {
@@ -174,6 +236,7 @@ impl RunParams {
             inject_delay: SimDuration::from_secs(1),
             observe_interval: SimDuration::from_micros(1),
             phase_deadline: SimDuration::from_secs(3600),
+            loss: LossModel::none(),
         }
     }
 
@@ -185,12 +248,14 @@ impl RunParams {
             mrai_base: self.mrai_base,
             mrai_enabled: self.mrai_enabled,
             mrai_withdrawals: self.mrai_withdrawals,
-            loss: stamp_eventsim::LossModel::none(),
+            loss: self.loss,
         }
     }
 }
 
-/// Converge one network, play one timeline, measure one protocol.
+/// Run one `(timeline, dest)` cell for one protocol: converge one network,
+/// play one timeline, measure (see [`Sim::measure`]). `seed` drives the
+/// engine's delay/MRAI streams and STAMP's lock choices.
 ///
 /// `reachable[v]` must hold the post-timeline reachability of each AS
 /// (compute it from [`Timeline::removed_links`]). The timeline is injected
@@ -199,85 +264,10 @@ impl RunParams {
 /// *last* event (the "settle point") — nothing is injected after it, so
 /// anything still broken later is a transient of the protocol, not of the
 /// workload.
-pub fn drive_timeline<R, MkR, Reset, MkV>(
-    g: &AsGraph,
-    params: &RunParams,
-    engine_cfg: EngineConfig,
-    timeline: &Timeline,
-    dest: AsId,
-    reachable: &[bool],
-    make_router: MkR,
-    reset: Reset,
-    mk_view: MkV,
-) -> InstanceMetrics
-where
-    R: RouterLogic,
-    MkR: FnMut(AsId) -> R,
-    Reset: FnOnce(&mut Engine<R>),
-    MkV: for<'a> Fn(&'a Engine<R>) -> Box<dyn ForwardingView + 'a>,
-{
-    let schedule = timeline
-        .resolve(g)
-        .expect("timeline must resolve against the campaign topology");
-    let mut e = Engine::new(g.clone(), engine_cfg, make_router);
-    e.start();
-    e.run_to_quiescence(Some(SimTime::ZERO + params.phase_deadline));
-    let s0 = *e.stats();
-    let updates_initial = s0.announcements_sent + s0.withdrawals_sent;
-
-    reset(&mut e);
-
-    let epoch = e.now() + params.inject_delay;
-    for (at, ev) in schedule {
-        e.inject_at(epoch + at, ev);
-    }
-    let settle = epoch + timeline.end();
-    let deadline = settle + params.phase_deadline;
-
-    let mut tracker = {
-        let baseline = mk_view(&e);
-        TransientTracker::new(dest, reachable.to_vec())
-            .with_control_metric(timeline.root_causes(), baseline.as_ref())
-    };
-    let mut last_obs: Option<SimTime> = None;
-    let mut last_problem: Option<SimTime> = None;
-    e.run_until_quiescent(Some(deadline), |eng, t| {
-        let due = match last_obs {
-            None => true,
-            Some(prev) => t.since(prev) >= params.observe_interval,
-        };
-        if due {
-            let view = mk_view(eng);
-            tracker.observe(view.as_ref());
-            if tracker.last_observation_had_problems {
-                last_problem = Some(t);
-            }
-            last_obs = Some(t);
-        }
-    });
-    // Final state (should be problem-free after convergence; counted so a
-    // non-converged run is visible in the numbers).
-    let view = mk_view(&e);
-    tracker.observe(view.as_ref());
-
-    let s1 = e.stats();
-    InstanceMetrics {
-        affected: tracker.affected_count(),
-        affected_loops: tracker.loop_count(),
-        affected_blackholes: tracker.blackhole_count(),
-        control_affected: tracker.control_affected_count(),
-        updates_initial,
-        updates_failure: s1.announcements_sent + s1.withdrawals_sent - updates_initial,
-        convergence_delay_s: s1.last_fib_change.since(settle).as_secs_f64(),
-        data_recovery_s: last_problem
-            .map(|t| t.since(settle).as_secs_f64())
-            .unwrap_or(0.0),
-        interned_paths: e.paths().node_count(),
-    }
-}
-
-/// Run one `(timeline, dest)` cell for one protocol. `seed` drives the
-/// engine's delay/MRAI streams and STAMP's lock choices.
+///
+/// The protocol axis is a [`ProtocolSpec`] registry lookup inside the
+/// builder — no per-protocol code here; adding a protocol touches only the
+/// registry.
 pub fn run_protocol_cell(
     g: &AsGraph,
     params: &RunParams,
@@ -287,68 +277,104 @@ pub fn run_protocol_cell(
     protocol: Protocol,
     seed: u64,
 ) -> InstanceMetrics {
-    let engine_cfg = params.engine_config(seed);
-    let own = |v: AsId| if v == dest { vec![PREFIX] } else { vec![] };
-    match protocol {
-        Protocol::Bgp => drive_timeline(
-            g,
-            params,
-            engine_cfg,
-            timeline,
-            dest,
-            reachable,
-            |v| BgpRouter::new(v, own(v)),
-            |_| {},
-            |e| {
-                Box::new(BgpView {
-                    engine: e,
-                    prefix: PREFIX,
-                })
-            },
-        ),
-        Protocol::Rbgp | Protocol::RbgpNoRci => {
-            let rcfg = RbgpConfig {
-                rci: protocol == Protocol::Rbgp,
-                ..Default::default()
-            };
-            drive_timeline(
-                g,
-                params,
-                engine_cfg,
-                timeline,
-                dest,
-                reachable,
-                |v| RbgpRouter::new(v, own(v), rcfg),
-                |_| {},
-                |e| {
-                    Box::new(RbgpView {
-                        engine: e,
-                        prefix: PREFIX,
-                    })
-                },
-            )
-        }
-        Protocol::Stamp => drive_timeline(
-            g,
-            params,
-            engine_cfg,
-            timeline,
-            dest,
-            reachable,
-            |v| StampRouter::new(v, own(v), LockStrategy::Random { seed }),
-            |e| {
-                for v in 0..e.topology().n() as u32 {
-                    e.router_mut(AsId(v)).reset_instability();
-                }
-            },
-            |e| {
-                Box::new(StampView {
-                    engine: e,
-                    prefix: PREFIX,
-                })
-            },
-        ),
-    }
+    Sim::on(g)
+        .protocol(protocol)
+        .originate(dest, PREFIX)
+        .seed(seed)
+        .params(params.clone())
+        .build()
+        .expect("campaign destinations are in range")
+        .measure(timeline, reachable)
+        .expect("timeline must resolve against the campaign topology")
+}
+
+/// The five built-in scenario-timeline families the `campaign` binary (and
+/// the determinism regression suite) run when no `.scn` files are
+/// supplied: a sub-MRAI flap train, staggered two-link failures, a
+/// correlated regional outage, rolling maintenance drains and random
+/// background churn.
+///
+/// Every draw comes from the caller's `rng`, so the whole family set is
+/// byte-reproducible from a seed. Four families anchor on the campaign's
+/// own destinations (their provider links and cones are what the grid's
+/// cells route over, so the events actually intersect measured paths);
+/// churn is mesh-global. `smoke` shrinks event counts for the CI gate.
+pub fn standard_families(g: &AsGraph, rng: &mut Rng, dests: &[AsId], smoke: bool) -> Vec<Timeline> {
+    let dest = |i: usize| dests[i % dests.len()];
+    let s = SimDuration::from_secs;
+
+    // 1. A provider link of the first destination flapping faster than
+    //    MRAI (30 s): period 10 s, half duty.
+    let fa = dest(0);
+    let fb = g.providers(fa)[0];
+    let flap = Timeline::from_events(
+        "flap-train",
+        flap_train(fa, fb, s(0), s(10), 0.5, if smoke { 3 } else { 6 }),
+    );
+
+    // 2. Staggered two-link failure: both provider links of a multi-homed
+    //    destination, the second while the network is still exploring the
+    //    first withdrawal (the slow-motion Figure 3b).
+    let sd = dest(1);
+    let sp = g.providers(sd);
+    let stagger = Timeline::from_events(
+        "staggered-two-link",
+        staggered_link_failures(&[(sd, sp[0]), (sd, sp[1])], s(0), s(15)),
+    );
+
+    // 3. A correlated regional outage: a slice of a destination's provider
+    //    cone fails as one event and recovers together two minutes later.
+    let cone = provider_cone(g, dest(2));
+    let region = choose_k(rng, &cone, (cone.len() / 4).clamp(1, 3));
+    let outage = Timeline::from_events(
+        "regional-outage",
+        correlated_node_outage(&region, s(0), Some(s(120))),
+    );
+
+    // 4. Rolling maintenance: two providers of a destination drain for
+    //    60 s, one at a time.
+    let md = dest(3);
+    let mp = g.providers(md);
+    let maint = Timeline::from_events(
+        "maintenance-drain",
+        maintenance_windows(&[mp[0], mp[1 % mp.len()]], s(0), s(60), s(180)),
+    );
+
+    // 5. Random background churn across the whole mesh.
+    let churn = Timeline::from_events(
+        "background-churn",
+        background_churn(g, rng, s(0), s(240), if smoke { 6 } else { 12 }, s(30)),
+    );
+
+    vec![flap, stagger, outage, maint, churn]
+}
+
+/// The `campaign --smoke` CI grid, whole: `GenConfig::small(seed)`
+/// topology, two destinations and the five [`standard_families`] at smoke
+/// scale (all drawn from `rng_stream(seed, tags::TIMELINE)`), fast
+/// params, one seed, BGP/R-BGP/STAMP. One constructor serves both the
+/// binary's `--smoke` gate and the golden determinism test
+/// (`tests/determinism.rs`), so the pinned hash always corresponds to the
+/// grid CI actually runs.
+pub fn smoke_grid(seed: u64) -> (AsGraph, Vec<Timeline>, Vec<AsId>, CampaignConfig) {
+    let g = stamp_topology::gen::generate(&stamp_topology::gen::GenConfig::small(seed))
+        .expect("the smoke generator config is valid");
+    let mut rng = stamp_eventsim::rng_stream(seed, tags::TIMELINE);
+    let dests = choose_k(&mut rng, &crate::canned::destination_candidates(&g), 2);
+    // Diagnose a hostless topology here rather than via the modulo panic
+    // inside `standard_families`'s destination cycling.
+    assert!(
+        !dests.is_empty(),
+        "smoke topology (GenConfig::small({seed:#x})) has no multi-homed destination candidates"
+    );
+    let timelines = standard_families(&g, &mut rng, &dests, true);
+    let cfg = CampaignConfig {
+        params: RunParams::fast(),
+        protocols: vec![Protocol::Bgp, Protocol::Rbgp, Protocol::Stamp],
+        seeds: vec![seed],
+        threads: 0,
+    };
+    (g, timelines, dests, cfg)
 }
 
 /// Campaign configuration: the seed axis of the grid plus shared knobs.

@@ -86,9 +86,9 @@ pub fn valid_name(name: &str) -> bool {
 /// Format an offset with the largest exact unit.
 fn fmt_duration(d: SimDuration) -> String {
     let us = d.as_micros();
-    if us % 1_000_000 == 0 {
+    if us.is_multiple_of(1_000_000) {
         format!("{}s", us / 1_000_000)
-    } else if us % 1_000 == 0 {
+    } else if us.is_multiple_of(1_000) {
         format!("{}ms", us / 1_000)
     } else {
         format!("{us}us")

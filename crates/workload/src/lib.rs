@@ -19,21 +19,33 @@
 //! * [`campaign`] — the `(timeline × destination × seed)` grid runner:
 //!   `std::thread::scope` workers each own their engines and path arenas,
 //!   results merge in grid order, and the report carries an FNV-1a
-//!   aggregate hash that is byte-identical at any worker count.
+//!   aggregate hash that is byte-identical at any worker count;
+//! * [`sim`] — the unified session facade every consumer goes through:
+//!   the fluent [`sim::Sim`] builder, the per-protocol
+//!   [`sim::ProtocolSpec`] registry and the typed [`sim::Probe`]
+//!   observation API (structured [`sim::SimEvent`]s, statically
+//!   dispatched, allocation-free snapshots).
 //!
-//! See DESIGN.md §8 for the model, grammar and determinism argument.
+//! See DESIGN.md §8 for the model, grammar and determinism argument, and
+//! §9 for the sim facade.
 
 pub mod campaign;
 pub mod canned;
 pub mod dsl;
+pub mod sim;
 pub mod timeline;
 
 pub use campaign::{
-    run_campaign, run_protocol_cell, Aggregate, CampaignCell, CampaignConfig, CampaignReport,
-    CellResult, InstanceMetrics, Protocol, RunParams, PREFIX,
+    run_campaign, run_protocol_cell, smoke_grid, standard_families, Aggregate, CampaignCell,
+    CampaignConfig, CampaignReport, CellResult, InstanceMetrics, ParseProtocolError, Protocol,
+    RunParams, PREFIX,
 };
 pub use canned::{destination_candidates, sample_canned, CannedWorkload, FailureScenario};
 pub use dsl::{parse_scn, ScnError, ScnErrorKind};
+pub use sim::{
+    MetricsProbe, NullProbe, Phase, Played, Probe, ProtocolEngine, ProtocolSpec, Sim, SimBuilder,
+    SimError, SimEvent, SnapshotCause,
+};
 pub use timeline::{
     background_churn, choose_k, correlated_node_outage, flap_train, maintenance_windows,
     provider_cone, staggered_link_failures, tier_members, NetEvent, Timeline, TimelineError,

@@ -1,0 +1,1065 @@
+//! The unified simulation facade: one entry point for "run protocol P on
+//! topology G under timeline T and observe it".
+//!
+//! Three pieces make the protocol a *pluggable axis* instead of a code
+//! path (cf. extensible-criteria routing designs, where the route
+//! computation is a parameter of the session, not a fork in the caller):
+//!
+//! * [`SimBuilder`] — fluent construction
+//!   (`Sim::on(&g).protocol(Protocol::Stamp).originate(dest, PREFIX)
+//!   .seed(7).params(RunParams::paper()).build()?`) replacing hand-rolled
+//!   `Engine::new` wiring. Misuse is a typed [`SimError`], not a panic.
+//! * [`ProtocolSpec`] — the per-[`Protocol`] registry row owning router
+//!   construction, inter-phase measurement reset and forwarding-view
+//!   creation (via the [`ProtocolEngine`] trait). Adding a protocol is one
+//!   `ProtocolEngine` impl plus one [`REGISTRY`] entry; every consumer —
+//!   the campaign runner, the figure experiments, examples, tests — picks
+//!   it up through the same lookup.
+//! * [`Probe`] — the typed observation API. The driver emits structured
+//!   [`SimEvent`]s (`FibChanged`, `SessionReset`, periodic/final
+//!   `Snapshot { view }`, `PhaseSettled`) with **static dispatch**: the
+//!   forwarding view is built on the stack per observation (no
+//!   per-observation `Box<dyn ForwardingView>`), and the probe's
+//!   `on_event` is monomorphised per protocol. [`MetricsProbe`] — the
+//!   paper's transient-problem bookkeeping — is just an ordinary probe.
+//!
+//! Determinism: a [`Sim`] owns its engine and path arena; every random
+//! stream derives from the builder's seed; probes only *read* engine
+//! state. Two sims built from equal `(graph, protocol, origination, seed,
+//! params)` tuples therefore produce byte-identical [`InstanceMetrics`] —
+//! `tests/determinism.rs` pins golden values across the facade. See
+//! DESIGN.md §9.
+
+use crate::campaign::{InstanceMetrics, Protocol, RunParams};
+use crate::timeline::{Timeline, TimelineError};
+use stamp_bgp::engine::{Engine, EngineConfig, RunStats, ScenarioEvent};
+use stamp_bgp::router::{BgpRouter, RouterLogic};
+use stamp_bgp::types::{PrefixId, RootCause};
+use stamp_core::{LockStrategy, StampRouter};
+use stamp_eventsim::{SimDuration, SimTime};
+use stamp_forwarding::{BgpView, ForwardingView, RbgpView, StampView, TransientTracker};
+use stamp_rbgp::{RbgpConfig, RbgpRouter};
+use stamp_topology::{AsGraph, AsId};
+use std::collections::VecDeque;
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Typed construction/run errors — builder misuse never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// `build()` without `originate()`: a session needs a destination.
+    MissingOrigination,
+    /// The origination names an AS outside the topology.
+    DestinationOutOfRange { dest: AsId, n_ases: usize },
+    /// A played timeline does not resolve against the session's topology.
+    Timeline(TimelineError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingOrigination => {
+                write!(
+                    f,
+                    "no origination: call originate(dest, prefix) before build()"
+                )
+            }
+            SimError::DestinationOutOfRange { dest, n_ases } => write!(
+                f,
+                "destination {dest} is out of range for a topology of {n_ases} ASes"
+            ),
+            SimError::Timeline(e) => write!(f, "timeline does not resolve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<TimelineError> for SimError {
+    fn from(e: TimelineError) -> SimError {
+        SimError::Timeline(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The protocol registry
+// ---------------------------------------------------------------------
+
+/// What a router type must provide for the facade to drive it: a
+/// zero-allocation forwarding view over a borrowed engine and the
+/// inter-phase measurement reset. This is the *static* half of the
+/// registry; the dynamic half is [`ProtocolSpec`].
+pub trait ProtocolEngine: RouterLogic + Sized {
+    /// The protocol's forwarding view, borrowing the engine. Built on the
+    /// stack once per observation — snapshots never box.
+    type View<'a>: ForwardingView
+    where
+        Self: 'a;
+
+    /// A data-plane view of `engine` towards `prefix`.
+    fn view(engine: &Engine<Self>, prefix: PrefixId) -> Self::View<'_>;
+
+    /// Clear measurement state between initial convergence and timeline
+    /// injection (STAMP: instability flags). Default: nothing to clear.
+    fn reset_measurement(_engine: &mut Engine<Self>) {}
+}
+
+impl ProtocolEngine for BgpRouter {
+    type View<'a> = BgpView<'a>;
+
+    fn view(engine: &Engine<Self>, prefix: PrefixId) -> BgpView<'_> {
+        BgpView { engine, prefix }
+    }
+}
+
+impl ProtocolEngine for RbgpRouter {
+    type View<'a> = RbgpView<'a>;
+
+    fn view(engine: &Engine<Self>, prefix: PrefixId) -> RbgpView<'_> {
+        RbgpView { engine, prefix }
+    }
+}
+
+impl ProtocolEngine for StampRouter {
+    type View<'a> = StampView<'a>;
+
+    fn view(engine: &Engine<Self>, prefix: PrefixId) -> StampView<'_> {
+        StampView { engine, prefix }
+    }
+
+    fn reset_measurement(engine: &mut Engine<Self>) {
+        for v in 0..engine.topology().n() as u32 {
+            engine.router_mut(AsId(v)).reset_instability();
+        }
+    }
+}
+
+/// One engine, protocol erased. The single place the workspace matches on
+/// router types; everything below the match is generic over
+/// [`ProtocolEngine`].
+enum EngineKind {
+    Bgp(Engine<BgpRouter>),
+    Rbgp(Engine<RbgpRouter>),
+    Stamp(Engine<StampRouter>),
+}
+
+/// Run `$body` with `$e` bound to the concrete `&`/`&mut Engine<R>`.
+macro_rules! with_engine {
+    ($kind:expr, $e:ident => $body:expr) => {
+        match $kind {
+            EngineKind::Bgp($e) => $body,
+            EngineKind::Rbgp($e) => $body,
+            EngineKind::Stamp($e) => $body,
+        }
+    };
+}
+
+/// One row of the protocol registry: everything the facade needs to host
+/// a [`Protocol`] variant. Adding a protocol is one [`ProtocolEngine`]
+/// impl, one `EngineKind` arm and one [`REGISTRY`] row — no consumer
+/// changes.
+pub struct ProtocolSpec {
+    /// The variant this row implements.
+    pub protocol: Protocol,
+    /// The paper's display label (same as [`Protocol::label`]).
+    pub label: &'static str,
+    /// Lower-case parse aliases accepted by `Protocol::from_str` in
+    /// addition to the label itself (CLI convenience).
+    pub aliases: &'static [&'static str],
+    /// Build one engine: a fresh router per AS, the destination
+    /// originating the prefix. `seed` feeds protocol-internal choices
+    /// (STAMP's random Lock) — the engine's own streams come from `cfg`.
+    make: fn(&AsGraph, EngineConfig, AsId, PrefixId, u64) -> EngineKind,
+}
+
+fn own(v: AsId, dest: AsId, prefix: PrefixId) -> Vec<PrefixId> {
+    if v == dest {
+        vec![prefix]
+    } else {
+        vec![]
+    }
+}
+
+fn make_bgp(
+    g: &AsGraph,
+    cfg: EngineConfig,
+    dest: AsId,
+    prefix: PrefixId,
+    _seed: u64,
+) -> EngineKind {
+    EngineKind::Bgp(Engine::new(g.clone(), cfg, |v| {
+        BgpRouter::new(v, own(v, dest, prefix))
+    }))
+}
+
+fn make_rbgp_with(
+    g: &AsGraph,
+    cfg: EngineConfig,
+    dest: AsId,
+    prefix: PrefixId,
+    rci: bool,
+) -> EngineKind {
+    let rcfg = RbgpConfig {
+        rci,
+        ..Default::default()
+    };
+    EngineKind::Rbgp(Engine::new(g.clone(), cfg, |v| {
+        RbgpRouter::new(v, own(v, dest, prefix), rcfg)
+    }))
+}
+
+fn make_rbgp_no_rci(
+    g: &AsGraph,
+    cfg: EngineConfig,
+    dest: AsId,
+    prefix: PrefixId,
+    _seed: u64,
+) -> EngineKind {
+    make_rbgp_with(g, cfg, dest, prefix, false)
+}
+
+fn make_rbgp(
+    g: &AsGraph,
+    cfg: EngineConfig,
+    dest: AsId,
+    prefix: PrefixId,
+    _seed: u64,
+) -> EngineKind {
+    make_rbgp_with(g, cfg, dest, prefix, true)
+}
+
+fn make_stamp(
+    g: &AsGraph,
+    cfg: EngineConfig,
+    dest: AsId,
+    prefix: PrefixId,
+    seed: u64,
+) -> EngineKind {
+    EngineKind::Stamp(Engine::new(g.clone(), cfg, |v| {
+        StampRouter::new(v, own(v, dest, prefix), LockStrategy::Random { seed })
+    }))
+}
+
+/// The protocol table, [`Protocol::ALL`] order.
+pub static REGISTRY: [ProtocolSpec; 4] = [
+    ProtocolSpec {
+        protocol: Protocol::Bgp,
+        label: "BGP",
+        aliases: &["bgp"],
+        make: make_bgp,
+    },
+    ProtocolSpec {
+        protocol: Protocol::RbgpNoRci,
+        label: "R-BGP without RCI",
+        aliases: &["rbgp-norci", "r-bgp-without-rci"],
+        make: make_rbgp_no_rci,
+    },
+    ProtocolSpec {
+        protocol: Protocol::Rbgp,
+        label: "R-BGP",
+        aliases: &["rbgp", "r-bgp"],
+        make: make_rbgp,
+    },
+    ProtocolSpec {
+        protocol: Protocol::Stamp,
+        label: "STAMP",
+        aliases: &["stamp"],
+        make: make_stamp,
+    },
+];
+
+impl ProtocolSpec {
+    /// The registry row of one protocol.
+    pub fn of(p: Protocol) -> &'static ProtocolSpec {
+        REGISTRY
+            .iter()
+            .find(|s| s.protocol == p)
+            .expect("every Protocol variant has a registry row")
+    }
+}
+
+// ---------------------------------------------------------------------
+// The probe API
+// ---------------------------------------------------------------------
+
+/// Which convergence phase a [`SimEvent::PhaseSettled`] closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Cold-start convergence (before any timeline).
+    Initial,
+    /// Re-convergence after a played timeline.
+    Timeline,
+}
+
+/// Why a [`SimEvent::Snapshot`] was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotCause {
+    /// Pre-injection state, once per [`Sim::play`] (control-metric
+    /// baselines sample here).
+    Baseline,
+    /// Periodic observation, throttled by [`RunParams::observe_interval`].
+    Periodic,
+    /// The quiescent end state of a phase (always emitted, unthrottled).
+    Final,
+}
+
+/// A structured observation delivered to a [`Probe`]. Generic over the
+/// concrete view type so snapshot handling is statically dispatched and
+/// allocation-free.
+pub enum SimEvent<'a, V: ForwardingView + ?Sized> {
+    /// A batch of simultaneous events changed at least one FIB at `at`.
+    FibChanged { at: SimTime },
+    /// An injected scenario event (which tears or resets BGP sessions) has
+    /// been applied. Emitted at the first observation at or after its
+    /// scheduled instant `at`.
+    SessionReset { at: SimTime, event: ScenarioEvent },
+    /// A data-plane snapshot: the protocol's forwarding view, built on the
+    /// stack for this observation (never boxed).
+    Snapshot {
+        at: SimTime,
+        cause: SnapshotCause,
+        view: &'a V,
+    },
+    /// A convergence phase reached quiescence (or its deadline).
+    PhaseSettled { at: SimTime, phase: Phase },
+}
+
+/// A typed observer of one simulation. Monomorphised per protocol — no
+/// `dyn` in the observation hot loop.
+pub trait Probe {
+    /// Receive one event. `V` is the protocol's concrete view type.
+    fn on_event<V: ForwardingView + ?Sized>(&mut self, event: SimEvent<'_, V>);
+}
+
+/// The do-nothing probe (`converge()` and unobserved replays use it).
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    fn on_event<V: ForwardingView + ?Sized>(&mut self, _event: SimEvent<'_, V>) {}
+}
+
+/// The paper's transient-problem bookkeeping as an ordinary probe: feeds
+/// baseline/periodic/final snapshots into a [`TransientTracker`] and
+/// timestamps the last observation that still saw a forwarding problem
+/// (the data-plane recovery metric).
+pub struct MetricsProbe {
+    tracker: TransientTracker,
+    /// Root causes for the control-plane companion metric, consumed by the
+    /// baseline snapshot.
+    causes: Option<Vec<RootCause>>,
+    last_problem: Option<SimTime>,
+}
+
+impl MetricsProbe {
+    /// Probe for `dest`; `reachable[v]` holds post-timeline reachability,
+    /// `causes` the timeline's root-cause records (see
+    /// [`Timeline::root_causes`]).
+    pub fn new(dest: AsId, reachable: Vec<bool>, causes: Vec<RootCause>) -> MetricsProbe {
+        MetricsProbe {
+            tracker: TransientTracker::new(dest, reachable),
+            causes: Some(causes),
+            last_problem: None,
+        }
+    }
+
+    /// The accumulated tracker state.
+    pub fn tracker(&self) -> &TransientTracker {
+        &self.tracker
+    }
+
+    /// Last periodic observation instant that still saw any loop or
+    /// blackhole (`None` = never disrupted).
+    pub fn last_problem(&self) -> Option<SimTime> {
+        self.last_problem
+    }
+}
+
+impl Probe for MetricsProbe {
+    fn on_event<V: ForwardingView + ?Sized>(&mut self, event: SimEvent<'_, V>) {
+        match event {
+            SimEvent::Snapshot {
+                cause: SnapshotCause::Baseline,
+                view,
+                ..
+            } => {
+                // Only the *first* baseline arms the control metric: a
+                // probe reused across several plays keeps measuring
+                // against its original pre-event state instead of
+                // silently resampling (and dropping its causes)
+                // mid-measurement.
+                if let Some(causes) = self.causes.take() {
+                    // `with_control_metric` is a by-value builder; swap
+                    // through a placeholder to apply it in place.
+                    let t = std::mem::replace(
+                        &mut self.tracker,
+                        TransientTracker::new(AsId(0), vec![]),
+                    );
+                    self.tracker = t.with_control_metric(causes, view);
+                }
+            }
+            SimEvent::Snapshot {
+                at,
+                cause: SnapshotCause::Periodic,
+                view,
+            } => {
+                self.tracker.observe(view);
+                if self.tracker.last_observation_had_problems {
+                    self.last_problem = Some(at);
+                }
+            }
+            SimEvent::Snapshot {
+                cause: SnapshotCause::Final,
+                view,
+                ..
+            } => {
+                // Counted so a non-converged end state shows up in the
+                // affected numbers, but not in the recovery timestamp
+                // (recovery is measured over the observation window).
+                self.tracker.observe(view);
+            }
+            SimEvent::FibChanged { .. }
+            | SimEvent::SessionReset { .. }
+            | SimEvent::PhaseSettled { .. } => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The generic phase driver
+// ---------------------------------------------------------------------
+
+/// Run one convergence phase with structured observation. The cadence is
+/// the determinism-pinned contract: `FibChanged` per changed batch, a
+/// `Periodic` snapshot when `observe_interval` has elapsed since the last
+/// one (the first changed batch always observes), one unthrottled `Final`
+/// snapshot at quiescence, then `PhaseSettled`.
+fn run_phase<R: ProtocolEngine, P: Probe>(
+    e: &mut Engine<R>,
+    prefix: PrefixId,
+    phase: Phase,
+    deadline: Option<SimTime>,
+    observe_interval: SimDuration,
+    mut pending: VecDeque<(SimTime, ScenarioEvent)>,
+    probe: &mut P,
+) {
+    let mut last_obs: Option<SimTime> = None;
+    e.run_until_quiescent(deadline, |eng, t| {
+        while pending.front().is_some_and(|&(at, _)| at <= t) {
+            let (at, event) = pending.pop_front().expect("front checked");
+            probe.on_event::<R::View<'_>>(SimEvent::SessionReset { at, event });
+        }
+        probe.on_event::<R::View<'_>>(SimEvent::FibChanged { at: t });
+        let due = match last_obs {
+            None => true,
+            Some(prev) => t.since(prev) >= observe_interval,
+        };
+        if due {
+            let view = R::view(eng, prefix);
+            probe.on_event(SimEvent::Snapshot {
+                at: t,
+                cause: SnapshotCause::Periodic,
+                view: &view,
+            });
+            last_obs = Some(t);
+        }
+    });
+    // Scenario events whose batch never changed a FIB still happened.
+    while let Some((at, event)) = pending.pop_front() {
+        probe.on_event::<R::View<'_>>(SimEvent::SessionReset { at, event });
+    }
+    let now = e.now();
+    let view = R::view(e, prefix);
+    probe.on_event(SimEvent::Snapshot {
+        at: now,
+        cause: SnapshotCause::Final,
+        view: &view,
+    });
+    probe.on_event::<R::View<'_>>(SimEvent::PhaseSettled { at: now, phase });
+}
+
+// ---------------------------------------------------------------------
+// Builder and session
+// ---------------------------------------------------------------------
+
+/// Fluent construction of a [`Sim`]. Obtain via [`Sim::on`]; defaults:
+/// plain BGP, seed 1, [`RunParams::default`] (the paper's §6.2 knobs —
+/// identical engine semantics to `EngineConfig::default()`).
+#[derive(Debug, Clone)]
+pub struct SimBuilder<'g> {
+    g: &'g AsGraph,
+    protocol: Protocol,
+    originate: Option<(AsId, PrefixId)>,
+    seed: u64,
+    params: RunParams,
+}
+
+impl<'g> SimBuilder<'g> {
+    /// Which protocol runs (default: [`Protocol::Bgp`]).
+    pub fn protocol(mut self, p: Protocol) -> Self {
+        self.protocol = p;
+        self
+    }
+
+    /// The destination AS and the prefix it originates. Required.
+    pub fn originate(mut self, dest: AsId, prefix: PrefixId) -> Self {
+        self.originate = Some((dest, prefix));
+        self
+    }
+
+    /// Master seed: drives the engine's delay/MRAI/loss streams and the
+    /// protocol's internal choices (STAMP's random Lock).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Engine and measurement knobs (see [`RunParams`]).
+    pub fn params(mut self, params: RunParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Shorthand for `.params(RunParams::fast())` — the fixed-delay,
+    /// MRAI-off configuration unit tests use.
+    pub fn fast(self) -> Self {
+        let p = RunParams::fast();
+        self.params(p)
+    }
+
+    /// Validate and construct the session. Typed errors, no panics:
+    /// [`SimError::MissingOrigination`] without an `originate()` call,
+    /// [`SimError::DestinationOutOfRange`] when the destination is not in
+    /// the topology.
+    pub fn build(self) -> Result<Sim, SimError> {
+        let (dest, prefix) = self.originate.ok_or(SimError::MissingOrigination)?;
+        if dest.index() >= self.g.n() {
+            return Err(SimError::DestinationOutOfRange {
+                dest,
+                n_ases: self.g.n(),
+            });
+        }
+        let cfg = self.params.engine_config(self.seed);
+        let spec = ProtocolSpec::of(self.protocol);
+        let engine = (spec.make)(self.g, cfg, dest, prefix, self.seed);
+        Ok(Sim {
+            protocol: self.protocol,
+            dest,
+            prefix,
+            params: self.params,
+            engine,
+            converged: false,
+            updates_initial: 0,
+        })
+    }
+}
+
+/// One simulation session: a protocol running on a topology towards one
+/// originated prefix. Owns its engine (and path arena); drive it with
+/// [`Sim::converge`] / [`Sim::play`] / [`Sim::measure`], observe it with a
+/// [`Probe`], and reach the concrete engine through the typed accessors
+/// ([`Sim::bgp`], [`Sim::rbgp`], [`Sim::stamp`]) when protocol-specific
+/// state matters.
+pub struct Sim {
+    protocol: Protocol,
+    dest: AsId,
+    prefix: PrefixId,
+    params: RunParams,
+    engine: EngineKind,
+    converged: bool,
+    updates_initial: u64,
+}
+
+impl Sim {
+    /// Start building a session on `g`.
+    pub fn on(g: &AsGraph) -> SimBuilder<'_> {
+        SimBuilder {
+            g,
+            protocol: Protocol::Bgp,
+            originate: None,
+            seed: 1,
+            params: RunParams::default(),
+        }
+    }
+
+    /// The protocol this session runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The destination AS.
+    pub fn dest(&self) -> AsId {
+        self.dest
+    }
+
+    /// The originated prefix.
+    pub fn prefix(&self) -> PrefixId {
+        self.prefix
+    }
+
+    /// The session's knobs.
+    pub fn params(&self) -> &RunParams {
+        &self.params
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &AsGraph {
+        with_engine!(&self.engine, e => e.topology())
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        with_engine!(&self.engine, e => e.now())
+    }
+
+    /// Accumulated engine statistics.
+    pub fn stats(&self) -> RunStats {
+        with_engine!(&self.engine, e => *e.stats())
+    }
+
+    /// Is the session between two adjacent ASes currently up?
+    pub fn session_up(&self, a: AsId, b: AsId) -> bool {
+        with_engine!(&self.engine, e => e.session_up(a, b))
+    }
+
+    /// Distinct AS paths interned by the engine's arena so far.
+    pub fn interned_paths(&self) -> usize {
+        with_engine!(&self.engine, e => e.paths().node_count())
+    }
+
+    /// Updates (announcements + withdrawals) sent during initial
+    /// convergence; 0 before [`Sim::converge`].
+    pub fn updates_initial(&self) -> u64 {
+        self.updates_initial
+    }
+
+    /// Run a protocol-erased closure over the current forwarding view
+    /// (built on the stack; ad-hoc inspection outside the probe path).
+    pub fn with_view<T>(&self, f: impl FnOnce(&dyn ForwardingView) -> T) -> T {
+        with_engine!(&self.engine, e => f(&ProtocolEngine::view(e, self.prefix)))
+    }
+
+    /// The concrete engine when this session runs plain BGP.
+    pub fn bgp(&self) -> Option<&Engine<BgpRouter>> {
+        match &self.engine {
+            EngineKind::Bgp(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The concrete engine when this session runs R-BGP (with or without
+    /// RCI).
+    pub fn rbgp(&self) -> Option<&Engine<RbgpRouter>> {
+        match &self.engine {
+            EngineKind::Rbgp(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The concrete engine when this session runs STAMP.
+    pub fn stamp(&self) -> Option<&Engine<StampRouter>> {
+        match &self.engine {
+            EngineKind::Stamp(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Mutable concrete-engine access (harness surgery; the facade itself
+    /// never needs it).
+    pub fn bgp_mut(&mut self) -> Option<&mut Engine<BgpRouter>> {
+        match &mut self.engine {
+            EngineKind::Bgp(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// See [`Sim::bgp_mut`].
+    pub fn rbgp_mut(&mut self) -> Option<&mut Engine<RbgpRouter>> {
+        match &mut self.engine {
+            EngineKind::Rbgp(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// See [`Sim::bgp_mut`].
+    pub fn stamp_mut(&mut self) -> Option<&mut Engine<StampRouter>> {
+        match &mut self.engine {
+            EngineKind::Stamp(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Cold-start convergence with observation: originations go out, the
+    /// network runs to quiescence (bounded by
+    /// [`RunParams::phase_deadline`]). Idempotent — a second call is a
+    /// no-op. Records [`Sim::updates_initial`].
+    pub fn converge_with<P: Probe>(&mut self, probe: &mut P) -> RunStats {
+        if !self.converged {
+            self.converged = true;
+            let deadline = Some(SimTime::ZERO + self.params.phase_deadline);
+            let interval = self.params.observe_interval;
+            let prefix = self.prefix;
+            with_engine!(&mut self.engine, e => {
+                e.start();
+                run_phase(e, prefix, Phase::Initial, deadline, interval, VecDeque::new(), probe);
+            });
+            let s = self.stats();
+            self.updates_initial = s.announcements_sent + s.withdrawals_sent;
+        }
+        self.stats()
+    }
+
+    /// [`Sim::converge_with`] without observation.
+    pub fn converge(&mut self) -> RunStats {
+        self.converge_with(&mut NullProbe)
+    }
+
+    /// Clear measurement state between phases (the protocol's
+    /// [`ProtocolEngine::reset_measurement`]; STAMP clears its instability
+    /// flags so pre-failure churn does not count against the event).
+    pub fn reset_measurement(&mut self) {
+        with_engine!(&mut self.engine, e => ProtocolEngine::reset_measurement(e))
+    }
+
+    /// Inject `timeline` at an epoch [`RunParams::inject_delay`] after the
+    /// current instant and run to quiescence under `probe` (converging
+    /// first if [`Sim::converge`] has not run). Emits one `Baseline`
+    /// snapshot before anything is applied, then the standard cadence (see
+    /// [`run_phase`]); the run is bounded by the timeline's settle point
+    /// plus [`RunParams::phase_deadline`].
+    pub fn play<P: Probe>(
+        &mut self,
+        timeline: &Timeline,
+        probe: &mut P,
+    ) -> Result<Played, SimError> {
+        // Validate before converging: an unresolvable timeline fails fast
+        // and leaves the session untouched.
+        let schedule = timeline.resolve(self.topology())?;
+        self.converge();
+        let epoch = self.now() + self.params.inject_delay;
+        let settle = epoch + timeline.end();
+        let deadline = Some(settle + self.params.phase_deadline);
+        let interval = self.params.observe_interval;
+        let prefix = self.prefix;
+        with_engine!(&mut self.engine, e => {
+            let mut pending = VecDeque::with_capacity(schedule.len());
+            for (at, ev) in schedule {
+                e.inject_at(epoch + at, ev);
+                pending.push_back((epoch + at, ev));
+            }
+            {
+                let view = ProtocolEngine::view(e, prefix);
+                probe.on_event(SimEvent::Snapshot {
+                    at: e.now(),
+                    cause: SnapshotCause::Baseline,
+                    view: &view,
+                });
+            }
+            run_phase(e, prefix, Phase::Timeline, deadline, interval, pending, probe);
+        });
+        Ok(Played { epoch, settle })
+    }
+
+    /// The one-stop paper measurement: converge, reset measurement state,
+    /// play `timeline` under a [`MetricsProbe`], and assemble
+    /// [`InstanceMetrics`]. `reachable[v]` must hold each AS's
+    /// post-timeline reachability (see [`Timeline::removed_links`]).
+    ///
+    /// `updates_failure` counts the updates sent by *this* call (on a
+    /// fresh session: everything after initial convergence), so measuring
+    /// several timelines on one session does not fold earlier replays
+    /// into later results.
+    pub fn measure(
+        &mut self,
+        timeline: &Timeline,
+        reachable: &[bool],
+    ) -> Result<InstanceMetrics, SimError> {
+        self.converge();
+        self.reset_measurement();
+        let sent_before = {
+            let s = self.stats();
+            s.announcements_sent + s.withdrawals_sent
+        };
+        let mut probe = MetricsProbe::new(self.dest, reachable.to_vec(), timeline.root_causes());
+        let played = self.play(timeline, &mut probe)?;
+        let s = self.stats();
+        Ok(InstanceMetrics {
+            affected: probe.tracker().affected_count(),
+            affected_loops: probe.tracker().loop_count(),
+            affected_blackholes: probe.tracker().blackhole_count(),
+            control_affected: probe.tracker().control_affected_count(),
+            updates_initial: self.updates_initial,
+            updates_failure: s.announcements_sent + s.withdrawals_sent - sent_before,
+            convergence_delay_s: s.last_fib_change.since(played.settle).as_secs_f64(),
+            data_recovery_s: probe
+                .last_problem()
+                .map(|t| t.since(played.settle).as_secs_f64())
+                .unwrap_or(0.0),
+            interned_paths: self.interned_paths(),
+        })
+    }
+}
+
+/// Where a [`Sim::play`] landed on the simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Played {
+    /// The injection epoch (timeline offsets are absolute from here).
+    pub epoch: SimTime,
+    /// The settle point: the timeline's last event. Recovery metrics
+    /// measure from here.
+    pub settle: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::PREFIX;
+    use crate::timeline::flap_train;
+    use stamp_topology::gen::{generate, GenConfig};
+    use stamp_topology::GraphBuilder;
+
+    fn diamond() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        b.preregister(5);
+        b.peering(0, 1).unwrap();
+        b.customer_of(2, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(4, 2).unwrap();
+        b.customer_of(4, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_without_origination_is_a_typed_error() {
+        let g = diamond();
+        assert_eq!(
+            Sim::on(&g).protocol(Protocol::Stamp).build().err(),
+            Some(SimError::MissingOrigination)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_destination() {
+        let g = diamond();
+        let err = Sim::on(&g).originate(AsId(99), PREFIX).build().err();
+        assert_eq!(
+            err,
+            Some(SimError::DestinationOutOfRange {
+                dest: AsId(99),
+                n_ases: 5
+            })
+        );
+        // The error carries a readable message.
+        assert!(err.unwrap().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn default_params_match_engine_config_default_semantics() {
+        // `build()` with defaults must configure the engine exactly like
+        // `EngineConfig::default()` — same seed, delay model, MRAI and
+        // loss semantics.
+        let from_builder = RunParams::default().engine_config(1);
+        let reference = EngineConfig::default();
+        assert_eq!(from_builder.seed, reference.seed);
+        assert_eq!(from_builder.delay, reference.delay);
+        assert_eq!(from_builder.mrai_base, reference.mrai_base);
+        assert_eq!(from_builder.mrai_enabled, reference.mrai_enabled);
+        assert_eq!(from_builder.mrai_withdrawals, reference.mrai_withdrawals);
+        assert_eq!(from_builder.loss, reference.loss);
+    }
+
+    #[test]
+    fn registry_covers_all_protocols_in_order() {
+        // Row i implements ALL[i], labels are non-empty, and no name
+        // (label or alias) of one row case-insensitively collides with a
+        // name of a *different* row — a collision would make
+        // `Protocol::from_str` ambiguous. Within a row, "BGP"/"bgp"
+        // coexisting is fine: both parse to the same protocol.
+        let names = |s: &ProtocolSpec| {
+            let mut v = vec![s.label];
+            v.extend(s.aliases);
+            v
+        };
+        for (i, p) in Protocol::ALL.iter().enumerate() {
+            assert_eq!(REGISTRY[i].protocol, *p);
+            assert_eq!(ProtocolSpec::of(*p).protocol, *p);
+            assert!(!REGISTRY[i].label.is_empty());
+        }
+        for (i, a) in REGISTRY.iter().enumerate() {
+            for b in &REGISTRY[i + 1..] {
+                for na in names(a) {
+                    for nb in names(b) {
+                        assert!(
+                            !na.eq_ignore_ascii_case(nb),
+                            "{na} is claimed by both {} and {}",
+                            a.protocol,
+                            b.protocol
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_protocol_converges_through_the_facade() {
+        let g = diamond();
+        for p in Protocol::ALL {
+            let mut sim = Sim::on(&g)
+                .protocol(p)
+                .originate(AsId(4), PREFIX)
+                .seed(7)
+                .fast()
+                .build()
+                .unwrap();
+            sim.converge();
+            // Second converge is a no-op (idempotent), not a panic.
+            let s = sim.converge();
+            assert!(s.announcements_sent > 0, "{}", p.label());
+            assert_eq!(
+                sim.updates_initial(),
+                s.announcements_sent + s.withdrawals_sent
+            );
+            // The erased view delivers from every AS after convergence.
+            let delivered = sim.with_view(|v| {
+                stamp_forwarding::classify_all(v)
+                    .iter()
+                    .all(|o| *o == stamp_forwarding::Outcome::Delivered)
+            });
+            assert!(delivered, "{}", p.label());
+            // Typed access matches the protocol.
+            match p {
+                Protocol::Bgp => assert!(sim.bgp().is_some()),
+                Protocol::Rbgp | Protocol::RbgpNoRci => assert!(sim.rbgp().is_some()),
+                Protocol::Stamp => assert!(sim.stamp().is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn probe_receives_the_documented_event_cadence() {
+        struct Recorder {
+            fib: usize,
+            resets: usize,
+            baseline: usize,
+            periodic: usize,
+            finals: Vec<Phase>,
+            last_at: SimTime,
+        }
+        impl Probe for Recorder {
+            fn on_event<V: ForwardingView + ?Sized>(&mut self, event: SimEvent<'_, V>) {
+                match event {
+                    SimEvent::FibChanged { at } => {
+                        assert!(at >= self.last_at, "time went backwards");
+                        self.last_at = at;
+                        self.fib += 1;
+                    }
+                    SimEvent::SessionReset { .. } => self.resets += 1,
+                    SimEvent::Snapshot { cause, view, .. } => {
+                        assert!(view.n() > 0);
+                        match cause {
+                            SnapshotCause::Baseline => self.baseline += 1,
+                            SnapshotCause::Periodic => self.periodic += 1,
+                            SnapshotCause::Final => {}
+                        }
+                    }
+                    SimEvent::PhaseSettled { phase, .. } => self.finals.push(phase),
+                }
+            }
+        }
+        let g = diamond();
+        let mut sim = Sim::on(&g)
+            .protocol(Protocol::Stamp)
+            .originate(AsId(4), PREFIX)
+            .seed(3)
+            .fast()
+            .build()
+            .unwrap();
+        let mut rec = Recorder {
+            fib: 0,
+            resets: 0,
+            baseline: 0,
+            periodic: 0,
+            finals: Vec::new(),
+            last_at: SimTime::ZERO,
+        };
+        sim.converge_with(&mut rec);
+        assert!(rec.fib > 0, "initial convergence changes FIBs");
+        assert_eq!(rec.finals, vec![Phase::Initial]);
+        let p = g.providers(AsId(4))[0];
+        let t = Timeline::from_events(
+            "flap",
+            flap_train(
+                AsId(4),
+                p,
+                SimDuration::ZERO,
+                SimDuration::from_secs(2),
+                0.5,
+                2,
+            ),
+        );
+        sim.play(&t, &mut rec).unwrap();
+        assert_eq!(rec.baseline, 1, "exactly one baseline per play");
+        assert_eq!(rec.resets, 4, "two down + two up events applied");
+        assert!(rec.periodic > 0);
+        assert_eq!(rec.finals, vec![Phase::Initial, Phase::Timeline]);
+    }
+
+    #[test]
+    fn play_reports_unresolvable_timelines_as_typed_errors() {
+        let g = diamond();
+        let mut sim = Sim::on(&g)
+            .originate(AsId(4), PREFIX)
+            .fast()
+            .build()
+            .unwrap();
+        let t = Timeline::from_events(
+            "bogus",
+            vec![crate::timeline::TimelineEvent {
+                at: SimDuration::ZERO,
+                ev: crate::timeline::NetEvent::LinkDown(AsId(0), AsId(4)),
+            }],
+        );
+        match sim.play(&t, &mut NullProbe) {
+            Err(SimError::Timeline(_)) => {}
+            other => panic!("expected a timeline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn measure_on_a_recovering_timeline_reports_zero_residue() {
+        // A fail+recover flap on a generated topology: the network ends
+        // fully recovered, so `reachable` is all-true and affected counts
+        // stay bounded by the population.
+        let g = generate(&GenConfig::small(11)).unwrap();
+        let dest = crate::canned::destination_candidates(&g)[0];
+        let p = g.providers(dest)[0];
+        let t = Timeline::from_events(
+            "flap",
+            flap_train(
+                dest,
+                p,
+                SimDuration::ZERO,
+                SimDuration::from_secs(2),
+                0.5,
+                1,
+            ),
+        );
+        let reachable = vec![true; g.n()];
+        for proto in [Protocol::Bgp, Protocol::Stamp] {
+            let mut sim = Sim::on(&g)
+                .protocol(proto)
+                .originate(dest, PREFIX)
+                .seed(5)
+                .fast()
+                .build()
+                .unwrap();
+            let m = sim.measure(&t, &reachable).unwrap();
+            assert!(m.affected < g.n(), "{}", proto.label());
+            assert!(m.interned_paths > 0, "{}", proto.label());
+            assert_eq!(m.updates_initial, sim.updates_initial());
+        }
+    }
+}

@@ -7,13 +7,11 @@
 //! cargo run --release --example failover_demo -- [n_ases] [seed] [drop%]
 //! ```
 
-use stamp_repro::bgp::engine::{Engine, EngineConfig, ScenarioEvent};
-use stamp_repro::bgp::router::BgpRouter;
 use stamp_repro::bgp::types::PrefixId;
 use stamp_repro::eventsim::{LossModel, SimDuration};
-use stamp_repro::forwarding::{BgpView, StampView, TransientTracker};
-use stamp_repro::stamp::{LockStrategy, StampRouter};
+use stamp_repro::sim::Sim;
 use stamp_repro::topology::{generate, AsId, GenConfig, StaticRoutes};
+use stamp_repro::workload::{NetEvent, Protocol, RunParams, Timeline, TimelineEvent};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -63,69 +61,52 @@ fn main() {
         println!("fault injection: dropping {drop_pct}% of protocol messages");
     }
 
+    // The scenario is data: a one-event timeline both protocols play.
+    let timeline = Timeline::from_events(
+        "provider-link-failure",
+        vec![TimelineEvent {
+            at: SimDuration::ZERO,
+            ev: NetEvent::LinkDown(dest, provider),
+        }],
+    );
     let reachable: Vec<bool> = {
         let r = StaticRoutes::compute(&g.without_links(&[failed]), dest);
         (0..g.n() as u32).map(|v| r.reachable(AsId(v))).collect()
     };
-    let prefix = PrefixId(0);
-    let cfg = EngineConfig {
-        seed,
+    // Paper parameters, but observe every FIB-changing batch (no
+    // throttle), inject 5 s after quiescence, and apply the loss knob.
+    let params = RunParams {
+        inject_delay: SimDuration::from_secs(5),
+        observe_interval: SimDuration::ZERO,
         loss: LossModel {
             drop_probability: drop_pct / 100.0,
         },
-        ..EngineConfig::default()
+        ..RunParams::paper()
     };
-
-    // --- plain BGP ---
-    let mut bgp = Engine::new(g.clone(), cfg.clone(), |v| {
-        BgpRouter::new(v, if v == dest { vec![prefix] } else { vec![] })
-    });
-    bgp.start();
-    bgp.run_to_quiescence(None);
-    let mut bgp_tracker = TransientTracker::new(dest, reachable.clone());
-    bgp.inject_after(SimDuration::from_secs(5), ScenarioEvent::FailLink(failed));
-    bgp.run_until_quiescent(None, |e, _| {
-        bgp_tracker.observe(&BgpView { engine: e, prefix });
-    });
-
-    // --- STAMP on the identical scenario ---
-    let mut stamp = Engine::new(g.clone(), cfg, |v| {
-        StampRouter::new(
-            v,
-            if v == dest { vec![prefix] } else { vec![] },
-            LockStrategy::Random { seed },
-        )
-    });
-    stamp.start();
-    stamp.run_to_quiescence(None);
-    for v in g.ases() {
-        stamp.router_mut(v).reset_instability();
-    }
-    let mut stamp_tracker = TransientTracker::new(dest, reachable);
-    stamp.inject_after(SimDuration::from_secs(5), ScenarioEvent::FailLink(failed));
-    stamp.run_until_quiescent(None, |e, _| {
-        stamp_tracker.observe(&StampView { engine: e, prefix });
-    });
 
     println!();
     println!(
         "{:<8} {:>14} {:>8} {:>12} {:>10}",
         "protocol", "affected ASes", "loops", "blackholes", "updates"
     );
-    println!(
-        "{:<8} {:>14} {:>8} {:>12} {:>10}",
-        "BGP",
-        bgp_tracker.affected_count(),
-        bgp_tracker.loop_count(),
-        bgp_tracker.blackhole_count(),
-        bgp.stats().announcements_sent + bgp.stats().withdrawals_sent
-    );
-    println!(
-        "{:<8} {:>14} {:>8} {:>12} {:>10}",
-        "STAMP",
-        stamp_tracker.affected_count(),
-        stamp_tracker.loop_count(),
-        stamp_tracker.blackhole_count(),
-        stamp.stats().announcements_sent + stamp.stats().withdrawals_sent
-    );
+    for protocol in [Protocol::Bgp, Protocol::Stamp] {
+        let mut sim = Sim::on(&g)
+            .protocol(protocol)
+            .originate(dest, PrefixId(0))
+            .seed(seed)
+            .params(params.clone())
+            .build()
+            .expect("destination is in range");
+        let m = sim
+            .measure(&timeline, &reachable)
+            .expect("timeline resolves by construction");
+        println!(
+            "{:<8} {:>14} {:>8} {:>12} {:>10}",
+            protocol,
+            m.affected,
+            m.affected_loops,
+            m.affected_blackholes,
+            m.updates_initial + m.updates_failure
+        );
+    }
 }

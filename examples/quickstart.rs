@@ -5,11 +5,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use stamp_repro::bgp::engine::{Engine, EngineConfig};
 use stamp_repro::bgp::types::{Color, PrefixId};
-use stamp_repro::stamp::{LockStrategy, StampRouter};
+use stamp_repro::sim::Sim;
 use stamp_repro::topology::path::downhill_node_disjoint;
 use stamp_repro::topology::{AsId, GraphBuilder};
+use stamp_repro::workload::{Protocol, RunParams};
 
 fn main() {
     // The paper's running structure: two tier-1 peers, a provider on each
@@ -29,14 +29,19 @@ fn main() {
     b.customer_of(4, 3).unwrap();
     let g = b.build().unwrap();
 
-    // One STAMP router per AS; AS4 originates the prefix.
+    // One STAMP router per AS; AS4 originates the prefix. The builder
+    // wires the engine; paper parameters, seed 42 (delays, MRAI jitter and
+    // the random Lock choice all derive from it).
     let prefix = PrefixId(0);
-    let mut engine = Engine::new(g.clone(), EngineConfig::default(), |v| {
-        let own = if v == AsId(4) { vec![prefix] } else { vec![] };
-        StampRouter::new(v, own, LockStrategy::Random { seed: 42 })
-    });
-    engine.start();
-    engine.run_to_quiescence(None);
+    let mut sim = Sim::on(&g)
+        .protocol(Protocol::Stamp)
+        .originate(AsId(4), prefix)
+        .seed(42)
+        .params(RunParams::paper())
+        .build()
+        .expect("origination is in range");
+    sim.converge();
+    let engine = sim.stamp().expect("built as STAMP");
 
     let origin = engine.router(AsId(4));
     println!(
@@ -45,8 +50,8 @@ fn main() {
     );
     println!();
     println!(
-        "{:<6} {:<22} {:<22} {}",
-        "AS", "red path", "blue path", "downhill disjoint?"
+        "{:<6} {:<22} {:<22} downhill disjoint?",
+        "AS", "red path", "blue path"
     );
     for v in g.ases() {
         if v == AsId(4) {

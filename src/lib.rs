@@ -6,13 +6,17 @@
 //! providers make the two computed paths downhill node disjoint, so any
 //! single routing event leaves a working path to every destination.
 //!
+//! The one entry point for running protocols is the [`sim`] facade: a
+//! fluent builder ([`sim::Sim::on`]), a per-protocol registry
+//! ([`sim::ProtocolSpec`]) and a typed probe API ([`sim::Probe`]).
+//!
 //! # Example: complementary paths on the paper's diamond
 //!
 //! ```
-//! use stamp_repro::bgp::engine::{Engine, EngineConfig};
 //! use stamp_repro::bgp::types::{Color, PrefixId};
-//! use stamp_repro::stamp::{LockStrategy, StampRouter};
+//! use stamp_repro::sim::Sim;
 //! use stamp_repro::topology::{AsId, GraphBuilder};
+//! use stamp_repro::workload::{Protocol, RunParams};
 //!
 //! // Two tier-1 peers, one provider per side, a multi-homed origin below.
 //! let mut b = GraphBuilder::new();
@@ -24,15 +28,21 @@
 //! b.customer_of(4, 3).unwrap();
 //! let g = b.build().unwrap();
 //!
+//! // Run STAMP on it through the unified facade: protocol choice is a
+//! // builder parameter, not a code path.
 //! let prefix = PrefixId(0);
-//! let mut engine = Engine::new(g.clone(), EngineConfig::fast(1), |v| {
-//!     let own = if v == AsId(4) { vec![prefix] } else { vec![] };
-//!     StampRouter::new(v, own, LockStrategy::Random { seed: 1 })
-//! });
-//! engine.start();
-//! engine.run_to_quiescence(None);
+//! let mut sim = Sim::on(&g)
+//!     .protocol(Protocol::Stamp)
+//!     .originate(AsId(4), prefix)
+//!     .seed(1)
+//!     .params(RunParams::fast())
+//!     .build()
+//!     .expect("AS 4 is in the topology");
+//! sim.converge();
 //!
-//! // Every AS ends up with a route on both processes.
+//! // Every AS ends up with a route on both processes; the typed accessor
+//! // reaches STAMP-specific state through the same session.
+//! let engine = sim.stamp().expect("built as STAMP");
 //! for v in g.ases() {
 //!     if v == AsId(4) { continue; }
 //!     let r = engine.router(v);
@@ -41,9 +51,9 @@
 //! }
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for the
-//! paper-vs-measured record, and the `examples/` directory for runnable
-//! scenarios.
+//! See `DESIGN.md` for the system inventory (§9 covers the sim facade),
+//! `EXPERIMENTS.md` for the paper-vs-measured record, and the `examples/`
+//! directory for runnable scenarios.
 
 pub use stamp_bgp as bgp;
 pub use stamp_core as stamp;
@@ -53,3 +63,6 @@ pub use stamp_forwarding as forwarding;
 pub use stamp_rbgp as rbgp;
 pub use stamp_topology as topology;
 pub use stamp_workload as workload;
+
+pub use stamp_workload::sim;
+pub use stamp_workload::sim::Sim;

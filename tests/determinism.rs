@@ -12,15 +12,22 @@
 //! The flap-train cases extend the same contract to scenario timelines:
 //! sub-MRAI link flapping must quiesce to the never-flapped RIB, and a
 //! campaign grid must merge byte-identically at any worker count.
+//!
+//! The golden tests at the bottom pin the `sim`-facade redesign as
+//! *behavior-preserving*: the committed `InstanceMetrics` (every field,
+//! f64s by bit pattern) and the smoke-campaign aggregate hash were
+//! produced by the pre-redesign `drive_timeline`/`run_protocol_cell` path
+//! and must keep coming out of the builder/probe path byte-identically.
 
-use stamp_repro::bgp::engine::{Engine, EngineConfig};
-use stamp_repro::bgp::router::BgpRouter;
 use stamp_repro::bgp::types::PrefixId;
-use stamp_repro::eventsim::{DelayModel, LossModel, SimDuration};
+use stamp_repro::eventsim::rng::tags;
+use stamp_repro::eventsim::{rng_stream, DelayModel, SimDuration};
 use stamp_repro::experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};
-use stamp_repro::topology::{generate, AsId, GenConfig};
+use stamp_repro::sim::{NullProbe, Sim};
+use stamp_repro::topology::{generate, AsId, GenConfig, StaticRoutes};
 use stamp_repro::workload::{
-    destination_candidates, flap_train, run_campaign, CampaignConfig, RunParams, Timeline,
+    destination_candidates, flap_train, run_campaign, run_protocol_cell, sample_canned, smoke_grid,
+    CampaignConfig, RunParams, Timeline,
 };
 
 /// The full single-link-failure workload, run twice with identical
@@ -52,21 +59,22 @@ fn sub_mrai_flap_train_quiesces_to_the_never_flapped_state() {
     let g = generate(&GenConfig::small(0xF1A9)).unwrap();
     let dest = destination_candidates(&g)[0];
     let p = g.providers(dest)[0];
-    let cfg = EngineConfig {
-        seed: 0xF1A9,
+    let params = RunParams {
         delay: DelayModel::fixed(SimDuration::from_millis(1)),
         mrai_base: SimDuration::from_secs(30),
         mrai_enabled: true,
         mrai_withdrawals: true,
-        loss: LossModel::none(),
+        inject_delay: SimDuration::from_secs(1),
+        ..RunParams::default()
     };
     let run = |flap: bool| -> Vec<(Option<AsId>, Option<Vec<AsId>>)> {
-        let mut e = Engine::new(g.clone(), cfg.clone(), |v| {
-            let own = if v == dest { vec![PrefixId(0)] } else { vec![] };
-            BgpRouter::new(v, own)
-        });
-        e.start();
-        e.run_to_quiescence(None);
+        let mut sim = Sim::on(&g)
+            .originate(dest, PrefixId(0))
+            .seed(0xF1A9)
+            .params(params.clone())
+            .build()
+            .unwrap();
+        sim.converge();
         if flap {
             let t = Timeline::from_events(
                 "flap",
@@ -79,14 +87,12 @@ fn sub_mrai_flap_train_quiesces_to_the_never_flapped_state() {
                     5,
                 ),
             );
-            let epoch = e.now() + SimDuration::from_secs(1);
-            for (at, ev) in t.resolve(&g).unwrap() {
-                e.inject_at(epoch + at, ev);
-            }
-            // `run_to_quiescence(None)` returns only when the event queue
-            // drains — termination itself is the quiescence assertion.
-            e.run_to_quiescence(None);
+            // `play` runs to quiescence (bounded by the phase deadline,
+            // far beyond the last MRAI expiry) — termination itself is the
+            // quiescence assertion.
+            sim.play(&t, &mut NullProbe).unwrap();
         }
+        let e = sim.bgp().expect("default protocol is BGP");
         g.ases()
             .map(|v| {
                 let nh = e.router(v).next_hop(PrefixId(0));
@@ -129,7 +135,7 @@ fn flap_campaign_identical_across_worker_counts() {
             mrai_withdrawals: true,
             inject_delay: SimDuration::from_secs(1),
             observe_interval: SimDuration::from_millis(100),
-            phase_deadline: SimDuration::from_secs(4 * 3600),
+            ..RunParams::default()
         },
         protocols: vec![Protocol::Bgp, Protocol::Stamp],
         seeds: vec![1, 2],
@@ -159,4 +165,94 @@ fn single_link_failure_metrics_identical_across_thread_counts() {
             p.label()
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Golden values: the sim facade is behavior-preserving
+// ---------------------------------------------------------------------
+
+/// One golden row: every `InstanceMetrics` field, the two f64s by bit
+/// pattern.
+type Golden = (usize, usize, usize, usize, u64, u64, u64, u64, usize);
+
+/// The canned Figure 2 / 3a / 3b workloads, all four protocols, pinned to
+/// the exact metrics the pre-redesign `run_protocol_cell` (hand-rolled
+/// `Engine::new` wiring, boxed per-observation views) produced on this
+/// configuration. Any drift — a reordered observation, a changed RNG
+/// stream, an extra snapshot — fails here field-by-field.
+#[test]
+fn canned_workload_metrics_match_pre_redesign_goldens() {
+    #[rustfmt::skip]
+    let golden: [(FailureScenario, [Golden; 4]); 3] = [
+        (FailureScenario::SingleLink, [
+            (75, 0, 75, 16, 439, 204, 0x3f689374bc6a7efa, 0x3f60624dd2f1a9fc, 52),
+            (0, 0, 0, 10, 562, 268, 0x3f70624dd2f1a9fc, 0x0000000000000000, 198),
+            (0, 0, 0, 0, 562, 291, 0x3f70624dd2f1a9fc, 0x0000000000000000, 200),
+            (0, 0, 0, 0, 890, 813, 0x3f747bedb7281fda, 0x0000000000000000, 124),
+        ]),
+        (FailureScenario::TwoLinksDifferentAs, [
+            (46, 46, 34, 31, 379, 613, 0x3f70635a426bb55b, 0x3f606466b1e5c0ba, 74),
+            (46, 46, 30, 31, 497, 5586, 0x3f7cbddb9841aac5, 0x3f606466b1e5c0ba, 575),
+            (46, 46, 4, 26, 497, 3303, 0x3f7cb46bacf74470, 0x3f689374bc6a7efa, 398),
+            (37, 0, 37, 6, 794, 834, 0x3f747ae147ae147b, 0x3f606466b1e5c0ba, 101),
+        ]),
+        (FailureScenario::TwoLinksSameAs, [
+            (21, 0, 21, 28, 427, 428, 0x3f70624dd2f1a9fc, 0x3f50624dd2f1a9fc, 64),
+            (21, 0, 21, 28, 544, 2233, 0x3f748344c37e6f72, 0x3f50624dd2f1a9fc, 363),
+            (21, 0, 21, 14, 544, 3119, 0x3f74898f605ab3ab, 0x3f50624dd2f1a9fc, 421),
+            (21, 0, 21, 1, 792, 957, 0x3f747ae147ae147b, 0x3f50624dd2f1a9fc, 109),
+        ]),
+    ];
+
+    let g = generate(&GenConfig::small(0x601D)).unwrap();
+    let params = RunParams::fast();
+    for (i, (scenario, rows)) in golden.iter().enumerate() {
+        let mut rng = rng_stream(0x601D + i as u64, tags::WORKLOAD);
+        let w = sample_canned(&g, *scenario, &mut rng).unwrap();
+        let removed = w.timeline.removed_links(&g).unwrap();
+        let truth = StaticRoutes::compute(&g.without_links(&removed), w.dest);
+        let reachable: Vec<bool> = (0..g.n() as u32)
+            .map(|v| truth.reachable(AsId(v)))
+            .collect();
+        for (p, want) in Protocol::ALL.iter().zip(rows) {
+            let m = run_protocol_cell(
+                &g,
+                &params,
+                &w.timeline,
+                w.dest,
+                &reachable,
+                *p,
+                0x5EED ^ i as u64,
+            );
+            let got: Golden = (
+                m.affected,
+                m.affected_loops,
+                m.affected_blackholes,
+                m.control_affected,
+                m.updates_initial,
+                m.updates_failure,
+                m.convergence_delay_s.to_bits(),
+                m.data_recovery_s.to_bits(),
+                m.interned_paths,
+            );
+            assert_eq!(got, *want, "{:?} / {} drifted from golden", scenario, p);
+        }
+    }
+}
+
+/// The `campaign --smoke` grid (the CI gate), built by the same
+/// `smoke_grid` constructor the binary uses, pinned to the aggregate hash
+/// the pre-redesign path produced. The hash folds in every metric of
+/// every cell, so this is a byte-identity check over the whole grid — and
+/// sharing the constructor means the pinned hash always corresponds to
+/// the workload CI actually runs.
+#[test]
+fn smoke_campaign_hash_matches_pre_redesign_golden() {
+    let (g, timelines, dests, cfg) = smoke_grid(0xCA4A16);
+    let rep = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+    assert_eq!(rep.cells.len(), 10);
+    assert_eq!(
+        rep.hash, 0x288f67a39b590c8d,
+        "smoke-campaign aggregate drifted from the pre-redesign golden"
+    );
 }

@@ -1,16 +1,16 @@
 //! Cross-crate integration tests: full protocol stacks on generated
 //! Internet-like topologies, checked against the static ground truth and
-//! the paper's stated guarantees.
+//! the paper's stated guarantees. Every session goes through the `sim`
+//! facade — protocol choice is a builder parameter, and protocol-specific
+//! state is reached through the typed engine accessors.
 
-use stamp_repro::bgp::engine::{Engine, EngineConfig, ScenarioEvent};
-use stamp_repro::bgp::router::BgpRouter;
 use stamp_repro::bgp::types::{Color, PrefixId};
 use stamp_repro::eventsim::SimDuration;
-use stamp_repro::forwarding::{classify_all, BgpView, Outcome, StampView, TransientTracker};
-use stamp_repro::rbgp::{RbgpConfig, RbgpRouter};
-use stamp_repro::stamp::{LockStrategy, StampRouter};
+use stamp_repro::forwarding::{classify_all, Outcome};
+use stamp_repro::sim::{MetricsProbe, Sim};
 use stamp_repro::topology::path::downhill_node_disjoint;
 use stamp_repro::topology::{generate, AsId, GenConfig, StaticRoutes};
+use stamp_repro::workload::{NetEvent, Protocol, RunParams, Timeline, TimelineEvent};
 
 const P: PrefixId = PrefixId(0);
 
@@ -22,15 +22,40 @@ fn topo(n: usize, seed: u64) -> stamp_repro::topology::AsGraph {
     .expect("valid config")
 }
 
+/// A one-shot single-link-failure timeline.
+fn link_down(a: AsId, b: AsId) -> Timeline {
+    Timeline::from_events(
+        "link-down",
+        vec![TimelineEvent {
+            at: SimDuration::ZERO,
+            ev: NetEvent::LinkDown(a, b),
+        }],
+    )
+}
+
+/// A one-shot link-recovery timeline.
+fn link_up(a: AsId, b: AsId) -> Timeline {
+    Timeline::from_events(
+        "link-up",
+        vec![TimelineEvent {
+            at: SimDuration::ZERO,
+            ev: NetEvent::LinkUp(a, b),
+        }],
+    )
+}
+
 #[test]
 fn bgp_converges_to_static_state_on_generated_topology() {
     let g = topo(200, 101);
     for dest in [AsId(7), AsId(120), AsId(199)] {
-        let mut e = Engine::new(g.clone(), EngineConfig::fast(1), |v| {
-            BgpRouter::new(v, if v == dest { vec![P] } else { vec![] })
-        });
-        e.start();
-        e.run_to_quiescence(None);
+        let mut sim = Sim::on(&g)
+            .originate(dest, P)
+            .seed(1)
+            .fast()
+            .build()
+            .unwrap();
+        sim.converge();
+        let e = sim.bgp().expect("default protocol is BGP");
         let truth = StaticRoutes::compute(&g, dest);
         for v in g.ases() {
             assert_eq!(
@@ -46,15 +71,15 @@ fn bgp_converges_to_static_state_on_generated_topology() {
 fn rbgp_best_paths_match_bgp_on_generated_topology() {
     let g = topo(150, 103);
     let dest = AsId(149);
-    let mut e = Engine::new(g.clone(), EngineConfig::fast(2), |v| {
-        RbgpRouter::new(
-            v,
-            if v == dest { vec![P] } else { vec![] },
-            RbgpConfig::default(),
-        )
-    });
-    e.start();
-    e.run_to_quiescence(None);
+    let mut sim = Sim::on(&g)
+        .protocol(Protocol::Rbgp)
+        .originate(dest, P)
+        .seed(2)
+        .fast()
+        .build()
+        .unwrap();
+    sim.converge();
+    let e = sim.rbgp().expect("built as R-BGP");
     let truth = StaticRoutes::compute(&g, dest);
     for v in g.ases() {
         assert_eq!(
@@ -72,15 +97,15 @@ fn rbgp_best_paths_match_bgp_on_generated_topology() {
 fn stamp_blue_route_guaranteed_everywhere() {
     let g = topo(200, 105);
     for dest in [AsId(60), AsId(199)] {
-        let mut e = Engine::new(g.clone(), EngineConfig::fast(3), |v| {
-            StampRouter::new(
-                v,
-                if v == dest { vec![P] } else { vec![] },
-                LockStrategy::Random { seed: 3 },
-            )
-        });
-        e.start();
-        e.run_to_quiescence(None);
+        let mut sim = Sim::on(&g)
+            .protocol(Protocol::Stamp)
+            .originate(dest, P)
+            .seed(3)
+            .fast()
+            .build()
+            .unwrap();
+        sim.converge();
+        let e = sim.stamp().expect("built as STAMP");
         for v in g.ases() {
             if v == dest {
                 continue;
@@ -107,15 +132,15 @@ fn stamp_network_wide_disjointness_invariants() {
         .filter(|&v| g.providers(v).len() >= 2)
         .last()
         .expect("generated topology has a multi-homed AS");
-    let mut e = Engine::new(g.clone(), EngineConfig::fast(5), |v| {
-        StampRouter::new(
-            v,
-            if v == dest { vec![P] } else { vec![] },
-            LockStrategy::Random { seed: 5 },
-        )
-    });
-    e.start();
-    e.run_to_quiescence(None);
+    let mut sim = Sim::on(&g)
+        .protocol(Protocol::Stamp)
+        .originate(dest, P)
+        .seed(5)
+        .fast()
+        .build()
+        .unwrap();
+    sim.converge();
+    let e = sim.stamp().expect("built as STAMP");
 
     let mut both = 0usize;
     let mut disjoint = 0usize;
@@ -177,45 +202,37 @@ fn stamp_network_wide_disjointness_invariants() {
 fn lemma_3_1_additions_strictly_gentler_than_withdrawals() {
     let g = topo(150, 109);
     let dest = AsId(140);
-    let failed = g
-        .link_between(dest, g.providers(dest)[0])
-        .expect("provider link");
+    let provider = g.providers(dest)[0];
     let reachable_full: Vec<bool> = {
         let r = StaticRoutes::compute(&g, dest);
         (0..g.n() as u32).map(|v| r.reachable(AsId(v))).collect()
     };
     let reachable_after: Vec<bool> = {
+        let failed = g.link_between(dest, provider).expect("provider link");
         let r = StaticRoutes::compute(&g.without_links(&[failed]), dest);
         (0..g.n() as u32).map(|v| r.reachable(AsId(v))).collect()
     };
 
+    // Paper parameters, every FIB-changing batch observed.
+    let mut sim = Sim::on(&g)
+        .originate(dest, P)
+        .seed(1)
+        .params(RunParams {
+            observe_interval: SimDuration::ZERO,
+            ..RunParams::paper()
+        })
+        .build()
+        .unwrap();
+
     // Withdrawal episode: converge fully, then fail the link.
-    let mut e = Engine::new(g.clone(), EngineConfig::default(), |v| {
-        BgpRouter::new(v, if v == dest { vec![P] } else { vec![] })
-    });
-    e.start();
-    e.run_to_quiescence(None);
-    let mut fail_tracker = TransientTracker::new(dest, reachable_after);
-    e.inject_after(SimDuration::from_secs(5), ScenarioEvent::FailLink(failed));
-    e.run_until_quiescent(None, |eng, _| {
-        fail_tracker.observe(&BgpView {
-            engine: eng,
-            prefix: P,
-        });
-    });
+    let fail = link_down(dest, provider);
+    let mut fail_probe = MetricsProbe::new(dest, reachable_after, fail.root_causes());
+    sim.play(&fail, &mut fail_probe).unwrap();
 
     // Addition episode: recover it.
-    let mut add_tracker = TransientTracker::new(dest, reachable_full);
-    e.inject_after(
-        SimDuration::from_secs(5),
-        ScenarioEvent::RecoverLink(failed),
-    );
-    e.run_until_quiescent(None, |eng, _| {
-        add_tracker.observe(&BgpView {
-            engine: eng,
-            prefix: P,
-        });
-    });
+    let recover = link_up(dest, provider);
+    let mut add_probe = MetricsProbe::new(dest, reachable_full, recover.root_causes());
+    sim.play(&recover, &mut add_probe).unwrap();
 
     // The sound invariant at message level: additions never create
     // forwarding *loops* (Lemma 3.1's loop half). The failure half does
@@ -224,48 +241,34 @@ fn lemma_3_1_additions_strictly_gentler_than_withdrawals() {
     // blackholing even large regions until MRAI lets corrections through —
     // one of the reproduction's findings (EXPERIMENTS.md).
     assert_eq!(
-        add_tracker.loop_count(),
+        add_probe.tracker().loop_count(),
         0,
         "additions must never create forwarding loops"
     );
     // Keep the withdrawal tracker alive as documentation of the contrast.
-    let _ = fail_tracker.affected_count();
+    let _ = fail_probe.tracker().affected_count();
 }
 
 /// After any convergence, every protocol's data plane delivers from every
-/// AS (the topologies are connected).
+/// AS (the topologies are connected). The protocol-erased view accessor
+/// covers all four registry rows in one loop.
 #[test]
 fn all_delivered_after_convergence_all_protocols() {
     let g = topo(120, 111);
     let dest = AsId(119);
-    // BGP
-    let mut bgp = Engine::new(g.clone(), EngineConfig::fast(7), |v| {
-        BgpRouter::new(v, if v == dest { vec![P] } else { vec![] })
-    });
-    bgp.start();
-    bgp.run_to_quiescence(None);
-    assert!(classify_all(&BgpView {
-        engine: &bgp,
-        prefix: P
-    })
-    .iter()
-    .all(|o| *o == Outcome::Delivered));
-    // STAMP
-    let mut stamp = Engine::new(g.clone(), EngineConfig::fast(7), |v| {
-        StampRouter::new(
-            v,
-            if v == dest { vec![P] } else { vec![] },
-            LockStrategy::Random { seed: 7 },
-        )
-    });
-    stamp.start();
-    stamp.run_to_quiescence(None);
-    assert!(classify_all(&StampView {
-        engine: &stamp,
-        prefix: P
-    })
-    .iter()
-    .all(|o| *o == Outcome::Delivered));
+    for protocol in Protocol::ALL {
+        let mut sim = Sim::on(&g)
+            .protocol(protocol)
+            .originate(dest, P)
+            .seed(7)
+            .fast()
+            .build()
+            .unwrap();
+        sim.converge();
+        let all_delivered =
+            sim.with_view(|v| classify_all(v).iter().all(|o| *o == Outcome::Delivered));
+        assert!(all_delivered, "{protocol}");
+    }
 }
 
 /// A miniature Figure 2 end to end: the qualitative ordering BGP ≥ STAMP

@@ -274,8 +274,7 @@ fn good_paths_imply_disjoint_pair() {
 /// arbitrary generated topologies and destinations.
 #[test]
 fn simulator_matches_static_solver() {
-    use stamp_repro::bgp::engine::{Engine, EngineConfig};
-    use stamp_repro::bgp::router::BgpRouter;
+    use stamp_repro::sim::Sim;
     cases(8, 0x705, |rng| {
         let seed = rng.next_u64();
         let g = generate(&GenConfig {
@@ -284,11 +283,14 @@ fn simulator_matches_static_solver() {
         })
         .expect("valid");
         let dest = AsId(rng.gen_range(0u32..g.n() as u32));
-        let mut e = Engine::new(g.clone(), EngineConfig::fast(seed), |v| {
-            BgpRouter::new(v, if v == dest { vec![PrefixId(0)] } else { vec![] })
-        });
-        e.start();
-        e.run_to_quiescence(None);
+        let mut sim = Sim::on(&g)
+            .originate(dest, PrefixId(0))
+            .seed(seed)
+            .fast()
+            .build()
+            .expect("destination drawn from the topology");
+        sim.converge();
+        let e = sim.bgp().expect("default protocol is BGP");
         let truth = StaticRoutes::compute(&g, dest);
         for v in g.ases() {
             assert_eq!(
@@ -299,14 +301,50 @@ fn simulator_matches_static_solver() {
     });
 }
 
+/// `Protocol` labels and CLI aliases round-trip through
+/// `Display`/`FromStr` for every registry row (the campaign binary's
+/// `--protocols` flag depends on this), and junk is a typed error.
+#[test]
+fn protocol_display_from_str_round_trips() {
+    use stamp_repro::workload::{Protocol, ProtocolSpec};
+    for p in Protocol::ALL {
+        assert_eq!(p.to_string(), p.label());
+        assert_eq!(p.to_string().parse::<Protocol>(), Ok(p));
+        assert_eq!(p.label().parse::<Protocol>(), Ok(p));
+        for alias in ProtocolSpec::of(p).aliases {
+            assert_eq!(alias.parse::<Protocol>(), Ok(p), "alias {alias}");
+            assert_eq!(
+                alias.to_uppercase().parse::<Protocol>(),
+                Ok(p),
+                "parsing is case-insensitive"
+            );
+        }
+    }
+    // Arbitrary junk never panics and never aliases onto a real protocol.
+    cases(128, 0x708, |rng| {
+        let n = rng.gen_range(0usize..12);
+        let junk: String = (0..n)
+            .map(|_| (b'a' + (rng.gen_range(0u32..26) as u8)) as char)
+            .collect();
+        if let Ok(p) = junk.parse::<Protocol>() {
+            let spec = ProtocolSpec::of(p);
+            assert!(
+                spec.label.eq_ignore_ascii_case(&junk)
+                    || spec.aliases.iter().any(|a| a.eq_ignore_ascii_case(&junk)),
+                "{junk:?} parsed to {p} without matching its registry row"
+            );
+        }
+    });
+}
+
 /// STAMP invariants hold on arbitrary topologies: blue existence,
 /// per-provider exclusivity, downhill disjointness.
 #[test]
 fn stamp_invariants() {
-    use stamp_repro::bgp::engine::{Engine, EngineConfig};
     use stamp_repro::bgp::types::Color;
-    use stamp_repro::stamp::{LockStrategy, StampRouter};
+    use stamp_repro::sim::Sim;
     use stamp_repro::topology::path::downhill_node_disjoint;
+    use stamp_repro::workload::Protocol;
     cases(8, 0x706, |rng| {
         let seed = rng.next_u64();
         let g = generate(&GenConfig {
@@ -315,15 +353,15 @@ fn stamp_invariants() {
         })
         .expect("valid");
         let dest = AsId(rng.gen_range(0u32..g.n() as u32));
-        let mut e = Engine::new(g.clone(), EngineConfig::fast(seed), |v| {
-            StampRouter::new(
-                v,
-                if v == dest { vec![PrefixId(0)] } else { vec![] },
-                LockStrategy::Random { seed },
-            )
-        });
-        e.start();
-        e.run_to_quiescence(None);
+        let mut sim = Sim::on(&g)
+            .protocol(Protocol::Stamp)
+            .originate(dest, PrefixId(0))
+            .seed(seed)
+            .fast()
+            .build()
+            .expect("destination drawn from the topology");
+        sim.converge();
+        let e = sim.stamp().expect("built as STAMP");
         for v in g.ases() {
             if v == dest {
                 continue;
@@ -357,8 +395,7 @@ fn stamp_invariants() {
 /// Determinism: identical seeds give byte-identical run statistics.
 #[test]
 fn simulation_deterministic() {
-    use stamp_repro::bgp::engine::{Engine, EngineConfig};
-    use stamp_repro::bgp::router::BgpRouter;
+    use stamp_repro::sim::Sim;
     cases(8, 0x707, |rng| {
         let seed = rng.next_u64();
         let g = generate(&GenConfig {
@@ -367,23 +404,18 @@ fn simulation_deterministic() {
         })
         .expect("valid");
         let run = || {
-            let mut e = Engine::new(g.clone(), EngineConfig::fast(seed), |v| {
-                BgpRouter::new(
-                    v,
-                    if v == AsId(0) {
-                        vec![PrefixId(0)]
-                    } else {
-                        vec![]
-                    },
-                )
-            });
-            e.start();
-            e.run_to_quiescence(None);
+            let mut sim = Sim::on(&g)
+                .originate(AsId(0), PrefixId(0))
+                .seed(seed)
+                .fast()
+                .build()
+                .expect("AS 0 always exists");
+            let s = sim.converge();
             (
-                e.stats().announcements_sent,
-                e.stats().withdrawals_sent,
-                e.stats().delivered,
-                e.stats().events,
+                s.announcements_sent,
+                s.withdrawals_sent,
+                s.delivered,
+                s.events,
             )
         };
         assert_eq!(run(), run());
