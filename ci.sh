@@ -54,6 +54,7 @@ echo "clippy passed (workspace, all targets, -D warnings)"
 # --- Tier-1 gate, strictly offline ---------------------------------------
 cargo build --release --offline
 cargo build --examples --offline
+cargo build --benches --offline
 cargo test -q --offline
 # The crate-level doctest is the sim-facade quickstart — a gate of its own.
 cargo test --doc --offline

@@ -90,6 +90,95 @@ fn bench_convergence(h: &Harness, report: &mut JsonReport) {
     });
 }
 
+/// The same end-to-end convergence at campaign scale (2000 ASes): the
+/// constant-factor work per delivered update dominates here, so this is
+/// the macro check that hot-path wins keep growing with topology size
+/// instead of drowning in cache effects.
+fn bench_convergence_2000(h: &Harness, report: &mut JsonReport) {
+    use stamp_bgp::types::PrefixId;
+    use stamp_workload::Sim;
+
+    let g = generate(&GenConfig {
+        n_ases: 2000,
+        ..GenConfig::small(21)
+    })
+    .unwrap();
+    let dest = AsId(1999);
+    report.bench(h, "convergence_2000", || {
+        let mut sim = Sim::on(&g)
+            .originate(dest, PrefixId(0))
+            .seed(5)
+            .fast()
+            .build()
+            .unwrap();
+        black_box(sim.converge().delivered);
+    });
+}
+
+/// Directed-session resolution on a 2000-AS graph: one batch resolves 512
+/// adjacent pairs (`(from, to) → SessId` + relation), the lookup every
+/// dispatched message and every liveness check leans on.
+fn bench_session_lookup(h: &Harness, report: &mut JsonReport) {
+    let g = generate(&GenConfig {
+        n_ases: 2000,
+        ..GenConfig::small(17)
+    })
+    .unwrap();
+    // Both directions of links spread across the whole id space.
+    let links = g.links();
+    let step = (links.len() / 256).max(1);
+    let pairs: Vec<(AsId, AsId)> = links
+        .iter()
+        .step_by(step)
+        .take(256)
+        .flat_map(|l| [(l.a, l.b), (l.b, l.a)])
+        .collect();
+    report.bench(h, "session_lookup_512", || {
+        let mut acc = 0u32;
+        for &(a, b) in &pairs {
+            let e = g.entry_between(a, b).expect("adjacent");
+            acc ^= e.sess.0 ^ e.link.0;
+        }
+        black_box(acc);
+    });
+}
+
+/// The MRAI arm/coalesce machinery end-to-end: a 16-customer star with the
+/// paper's rate limiter enabled (fixed 1 ms delay so the timer path, not
+/// delay sampling, dominates). Every announcement wave arms per-session
+/// timers, re-announcements coalesce into armed slots, expiries re-arm.
+fn bench_mrai_arm(h: &Harness, report: &mut JsonReport) {
+    use stamp_bgp::engine::{Engine, EngineConfig};
+    use stamp_bgp::router::BgpRouter;
+    use stamp_bgp::types::PrefixId;
+    use stamp_eventsim::{DelayModel, SimDuration};
+
+    const LEAVES: u32 = 16;
+    let mut b = GraphBuilder::new();
+    b.preregister(LEAVES + 1);
+    for n in 1..=LEAVES {
+        b.customer_of(n, 0).unwrap();
+    }
+    let g = b.build().unwrap();
+    let cfg = EngineConfig {
+        seed: 7,
+        delay: DelayModel::fixed(SimDuration::from_millis(1)),
+        ..EngineConfig::default()
+    };
+    report.bench(h, "mrai_arm_star", || {
+        let mut e: Engine<BgpRouter> = Engine::new(g.clone(), cfg.clone(), |v| {
+            let own = if v == AsId(1) {
+                vec![PrefixId(0)]
+            } else {
+                vec![]
+            };
+            BgpRouter::new(v, own)
+        });
+        e.start();
+        black_box(e.run_to_quiescence(None).announcements_sent);
+    });
+}
+
 /// One data-plane observation tick on a converged 300-AS BGP network —
 /// the inner loop of every failure measurement. Two variants pin the
 /// redesign's satellite claim: `boxed` is the pre-redesign path (a fresh
@@ -165,6 +254,9 @@ fn main() {
 
     bench_route_propagation(&h, &mut report);
     bench_convergence(&h, &mut report);
+    bench_convergence_2000(&h, &mut report);
+    bench_session_lookup(&h, &mut report);
+    bench_mrai_arm(&h, &mut report);
     bench_observe_loop(&h, &mut report);
 
     use stamp_bgp::patharena::PathArena;

@@ -109,10 +109,10 @@ fn print_report(run: &GridRun, protocols: &[Protocol]) {
     );
 }
 
-fn write_json(run: &GridRun, protocols: &[Protocol], path: &str) {
+fn json_object(s: &mut String, key: &str, run: &GridRun, protocols: &[Protocol]) {
     let rep = &run.report;
     let cells = rep.cells.len();
-    let mut s = String::from("{\n  \"campaign\": {\n");
+    let _ = writeln!(s, "  \"{key}\": {{");
     let _ = writeln!(s, "    \"n_ases\": {},", rep.n_ases);
     let _ = writeln!(s, "    \"cells\": {cells},");
     let _ = writeln!(s, "    \"hash\": \"0x{:016x}\",", rep.hash);
@@ -156,7 +156,20 @@ fn write_json(run: &GridRun, protocols: &[Protocol], path: &str) {
             );
         }
     }
-    s.push_str("\n    ]\n  }\n}\n");
+    s.push_str("\n    ]\n  }");
+}
+
+/// Write one JSON object per recorded grid (`campaign` = the primary grid;
+/// `campaign_2000` = the scale row, when run).
+fn write_json(runs: &[(&str, &GridRun)], protocols: &[Protocol], path: &str) {
+    let mut s = String::from("{\n");
+    for (i, (key, run)) in runs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        json_object(&mut s, key, run, protocols);
+    }
+    s.push_str("\n}\n");
     std::fs::write(path, s).expect("write BENCH_campaign.json");
     println!("wrote {path}");
 }
@@ -274,5 +287,42 @@ fn main() {
         return;
     }
     print_report(&run, &protocols);
-    write_json(&run, &protocols, "BENCH_campaign.json");
+
+    // The scale row: the same families at 2000 ASes (fewer destinations ×
+    // seeds, so the row costs about as much wall clock as the main grid)
+    // recording whether per-cell throughput holds up at 4× topology size.
+    // Skipped when the caller overrides the grid shape — the row is only
+    // comparable on the default configuration.
+    let default_grid = args.scn.is_empty()
+        && args.ases.is_none()
+        && args.dests.is_none()
+        && args.seeds.is_none()
+        && args.protocols.is_none();
+    let run_2000 = if default_grid {
+        let gen = GenConfig {
+            n_ases: 2000,
+            ..GenConfig::small(seed)
+        };
+        let g = generate(&gen).expect("valid generator config");
+        let mut rng = rng_stream(seed, tags::TIMELINE);
+        let dests = choose_k(&mut rng, &destination_candidates(&g), 2);
+        let timelines = standard_families(&g, &mut rng, &dests, false);
+        let mut cfg = CampaignConfig {
+            params: RunParams::paper(),
+            protocols: protocols.clone(),
+            seeds: vec![seed],
+            threads: 0,
+        };
+        let run = run_twice(&g, &timelines, &dests, &mut cfg, threads_n);
+        print_report(&run, &protocols);
+        Some(run)
+    } else {
+        None
+    };
+
+    let mut rows: Vec<(&str, &GridRun)> = vec![("campaign", &run)];
+    if let Some(r) = &run_2000 {
+        rows.push(("campaign_2000", r));
+    }
+    write_json(&rows, &protocols, "BENCH_campaign.json");
 }

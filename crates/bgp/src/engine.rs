@@ -18,8 +18,26 @@ use stamp_eventsim::rng::{tags, Rng};
 use stamp_eventsim::{
     rng_stream, DelayModel, FifoChannel, LossModel, Scheduler, SimDuration, SimTime,
 };
-use stamp_topology::{AsGraph, AsId, LinkId};
-use std::collections::HashMap;
+use stamp_topology::{AsGraph, AsId, LinkId, SessEnds, SessEntry, SessId};
+
+/// Maximum routing processes per AS the engine provisions per-session
+/// state for (STAMP's red + blue; BGP and R-BGP use process 0 only).
+pub const N_PROCS: usize = 2;
+
+/// Flat index of one `(directed session, process)` pair. Hard bound
+/// check: an out-of-range `ProcId` would silently alias the *next*
+/// session's process-0 state otherwise (the old tuple-keyed maps accepted
+/// any `ProcId`, so a future >2-process protocol must widen `N_PROCS`,
+/// not wrap).
+#[inline]
+fn chan_idx(sess: SessId, proc: ProcId) -> usize {
+    assert!(
+        (proc.0 as usize) < N_PROCS,
+        "ProcId {} out of range: engine provisions {N_PROCS} processes per session",
+        proc.0
+    );
+    sess.index() * N_PROCS + proc.0 as usize
+}
 
 /// A routing event injected into a running simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,14 +172,22 @@ impl SessionView for Sessions<'_> {
             None => false,
         }
     }
+
+    #[inline]
+    fn session_entry_up(&self, from: AsId, e: &SessEntry) -> bool {
+        // The entry already names the link: three flag reads, no lookup.
+        self.state.node_ok(from) && self.state.node_ok(e.neighbor) && self.state.link_ok(e.link)
+    }
 }
 
-/// Internal event type.
+/// Internal event type. Events carry the dense [`SessId`] of the directed
+/// session they belong to; endpoints and link are O(1) array reads at
+/// handling time, so the delivery path performs no `(AsId, AsId)` keyed
+/// lookups at all.
 #[derive(Debug, Clone)]
 enum Event {
     Deliver {
-        from: AsId,
-        to: AsId,
+        sess: SessId,
         proc: ProcId,
         msg: UpdateMsg,
         /// Session epoch at transmission time; a delivery whose epoch no
@@ -172,8 +198,7 @@ enum Event {
         epoch: u64,
     },
     MraiExpire {
-        from: AsId,
-        to: AsId,
+        sess: SessId,
         proc: ProcId,
         prefix: PrefixId,
         /// Session epoch when the timer was armed; an expiry whose epoch
@@ -186,7 +211,7 @@ enum Event {
 }
 
 /// Per-(session, process, prefix) MRAI state.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct MraiSlot {
     /// An expiry event is pending in the scheduler.
     armed: bool,
@@ -195,6 +220,12 @@ struct MraiSlot {
 }
 
 /// The simulation engine: one router per AS, FIFO sessions, MRAI, failures.
+///
+/// All per-session state lives in flat `Vec`s indexed by the topology's
+/// dense [`SessId`] space (× process, × dense prefix where needed) — the
+/// session set is fixed for the lifetime of a run, so nothing on the
+/// per-message path ever probes a hash map keyed by `(AsId, AsId, …)`
+/// tuples.
 pub struct Engine<R: RouterLogic> {
     g: AsGraph,
     routers: Vec<R>,
@@ -203,10 +234,14 @@ pub struct Engine<R: RouterLogic> {
     paths: PathArena,
     sched: Scheduler<Event>,
     state: LinkState,
-    channels: HashMap<(AsId, AsId, ProcId), FifoChannel>,
-    mrai: HashMap<(AsId, AsId, ProcId, PrefixId), MraiSlot>,
+    /// FIFO channel per `(directed session, process)`, see [`chan_idx`].
+    channels: Vec<FifoChannel>,
+    /// MRAI slots per `(directed session, process)`, inner `Vec` indexed
+    /// by dense prefix id (grown on first use; one entry in the common
+    /// single-prefix workloads).
+    mrai: Vec<Vec<MraiSlot>>,
     /// Jittered MRAI interval per directed session.
-    mrai_interval: HashMap<(AsId, AsId), SimDuration>,
+    mrai_interval: Vec<SimDuration>,
     cfg: EngineConfig,
     /// Per-link session epoch: bumped whenever the sessions over a link
     /// reset (the link fails, or an endpoint node fails while the link is
@@ -220,6 +255,9 @@ pub struct Engine<R: RouterLogic> {
     loss_rng: Rng,
     stats: RunStats,
     started: bool,
+    /// Reusable outgoing-update buffer lent to every router event — the
+    /// dispatch path allocates nothing in steady state.
+    out_scratch: Vec<OutMsg>,
 }
 
 impl<R: RouterLogic> Engine<R> {
@@ -229,12 +267,17 @@ impl<R: RouterLogic> Engine<R> {
     where
         F: FnMut(AsId) -> R,
     {
+        // Jitter factors are sampled in link order, (a→b) before (b→a) —
+        // the exact draw sequence of the original per-pair map, so equal
+        // seeds keep producing identical timers.
         let mut mrai_rng = rng_stream(cfg.seed, tags::MRAI);
-        let mut mrai_interval = HashMap::new();
+        let n_sessions = g.n_sessions();
+        let mut mrai_interval = vec![SimDuration::ZERO; n_sessions];
         for l in g.links() {
             for (a, b) in [(l.a, l.b), (l.b, l.a)] {
                 let f: f64 = 0.75 + 0.25 * mrai_rng.gen_f64();
-                mrai_interval.insert((a, b), cfg.mrai_base.mul_f64(f));
+                let sess = g.sess_between(a, b).expect("link endpoints are adjacent");
+                mrai_interval[sess.index()] = cfg.mrai_base.mul_f64(f);
             }
         }
         let routers = g.ases().map(&mut make).collect();
@@ -243,9 +286,9 @@ impl<R: RouterLogic> Engine<R> {
             routers,
             paths: PathArena::new(),
             sched: Scheduler::new(),
-            channels: HashMap::new(),
+            channels: vec![FifoChannel::new(cfg.delay); n_sessions * N_PROCS],
             link_epoch: vec![0; g.n_links()],
-            mrai: HashMap::new(),
+            mrai: vec![Vec::new(); n_sessions * N_PROCS],
             mrai_interval,
             scenario_seq: 0,
             delay_rng: rng_stream(cfg.seed, tags::DELAYS),
@@ -254,6 +297,7 @@ impl<R: RouterLogic> Engine<R> {
             g,
             stats: RunStats::default(),
             started: false,
+            out_scratch: Vec::new(),
         }
     }
 
@@ -392,12 +436,36 @@ impl<R: RouterLogic> Engine<R> {
     // Internals
     // ------------------------------------------------------------------
 
+    /// The MRAI slot for one `(session, process, prefix)`, growing the
+    /// dense prefix row on first touch. A static method over the `mrai`
+    /// field so callers can keep disjoint borrows of the rest of `self`.
+    #[inline]
+    fn mrai_slot(
+        mrai: &mut [Vec<MraiSlot>],
+        sess: SessId,
+        proc: ProcId,
+        prefix: PrefixId,
+    ) -> &mut MraiSlot {
+        let row = &mut mrai[chan_idx(sess, proc)];
+        if row.len() <= prefix.index() {
+            row.resize(prefix.index() + 1, MraiSlot::default());
+        }
+        &mut row[prefix.index()]
+    }
+
+    /// Is the session (given by its endpoints record) up end-to-end?
+    #[inline]
+    fn ends_alive(&self, ends: SessEnds) -> bool {
+        self.state.node_ok(ends.from)
+            && self.state.node_ok(ends.to)
+            && self.state.link_ok(ends.link)
+    }
+
     /// Handle one event; returns whether any FIB changed.
     fn handle(&mut self, ev: Event) -> bool {
         match ev {
             Event::Deliver {
-                from,
-                to,
+                sess,
                 proc,
                 msg,
                 epoch,
@@ -406,18 +474,20 @@ impl<R: RouterLogic> Engine<R> {
                 // and must be the *same* session the message was sent on —
                 // a reset in between (link failure, endpoint restart)
                 // destroyed everything in flight, even if a fresh session
-                // is already up again.
-                if !self.session_alive(from, to) || self.session_epoch(from, to) != epoch {
+                // is already up again. All O(1) array reads.
+                let ends = self.g.sess_ends(sess);
+                if !self.ends_alive(ends) || self.link_epoch[ends.link.index()] != epoch {
                     self.stats.dropped += 1;
                     return false;
                 }
                 self.stats.delivered += 1;
                 self.stats.last_delivery = self.sched.now();
-                self.with_router_ctx(to, |router, ctx| router.on_update(ctx, from, proc, msg))
+                self.with_router_ctx(ends.to, |router, ctx| {
+                    router.on_update(ctx, ends.from, proc, msg)
+                })
             }
             Event::MraiExpire {
-                from,
-                to,
+                sess,
                 proc,
                 prefix,
                 epoch,
@@ -426,28 +496,30 @@ impl<R: RouterLogic> Engine<R> {
                 // fresh session's slot (which arms its own timers): the
                 // stale expiry would flush the new session's pending
                 // update early, violating the MRAI interval.
-                if self.session_epoch(from, to) != epoch {
+                let ends = self.g.sess_ends(sess);
+                if self.link_epoch[ends.link.index()] != epoch {
                     return false;
                 }
-                let slot = self.mrai.entry((from, to, proc, prefix)).or_default();
-                match slot.pending.take() {
+                let pending = Self::mrai_slot(&mut self.mrai, sess, proc, prefix)
+                    .pending
+                    .take();
+                match pending {
                     Some(msg) => {
                         // Keep the timer armed for another interval.
-                        let interval = self.mrai_interval[&(from, to)];
+                        let interval = self.mrai_interval[sess.index()];
                         self.sched.schedule_after(
                             interval,
                             Event::MraiExpire {
-                                from,
-                                to,
+                                sess,
                                 proc,
                                 prefix,
                                 epoch,
                             },
                         );
-                        self.transmit(from, to, proc, msg);
+                        self.transmit(sess, proc, msg);
                     }
                     None => {
-                        slot.armed = false;
+                        Self::mrai_slot(&mut self.mrai, sess, proc, prefix).armed = false;
                     }
                 }
                 false
@@ -474,8 +546,7 @@ impl<R: RouterLogic> Engine<R> {
         self.state.link_up[id.index()] = false;
         self.link_epoch[id.index()] += 1;
         let l = self.g.link(id);
-        self.clear_session(l.a, l.b);
-        self.clear_session(l.b, l.a);
+        self.clear_link_sessions(id);
         let cause = crate::types::CauseInfo {
             cause: crate::types::RootCause::link(l.a, l.b),
             seq: self.scenario_seq,
@@ -544,20 +615,20 @@ impl<R: RouterLogic> Engine<R> {
             up: false,
         };
         let mut changed = false;
-        let neighbors: Vec<AsId> = self.g.neighbors(v).map(|(n, _)| n).collect();
-        for n in neighbors {
-            if let Some(id) = self.g.link_between(v, n) {
-                if self.state.link_up[id.index()] {
-                    self.link_epoch[id.index()] += 1;
-                    self.clear_session(v, n);
-                    self.clear_session(n, v);
-                    if self.state.node_ok(n) {
-                        changed |= self
-                            .with_router_ctx(n, |router, ctx| router.on_link_down(ctx, v, cause));
-                    }
+        // Walk the node's session slice by index — entries are `Copy`, so
+        // no neighbour list is materialised per event.
+        for i in 0..self.g.degree(v) {
+            let e = self.g.neighbor_entries(v)[i];
+            if self.state.link_up[e.link.index()] {
+                self.link_epoch[e.link.index()] += 1;
+                self.clear_link_sessions(e.link);
+                let n = e.neighbor;
+                if self.state.node_ok(n) {
                     changed |=
-                        self.with_router_ctx(v, |router, ctx| router.on_link_down(ctx, n, cause));
+                        self.with_router_ctx(n, |router, ctx| router.on_link_down(ctx, v, cause));
                 }
+                changed |=
+                    self.with_router_ctx(v, |router, ctx| router.on_link_down(ctx, n, cause));
             }
         }
         changed
@@ -579,28 +650,31 @@ impl<R: RouterLogic> Engine<R> {
             up: true,
         };
         let mut changed = false;
-        let neighbors: Vec<AsId> = self.g.neighbors(v).map(|(n, _)| n).collect();
-        for n in neighbors {
-            if let Some(id) = self.g.link_between(v, n) {
-                if self.state.link_up[id.index()] && self.state.node_ok(n) {
-                    changed |=
-                        self.with_router_ctx(v, |router, ctx| router.on_link_up(ctx, n, cause));
-                    changed |=
-                        self.with_router_ctx(n, |router, ctx| router.on_link_up(ctx, v, cause));
-                }
+        for i in 0..self.g.degree(v) {
+            let e = self.g.neighbor_entries(v)[i];
+            if self.state.link_up[e.link.index()] && self.state.node_ok(e.neighbor) {
+                let n = e.neighbor;
+                changed |= self.with_router_ctx(v, |router, ctx| router.on_link_up(ctx, n, cause));
+                changed |= self.with_router_ctx(n, |router, ctx| router.on_link_up(ctx, v, cause));
             }
         }
         changed
     }
 
-    /// Forget MRAI pendings for a directed session (link went down).
-    fn clear_session(&mut self, from: AsId, to: AsId) {
-        self.mrai
-            .retain(|(f, t, _, _), _| !(*f == from && *t == to));
-    }
-
-    fn session_alive(&self, a: AsId, b: AsId) -> bool {
-        self.session_up(a, b)
+    /// Forget MRAI pendings for both directed sessions of a link (the
+    /// sessions went down). Pending scheduler timers die by epoch
+    /// mismatch; the dense rows just reset.
+    fn clear_link_sessions(&mut self, link: LinkId) {
+        let l = self.g.link(link);
+        for (a, b) in [(l.a, l.b), (l.b, l.a)] {
+            let sess = self
+                .g
+                .sess_between(a, b)
+                .expect("link endpoints are adjacent");
+            for proc in 0..N_PROCS as u8 {
+                self.mrai[chan_idx(sess, ProcId(proc))].clear();
+            }
+        }
     }
 
     /// Run `f` on one router with a fresh ctx; dispatch its output.
@@ -618,6 +692,7 @@ impl<R: RouterLogic> Engine<R> {
                 g,
                 state,
                 paths,
+                out_scratch,
                 ..
             } = self;
             let sessions = Sessions {
@@ -625,6 +700,9 @@ impl<R: RouterLogic> Engine<R> {
                 state: &*state,
             };
             let mut ctx = RouterCtx::new(v, &*g, &sessions, paths);
+            // Lend the engine's scratch buffer: `Vec::new()` above never
+            // allocated, and the swap hands routers a warm buffer.
+            ctx.out = std::mem::take(out_scratch);
             f(&mut routers[v.index()], &mut ctx);
             (ctx.out, ctx.fib_changed)
         };
@@ -632,11 +710,18 @@ impl<R: RouterLogic> Engine<R> {
         fib_changed
     }
 
-    /// Route a router's outgoing updates through MRAI + transport.
-    fn dispatch(&mut self, from: AsId, out: Vec<OutMsg>) {
-        for m in out {
-            let OutMsg { to, proc, msg } = m;
-            if !self.session_alive(from, to) {
+    /// Route a router's outgoing updates through MRAI + transport, then
+    /// return the drained buffer to the scratch slot.
+    fn dispatch(&mut self, from: AsId, mut out: Vec<OutMsg>) {
+        for OutMsg { to, proc, msg } in out.drain(..) {
+            // One id-sorted slice probe resolves session, link and
+            // liveness for the whole message; everything after is O(1)
+            // indexing.
+            let Some(&SessEntry { sess, link, .. }) = self.g.entry_between(from, to) else {
+                self.stats.dropped += 1;
+                continue;
+            };
+            if !self.ends_alive(SessEnds { from, to, link }) {
                 self.stats.dropped += 1;
                 continue;
             }
@@ -648,49 +733,41 @@ impl<R: RouterLogic> Engine<R> {
             if !rate_limited {
                 // Immediate transmission still supersedes anything queued
                 // for this prefix (the withdrawal makes it stale).
-                if let Some(slot) = self.mrai.get_mut(&(from, to, proc, msg.prefix)) {
+                let row = &mut self.mrai[chan_idx(sess, proc)];
+                if let Some(slot) = row.get_mut(msg.prefix.index()) {
                     if slot.pending.take().is_some() {
                         self.stats.coalesced += 1;
                     }
                 }
-                self.transmit(from, to, proc, msg);
+                self.transmit(sess, proc, msg);
                 continue;
             }
-            let interval = self.mrai_interval[&(from, to)];
-            let slot = self.mrai.entry((from, to, proc, msg.prefix)).or_default();
+            let interval = self.mrai_interval[sess.index()];
+            let epoch = self.link_epoch[link.index()];
+            let slot = Self::mrai_slot(&mut self.mrai, sess, proc, msg.prefix);
             if slot.armed {
                 if slot.pending.replace(msg).is_some() {
                     self.stats.coalesced += 1;
                 }
             } else {
                 slot.armed = true;
-                let epoch = self.session_epoch(from, to);
                 self.sched.schedule_after(
                     interval,
                     Event::MraiExpire {
-                        from,
-                        to,
+                        sess,
                         proc,
                         prefix: msg.prefix,
                         epoch,
                     },
                 );
-                self.transmit(from, to, proc, msg);
+                self.transmit(sess, proc, msg);
             }
         }
-    }
-
-    /// Current session epoch between two adjacent ASes (0 for non-adjacent
-    /// pairs, which never carry traffic anyway).
-    fn session_epoch(&self, a: AsId, b: AsId) -> u64 {
-        self.g
-            .link_between(a, b)
-            .map(|id| self.link_epoch[id.index()])
-            .unwrap_or(0)
+        self.out_scratch = out;
     }
 
     /// Hand a message to the FIFO channel and schedule its delivery.
-    fn transmit(&mut self, from: AsId, to: AsId, proc: ProcId, msg: UpdateMsg) {
+    fn transmit(&mut self, sess: SessId, proc: ProcId, msg: UpdateMsg) {
         if self.cfg.loss.drops(&mut self.loss_rng) {
             self.stats.dropped += 1;
             return;
@@ -699,18 +776,13 @@ impl<R: RouterLogic> Engine<R> {
             UpdateKind::Announce(_) => self.stats.announcements_sent += 1,
             UpdateKind::Withdraw(_) => self.stats.withdrawals_sent += 1,
         }
-        let epoch = self.session_epoch(from, to);
+        let epoch = self.link_epoch[self.g.sess_ends(sess).link.index()];
         let now = self.sched.now();
-        let ch = self
-            .channels
-            .entry((from, to, proc))
-            .or_insert_with(|| FifoChannel::new(self.cfg.delay));
-        let at = ch.delivery_time(now, &mut self.delay_rng);
+        let at = self.channels[chan_idx(sess, proc)].delivery_time(now, &mut self.delay_rng);
         self.sched.schedule_at(
             at,
             Event::Deliver {
-                from,
-                to,
+                sess,
                 proc,
                 msg,
                 epoch,

@@ -18,8 +18,8 @@
 //! deterministic scheduler fixes. Equal seeds therefore produce identical
 //! arenas — the invariant the determinism regression suite pins down.
 
+use stamp_eventsim::FxHashMap;
 use stamp_topology::AsId;
-use std::collections::HashMap;
 
 /// Handle to an interned AS path. `PathId::NONE` is the empty path (used
 /// only as the terminal `tail` of origin nodes — no [`crate::types::Route`]
@@ -69,7 +69,10 @@ fn mask_bit(asn: AsId) -> u64 {
 #[derive(Debug, Clone, Default)]
 pub struct PathArena {
     nodes: Vec<Node>,
-    index: HashMap<(AsId, PathId), PathId>,
+    /// `(head, tail) → id` intern index. Deterministic Fx hashing: the
+    /// keys are simulator-generated ids, never untrusted input, and one
+    /// multiply beats SipHash rounds on the prepend-heavy intern path.
+    index: FxHashMap<(AsId, PathId), PathId>,
 }
 
 impl PathArena {

@@ -1,18 +1,26 @@
 //! Adj-RIB-In storage and the BGP decision process.
 //!
-//! Routes are grouped per `(prefix, process)` in a `BTreeMap` keyed by the
-//! announcing neighbour, so the decision process iterates candidates in
-//! neighbour-id order directly — no per-call collect-and-sort — and every
-//! stored entry is a `Copy` arena handle rather than an owned path. The
-//! announcing neighbour's relation is cached in the entry at insert time
-//! (it is a static property of the topology), so the decision process
-//! never performs graph lookups.
+//! Routes live in per-`(prefix, process)` **dense neighbour-slot tables**:
+//! the RIB maintains one ascending table of every neighbour it has ever
+//! heard from (bounded by the router's degree — the topology is fixed for
+//! a run), and each group is a flat `Vec<Option<RibEntry>>` indexed by the
+//! neighbour's slot. The decision process therefore scans one contiguous
+//! slice in ascending neighbour-id order — exactly the order the previous
+//! `BTreeMap<AsId, _>` representation iterated in, which is what keeps
+//! every tiebreak (and hence every golden metric) bit-identical — with no
+//! pointer chasing and no per-call allocation. Every stored entry is a
+//! `Copy` arena handle rather than an owned path, and the announcing
+//! neighbour's relation is cached in the entry at insert time (a static
+//! property of the topology), so `decide` performs zero graph lookups.
+//!
+//! The group directory itself is a tiny sorted `Vec` (a handful of
+//! `(prefix, process)` pairs per router in any real workload), scanned by
+//! binary search — no hashing anywhere.
 
 use crate::patharena::PathArena;
 use crate::policy::local_pref;
 use crate::types::{PrefixId, ProcId, Route};
 use stamp_topology::{AsId, Relation};
-use std::collections::BTreeMap;
 
 /// One stored route plus the relation it was learned over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,11 +32,28 @@ pub struct RibEntry {
     pub learned_from: Relation,
 }
 
-/// Per-router routes learned from neighbours, keyed by
-/// `(prefix, process instance)` then neighbour.
+/// One `(prefix, process)` group: a dense slot table indexed by the RIB's
+/// neighbour-slot map, plus the number of filled slots (groups are dropped
+/// eagerly when they empty, preserving the old keyed-map semantics).
+#[derive(Debug, Clone, Default)]
+struct Group {
+    /// `slots[i]` = route announced by the RIB's `i`-th neighbour; the
+    /// table may be shorter than the neighbour map (a short tail is all
+    /// `None`).
+    slots: Vec<Option<RibEntry>>,
+    filled: usize,
+}
+
+/// Per-router routes learned from neighbours, grouped by
+/// `(prefix, process instance)` into dense neighbour-slot tables.
 #[derive(Debug, Clone, Default)]
 pub struct RibIn {
-    entries: BTreeMap<(PrefixId, ProcId), BTreeMap<AsId, RibEntry>>,
+    /// Every neighbour ever seen, ascending: slot `i` ↔ `neighbors[i]`.
+    /// Bounded by the router's degree on a fixed topology, so slot
+    /// assignment amortises to a no-op after the first round of updates.
+    neighbors: Vec<AsId>,
+    /// Groups sorted by key (tiny: one entry per live `(prefix, proc)`).
+    groups: Vec<((PrefixId, ProcId), Group)>,
 }
 
 /// Result of running the decision process.
@@ -49,6 +74,38 @@ impl RibIn {
         RibIn::default()
     }
 
+    /// The slot of `neighbor`, assigning a fresh one on first sight. A new
+    /// slot in the middle shifts the dense tables once — neighbours are
+    /// finitely many per router, so steady state never takes this branch.
+    fn slot_of(&mut self, neighbor: AsId) -> usize {
+        match self.neighbors.binary_search(&neighbor) {
+            Ok(i) => i,
+            Err(i) => {
+                self.neighbors.insert(i, neighbor);
+                for (_, g) in &mut self.groups {
+                    if g.slots.len() > i {
+                        g.slots.insert(i, None);
+                    }
+                }
+                i
+            }
+        }
+    }
+
+    /// The slot of `neighbor` if it already has one.
+    #[inline]
+    fn find_slot(&self, neighbor: AsId) -> Option<usize> {
+        self.neighbors.binary_search(&neighbor).ok()
+    }
+
+    /// Index of the `(prefix, proc)` group, if present.
+    #[inline]
+    fn find_group(&self, prefix: PrefixId, proc: ProcId) -> Option<usize> {
+        self.groups
+            .binary_search_by_key(&(prefix, proc), |&(k, _)| k)
+            .ok()
+    }
+
     /// Install (replacing) the route announced by `neighbor`, learned over
     /// `learned_from`.
     pub fn insert(
@@ -59,23 +116,41 @@ impl RibIn {
         route: Route,
         learned_from: Relation,
     ) {
-        self.entries.entry((prefix, proc)).or_default().insert(
-            neighbor,
-            RibEntry {
-                route,
-                learned_from,
-            },
-        );
+        let slot = self.slot_of(neighbor);
+        let gi = match self
+            .groups
+            .binary_search_by_key(&(prefix, proc), |&(k, _)| k)
+        {
+            Ok(i) => i,
+            Err(i) => {
+                self.groups.insert(i, ((prefix, proc), Group::default()));
+                i
+            }
+        };
+        let group = &mut self.groups[gi].1;
+        if group.slots.len() <= slot {
+            group.slots.resize(slot + 1, None);
+        }
+        let entry = RibEntry {
+            route,
+            learned_from,
+        };
+        if group.slots[slot].replace(entry).is_none() {
+            group.filled += 1;
+        }
     }
 
     /// Remove the route announced by `neighbor`; returns it if present.
     pub fn remove(&mut self, prefix: PrefixId, proc: ProcId, neighbor: AsId) -> Option<Route> {
-        let group = self.entries.get_mut(&(prefix, proc))?;
-        let removed = group.remove(&neighbor);
-        if group.is_empty() {
-            self.entries.remove(&(prefix, proc));
+        let slot = self.find_slot(neighbor)?;
+        let gi = self.find_group(prefix, proc)?;
+        let group = &mut self.groups[gi].1;
+        let removed = group.slots.get_mut(slot)?.take()?;
+        group.filled -= 1;
+        if group.filled == 0 {
+            self.groups.remove(gi);
         }
-        removed.map(|e| e.route)
+        Some(removed.route)
     }
 
     /// Remove every route learned from `neighbor` on any prefix or process
@@ -83,31 +158,43 @@ impl RibIn {
     /// `(prefix, proc)` keys in ascending order.
     pub fn remove_neighbor(&mut self, neighbor: AsId) -> Vec<(PrefixId, ProcId)> {
         let mut dropped = Vec::new();
-        for (&key, group) in self.entries.iter_mut() {
-            if group.remove(&neighbor).is_some() {
-                dropped.push(key);
+        let Some(slot) = self.find_slot(neighbor) else {
+            return dropped;
+        };
+        for (key, group) in &mut self.groups {
+            if let Some(s) = group.slots.get_mut(slot) {
+                if s.take().is_some() {
+                    group.filled -= 1;
+                    dropped.push(*key);
+                }
             }
         }
-        self.entries.retain(|_, group| !group.is_empty());
+        self.groups.retain(|(_, g)| g.filled > 0);
         dropped
     }
 
     /// Entry announced by `neighbor`, if any.
     pub fn get(&self, prefix: PrefixId, proc: ProcId, neighbor: AsId) -> Option<&RibEntry> {
-        self.entries.get(&(prefix, proc))?.get(&neighbor)
+        let slot = self.find_slot(neighbor)?;
+        let gi = self.find_group(prefix, proc)?;
+        self.groups[gi].1.slots.get(slot)?.as_ref()
     }
 
     /// All `(neighbor, entry)` pairs for one `(prefix, proc)`, in ascending
-    /// neighbour-id order (the stored order — nothing is built per call).
+    /// neighbour-id order (a contiguous slot scan — nothing built per call).
     pub fn routes(
         &self,
         prefix: PrefixId,
         proc: ProcId,
     ) -> impl Iterator<Item = (AsId, RibEntry)> + '_ {
-        self.entries
-            .get(&(prefix, proc))
-            .into_iter()
-            .flat_map(|group| group.iter().map(|(&n, &e)| (n, e)))
+        let slots = self
+            .find_group(prefix, proc)
+            .map(|gi| self.groups[gi].1.slots.as_slice())
+            .unwrap_or(&[]);
+        slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.map(|e| (self.neighbors[i], e)))
     }
 
     /// Retain only routes satisfying `keep`; returns the `(prefix, proc,
@@ -118,27 +205,29 @@ impl RibIn {
         F: FnMut(&Route) -> bool,
     {
         let mut dropped = Vec::new();
-        for (&(prefix, proc), group) in self.entries.iter_mut() {
-            group.retain(|&n, e| {
-                let ok = keep(&e.route);
-                if !ok {
-                    dropped.push((prefix, proc, n));
+        for ((prefix, proc), group) in &mut self.groups {
+            for (i, s) in group.slots.iter_mut().enumerate() {
+                if let Some(e) = s {
+                    if !keep(&e.route) {
+                        dropped.push((*prefix, *proc, self.neighbors[i]));
+                        *s = None;
+                        group.filled -= 1;
+                    }
                 }
-                ok
-            });
+            }
         }
-        self.entries.retain(|_, group| !group.is_empty());
+        self.groups.retain(|(_, g)| g.filled > 0);
         dropped
     }
 
     /// Number of stored routes (all prefixes and processes).
     pub fn len(&self) -> usize {
-        self.entries.values().map(|g| g.len()).sum()
+        self.groups.iter().map(|(_, g)| g.filled).sum()
     }
 
     /// Whether the RIB is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.groups.is_empty()
     }
 
     /// The BGP decision process over the routes stored for `(prefix, proc)`

@@ -10,8 +10,8 @@ use crate::patharena::{PathArena, PathId};
 use crate::policy::export_ok;
 use crate::rib::{DecisionOutcome, RibIn};
 use crate::types::{CauseInfo, PrefixId, ProcId, Route, UpdateKind, UpdateMsg, WithdrawInfo};
-use stamp_topology::{AsGraph, AsId, Relation};
-use std::collections::HashMap;
+use stamp_eventsim::FxHashMap;
+use stamp_topology::{AsGraph, AsId, Relation, SessEntry};
 
 /// An update a router wants delivered to a neighbour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +25,15 @@ pub struct OutMsg {
 pub trait SessionView {
     /// Is the session between `a` and its neighbour `b` currently up?
     fn session_up(&self, a: AsId, b: AsId) -> bool;
+
+    /// Liveness of one of `from`'s session entries. The default falls back
+    /// to [`SessionView::session_up`]; the engine overrides it with O(1)
+    /// flag reads off the entry's link id (no per-check neighbour
+    /// resolution on the hot path).
+    #[inline]
+    fn session_entry_up(&self, from: AsId, e: &SessEntry) -> bool {
+        self.session_up(from, e.neighbor)
+    }
 }
 
 /// Everything a router may touch while handling an event.
@@ -33,12 +42,18 @@ pub struct RouterCtx<'a> {
     pub me: AsId,
     /// The topology (relationships drive policy).
     pub topo: &'a AsGraph,
+    /// This router's directed-session slice (customers, peers, providers —
+    /// each ascending): neighbour, relation and session id in one
+    /// contiguous read, no per-event re-derivation.
+    pub neighbors: &'a [SessEntry],
     /// Liveness of adjacent sessions.
     pub sessions: &'a dyn SessionView,
     /// The engine-owned path arena: routers intern paths here when they
     /// originate or prepend, and read through it for decisions.
     pub arena: &'a mut PathArena,
-    /// Updates to send (engine applies MRAI to announcements).
+    /// Updates to send (engine applies MRAI to announcements). The engine
+    /// lends the same buffer to every event, so steady-state dispatch
+    /// never allocates.
     pub out: Vec<OutMsg>,
     /// Set by the router whenever its forwarding state changed — the engine
     /// batches these to know when to re-run data-plane checks.
@@ -56,6 +71,7 @@ impl<'a> RouterCtx<'a> {
         RouterCtx {
             me,
             topo,
+            neighbors: topo.neighbor_entries(me),
             sessions,
             arena,
             out: Vec::new(),
@@ -73,12 +89,17 @@ impl<'a> RouterCtx<'a> {
         self.topo.relation(self.me, n)
     }
 
-    /// Neighbours with a live session, in deterministic order.
-    pub fn live_neighbors(&self) -> Vec<(AsId, Relation)> {
-        self.topo
-            .neighbors(self.me)
-            .filter(|(n, _)| self.sessions.session_up(self.me, *n))
-            .collect()
+    /// Neighbours with a live session, in deterministic order (the session
+    /// slice's). The iterator borrows the underlying `'a` data, not the
+    /// ctx, so callers can keep sending through the ctx while iterating —
+    /// no per-call `Vec` any more.
+    pub fn live_neighbors(&self) -> impl Iterator<Item = (AsId, Relation)> + 'a {
+        let me = self.me;
+        let sessions = self.sessions;
+        self.neighbors
+            .iter()
+            .filter(move |e| sessions.session_entry_up(me, e))
+            .map(|e| (e.neighbor, e.rel))
     }
 }
 
@@ -158,10 +179,10 @@ pub struct BgpRouter {
     /// Routes learned from neighbours.
     pub rib: RibIn,
     /// Current best per prefix.
-    best: HashMap<PrefixId, Selection>,
+    best: FxHashMap<PrefixId, Selection>,
     /// Last route advertised per `(neighbor, prefix)` — BGP's Adj-RIB-Out;
     /// used to suppress no-op updates and to know when a withdraw is due.
-    rib_out: HashMap<(AsId, PrefixId), Route>,
+    rib_out: FxHashMap<(AsId, PrefixId), Route>,
 }
 
 impl BgpRouter {
@@ -171,8 +192,8 @@ impl BgpRouter {
             me,
             own,
             rib: RibIn::new(),
-            best: HashMap::new(),
-            rib_out: HashMap::new(),
+            best: FxHashMap::default(),
+            rib_out: FxHashMap::default(),
         }
     }
 
@@ -275,7 +296,8 @@ impl BgpRouter {
 
     /// All prefixes this router has any state for.
     fn known_prefixes(&self) -> Vec<PrefixId> {
-        let mut v: Vec<PrefixId> = self.own.clone();
+        let mut v = Vec::with_capacity(self.own.len() + self.best.len());
+        v.extend_from_slice(&self.own);
         v.extend(self.best.keys().copied());
         v.sort_unstable();
         v.dedup();
@@ -285,7 +307,8 @@ impl BgpRouter {
 
 impl RouterLogic for BgpRouter {
     fn on_start(&mut self, ctx: &mut RouterCtx) {
-        for prefix in self.own.clone() {
+        for i in 0..self.own.len() {
+            let prefix = self.own[i];
             self.reselect(ctx, prefix);
         }
     }

@@ -29,8 +29,8 @@ use stamp_bgp::types::{
     CauseInfo, Color, EventType, PathAttrs, PrefixId, ProcId, Route, UpdateKind, UpdateMsg,
     WithdrawInfo,
 };
+use stamp_eventsim::FxHashMap;
 use stamp_topology::{AsId, Relation};
-use std::collections::HashMap;
 
 /// Per-event ET classification for each colour (`None` = colour untouched).
 type EtByColor = [Option<EventType>; 2];
@@ -47,17 +47,17 @@ pub struct StampRouter {
     /// Routes learned from neighbours, keyed by (prefix, process, neighbour).
     pub rib: RibIn,
     /// Current best per (prefix, colour).
-    best: HashMap<(PrefixId, Color), Selection>,
+    best: FxHashMap<(PrefixId, Color), Selection>,
     /// What each neighbour last heard from us, per colour.
-    rib_out: HashMap<(AsId, PrefixId, Color), Route>,
+    rib_out: FxHashMap<(AsId, PrefixId, Color), Route>,
     /// Which process this AS's own traffic currently uses.
-    active: HashMap<PrefixId, Color>,
+    active: FxHashMap<PrefixId, Color>,
     /// Data-plane instability flags (§5.2).
-    unstable: HashMap<(PrefixId, Color), bool>,
+    unstable: FxHashMap<(PrefixId, Color), bool>,
     /// Locked-blue-provider selection policy.
     lock_strategy: LockStrategy,
     /// Sticky lock choice per prefix.
-    lock_current: HashMap<PrefixId, AsId>,
+    lock_current: FxHashMap<PrefixId, AsId>,
 }
 
 impl StampRouter {
@@ -67,12 +67,12 @@ impl StampRouter {
             me,
             own,
             rib: RibIn::new(),
-            best: HashMap::new(),
-            rib_out: HashMap::new(),
-            active: HashMap::new(),
-            unstable: HashMap::new(),
+            best: FxHashMap::default(),
+            rib_out: FxHashMap::default(),
+            active: FxHashMap::default(),
+            unstable: FxHashMap::default(),
             lock_strategy,
-            lock_current: HashMap::new(),
+            lock_current: FxHashMap::default(),
         }
     }
 
@@ -225,11 +225,14 @@ impl StampRouter {
     /// message is actually emitted.
     fn desired_exports(&self, ctx: &mut RouterCtx, prefix: PrefixId) -> DesiredExports {
         let mut out = Vec::new();
-        let live = ctx.live_neighbors();
+        // Live providers drive the selective-announcement split below; the
+        // customer/peer pass streams straight off the session slice.
+        let mut providers: Vec<AsId> = Vec::new();
 
         // Customers and peers: both colours, standard valley-free export.
-        for &(n, rel) in &live {
+        for (n, rel) in ctx.live_neighbors() {
             if rel == Relation::Provider {
+                providers.push(n);
                 continue;
             }
             for c in Color::ALL {
@@ -255,11 +258,6 @@ impl StampRouter {
         }
 
         // Providers: the selective announcement rules.
-        let providers: Vec<AsId> = live
-            .iter()
-            .filter(|(_, rel)| *rel == Relation::Provider)
-            .map(|(n, _)| *n)
-            .collect();
         let lock_eligible = self.lock_eligible(prefix);
         let red_up = self.up_route(ctx.arena, prefix, Color::Red, false);
         let blue_up = self.up_route(ctx.arena, prefix, Color::Blue, lock_eligible);
@@ -367,7 +365,8 @@ impl StampRouter {
 
     /// Prefixes with any local state.
     fn known_prefixes(&self) -> Vec<PrefixId> {
-        let mut v: Vec<PrefixId> = self.own.clone();
+        let mut v = Vec::with_capacity(self.own.len() + self.best.len());
+        v.extend_from_slice(&self.own);
         v.extend(self.best.keys().map(|(p, _)| *p));
         v.sort_unstable();
         v.dedup();
@@ -412,7 +411,8 @@ impl StampRouter {
 
 impl RouterLogic for StampRouter {
     fn on_start(&mut self, ctx: &mut RouterCtx) {
-        for prefix in self.own.clone() {
+        for i in 0..self.own.len() {
+            let prefix = self.own[i];
             self.handle_prefix_event(
                 ctx,
                 prefix,
@@ -462,7 +462,7 @@ impl RouterLogic for StampRouter {
             self.lock_current.remove(p);
         }
 
-        let mut by_prefix: HashMap<PrefixId, Vec<(Color, bool)>> = HashMap::new();
+        let mut by_prefix: FxHashMap<PrefixId, Vec<(Color, bool)>> = FxHashMap::default();
         for (p, proc) in affected {
             by_prefix
                 .entry(p)

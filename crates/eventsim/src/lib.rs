@@ -16,7 +16,10 @@
 //! * [`rng_stream`] — cheap deterministic derivation of independent RNG
 //!   streams from a master seed (topology, delays, MRAI factors, workload
 //!   choices all get their own stream so adding a consumer never perturbs
-//!   the others).
+//!   the others);
+//! * [`fxhash`] — a deterministic FxHash-style fast hasher for the
+//!   id-keyed maps that remain off the hot path (SipHash costs more than
+//!   the lookup it guards on small integer keys).
 //!
 //! Following the smoltcp design ethos, the kernel is single-threaded and
 //! allocation-light; parallelism lives one level up (independent scenario
@@ -24,11 +27,13 @@
 
 pub mod channel;
 pub mod check;
+pub mod fxhash;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use channel::{ChannelId, DelayModel, FifoChannel, LossModel};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::Scheduler;
 pub use rng::{derive_seed, rng_stream, Rng};
 pub use time::{SimDuration, SimTime};

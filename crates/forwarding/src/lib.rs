@@ -22,6 +22,6 @@ pub mod trace;
 pub mod tracker;
 pub mod view;
 
-pub use trace::{classify_all, Outcome};
+pub use trace::{classify_all, classify_all_into, ClassifyScratch, Outcome};
 pub use tracker::TransientTracker;
 pub use view::{BgpView, ForwardingView, RbgpView, StampView, StaticView, Step};

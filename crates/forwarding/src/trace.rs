@@ -25,14 +25,38 @@ enum Mark {
     Done(Outcome),
 }
 
+/// Reusable working memory for [`classify_all_into`]. One observation loop
+/// classifies the whole network every tick; owning the scratch across
+/// ticks means the loop allocates nothing after the first observation.
+#[derive(Debug, Clone, Default)]
+pub struct ClassifyScratch {
+    marks: Vec<Mark>,
+    path: Vec<usize>,
+}
+
 /// Classify the fate of traffic from every AS towards the view's
 /// destination. Index = AS id.
 pub fn classify_all<V: ForwardingView + ?Sized>(view: &V) -> Vec<Outcome> {
+    let mut out = Vec::new();
+    classify_all_into(view, &mut ClassifyScratch::default(), &mut out);
+    out
+}
+
+/// [`classify_all`] writing into caller-owned buffers: `out` is cleared
+/// and refilled (index = AS id), `scratch` is reset and reused.
+pub fn classify_all_into<V: ForwardingView + ?Sized>(
+    view: &V,
+    scratch: &mut ClassifyScratch,
+    out: &mut Vec<Outcome>,
+) {
     let n = view.n();
     let n_ctx = view.n_ctx() as usize;
     let idx = |a: AsId, ctx: u8| -> usize { a.index() * n_ctx + ctx as usize };
-    let mut marks = vec![Mark::Unknown; n * n_ctx];
-    let mut out = Vec::with_capacity(n);
+    scratch.marks.clear();
+    scratch.marks.resize(n * n_ctx, Mark::Unknown);
+    let marks = &mut scratch.marks;
+    out.clear();
+    out.reserve(n);
 
     for src in 0..n as u32 {
         let src = AsId(src);
@@ -42,7 +66,8 @@ pub fn classify_all<V: ForwardingView + ?Sized>(view: &V) -> Vec<Outcome> {
             continue;
         }
         // Walk the functional graph from the start state, marking the path.
-        let mut path: Vec<usize> = Vec::new();
+        let path = &mut scratch.path;
+        path.clear();
         let mut cur = start;
         let outcome = loop {
             match marks[cur] {
@@ -72,12 +97,11 @@ pub fn classify_all<V: ForwardingView + ?Sized>(view: &V) -> Vec<Outcome> {
         };
         // Every state on the walked path shares the outcome (it leads
         // there deterministically).
-        for s in path {
+        for &s in path.iter() {
             marks[s] = Mark::Done(outcome);
         }
         out.push(outcome);
     }
-    out
 }
 
 #[cfg(test)]

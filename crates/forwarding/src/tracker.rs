@@ -1,6 +1,6 @@
 //! Transient-problem accumulation across a convergence window.
 
-use crate::trace::{classify_all, Outcome};
+use crate::trace::{classify_all_into, ClassifyScratch, Outcome};
 use crate::view::ForwardingView;
 use stamp_bgp::types::RootCause;
 use stamp_topology::AsId;
@@ -35,6 +35,10 @@ pub struct TransientTracker {
     /// Whether the most recent observation saw any loop or blackhole
     /// (harnesses use it to timestamp data-plane recovery).
     pub last_observation_had_problems: bool,
+    /// Reused classification buffers: observations after the first
+    /// allocate nothing.
+    scratch: ClassifyScratch,
+    outcomes: Vec<Outcome>,
 }
 
 impl TransientTracker {
@@ -55,6 +59,8 @@ impl TransientTracker {
             observations_with_blackholes: 0,
             observations: 0,
             last_observation_had_problems: false,
+            scratch: ClassifyScratch::default(),
+            outcomes: Vec::new(),
         }
     }
 
@@ -77,10 +83,11 @@ impl TransientTracker {
     /// simultaneous events that changed a FIB).
     pub fn observe<V: ForwardingView + ?Sized>(&mut self, view: &V) {
         self.observations += 1;
-        let outcomes = classify_all(view);
+        classify_all_into(view, &mut self.scratch, &mut self.outcomes);
         let mut any_loop = false;
         let mut any_hole = false;
-        for (i, o) in outcomes.iter().enumerate() {
+        for i in 0..self.outcomes.len() {
+            let o = self.outcomes[i];
             if AsId(i as u32) == self.dest || !self.reachable[i] {
                 continue;
             }

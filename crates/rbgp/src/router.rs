@@ -7,8 +7,8 @@ use stamp_bgp::router::{RouterCtx, RouterLogic, Selection};
 use stamp_bgp::types::{
     CauseInfo, PrefixId, ProcId, RootCause, Route, UpdateKind, UpdateMsg, WithdrawInfo,
 };
+use stamp_eventsim::FxHashMap;
 use stamp_topology::AsId;
-use std::collections::HashMap;
 
 /// R-BGP configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,15 +40,15 @@ pub struct RbgpRouter {
     /// Normal (best-path) routes learned from neighbours.
     pub rib: RibIn,
     /// Failover routes received, per (prefix, advertising neighbour).
-    failover_in: HashMap<(PrefixId, AsId), Route>,
+    failover_in: FxHashMap<(PrefixId, AsId), Route>,
     /// Current best per prefix.
-    best: HashMap<PrefixId, Selection>,
+    best: FxHashMap<PrefixId, Selection>,
     /// Last best-path advertisement per (neighbor, prefix).
-    rib_out: HashMap<(AsId, PrefixId), Route>,
+    rib_out: FxHashMap<(AsId, PrefixId), Route>,
     /// Our current failover advertisement: (target neighbour, route sent).
-    failover_out: HashMap<PrefixId, (AsId, Route)>,
+    failover_out: FxHashMap<PrefixId, (AsId, Route)>,
     /// Newest cause record per element (RCI mode): element -> (seq, up).
-    known_causes: HashMap<RootCause, (u32, bool)>,
+    known_causes: FxHashMap<RootCause, (u32, bool)>,
 }
 
 impl RbgpRouter {
@@ -59,11 +59,11 @@ impl RbgpRouter {
             own,
             cfg,
             rib: RibIn::new(),
-            failover_in: HashMap::new(),
-            best: HashMap::new(),
-            rib_out: HashMap::new(),
-            failover_out: HashMap::new(),
-            known_causes: HashMap::new(),
+            failover_in: FxHashMap::default(),
+            best: FxHashMap::default(),
+            rib_out: FxHashMap::default(),
+            failover_out: FxHashMap::default(),
+            known_causes: FxHashMap::default(),
         }
     }
 
@@ -146,7 +146,7 @@ impl RbgpRouter {
     }
 
     /// Newest cause record per element (RCI mode): element → (seq, up).
-    pub fn known_causes(&self) -> &HashMap<RootCause, (u32, bool)> {
+    pub fn known_causes(&self) -> &FxHashMap<RootCause, (u32, bool)> {
         &self.known_causes
     }
 
@@ -479,7 +479,8 @@ impl RbgpRouter {
     }
 
     fn known_prefixes(&self) -> Vec<PrefixId> {
-        let mut v: Vec<PrefixId> = self.own.clone();
+        let mut v = Vec::with_capacity(self.own.len() + self.best.len());
+        v.extend_from_slice(&self.own);
         v.extend(self.best.keys().copied());
         v.sort_unstable();
         v.dedup();
@@ -489,7 +490,8 @@ impl RbgpRouter {
 
 impl RouterLogic for RbgpRouter {
     fn on_start(&mut self, ctx: &mut RouterCtx) {
-        for prefix in self.own.clone() {
+        for i in 0..self.own.len() {
+            let prefix = self.own[i];
             self.reselect_and_export(ctx, prefix, None);
         }
     }

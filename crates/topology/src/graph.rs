@@ -7,7 +7,7 @@
 //! prefer-customer / valley-free policies is safe (Gao–Rexford).
 
 use crate::error::TopologyError;
-use std::collections::HashMap;
+use stamp_eventsim::FxHashMap;
 use std::fmt;
 
 /// Dense identifier of an AS within one [`AsGraph`] (`0..n`).
@@ -103,6 +103,50 @@ impl Relation {
     }
 }
 
+/// Dense identifier of a *directed* session within one [`AsGraph`]: every
+/// undirected link carries two (one per direction), so `0..2·n_links`.
+///
+/// Session ids are CSR positions: the sessions *from* one AS are
+/// contiguous, in the same order [`AsGraph::neighbors`] iterates
+/// (customers, peers, providers — each ascending by neighbour id). The id
+/// space is fixed for the lifetime of a graph, which is what lets the
+/// simulation engine re-key all per-session state onto flat `Vec`s instead
+/// of hash maps keyed by `(AsId, AsId, …)` tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessId(pub u32);
+
+impl SessId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One directed adjacency in the session table: the neighbour, its relation
+/// to the owning AS, the directed session id, and the undirected link the
+/// session runs over. Hot paths read these slices instead of re-deriving
+/// relations or link ids through map lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessEntry {
+    /// The neighbour on the far end.
+    pub neighbor: AsId,
+    /// The neighbour's relation to the owning AS (the neighbour is my …).
+    pub rel: Relation,
+    /// Directed session id (owner → neighbour).
+    pub sess: SessId,
+    /// The undirected link the session runs over.
+    pub link: LinkId,
+}
+
+/// Endpoints of a directed session (`sess → (from, to, link)` resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessEnds {
+    pub from: AsId,
+    pub to: AsId,
+    pub link: LinkId,
+}
+
 /// Immutable, validated AS-level topology.
 #[derive(Debug, Clone)]
 pub struct AsGraph {
@@ -111,10 +155,19 @@ pub struct AsGraph {
     customers: Vec<Vec<AsId>>,
     peers: Vec<Vec<AsId>>,
     links: Vec<Link>,
-    /// `(min, max)` endpoint pair → link id.
-    link_index: HashMap<(u32, u32), LinkId>,
     /// Original (possibly sparse) AS numbers, indexed by dense id.
     external: Vec<u32>,
+    /// CSR offsets into `sess_adj`/`sess_by_id`: AS `v`'s directed sessions
+    /// are `sess_adj[sess_offsets[v] .. sess_offsets[v + 1]]`.
+    sess_offsets: Vec<u32>,
+    /// Neighbour entries in [`AsGraph::neighbors`] order (customers, peers,
+    /// providers — each ascending). `SessId` equals the CSR position.
+    sess_adj: Vec<SessEntry>,
+    /// The same per-node entries re-sorted by neighbour id, for O(log deg)
+    /// `(from, to)` resolution with zero hashing.
+    sess_by_id: Vec<SessEntry>,
+    /// `SessId → (from, to, link)`.
+    sess_ends: Vec<SessEnds>,
 }
 
 impl AsGraph {
@@ -147,10 +200,66 @@ impl AsGraph {
         self.links[id.index()]
     }
 
-    /// Look up the link between two ASes, if any.
+    /// Look up the link between two ASes, if any. O(log deg(a)) binary
+    /// search over `a`'s session slice — no hashing.
+    #[inline]
     pub fn link_between(&self, a: AsId, b: AsId) -> Option<LinkId> {
-        let key = (a.0.min(b.0), a.0.max(b.0));
-        self.link_index.get(&key).copied()
+        self.entry_between(a, b).map(|e| e.link)
+    }
+
+    // ------------------------------------------------------------------
+    // The dense session table
+    // ------------------------------------------------------------------
+
+    /// Number of directed sessions (`2 · n_links`).
+    #[inline]
+    pub fn n_sessions(&self) -> usize {
+        self.sess_adj.len()
+    }
+
+    /// AS `v`'s directed sessions, in [`AsGraph::neighbors`] order
+    /// (customers, peers, providers — each ascending by neighbour id).
+    #[inline]
+    pub fn neighbor_entries(&self, v: AsId) -> &[SessEntry] {
+        let lo = self.sess_offsets[v.index()] as usize;
+        let hi = self.sess_offsets[v.index() + 1] as usize;
+        &self.sess_adj[lo..hi]
+    }
+
+    /// The session entry from `a` towards `b`, if adjacent. O(log deg(a))
+    /// binary search over `a`'s id-sorted session slice.
+    #[inline]
+    pub fn entry_between(&self, a: AsId, b: AsId) -> Option<&SessEntry> {
+        if a.index() + 1 >= self.sess_offsets.len() {
+            return None;
+        }
+        let lo = self.sess_offsets[a.index()] as usize;
+        let hi = self.sess_offsets[a.index() + 1] as usize;
+        let slice = &self.sess_by_id[lo..hi];
+        slice
+            .binary_search_by_key(&b, |e| e.neighbor)
+            .ok()
+            .map(|i| &slice[i])
+    }
+
+    /// The directed session id from `a` to `b`, if adjacent.
+    #[inline]
+    pub fn sess_between(&self, a: AsId, b: AsId) -> Option<SessId> {
+        self.entry_between(a, b).map(|e| e.sess)
+    }
+
+    /// Endpoints and link of a directed session.
+    #[inline]
+    pub fn sess_ends(&self, s: SessId) -> SessEnds {
+        self.sess_ends[s.index()]
+    }
+
+    /// The reverse direction of a directed session.
+    #[inline]
+    pub fn sess_reverse(&self, s: SessId) -> SessId {
+        let ends = self.sess_ends[s.index()];
+        self.sess_between(ends.to, ends.from)
+            .expect("every session has a reverse")
     }
 
     /// Providers of `v` (ASes `v` buys transit from).
@@ -172,40 +281,22 @@ impl AsGraph {
     }
 
     /// All neighbours of `v` with their relation to `v` (neighbour is
-    /// `v`'s Customer / Peer / Provider).
+    /// `v`'s Customer / Peer / Provider) — a walk over the contiguous
+    /// session slice (customers, peers, providers, each ascending).
     pub fn neighbors(&self, v: AsId) -> impl Iterator<Item = (AsId, Relation)> + '_ {
-        let c = self.customers[v.index()]
-            .iter()
-            .map(|&u| (u, Relation::Customer));
-        let p = self.peers[v.index()].iter().map(|&u| (u, Relation::Peer));
-        let pr = self.providers[v.index()]
-            .iter()
-            .map(|&u| (u, Relation::Provider));
-        c.chain(p).chain(pr)
+        self.neighbor_entries(v).iter().map(|e| (e.neighbor, e.rel))
     }
 
     /// Total degree of `v`.
+    #[inline]
     pub fn degree(&self, v: AsId) -> usize {
-        self.customers[v.index()].len()
-            + self.peers[v.index()].len()
-            + self.providers[v.index()].len()
+        self.neighbor_entries(v).len()
     }
 
     /// Relation of `b` as seen from `a` (`b` is `a`'s …), if adjacent.
+    #[inline]
     pub fn relation(&self, a: AsId, b: AsId) -> Option<Relation> {
-        let id = self.link_between(a, b)?;
-        let l = self.links[id.index()];
-        Some(match l.kind {
-            LinkKind::PeerPeer => Relation::Peer,
-            LinkKind::CustomerProvider => {
-                if l.a == a {
-                    // a is the customer, so b is a's provider.
-                    Relation::Provider
-                } else {
-                    Relation::Customer
-                }
-            }
-        })
+        self.entry_between(a, b).map(|e| e.rel)
     }
 
     /// Whether `v` is a tier-1 AS (no providers). The tier-1 ASes of the
@@ -281,14 +372,15 @@ impl AsGraph {
         b.build().expect("sub-graph of a valid graph is valid")
     }
 
-    /// Rebuild the link index after deserialisation.
+    /// Rebuild the session table after deserialisation (everything
+    /// derivable from `links` + `n`).
     pub fn rebuild_index(&mut self) {
-        self.link_index = self
-            .links
-            .iter()
-            .enumerate()
-            .map(|(i, l)| ((l.a.0.min(l.b.0), l.a.0.max(l.b.0)), LinkId(i as u32)))
-            .collect();
+        let (sess_offsets, sess_adj, sess_by_id, sess_ends) =
+            build_session_table(self.n as usize, &self.links);
+        self.sess_offsets = sess_offsets;
+        self.sess_adj = sess_adj;
+        self.sess_by_id = sess_by_id;
+        self.sess_ends = sess_ends;
     }
 
     /// Summary statistics used to sanity-check generated topologies.
@@ -338,13 +430,79 @@ pub struct GraphStats {
     pub multi_homed_frac: f64,
 }
 
+/// Construct the dense CSR session table from the link list: per-node
+/// directed-session slices in `neighbors` order (customers, peers,
+/// providers — each ascending), a parallel id-sorted copy for O(log deg)
+/// `(from, to)` resolution, and the `SessId → endpoints` array.
+#[allow(clippy::type_complexity)]
+fn build_session_table(
+    n: usize,
+    links: &[Link],
+) -> (Vec<u32>, Vec<SessEntry>, Vec<SessEntry>, Vec<SessEnds>) {
+    // Per-node buckets of (neighbour, link), one per relation class.
+    let mut buckets: Vec<[Vec<(AsId, LinkId)>; 3]> = vec![Default::default(); n];
+    for (i, l) in links.iter().enumerate() {
+        let id = LinkId(i as u32);
+        match l.kind {
+            LinkKind::CustomerProvider => {
+                // l.a is the customer: from a, b is a Provider (class 2);
+                // from b, a is a Customer (class 0).
+                buckets[l.a.index()][2].push((l.b, id));
+                buckets[l.b.index()][0].push((l.a, id));
+            }
+            LinkKind::PeerPeer => {
+                buckets[l.a.index()][1].push((l.b, id));
+                buckets[l.b.index()][1].push((l.a, id));
+            }
+        }
+    }
+    let n_sessions = 2 * links.len();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut adj = Vec::with_capacity(n_sessions);
+    let mut by_id = Vec::with_capacity(n_sessions);
+    let mut ends = vec![
+        SessEnds {
+            from: AsId(0),
+            to: AsId(0),
+            link: LinkId(0),
+        };
+        n_sessions
+    ];
+    offsets.push(0u32);
+    for (v, classes) in buckets.iter_mut().enumerate() {
+        let from = AsId(v as u32);
+        let start = adj.len();
+        for (class, rel) in [
+            (0, Relation::Customer),
+            (1, Relation::Peer),
+            (2, Relation::Provider),
+        ] {
+            classes[class].sort_unstable_by_key(|&(u, _)| u);
+            for &(u, link) in &classes[class] {
+                let sess = SessId(adj.len() as u32);
+                ends[sess.index()] = SessEnds { from, to: u, link };
+                adj.push(SessEntry {
+                    neighbor: u,
+                    rel,
+                    sess,
+                    link,
+                });
+            }
+        }
+        by_id.extend_from_slice(&adj[start..]);
+        by_id[start..].sort_unstable_by_key(|e| e.neighbor);
+        offsets.push(adj.len() as u32);
+    }
+    (offsets, adj, by_id, ends)
+}
+
 /// Incremental builder for [`AsGraph`], accepting sparse external AS numbers.
 #[derive(Debug, Default)]
 pub struct GraphBuilder {
-    ids: HashMap<u32, AsId>,
+    ids: FxHashMap<u32, AsId>,
     external: Vec<u32>,
     links: Vec<Link>,
-    link_keys: HashMap<(u32, u32), LinkKind>,
+    link_keys: FxHashMap<(u32, u32), LinkKind>,
 }
 
 impl GraphBuilder {
@@ -476,12 +634,8 @@ impl GraphBuilder {
             return Err(TopologyError::NoTier1);
         }
 
-        let link_index = self
-            .links
-            .iter()
-            .enumerate()
-            .map(|(i, l)| ((l.a.0.min(l.b.0), l.a.0.max(l.b.0)), LinkId(i as u32)))
-            .collect();
+        let (sess_offsets, sess_adj, sess_by_id, sess_ends) =
+            build_session_table(n as usize, &self.links);
 
         Ok(AsGraph {
             n,
@@ -489,8 +643,11 @@ impl GraphBuilder {
             customers,
             peers,
             links: self.links,
-            link_index,
             external: self.external,
+            sess_offsets,
+            sess_adj,
+            sess_by_id,
+            sess_ends,
         })
     }
 }
@@ -614,5 +771,83 @@ mod tests {
             ns,
             vec![(AsId(0), Relation::Provider), (AsId(4), Relation::Customer)]
         );
+    }
+
+    #[test]
+    fn session_ids_are_dense_csr_positions() {
+        let g = diamond();
+        assert_eq!(g.n_sessions(), 2 * g.n_links());
+        let mut seen = vec![false; g.n_sessions()];
+        let mut expected = 0u32;
+        for v in g.ases() {
+            for e in g.neighbor_entries(v) {
+                // CSR order: ids are assigned consecutively per node.
+                assert_eq!(e.sess.0, expected, "non-contiguous session id");
+                expected += 1;
+                assert!(!seen[e.sess.index()], "duplicate session id");
+                seen[e.sess.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unassigned session id");
+    }
+
+    #[test]
+    fn session_entries_agree_with_relations_and_links() {
+        let g = diamond();
+        for v in g.ases() {
+            for e in g.neighbor_entries(v) {
+                assert_eq!(g.relation(v, e.neighbor), Some(e.rel));
+                assert_eq!(g.link_between(v, e.neighbor), Some(e.link));
+                assert_eq!(g.sess_between(v, e.neighbor), Some(e.sess));
+                let ends = g.sess_ends(e.sess);
+                assert_eq!((ends.from, ends.to, ends.link), (v, e.neighbor, e.link));
+            }
+        }
+        assert_eq!(g.sess_between(AsId(0), AsId(4)), None);
+        assert_eq!(g.entry_between(AsId(4), AsId(1)), None);
+    }
+
+    #[test]
+    fn session_reverse_flips_endpoints_and_keeps_the_link() {
+        let g = diamond();
+        for v in g.ases() {
+            for e in g.neighbor_entries(v) {
+                let rev = g.sess_reverse(e.sess);
+                assert_ne!(rev, e.sess);
+                let ends = g.sess_ends(rev);
+                assert_eq!((ends.from, ends.to), (e.neighbor, v));
+                assert_eq!(ends.link, e.link);
+                assert_eq!(g.sess_reverse(rev), e.sess);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_entries_keep_class_then_id_order() {
+        // AS 4 has two providers (2 and 3); AS 0 has a customer (2) and a
+        // peer (1): the slice must list customers, then peers, then
+        // providers, ascending within each class — the order `neighbors`
+        // always iterated in.
+        let g = diamond();
+        let order: Vec<(AsId, Relation)> = g.neighbors(AsId(0)).collect();
+        assert_eq!(
+            order,
+            vec![(AsId(2), Relation::Customer), (AsId(1), Relation::Peer)]
+        );
+        let order4: Vec<(AsId, Relation)> = g.neighbors(AsId(4)).collect();
+        assert_eq!(
+            order4,
+            vec![(AsId(2), Relation::Provider), (AsId(3), Relation::Provider)]
+        );
+    }
+
+    #[test]
+    fn rebuild_index_reconstructs_the_session_table() {
+        let g = diamond();
+        let mut h = g.clone();
+        h.rebuild_index();
+        for v in g.ases() {
+            assert_eq!(g.neighbor_entries(v), h.neighbor_entries(v));
+        }
     }
 }

@@ -39,6 +39,8 @@ pub mod uphill;
 
 pub use error::TopologyError;
 pub use gen::{generate, GenConfig};
-pub use graph::{AsGraph, AsId, GraphBuilder, LinkId, LinkKind, Relation};
+pub use graph::{
+    AsGraph, AsId, GraphBuilder, LinkId, LinkKind, Relation, SessEnds, SessEntry, SessId,
+};
 pub use path::{split_uphill_downhill, ValleyCheck};
 pub use routing::{RouteKind, StaticRoute, StaticRoutes};

@@ -29,6 +29,14 @@
 //! params)` tuples therefore produce byte-identical [`InstanceMetrics`] —
 //! `tests/determinism.rs` pins golden values across the facade. See
 //! DESIGN.md §9.
+//!
+//! Steady-state cost: with the flat engine hot path (DESIGN.md §10) the
+//! whole drive loop is allocation-free per event — dense session-indexed
+//! channels/MRAI below, the engine's reusable router-output scratch, stack
+//! views per snapshot here, and a [`TransientTracker`] that reuses its
+//! classification buffers across observations. `bgp_convergence_300` /
+//! `convergence_2000` in `benches/micro.rs` are the end-to-end gauges of
+//! this path.
 
 use crate::campaign::{InstanceMetrics, Protocol, RunParams};
 use crate::timeline::{Timeline, TimelineError};

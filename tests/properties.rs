@@ -589,3 +589,224 @@ mod workload_props {
         });
     }
 }
+
+// ---------------------------------------------------------------------
+// The dense session table
+// ---------------------------------------------------------------------
+
+mod session_table {
+    use super::*;
+    use stamp_repro::topology::{Relation, SessEntry};
+    use std::collections::BTreeMap;
+
+    /// On random generated topologies, the CSR session table must agree
+    /// with ground truth rebuilt from the raw link list: per-node entries
+    /// in customers/peers/providers order (each ascending), relations and
+    /// link ids exact, session ids a dense permutation of `0..2·links`,
+    /// and `(from, to)` resolution consistent with endpoints resolution.
+    #[test]
+    fn session_table_matches_link_list_ground_truth() {
+        cases(24, 0x5E55, |rng| {
+            let g = generate(&arb_gen_config(rng)).unwrap();
+            // Ground truth straight from the links, independent of the
+            // CSR arrays: per node, three ascending relation classes.
+            let mut truth: BTreeMap<AsId, [Vec<(AsId, u32)>; 3]> = BTreeMap::new();
+            for (i, l) in g.links().iter().enumerate() {
+                let id = i as u32;
+                match l.kind {
+                    stamp_repro::topology::LinkKind::CustomerProvider => {
+                        truth.entry(l.a).or_default()[2].push((l.b, id));
+                        truth.entry(l.b).or_default()[0].push((l.a, id));
+                    }
+                    stamp_repro::topology::LinkKind::PeerPeer => {
+                        truth.entry(l.a).or_default()[1].push((l.b, id));
+                        truth.entry(l.b).or_default()[1].push((l.a, id));
+                    }
+                }
+            }
+            let mut seen = vec![false; g.n_sessions()];
+            assert_eq!(g.n_sessions(), 2 * g.n_links());
+            for v in g.ases() {
+                let mut expect: Vec<(AsId, Relation, u32)> = Vec::new();
+                if let Some(classes) = truth.get(&v) {
+                    for (c, rel) in [
+                        (0, Relation::Customer),
+                        (1, Relation::Peer),
+                        (2, Relation::Provider),
+                    ] {
+                        let mut sorted = classes[c].clone();
+                        sorted.sort_unstable();
+                        expect.extend(sorted.into_iter().map(|(n, l)| (n, rel, l)));
+                    }
+                }
+                let got: Vec<(AsId, Relation, u32)> = g
+                    .neighbor_entries(v)
+                    .iter()
+                    .map(|e| (e.neighbor, e.rel, e.link.0))
+                    .collect();
+                assert_eq!(got, expect, "entries of {v} diverge from link list");
+                // `neighbors`/`relation` are views over the same table and
+                // must agree entry-for-entry.
+                let ns: Vec<(AsId, Relation)> = g.neighbors(v).collect();
+                assert_eq!(ns, got.iter().map(|&(n, r, _)| (n, r)).collect::<Vec<_>>());
+                for &SessEntry {
+                    neighbor,
+                    rel,
+                    sess,
+                    link,
+                } in g.neighbor_entries(v)
+                {
+                    assert_eq!(g.relation(v, neighbor), Some(rel));
+                    assert_eq!(g.link_between(v, neighbor), Some(link));
+                    assert_eq!(g.sess_between(v, neighbor), Some(sess));
+                    let ends = g.sess_ends(sess);
+                    assert_eq!((ends.from, ends.to, ends.link), (v, neighbor, link));
+                    let rev = g.sess_reverse(sess);
+                    assert_eq!(g.sess_ends(rev).from, neighbor);
+                    assert_eq!(g.sess_ends(rev).to, v);
+                    assert!(!seen[sess.index()], "session id assigned twice");
+                    seen[sess.index()] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "dense id space has holes");
+            // Non-adjacent pairs resolve to nothing.
+            for _ in 0..32 {
+                let a = AsId(rng.gen_range(0u32..g.n() as u32));
+                let b = AsId(rng.gen_range(0u32..g.n() as u32));
+                let adjacent = g.neighbors(a).any(|(n, _)| n == b);
+                assert_eq!(g.sess_between(a, b).is_some(), adjacent);
+                assert_eq!(g.relation(a, b).is_some(), adjacent);
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dense RIB slots
+// ---------------------------------------------------------------------
+
+mod rib_slots {
+    use super::*;
+    use stamp_repro::bgp::rib::RibIn;
+    use stamp_repro::bgp::types::ProcId;
+    use stamp_repro::topology::Relation;
+    use std::collections::BTreeMap;
+
+    type RefRib = BTreeMap<(PrefixId, ProcId), BTreeMap<AsId, (Route, Relation)>>;
+
+    fn arb_rel(rng: &mut Rng) -> Relation {
+        match rng.gen_range(0u32..3) {
+            0 => Relation::Customer,
+            1 => Relation::Peer,
+            _ => Relation::Provider,
+        }
+    }
+
+    fn assert_same(rib: &RibIn, reference: &RefRib) {
+        let mut total = 0usize;
+        for (&(prefix, proc), group) in reference {
+            let got: Vec<(AsId, Route, Relation)> = rib
+                .routes(prefix, proc)
+                .map(|(n, e)| (n, e.route, e.learned_from))
+                .collect();
+            let expect: Vec<(AsId, Route, Relation)> =
+                group.iter().map(|(&n, &(r, rel))| (n, r, rel)).collect();
+            assert_eq!(got, expect, "slot iteration diverged from sorted map");
+            total += group.len();
+        }
+        assert_eq!(rib.len(), total);
+        assert_eq!(rib.is_empty(), total == 0);
+    }
+
+    /// Random interleavings of insert / remove / remove_neighbor / purge:
+    /// the dense-slot tables must iterate in exactly the ascending
+    /// `(prefix, proc)` then neighbour order the old
+    /// `BTreeMap<_, BTreeMap<_, _>>` representation produced, and the
+    /// returned dropped-key lists must match it too — that iteration-order
+    /// equivalence is the determinism argument for the RIB refactor.
+    #[test]
+    fn dense_slots_track_a_sorted_map_reference() {
+        cases(48, 0x51B5, |rng| {
+            let mut arena = PathArena::new();
+            let mut rib = RibIn::new();
+            let mut reference: RefRib = RefRib::new();
+            // Small id spaces force slot reuse, middle insertions and
+            // group births/deaths.
+            let ops = rng.gen_range(20usize..80);
+            for _ in 0..ops {
+                let prefix = PrefixId(rng.gen_range(0u32..3));
+                let proc = ProcId(rng.gen_range(0u32..2) as u8);
+                let neighbor = AsId(rng.gen_range(0u32..12));
+                match rng.gen_range(0u32..10) {
+                    // Weighted towards inserts so tables actually fill.
+                    0..=5 => {
+                        let path: Vec<AsId> = gen::vec(rng, 1..6, |r| AsId(r.gen_range(0u32..64)));
+                        let route = Route {
+                            path: arena.intern_slice(&path),
+                            attrs: PathAttrs::default(),
+                        };
+                        let rel = arb_rel(rng);
+                        rib.insert(prefix, proc, neighbor, route, rel);
+                        reference
+                            .entry((prefix, proc))
+                            .or_default()
+                            .insert(neighbor, (route, rel));
+                    }
+                    6..=7 => {
+                        let got = rib.remove(prefix, proc, neighbor);
+                        let expect = reference
+                            .get_mut(&(prefix, proc))
+                            .and_then(|grp| grp.remove(&neighbor).map(|(r, _)| r));
+                        reference.retain(|_, grp| !grp.is_empty());
+                        assert_eq!(got, expect, "remove result diverged");
+                    }
+                    8 => {
+                        let got = rib.remove_neighbor(neighbor);
+                        let mut expect = Vec::new();
+                        for (&key, grp) in reference.iter_mut() {
+                            if grp.remove(&neighbor).is_some() {
+                                expect.push(key);
+                            }
+                        }
+                        reference.retain(|_, grp| !grp.is_empty());
+                        assert_eq!(got, expect, "remove_neighbor keys diverged");
+                    }
+                    _ => {
+                        // Purge routes through a random AS, exactly like
+                        // R-BGP's root-cause purge.
+                        let bad = AsId(rng.gen_range(0u32..64));
+                        let got = rib.purge(|r| !r.contains(&arena, bad));
+                        let mut expect = Vec::new();
+                        for (&(p, pr), grp) in reference.iter_mut() {
+                            grp.retain(|&n, (r, _)| {
+                                let keep = !r.contains(&arena, bad);
+                                if !keep {
+                                    expect.push((p, pr, n));
+                                }
+                                keep
+                            });
+                        }
+                        reference.retain(|_, grp| !grp.is_empty());
+                        assert_eq!(got, expect, "purge keys diverged");
+                    }
+                }
+                assert_same(&rib, &reference);
+                // Point lookups agree everywhere in the small key space.
+                for p in 0..3u32 {
+                    for pr in 0..2u8 {
+                        for n in 0..12u32 {
+                            let got = rib
+                                .get(PrefixId(p), ProcId(pr), AsId(n))
+                                .map(|e| (e.route, e.learned_from));
+                            let expect = reference
+                                .get(&(PrefixId(p), ProcId(pr)))
+                                .and_then(|grp| grp.get(&AsId(n)))
+                                .copied();
+                            assert_eq!(got, expect);
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
