@@ -43,6 +43,13 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "hermeticity guards passed"
 
+# --- simlint: determinism & hot-path lints -------------------------------
+# The in-repo lint engine (crates/simlint): zero findings at Deny severity
+# across the simulation crates, or the build stops here. See DESIGN.md §11
+# for the rule catalog and the suppression syntax.
+cargo run --release --offline -q -p simlint
+echo "simlint passed (no deny findings)"
+
 # --- Formatting ----------------------------------------------------------
 cargo fmt --check
 echo "formatting check passed"
@@ -65,3 +72,20 @@ echo "tier-1 gate passed (offline, incl. doctests)"
 # asserts the byte-identical aggregate hash (exits non-zero on divergence).
 cargo run --release --offline -q -p stamp_bench --bin campaign -- --smoke
 echo "smoke campaign passed (deterministic aggregate hash)"
+
+# --- Debug-vs-release determinism cross-check ----------------------------
+# The same smoke grid must hash identically under both profiles: a
+# divergence means results depend on debug_assertions-gated code, an
+# overflow that release wraps silently, or float evaluation differences —
+# all determinism bugs. The pinned value is the golden from
+# tests/determinism.rs; three representations (test, debug run, release
+# run) must agree.
+SMOKE_GOLDEN="0x288f67a39b590c8d"
+hash_of() { grep -o 'hash 0x[0-9a-f]*' | head -1 | awk '{print $2}'; }
+release_hash=$(cargo run --release --offline -q -p stamp_bench --bin campaign -- --smoke | hash_of)
+debug_hash=$(cargo run --offline -q -p stamp_bench --bin campaign -- --smoke | hash_of)
+if [ "$release_hash" != "$SMOKE_GOLDEN" ] || [ "$debug_hash" != "$SMOKE_GOLDEN" ]; then
+    echo "DETERMINISM VIOLATION: smoke hash golden=$SMOKE_GOLDEN release=$release_hash debug=$debug_hash" >&2
+    exit 1
+fi
+echo "debug-vs-release determinism cross-check passed ($SMOKE_GOLDEN)"

@@ -11,6 +11,8 @@
 //! other consumer, so calibration numbers are comparable with campaign
 //! output by construction.
 
+#![forbid(unsafe_code)]
+
 use stamp_core::phi::{phi_all_destinations, PhiConfig};
 use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};
 use stamp_topology::gen::{generate, GenConfig};

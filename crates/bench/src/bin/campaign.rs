@@ -13,6 +13,8 @@
 //! `--smoke` is the CI gate: a tiny fast-parameter grid, determinism
 //! assertion only, no JSON written.
 
+#![forbid(unsafe_code)]
+
 use stamp_bench::parse_args;
 use stamp_eventsim::rng::tags;
 use stamp_eventsim::rng_stream;

@@ -1,6 +1,8 @@
 //! Regenerate the §6.3 convergence-delay comparison: STAMP converges
 //! faster than BGP in response to the same routing event.
 
+#![forbid(unsafe_code)]
+
 use stamp_bench::parse_args;
 use stamp_experiments::render::table;
 use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};

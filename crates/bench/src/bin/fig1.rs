@@ -1,6 +1,8 @@
 //! Regenerate Figure 1: the CDF of Φ_k over all destinations, with the
 //! §6.1 smart-selection comparison.
 
+#![forbid(unsafe_code)]
+
 use stamp_bench::parse_args;
 use stamp_experiments::render::render_phi_report;
 use stamp_experiments::{run_phi_experiment, PhiExperimentConfig};

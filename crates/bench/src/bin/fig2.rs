@@ -1,6 +1,8 @@
 //! Regenerate Figure 2: number of ASes with transient problems under a
 //! single link failure, for BGP / R-BGP without RCI / R-BGP / STAMP.
 
+#![forbid(unsafe_code)]
+
 use stamp_bench::parse_args;
 use stamp_experiments::render::render_failure_report;
 use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};

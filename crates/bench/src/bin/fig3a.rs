@@ -1,5 +1,7 @@
 //! Regenerate Figure 3(a): two link failures NOT connected to the same AS.
 
+#![forbid(unsafe_code)]
+
 use stamp_bench::parse_args;
 use stamp_experiments::render::render_failure_report;
 use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};

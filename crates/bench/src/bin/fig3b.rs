@@ -1,6 +1,8 @@
 //! Regenerate Figure 3(b): two link failures connected to the same AS —
 //! a single routing event for STAMP's node-disjoint protection.
 
+#![forbid(unsafe_code)]
+
 use stamp_bench::parse_args;
 use stamp_experiments::render::render_failure_report;
 use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};

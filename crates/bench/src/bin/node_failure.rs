@@ -1,5 +1,7 @@
 //! Regenerate the §6.2.2 single node (AS) failure comparison.
 
+#![forbid(unsafe_code)]
+
 use stamp_bench::parse_args;
 use stamp_experiments::render::render_failure_report;
 use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};

@@ -1,6 +1,8 @@
 //! Regenerate the §6.3 message-overhead comparison: STAMP's two processes
 //! against one BGP process, on the Figure 2 scenario.
 
+#![forbid(unsafe_code)]
+
 use stamp_bench::parse_args;
 use stamp_experiments::render::table;
 use stamp_experiments::{run_failure_experiment, FailureConfig, FailureScenario, Protocol};

@@ -1,5 +1,7 @@
 //! Regenerate the §6.3 partial-deployment analysis (STAMP at tier-1 only).
 
+#![forbid(unsafe_code)]
+
 use stamp_bench::parse_args;
 use stamp_experiments::render::render_partial_report;
 use stamp_experiments::{run_partial_deployment, PartialConfig};

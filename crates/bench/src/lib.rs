@@ -13,6 +13,8 @@
 //! The [`harness`] module is the in-repo micro-benchmark harness backing
 //! `benches/{figures,micro}.rs`.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 /// Parsed common options.

@@ -114,6 +114,7 @@ impl<'a> ByteReader<'a> {
     /// Read one byte. Panics on underflow.
     #[inline]
     pub fn get_u8(&mut self) -> u8 {
+        // simlint::allow(panic, "panics-on-underflow is this type's documented contract, mirroring `bytes`")
         let (v, rest) = self.buf.split_first().expect("ByteReader underflow");
         self.buf = rest;
         *v

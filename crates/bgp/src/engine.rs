@@ -276,6 +276,7 @@ impl<R: RouterLogic> Engine<R> {
         for l in g.links() {
             for (a, b) in [(l.a, l.b), (l.b, l.a)] {
                 let f: f64 = 0.75 + 0.25 * mrai_rng.gen_f64();
+                // simlint::allow(panic, "iterating g.links(): both endpoints are adjacent by definition")
                 let sess = g.sess_between(a, b).expect("link endpoints are adjacent");
                 mrai_interval[sess.index()] = cfg.mrai_base.mul_f64(f);
             }
@@ -365,8 +366,8 @@ impl<R: RouterLogic> Engine<R> {
     pub fn start(&mut self) {
         assert!(!self.started, "engine already started");
         self.started = true;
-        for v in 0..self.g.n() as u32 {
-            let v = AsId(v);
+        for v in 0..self.g.n() {
+            let v = AsId::from_usize(v);
             self.with_router_ctx(v, |router, ctx| router.on_start(ctx));
         }
     }
@@ -401,6 +402,7 @@ impl<R: RouterLogic> Engine<R> {
     /// after each batch of simultaneous events that changed any FIB.
     ///
     /// Returns the accumulated stats (also queryable via [`Engine::stats`]).
+    // simlint::hot
     pub fn run_until_quiescent<F>(&mut self, deadline: Option<SimTime>, mut observer: F) -> RunStats
     where
         F: FnMut(&Engine<R>, SimTime),
@@ -415,6 +417,7 @@ impl<R: RouterLogic> Engine<R> {
             // Process the full batch of events at timestamp t, then observe.
             let mut fib_changed = false;
             while self.sched.peek_time() == Some(t) {
+                // simlint::allow(panic, "peek_time just returned Some, and nothing popped in between")
                 let (_, ev) = self.sched.pop().expect("peeked");
                 self.stats.events += 1;
                 fib_changed |= self.handle(ev);
@@ -439,6 +442,7 @@ impl<R: RouterLogic> Engine<R> {
     /// The MRAI slot for one `(session, process, prefix)`, growing the
     /// dense prefix row on first touch. A static method over the `mrai`
     /// field so callers can keep disjoint borrows of the rest of `self`.
+    // simlint::hot
     #[inline]
     fn mrai_slot(
         mrai: &mut [Vec<MraiSlot>],
@@ -462,6 +466,7 @@ impl<R: RouterLogic> Engine<R> {
     }
 
     /// Handle one event; returns whether any FIB changed.
+    // simlint::hot
     fn handle(&mut self, ev: Event) -> bool {
         match ev {
             Event::Deliver {
@@ -670,9 +675,10 @@ impl<R: RouterLogic> Engine<R> {
             let sess = self
                 .g
                 .sess_between(a, b)
+                // simlint::allow(panic, "g.link() returned this link, so its endpoints are adjacent")
                 .expect("link endpoints are adjacent");
-            for proc in 0..N_PROCS as u8 {
-                self.mrai[chan_idx(sess, ProcId(proc))].clear();
+            for proc in ProcId::first_n(N_PROCS) {
+                self.mrai[chan_idx(sess, proc)].clear();
             }
         }
     }

@@ -31,6 +31,8 @@
 //! aggregation, and KEEPALIVE/OPEN session management (sessions exist iff
 //! the underlying link is up).
 
+#![forbid(unsafe_code)]
+
 pub mod bytebuf;
 pub mod engine;
 pub mod patharena;

@@ -94,6 +94,7 @@ impl PathArena {
     /// Intern the path `head · tail` (the path starting at `head` and
     /// continuing with the already-interned `tail`). O(1): one hash probe,
     /// at most one append.
+    // simlint::hot
     pub fn intern(&mut self, head: AsId, tail: PathId) -> PathId {
         if let Some(&id) = self.index.get(&(head, tail)) {
             return id;
@@ -104,6 +105,7 @@ impl PathArena {
             let t = self.node(tail);
             (t.len + 1, t.origin, t.mask | mask_bit(head))
         };
+        // simlint::allow(panic, "interning beyond u32::MAX paths is unrepresentable; fail loudly, not silently")
         let id = PathId(u32::try_from(self.nodes.len()).expect("arena capacity exceeded"));
         assert!(id != PathId::NONE, "arena capacity exceeded");
         self.nodes.push(Node {

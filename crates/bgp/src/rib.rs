@@ -108,6 +108,7 @@ impl RibIn {
 
     /// Install (replacing) the route announced by `neighbor`, learned over
     /// `learned_from`.
+    // simlint::hot
     pub fn insert(
         &mut self,
         prefix: PrefixId,
@@ -239,6 +240,7 @@ impl RibIn {
     /// 3. highest local-pref (prefer-customer),
     /// 4. shortest AS path,
     /// 5. lowest neighbour id.
+    // simlint::hot
     pub fn decide<F>(
         &self,
         arena: &PathArena,

@@ -26,6 +26,13 @@ pub struct ProcId(pub u8);
 impl ProcId {
     /// The single process of an unreplicated protocol.
     pub const ONLY: ProcId = ProcId(0);
+
+    /// The first `n` process ids (engines iterate `first_n(N_PROCS)` instead
+    /// of casting loop counters). Saturates deterministically above u8::MAX,
+    /// which no engine configuration approaches.
+    pub fn first_n(n: usize) -> impl Iterator<Item = ProcId> {
+        (0..n).map(|i| ProcId(u8::try_from(i).unwrap_or(u8::MAX)))
+    }
 }
 
 /// STAMP's two route colours, mapped onto process instances.

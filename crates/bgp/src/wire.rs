@@ -92,6 +92,7 @@ pub fn encode(arena: &PathArena, msg: &UpdateMsg) -> Vec<u8> {
             // Withdrawn routes: one /32-style entry for the prefix id.
             let mut wd = ByteBuf::new();
             put_prefix(&mut wd, msg.prefix);
+            // simlint::allow(lossy-cast, "withdrawn-routes section is format-limited to u16 bytes")
             body.put_u16(wd.len() as u16);
             body.put_slice(&wd);
             // Path attributes: root cause and/or ET, if any.
@@ -110,6 +111,7 @@ pub fn encode(arena: &PathArena, msg: &UpdateMsg) -> Vec<u8> {
                 put_attr_header(&mut attrs, FLAGS_OPT_TRANS, ATTR_FAILOVER, 1);
                 attrs.put_u8(1);
             }
+            // simlint::allow(lossy-cast, "path-attributes section is format-limited to u16 bytes")
             body.put_u16(attrs.len() as u16);
             body.put_slice(&attrs);
             // No NLRI.
@@ -126,6 +128,7 @@ pub fn encode(arena: &PathArena, msg: &UpdateMsg) -> Vec<u8> {
             let plen = 2 + 4 * count;
             put_attr_header(&mut attrs, FLAGS_WELL_KNOWN, ATTR_AS_PATH, plen);
             attrs.put_u8(AS_SEQUENCE);
+            // simlint::allow(lossy-cast, "AS_SEQUENCE count is format-limited to u8; sim paths are far shorter")
             attrs.put_u8(count as u8);
             for a in arena.iter(route.path) {
                 attrs.put_u32(a.0);
@@ -155,6 +158,7 @@ pub fn encode(arena: &PathArena, msg: &UpdateMsg) -> Vec<u8> {
                 put_attr_header(&mut attrs, FLAGS_OPT_TRANS, ATTR_FAILOVER, 1);
                 attrs.put_u8(1);
             }
+            // simlint::allow(lossy-cast, "path-attributes section is format-limited to u16 bytes")
             body.put_u16(attrs.len() as u16);
             body.put_slice(&attrs);
             // NLRI.
@@ -164,6 +168,7 @@ pub fn encode(arena: &PathArena, msg: &UpdateMsg) -> Vec<u8> {
 
     let mut out = ByteBuf::with_capacity(19 + body.len());
     out.put_bytes(0xFF, 16);
+    // simlint::allow(lossy-cast, "BGP message length is format-limited to u16 bytes")
     out.put_u16(19 + body.len() as u16);
     out.put_u8(MSG_TYPE_UPDATE);
     out.put_slice(&body);
@@ -174,6 +179,7 @@ fn put_attr_header(buf: &mut ByteBuf, flags: u8, code: u8, len: usize) {
     debug_assert!(len <= u8::MAX as usize, "extended length unsupported");
     buf.put_u8(flags);
     buf.put_u8(code);
+    // simlint::allow(lossy-cast, "debug-asserted above: extended length unsupported, len fits u8")
     buf.put_u8(len as u8);
 }
 

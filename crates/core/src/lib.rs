@@ -40,6 +40,8 @@
 //! 4. **Policy-swap withdrawals carry ET=1** (`NotLost`), so STAMP's
 //!    selective-announcement backtracking does not masquerade as failure.
 
+#![forbid(unsafe_code)]
+
 pub mod lock;
 pub mod partial;
 pub mod phi;

@@ -8,8 +8,8 @@
 //! protocols and runs.
 
 use stamp_bgp::PrefixId;
+use stamp_eventsim::fxhash::FxHashMap;
 use stamp_topology::AsId;
-use std::collections::HashMap;
 
 /// How an AS picks its locked blue provider for a prefix.
 #[derive(Debug, Clone)]
@@ -21,7 +21,7 @@ pub enum LockStrategy {
     /// [`crate::phi::smart_lock_choices`]); ASes without an entry fall back
     /// to the random rule with the given seed.
     Fixed {
-        choices: HashMap<(AsId, PrefixId), AsId>,
+        choices: FxHashMap<(AsId, PrefixId), AsId>,
         fallback_seed: u64,
     },
 }
@@ -109,7 +109,7 @@ mod tests {
 
     #[test]
     fn fixed_uses_table_then_falls_back() {
-        let mut choices = HashMap::new();
+        let mut choices = FxHashMap::default();
         choices.insert((AsId(1), P), AsId(5));
         let s = LockStrategy::Fixed {
             choices,

@@ -11,11 +11,11 @@
 //! (mean Φ); the gap is the value of STAMP's active steering below the
 //! tier-1s. See DESIGN.md §4 (E6) for the model discussion.
 
+use stamp_eventsim::fxhash::FxHashSet;
 use stamp_eventsim::rng::tags;
 use stamp_eventsim::rng_stream;
 use stamp_topology::graph::{AsGraph, AsId};
 use stamp_topology::routing::StaticRoutes;
-use std::collections::HashSet;
 
 /// Result of the partial-deployment analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,7 +51,7 @@ pub fn destination_protected(g: &AsGraph, d: AsId) -> bool {
         .collect();
     for i in 0..paths.len() {
         for j in (i + 1)..paths.len() {
-            let a: HashSet<AsId> = paths[i][..paths[i].len() - 1].iter().copied().collect();
+            let a: FxHashSet<AsId> = paths[i][..paths[i].len() - 1].iter().copied().collect();
             if paths[j][..paths[j].len() - 1]
                 .iter()
                 .all(|v| !a.contains(v))

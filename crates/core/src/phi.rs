@@ -20,12 +20,12 @@
 //! ([`smart_lock_choices`]).
 
 use stamp_bgp::PrefixId;
+use stamp_eventsim::fxhash::FxHashMap;
 use stamp_eventsim::rng::{tags, Rng};
 use stamp_eventsim::rng_stream;
 use stamp_topology::disjoint::good_locked_path;
 use stamp_topology::graph::{AsGraph, AsId};
 use stamp_topology::uphill::UphillDag;
-use std::collections::HashMap;
 
 /// Configuration of the Φ computation.
 #[derive(Debug, Clone)]
@@ -64,7 +64,7 @@ impl PhiReport {
     /// Φ values sorted ascending (CDF support).
     pub fn sorted(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.per_destination.iter().map(|(_, p)| *p).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         v
     }
 
@@ -146,7 +146,7 @@ fn phi_from_paths(g: &AsGraph, paths: &[Vec<AsId>], smart: bool) -> f64 {
         let good = paths.iter().filter(|p| good_locked_path(g, p)).count();
         return good as f64 / paths.len() as f64;
     }
-    let mut by_hop: HashMap<AsId, (usize, usize)> = HashMap::new();
+    let mut by_hop: FxHashMap<AsId, (usize, usize)> = FxHashMap::default();
     for p in paths {
         if p.len() < 2 {
             continue;
@@ -189,10 +189,10 @@ pub fn smart_lock_choices(
     g: &AsGraph,
     prefix: PrefixId,
     cfg: &PhiConfig,
-) -> HashMap<(AsId, PrefixId), AsId> {
+) -> FxHashMap<(AsId, PrefixId), AsId> {
     let dag = UphillDag::new(g);
     let mut rng = rng_stream(cfg.seed, tags::PHI_SAMPLING);
-    let mut out = HashMap::new();
+    let mut out = FxHashMap::default();
     for m in g.ases() {
         if g.is_tier1(m) || g.providers(m).len() < 2 {
             continue;
@@ -205,7 +205,7 @@ pub fn smart_lock_choices(
                 .filter_map(|_| dag.sample_path(g, m, &mut rng))
                 .collect()
         };
-        let mut by_hop: HashMap<AsId, (usize, usize)> = HashMap::new();
+        let mut by_hop: FxHashMap<AsId, (usize, usize)> = FxHashMap::default();
         for p in &paths {
             if p.len() < 2 {
                 continue;
@@ -216,10 +216,12 @@ pub fn smart_lock_choices(
                 e.0 += 1;
             }
         }
+        // Ties on the fraction are broken by the AS id, so the winner does
+        // not depend on hash-iteration order.
         let best = by_hop
             .iter()
             .map(|(q, (good, total))| (*good as f64 / *total as f64, *q))
-            .max_by(|a, b| a.partial_cmp(b).unwrap());
+            .max_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         if let Some((_, q)) = best {
             out.insert((m, prefix), q);
         }

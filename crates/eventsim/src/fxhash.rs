@@ -64,6 +64,7 @@ impl Hasher for FxHasher {
         // path for strings only.
         let mut chunks = bytes.chunks_exact(8);
         for c in chunks.by_ref() {
+            // simlint::allow(panic, "chunks_exact(8) yields exactly 8-byte slices")
             self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();

@@ -25,6 +25,8 @@
 //! allocation-light; parallelism lives one level up (independent scenario
 //! instances run on separate threads in `stamp-experiments`).
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod check;
 pub mod fxhash;

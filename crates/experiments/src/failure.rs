@@ -192,6 +192,7 @@ impl FailureReport {
             .results
             .iter()
             .find(|(q, _)| *q == p)
+            // simlint::allow(panic, "results holds one row per requested protocol by construction")
             .expect("protocol present")
             .1
     }
@@ -210,15 +211,17 @@ fn run_instance(
         .wrapping_add((instance as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut wl_rng = rng_stream(instance_seed, tags::WORKLOAD);
     let w = sample_canned(g, scenario, &mut wl_rng)
+        // simlint::allow(panic, "the generator guarantees multi-homed hosts for every canned scenario")
         .expect("generated topologies always host the paper's scenarios");
     let removed = w
         .timeline
         .removed_links(g)
+        // simlint::allow(panic, "the canned timeline was built against this same graph")
         .expect("canned timelines resolve against their own topology");
     let g_after = g.without_links(&removed);
     let truth = StaticRoutes::compute(&g_after, w.dest);
-    let reachable: Vec<bool> = (0..g.n() as u32)
-        .map(|v| truth.reachable(AsId(v)))
+    let reachable: Vec<bool> = (0..g.n())
+        .map(|v| truth.reachable(AsId::from_usize(v)))
         .collect();
 
     protocols
@@ -246,8 +249,10 @@ pub fn run_failure_experiment(
     scenario: FailureScenario,
     protocols: &[Protocol],
 ) -> FailureReport {
+    // simlint::allow(panic, "experiment configs are validated constants")
     let g = generate(&cfg.gen).expect("valid generator config");
     let threads = if cfg.threads == 0 {
+        // simlint::allow(ambient-env, "thread count only partitions instances; per-instance seeds fix the results")
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -267,6 +272,7 @@ pub fn run_failure_experiment(
                     break;
                 }
                 let r = run_instance(&g, cfg, scenario, i, protocols);
+                // simlint::allow(panic, "a poisoned slot mutex means a sibling worker already panicked")
                 slots.lock().unwrap()[i] = Some(r);
             });
         }
@@ -276,12 +282,15 @@ pub fn run_failure_experiment(
         .iter()
         .map(|&p| (p, ProtocolResult::default()))
         .collect();
+    // simlint::allow(panic, "poison here means a worker already panicked")
     for slot in slots.into_inner().expect("no worker panicked") {
+        // simlint::allow(panic, "the atomic counter hands out every index exactly once")
         let instance = slot.expect("all instances ran");
         for (p, m) in instance {
             results
                 .iter_mut()
                 .find(|(q, _)| *q == p)
+                // simlint::allow(panic, "rows were created from this same protocol list")
                 .expect("protocol present")
                 .1
                 .per_instance

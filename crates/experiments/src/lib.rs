@@ -15,6 +15,8 @@
 //! | E7 message overhead | [`failure`] (metrics) + [`render`] | §6.3 text |
 //! | E8 convergence delay | [`failure`] (metrics) + [`render`] | §6.3 text |
 
+#![forbid(unsafe_code)]
+
 pub mod failure;
 pub mod partial_exp;
 pub mod phi_exp;

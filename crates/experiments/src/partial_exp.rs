@@ -57,6 +57,7 @@ pub struct PartialReport {
 
 /// Run the §6.3 partial-deployment analysis.
 pub fn run_partial_deployment(cfg: &PartialConfig) -> PartialReport {
+    // simlint::allow(panic, "experiment configs are validated constants")
     let g = generate(&cfg.gen).expect("valid generator config");
     let partial = partial_deployment_fraction(&g, cfg.max_destinations, cfg.seed);
     let full = phi_all_destinations(&g, &cfg.phi);

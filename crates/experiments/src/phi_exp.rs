@@ -63,6 +63,7 @@ impl PhiExperimentReport {
 
 /// Run the Figure 1 experiment.
 pub fn run_phi_experiment(cfg: &PhiExperimentConfig) -> PhiExperimentReport {
+    // simlint::allow(panic, "experiment configs are validated constants")
     let g = generate(&cfg.gen).expect("valid generator config");
     let random = phi_all_destinations(&g, &cfg.phi);
     let smart = cfg.with_smart.then(|| {

@@ -18,6 +18,8 @@
 //!   valley-free path from it (permanent partition is not a *transient*
 //!   problem).
 
+#![forbid(unsafe_code)]
+
 pub mod trace;
 pub mod tracker;
 pub mod view;

@@ -58,8 +58,8 @@ pub fn classify_all_into<V: ForwardingView + ?Sized>(
     out.clear();
     out.reserve(n);
 
-    for src in 0..n as u32 {
-        let src = AsId(src);
+    for src in 0..n {
+        let src = AsId::from_usize(src);
         let start = idx(src, view.start_ctx(src));
         if let Mark::Done(o) = marks[start] {
             out.push(o);
@@ -74,10 +74,10 @@ pub fn classify_all_into<V: ForwardingView + ?Sized>(
                 Mark::Done(o) => break o,
                 Mark::OnPath(_) => break Outcome::Loop,
                 Mark::Unknown => {
-                    marks[cur] = Mark::OnPath(path.len() as u32);
+                    marks[cur] = Mark::OnPath(u32::try_from(path.len()).unwrap_or(u32::MAX));
                     path.push(cur);
-                    let a = AsId((cur / n_ctx) as u32);
-                    let ctx = (cur % n_ctx) as u8;
+                    let a = AsId::from_usize(cur / n_ctx);
+                    let ctx = u8::try_from(cur % n_ctx).unwrap_or(u8::MAX);
                     match view.step(a, ctx) {
                         Step::Deliver => {
                             marks[cur] = Mark::Done(Outcome::Delivered);

@@ -73,7 +73,7 @@ impl TransientTracker {
         baseline_view: &V,
     ) -> TransientTracker {
         for i in 0..self.baseline.len() {
-            self.baseline[i] = baseline_view.selection_paths(AsId(i as u32));
+            self.baseline[i] = baseline_view.selection_paths(AsId::from_usize(i));
         }
         self.causes = causes;
         self
@@ -81,6 +81,7 @@ impl TransientTracker {
 
     /// Record one observation point (typically: after every batch of
     /// simultaneous events that changed a FIB).
+    // simlint::hot
     pub fn observe<V: ForwardingView + ?Sized>(&mut self, view: &V) {
         self.observations += 1;
         classify_all_into(view, &mut self.scratch, &mut self.outcomes);
@@ -88,7 +89,7 @@ impl TransientTracker {
         let mut any_hole = false;
         for i in 0..self.outcomes.len() {
             let o = self.outcomes[i];
-            if AsId(i as u32) == self.dest || !self.reachable[i] {
+            if AsId::from_usize(i) == self.dest || !self.reachable[i] {
                 continue;
             }
             match o {
@@ -122,7 +123,7 @@ impl TransientTracker {
     /// path is invalidated by the event (or the set is empty).
     fn observe_control<V: ForwardingView + ?Sized>(&mut self, view: &V) {
         for i in 0..self.baseline.len() {
-            let v = AsId(i as u32);
+            let v = AsId::from_usize(i);
             if v == self.dest || !self.reachable[i] || self.control_affected[i] {
                 continue;
             }

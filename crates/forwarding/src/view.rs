@@ -216,25 +216,24 @@ impl ForwardingView for StampView<'_> {
             r.next_hop(self.prefix, color).filter(|nh| session_ok(*nh))
         };
         let same = usable(c);
-        let same_stable = same.is_some() && !r.is_unstable(self.prefix, c);
+        let same_stable = same.filter(|_| !r.is_unstable(self.prefix, c));
         let other = usable(c.other());
-        let other_stable = other.is_some() && !r.is_unstable(self.prefix, c.other());
+        let other_stable = other.filter(|_| !r.is_unstable(self.prefix, c.other()));
 
         // Preference order (§5.1 + crate docs rule 3): same colour if
         // stable; else switch once to a stable other colour; else keep the
         // same colour even if unstable; else switch once to an unstable
         // other colour; else drop.
-        if same_stable {
-            return Step::Hop {
-                to: same.unwrap(),
-                ctx,
-            };
+        if let Some(to) = same_stable {
+            return Step::Hop { to, ctx };
         }
-        if !switched && other_stable {
-            return Step::Hop {
-                to: other.unwrap(),
-                ctx: Self::ctx_of(c.other(), true),
-            };
+        if !switched {
+            if let Some(to) = other_stable {
+                return Step::Hop {
+                    to,
+                    ctx: Self::ctx_of(c.other(), true),
+                };
+            }
         }
         if let Some(nh) = same {
             return Step::Hop { to: nh, ctx };

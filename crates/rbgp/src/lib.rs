@@ -25,6 +25,8 @@
 //! provides in this AS-level model), and intra-AS (iBGP) distribution,
 //! matching the paper's one-node-per-AS granularity.
 
+#![forbid(unsafe_code)]
+
 pub mod router;
 
 pub use router::{RbgpConfig, RbgpRouter};

@@ -296,6 +296,7 @@ impl RbgpRouter {
                                 route.attrs.failover = true;
                                 let learned_from = ctx
                                     .relation(advertiser)
+                                    // simlint::allow(panic, "escape_route only returns routes advertised by live neighbour sessions")
                                     .expect("escape advertiser is a neighbour");
                                 Selection::Learned(stamp_bgp::rib::DecisionOutcome {
                                     neighbor: advertiser,

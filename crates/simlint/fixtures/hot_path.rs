@@ -1,0 +1,50 @@
+// Seeded violations for the hot-path family: hot-collect, hot-clone,
+// hot-alloc. These rules fire only inside function bodies annotated with
+// a `simlint::hot` comment — the same patterns in unannotated functions
+// are legal. Analyzed under `crates/bgp/src/hot_path.rs`.
+
+pub struct Queue {
+    slots: Vec<u64>,
+}
+
+impl Queue {
+    // simlint::hot
+    pub fn deliver(&mut self, msgs: &[u64]) -> usize {
+        let copied: Vec<u64> = msgs.iter().copied().collect(); //~ hot-collect
+        let again = copied.clone(); //~ hot-clone
+        let owned = msgs.to_vec(); //~ hot-clone
+        let label = "x".to_string(); //~ hot-clone
+        let scratch = Vec::with_capacity(msgs.len()); //~ hot-alloc
+        let boxed = Box::new(0u64); //~ hot-alloc
+        let built = vec![0u64; 4]; //~ hot-alloc
+        let text = format!("{} msgs", msgs.len()); //~ hot-alloc
+        self.slots.extend(&again);
+        drop((owned, label, scratch, boxed, built, text));
+        self.slots.len()
+    }
+
+    // simlint::hot
+    #[inline]
+    pub fn bump(&mut self) {
+        // The marker attaches past attributes; pushing onto a pre-sized
+        // Vec is not an allocation the rule flags.
+        self.slots.push(0);
+    }
+
+    // simlint::hot
+    pub fn deliver_logged(&mut self, msgs: &[u64]) {
+        let line = format!("{} msgs", msgs.len()); // simlint::allow(hot-alloc, "fixture: justified allow silences a hot finding")
+        self.slots.push(line.len() as u64);
+    }
+
+    pub fn cold_rebuild(&mut self, msgs: &[u64]) {
+        // Identical patterns outside a hot region are fine.
+        let copied: Vec<u64> = msgs.iter().copied().collect();
+        self.slots = copied.clone();
+        let _ = format!("{}", self.slots.len());
+    }
+}
+
+// A marker with no function to attach to is itself a finding.
+// simlint::hot
+pub struct NotAFunction; //~ bad-allow

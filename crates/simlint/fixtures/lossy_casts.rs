@@ -1,0 +1,18 @@
+// Seeded violations for lossy-cast: narrowing `as` casts outside the id
+// modules. Analyzed under `crates/bgp/src/lossy_casts.rs`; the fixture
+// self-test also re-analyzes this source under an ID_MODULES path and
+// expects the rule to stay silent there.
+
+pub fn narrowing(n: usize, big: u64) -> u32 {
+    let a = n as u32; //~ lossy-cast
+    let b = big as u16; //~ lossy-cast
+    let c = n as i32; //~ lossy-cast
+    let widened = (b as u64) + (a as u64);
+    let through = widened as u32 + n as u32; //~ lossy-cast lossy-cast
+    through.wrapping_add(c as u32) //~ lossy-cast
+}
+
+pub fn widening(small: u8) -> u64 {
+    // Widening casts never truncate and are always fine.
+    small as u64
+}

@@ -1,0 +1,36 @@
+// Seeded violations for the panic-discipline family: panic (deny) and
+// index-panic (warn). Analyzed under `crates/bgp/src/panics.rs`.
+
+pub fn noisy(xs: &[u32], i: usize) -> u32 {
+    let first = xs.first().unwrap(); //~ panic
+    let second = xs.get(1).expect("fixture"); //~ panic
+    if i > xs.len() {
+        panic!("out of range"); //~ panic
+    }
+    match first {
+        0 => unreachable!(), //~ panic
+        _ => {}
+    }
+    xs[i] + second //~ index-panic
+}
+
+pub fn unfinished() {
+    todo!() //~ panic
+}
+
+pub fn graceful(xs: &[u32], i: usize) -> Option<u32> {
+    // The non-panicking spellings of the same operations are clean.
+    xs.get(i).copied()
+}
+
+pub fn by_contract(xs: &[u32]) -> u32 {
+    // simlint::allow(panic, "fixture: caller guarantees non-empty input")
+    xs.first().copied().unwrap()
+}
+
+#[test]
+fn panics_are_fine_in_tests() {
+    let xs = [1u32, 2];
+    assert_eq!(xs[0], 1);
+    let _ = Option::Some(3u32).unwrap();
+}

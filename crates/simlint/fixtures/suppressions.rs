@@ -1,0 +1,30 @@
+// Directive handling: justified allows suppress exactly one line, stale
+// or malformed directives are findings themselves. Analyzed under
+// `crates/bgp/src/suppressions.rs`.
+
+use std::collections::HashMap; // simlint::allow(default-hasher, "fixture: justified trailing allow")
+
+// simlint::allow(wall-clock, "fixture: a standalone allow covers only the next code line")
+pub fn make_instant() -> std::time::Instant { // suppressed on this line only
+    std::time::Instant::now() //~ wall-clock
+}
+
+// Stacked standalone allows all cover the same next line.
+// simlint::allow(default-hasher, "fixture: stacked allows, hasher half")
+// simlint::allow(float-hash-aggregate, "fixture: stacked allows, float half")
+pub fn stacked() -> HashMap<u32, f64> {
+    HashMap::new() //~ default-hasher
+}
+
+pub fn stale() -> u32 {
+    // simlint::allow(panic, "fixture: nothing on the next line can panic")
+    40 + 2 //~ unused-allow
+}
+
+pub fn unjustified(x: Option<u32>) -> u32 {
+    x.unwrap() // simlint::allow(panic, "") //~ bad-allow panic
+}
+
+// An unknown directive is flagged where it stands.
+// simlint::frobnicate //~ bad-allow
+pub fn tail() {}

@@ -1,0 +1,109 @@
+//! The file-level allowlist (`simlint.allow` at the repo root).
+//!
+//! One entry per line: `rule path reason…`. An entry silences every
+//! finding of `rule` in `path` — the coarse hammer for files whose whole
+//! job violates a rule (the fxhash module *defining* the deterministic
+//! hasher over std's `HashMap`, the property harness that panics by
+//! design). Because the file is tracked, every new blanket exemption shows
+//! up in review as a diff line carrying its own justification.
+
+use crate::config;
+
+/// One parsed entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub rule: String,
+    pub path: String,
+    pub reason: String,
+    pub used: bool,
+}
+
+/// The parsed allowlist. `covers` marks entries used so stale ones can be
+/// reported after a run.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. Errors name the offending line; an unknown
+    /// rule or a missing reason is an error, not a silent no-op.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (rule, path, reason) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(p), Some(why)) if !why.trim().is_empty() => (r, p, why.trim()),
+                _ => {
+                    return Err(format!(
+                        "simlint.allow:{}: expected `rule path reason…`, got `{line}`",
+                        n + 1
+                    ))
+                }
+            };
+            if config::rule(rule).is_none() {
+                return Err(format!("simlint.allow:{}: unknown rule `{rule}`", n + 1));
+            }
+            entries.push(Entry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                reason: reason.to_string(),
+                used: false,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Does an entry cover `(rule, path)`? Marks it used.
+    pub fn covers(&mut self, rule: &str, path: &str) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.rule == rule && e.path == path {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched a finding — stale, report them.
+    pub fn unused(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().filter(|e| !e.used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_covers() {
+        let mut a = Allowlist::parse(
+            "# comment\n\npanic crates/eventsim/src/check.rs the harness panics by design\n",
+        )
+        .unwrap();
+        assert!(a.covers("panic", "crates/eventsim/src/check.rs"));
+        assert!(!a.covers("panic", "crates/eventsim/src/rng.rs"));
+        assert!(!a.covers("default-hasher", "crates/eventsim/src/check.rs"));
+        assert_eq!(a.unused().count(), 0);
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_missing_reason() {
+        assert!(Allowlist::parse("no-such-rule src/lib.rs whatever").is_err());
+        assert!(Allowlist::parse("panic src/lib.rs").is_err());
+        assert!(Allowlist::parse("panic src/lib.rs    ").is_err());
+    }
+
+    #[test]
+    fn unused_entries_are_reported() {
+        let a = Allowlist::parse("panic src/lib.rs some reason").unwrap();
+        let stale: Vec<_> = a.unused().collect();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path, "src/lib.rs");
+    }
+}

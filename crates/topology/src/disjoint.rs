@@ -13,6 +13,7 @@
 //!   strategy, used by the smart-selection analysis.)
 
 use crate::graph::{AsGraph, AsId};
+use stamp_eventsim::fxhash::FxHashMap;
 use std::collections::VecDeque;
 
 /// Is `locked` (a full uphill path `[m, …, t]` with `t` tier-1) a *good*
@@ -74,10 +75,10 @@ pub fn max_disjoint_uphill_paths(g: &AsGraph, m: AsId, limit: u32) -> u32 {
 
     // Residual capacities in adjacency-map form. The graph is sparse and the
     // flow bounded by `limit`, so a HashMap-of-edges residual is plenty.
-    let mut cap: std::collections::HashMap<(usize, usize), u32> = std::collections::HashMap::new();
+    let mut cap: FxHashMap<(usize, usize), u32> = FxHashMap::default();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 2 * n + 1];
     let add_edge = |adj: &mut Vec<Vec<usize>>,
-                    cap: &mut std::collections::HashMap<(usize, usize), u32>,
+                    cap: &mut FxHashMap<(usize, usize), u32>,
                     u: usize,
                     v: usize,
                     c: u32| {
@@ -126,11 +127,18 @@ pub fn max_disjoint_uphill_paths(g: &AsGraph, m: AsId, limit: u32) -> u32 {
             break;
         }
         // Augment by 1 (all node capacities are 1 on the paths that matter).
+        // Every hop on the BFS path has a parent pointer and a residual
+        // entry by construction; a missing one would mean the BFS above is
+        // broken, and stopping the augment is the graceful response.
         let mut v = sink;
         while v != source {
-            let u = prev[v].unwrap();
-            *cap.get_mut(&(u, v)).unwrap() -= 1;
-            *cap.get_mut(&(v, u)).unwrap() += 1;
+            let Some(u) = prev[v] else { break };
+            if let Some(c) = cap.get_mut(&(u, v)) {
+                *c -= 1;
+            }
+            if let Some(c) = cap.get_mut(&(v, u)) {
+                *c += 1;
+            }
             v = u;
         }
         flow += 1;

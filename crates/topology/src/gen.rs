@@ -149,8 +149,12 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
     cfg.validate()?;
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut b = GraphBuilder::new();
-    for asn in 0..cfg.n_ases as u32 {
-        b.ensure_as(asn);
+    // Dense rank -> external ASN. Generated graphs use identity numbering;
+    // validate() bounds n_ases far below u32::MAX, so the saturation is
+    // unreachable and only exists to keep the conversion total.
+    let asn = |i: usize| u32::try_from(i).unwrap_or(u32::MAX);
+    for rank in 0..cfg.n_ases {
+        b.ensure_as(asn(rank));
     }
 
     let n = cfg.n_ases;
@@ -162,7 +166,7 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
     // Tier-1 clique.
     for i in 0..t1 {
         for j in (i + 1)..t1 {
-            b.add_link(i as u32, j as u32, LinkKind::PeerPeer)?;
+            b.add_link(asn(i), asn(j), LinkKind::PeerPeer)?;
         }
     }
 
@@ -174,7 +178,7 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
     let mut customer_degree: Vec<u32> = vec![0; n];
 
     // Every tier-1 starts in the pool so early transit ASes can attach.
-    let mut eligible: Vec<u32> = (0..t1 as u32).collect();
+    let mut eligible: Vec<u32> = (0..t1).map(asn).collect();
 
     let pick_providers =
         |rng: &mut Rng, pool: &Vec<u32>, eligible: &Vec<u32>, k: usize| -> Vec<u32> {
@@ -214,11 +218,11 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
         let k = 1 + weighted_index(&mut rng, &cfg.transit_provider_weights);
         let provs = pick_providers(&mut rng, &pool, &eligible, k);
         for p in provs {
-            b.add_link(rank as u32, p, LinkKind::CustomerProvider)?;
+            b.add_link(asn(rank), p, LinkKind::CustomerProvider)?;
             customer_degree[p as usize] += 1;
             pool.push(p);
         }
-        eligible.push(rank as u32);
+        eligible.push(asn(rank));
     }
 
     // Stubs attach to any tier-1 or transit AS.
@@ -226,7 +230,7 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
         let k = 1 + weighted_index(&mut rng, &cfg.stub_provider_weights);
         let provs = pick_providers(&mut rng, &pool, &eligible, k);
         for p in provs {
-            b.add_link(rank as u32, p, LinkKind::CustomerProvider)?;
+            b.add_link(asn(rank), p, LinkKind::CustomerProvider)?;
             customer_degree[p as usize] += 1;
             pool.push(p);
         }
@@ -251,9 +255,7 @@ pub fn generate(cfg: &GenConfig) -> Result<AsGraph, TopologyError> {
                 if partner == r {
                     continue;
                 }
-                if b.add_link(r as u32, partner as u32, LinkKind::PeerPeer)
-                    .is_ok()
-                {
+                if b.add_link(asn(r), asn(partner), LinkKind::PeerPeer).is_ok() {
                     break;
                 }
             }

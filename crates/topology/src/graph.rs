@@ -20,6 +20,16 @@ impl AsId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Checked construction from a dense index: saturates (deterministically)
+    /// instead of truncating if an index ever exceeded `u32::MAX`, with a
+    /// debug assertion to surface the bug in test builds. Call sites outside
+    /// this module must use this instead of a raw `as u32` cast.
+    #[inline]
+    pub fn from_usize(i: usize) -> AsId {
+        debug_assert!(u32::try_from(i).is_ok(), "AsId index overflows u32");
+        AsId(u32::try_from(i).unwrap_or(u32::MAX))
+    }
 }
 
 impl fmt::Display for AsId {
@@ -37,6 +47,13 @@ impl LinkId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Checked construction from a dense index (see [`AsId::from_usize`]).
+    #[inline]
+    pub fn from_usize(i: usize) -> LinkId {
+        debug_assert!(u32::try_from(i).is_ok(), "LinkId index overflows u32");
+        LinkId(u32::try_from(i).unwrap_or(u32::MAX))
     }
 }
 
@@ -120,6 +137,13 @@ impl SessId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Checked construction from a dense index (see [`AsId::from_usize`]).
+    #[inline]
+    pub fn from_usize(i: usize) -> SessId {
+        debug_assert!(u32::try_from(i).is_ok(), "SessId index overflows u32");
+        SessId(u32::try_from(i).unwrap_or(u32::MAX))
     }
 }
 
@@ -259,6 +283,7 @@ impl AsGraph {
     pub fn sess_reverse(&self, s: SessId) -> SessId {
         let ends = self.sess_ends[s.index()];
         self.sess_between(ends.to, ends.from)
+            // simlint::allow(panic, "the session table always stores both directions of a link")
             .expect("every session has a reverse")
     }
 
@@ -358,17 +383,19 @@ impl AsGraph {
     /// Remove a set of links, producing a new graph (used for failure
     /// scenarios in static analyses; the simulator instead fails links live).
     pub fn without_links(&self, removed: &[LinkId]) -> AsGraph {
-        let removed: std::collections::HashSet<LinkId> = removed.iter().copied().collect();
+        let removed: stamp_eventsim::FxHashSet<LinkId> = removed.iter().copied().collect();
         let mut b = GraphBuilder::new();
         for v in self.ases() {
             b.ensure_as(self.external_asn(v));
         }
         for (i, l) in self.links.iter().enumerate() {
-            if !removed.contains(&LinkId(i as u32)) {
+            if !removed.contains(&LinkId::from_usize(i)) {
                 b.add_link(self.external_asn(l.a), self.external_asn(l.b), l.kind)
+                    // simlint::allow(panic, "links copied from a validated graph re-validate by construction")
                     .expect("re-adding existing valid link");
             }
         }
+        // simlint::allow(panic, "a sub-graph of an acyclic valid graph stays acyclic and valid")
         b.build().expect("sub-graph of a valid graph is valid")
     }
 

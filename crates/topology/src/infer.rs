@@ -23,7 +23,7 @@
 //!    comparable degrees, are reclassified as peers.
 
 use crate::graph::{AsGraph, LinkKind};
-use std::collections::{HashMap, HashSet};
+use stamp_eventsim::fxhash::{FxHashMap, FxHashSet};
 
 /// Tunables of the inference (defaults follow Gao's paper).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,9 +58,9 @@ pub enum InferredKind {
 #[derive(Debug, Clone, Default)]
 pub struct InferredTopology {
     /// Canonical `(min, max)` pair → inferred relationship.
-    pub relations: HashMap<(u32, u32), InferredKind>,
+    pub relations: FxHashMap<(u32, u32), InferredKind>,
     /// Degree of each AS in the path set.
-    pub degrees: HashMap<u32, u32>,
+    pub degrees: FxHashMap<u32, u32>,
 }
 
 impl InferredTopology {
@@ -85,7 +85,7 @@ impl InferredTopology {
 /// last — the order paths appear in a routing table dump).
 pub fn infer(paths: &[Vec<u32>], cfg: &InferConfig) -> InferredTopology {
     // Phase 1: degrees over the union graph of the paths.
-    let mut neighbors: HashMap<u32, HashSet<u32>> = HashMap::new();
+    let mut neighbors: FxHashMap<u32, FxHashSet<u32>> = FxHashMap::default();
     for p in paths {
         for w in p.windows(2) {
             if w[0] == w[1] {
@@ -95,19 +95,19 @@ pub fn infer(paths: &[Vec<u32>], cfg: &InferConfig) -> InferredTopology {
             neighbors.entry(w[1]).or_default().insert(w[0]);
         }
     }
-    let degrees: HashMap<u32, u32> = neighbors
+    let degrees: FxHashMap<u32, u32> = neighbors
         .iter()
-        .map(|(&a, ns)| (a, ns.len() as u32))
+        .map(|(&a, ns)| (a, u32::try_from(ns.len()).unwrap_or(u32::MAX)))
         .collect();
     let deg = |a: u32| degrees.get(&a).copied().unwrap_or(0);
 
     // Phase 2: transit votes. votes[(u, v)] = #times u was inferred to
     // provide transit for v.
-    let mut votes: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut votes: FxHashMap<(u32, u32), u32> = FxHashMap::default();
     // Pairs seen adjacent to the top of some path (peer candidates) and
     // pairs seen strictly inside the up/down segments (cannot be peers).
-    let mut top_adjacent: HashSet<(u32, u32)> = HashSet::new();
-    let mut interior: HashSet<(u32, u32)> = HashSet::new();
+    let mut top_adjacent: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut interior: FxHashSet<(u32, u32)> = FxHashSet::default();
     let canon = |a: u32, b: u32| (a.min(b), a.max(b));
 
     for p in paths {
@@ -138,8 +138,8 @@ pub fn infer(paths: &[Vec<u32>], cfg: &InferConfig) -> InferredTopology {
     }
 
     // Phase 3: relationship assignment.
-    let mut relations: HashMap<(u32, u32), InferredKind> = HashMap::new();
-    let pairs: HashSet<(u32, u32)> = votes.keys().map(|&(a, b)| canon(a, b)).collect();
+    let mut relations: FxHashMap<(u32, u32), InferredKind> = FxHashMap::default();
+    let pairs: FxHashSet<(u32, u32)> = votes.keys().map(|&(a, b)| canon(a, b)).collect();
     let l = cfg.l_threshold;
     for &(a, b) in &pairs {
         // ab = votes that a provides transit for b (a provider of b).

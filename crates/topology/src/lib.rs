@@ -27,6 +27,8 @@
 //! Everything is deterministic given a seed; nothing here performs I/O other
 //! than the explicit CAIDA (de)serialisers.
 
+#![forbid(unsafe_code)]
+
 pub mod caida;
 pub mod disjoint;
 pub mod error;

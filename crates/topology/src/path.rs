@@ -43,7 +43,10 @@ enum Phase {
 /// `Customer` a downhill step.
 pub fn check_valley_free(g: &AsGraph, seq: &[AsId]) -> ValleyCheck {
     {
-        let mut seen = std::collections::HashSet::with_capacity(seq.len());
+        let mut seen = stamp_eventsim::fxhash::FxHashSet::with_capacity_and_hasher(
+            seq.len(),
+            Default::default(),
+        );
         for &v in seq {
             if !seen.insert(v) {
                 return ValleyCheck::Loop { asn: v };
@@ -135,6 +138,7 @@ pub fn split_uphill_downhill(g: &AsGraph, seq: &[AsId]) -> Option<PathSplit> {
     let mut peer_link = None;
     let mut downhill_start = len;
     for i in 0..len - 1 {
+        // simlint::allow(panic, "adjacency was verified by check_valley_free just above")
         match g.relation(seq[i], seq[i + 1]).expect("checked adjacency") {
             Relation::Provider => uphill_end = i + 1,
             Relation::Peer => peer_link = Some(i),
@@ -170,7 +174,7 @@ pub fn downhill_node_disjoint(g: &AsGraph, p1: &[AsId], p2: &[AsId]) -> Option<b
     };
     let d1 = downhill_nodes(g, p1)?;
     let d2 = downhill_nodes(g, p2)?;
-    let set: std::collections::HashSet<AsId> =
+    let set: stamp_eventsim::fxhash::FxHashSet<AsId> =
         d1.iter().copied().filter(|&v| v != d && v != s).collect();
     Some(!d2.iter().any(|&v| v != d && v != s && set.contains(&v)))
 }

@@ -283,8 +283,10 @@ pub fn run_protocol_cell(
         .seed(seed)
         .params(params.clone())
         .build()
+        // simlint::allow(panic, "destinations come from the campaign's own topology scan")
         .expect("campaign destinations are in range")
         .measure(timeline, reachable)
+        // simlint::allow(panic, "timelines are generated against this same graph")
         .expect("timeline must resolve against the campaign topology")
 }
 
@@ -358,6 +360,7 @@ pub fn standard_families(g: &AsGraph, rng: &mut Rng, dests: &[AsId], smoke: bool
 /// grid CI actually runs.
 pub fn smoke_grid(seed: u64) -> (AsGraph, Vec<Timeline>, Vec<AsId>, CampaignConfig) {
     let g = stamp_topology::gen::generate(&stamp_topology::gen::GenConfig::small(seed))
+        // simlint::allow(panic, "GenConfig::small is a constant known-valid config")
         .expect("the smoke generator config is valid");
     let mut rng = stamp_eventsim::rng_stream(seed, tags::TIMELINE);
     let dests = choose_k(&mut rng, &crate::canned::destination_candidates(&g), 2);
@@ -517,8 +520,8 @@ pub fn run_campaign(
                 .iter()
                 .map(|&d| {
                     let truth = StaticRoutes::compute(&g_after, d);
-                    (0..g.n() as u32)
-                        .map(|v| truth.reachable(AsId(v)))
+                    (0..g.n())
+                        .map(|v| truth.reachable(AsId::from_usize(v)))
                         .collect()
                 })
                 .collect()
@@ -542,6 +545,7 @@ pub fn run_campaign(
     }
 
     let threads = if cfg.threads == 0 {
+        // simlint::allow(ambient-env, "thread count only partitions work; cell results and the campaign hash are independent of it")
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -580,6 +584,7 @@ pub fn run_campaign(
                         )
                     })
                     .collect();
+                // simlint::allow(panic, "a poisoned slot mutex means a sibling worker already panicked")
                 slots.lock().unwrap()[i] = Some(CellResult { cell, metrics });
             });
         }
@@ -587,8 +592,10 @@ pub fn run_campaign(
 
     let cells: Vec<CellResult> = slots
         .into_inner()
+        // simlint::allow(panic, "poison here means a worker already panicked")
         .expect("no worker panicked")
         .into_iter()
+        // simlint::allow(panic, "the atomic counter hands out every index exactly once")
         .map(|slot| slot.expect("all cells ran"))
         .collect();
     let mut h = Fnv1a::new();

@@ -97,10 +97,10 @@ pub fn sample_canned(
     };
     // A few attempts: some destinations cannot host the multi-link shapes.
     for _ in 0..64 {
-        let dest = *rng.choose(&candidates).expect("candidates non-empty");
+        let dest = *rng.choose(&candidates).expect("candidates non-empty"); // simlint::allow(panic, "guarded by the is_empty check above")
         let provs = g.providers(dest);
-        let p = *rng.choose(provs).expect("multi-homed");
-        let first = g.link_between(dest, p).expect("provider link exists");
+        let p = *rng.choose(provs).expect("multi-homed"); // simlint::allow(panic, "candidates are filtered to multi-homed ASes")
+        let first = g.link_between(dest, p).expect("provider link exists"); // simlint::allow(panic, "p came from g.providers(dest)")
         match scenario {
             FailureScenario::SingleLink => {
                 return canned(dest, vec![NetEvent::LinkDown(dest, p)]);
@@ -113,7 +113,7 @@ pub fn sample_canned(
                 if pp.is_empty() {
                     continue; // p is tier-1; resample
                 }
-                let q = *rng.choose(pp).expect("checked non-empty");
+                let q = *rng.choose(pp).expect("checked non-empty"); // simlint::allow(panic, "pp.is_empty() handled above")
                 return canned(
                     dest,
                     vec![NetEvent::LinkDown(dest, p), NetEvent::LinkDown(p, q)],
@@ -137,7 +137,7 @@ pub fn sample_canned(
                 if cands.is_empty() {
                     continue;
                 }
-                let second = *rng.choose(&cands).expect("checked non-empty");
+                let second = *rng.choose(&cands).expect("checked non-empty"); // simlint::allow(panic, "cands.is_empty() handled above")
                 let l = g.link(second);
                 return canned(
                     dest,

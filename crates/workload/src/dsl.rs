@@ -160,7 +160,7 @@ pub fn parse_scn(text: &str) -> Result<Timeline, ScnError> {
             continue;
         }
         let mut tok = line.split_ascii_whitespace();
-        let head = tok.next().expect("non-empty line");
+        let head = tok.next().expect("non-empty line"); // simlint::allow(panic, "blank lines are skipped just above")
         if name.is_none() {
             if head != "scenario" {
                 return Err(err(lineno, ScnErrorKind::MissingHeader));

@@ -29,6 +29,8 @@
 //! See DESIGN.md §8 for the model, grammar and determinism argument, and
 //! §9 for the sim facade.
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod canned;
 pub mod dsl;

@@ -139,8 +139,8 @@ impl ProtocolEngine for StampRouter {
     }
 
     fn reset_measurement(engine: &mut Engine<Self>) {
-        for v in 0..engine.topology().n() as u32 {
-            engine.router_mut(AsId(v)).reset_instability();
+        for v in 0..engine.topology().n() {
+            engine.router_mut(AsId::from_usize(v)).reset_instability();
         }
     }
 }
@@ -285,6 +285,7 @@ impl ProtocolSpec {
         REGISTRY
             .iter()
             .find(|s| s.protocol == p)
+            // simlint::allow(panic, "REGISTRY is exhaustive over Protocol by construction")
             .expect("every Protocol variant has a registry row")
     }
 }
@@ -456,6 +457,7 @@ fn run_phase<R: ProtocolEngine, P: Probe>(
     let mut last_obs: Option<SimTime> = None;
     e.run_until_quiescent(deadline, |eng, t| {
         while pending.front().is_some_and(|&(at, _)| at <= t) {
+            // simlint::allow(panic, "front checked non-empty by the while condition")
             let (at, event) = pending.pop_front().expect("front checked");
             probe.on_event::<R::View<'_>>(SimEvent::SessionReset { at, event });
         }

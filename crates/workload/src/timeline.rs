@@ -238,7 +238,7 @@ impl Timeline {
             .iter()
             .enumerate()
             .filter(|(i, l)| link_down[*i] || node_down[l.a.index()] || node_down[l.b.index()])
-            .map(|(i, _)| LinkId(i as u32))
+            .map(|(i, _)| LinkId::from_usize(i))
             .collect();
         Ok(removed)
     }
@@ -379,6 +379,7 @@ pub fn background_churn(
     // kept set is independent of draw order.
     let mut cands: Vec<(SimDuration, SimDuration, LinkId)> = (0..flaps)
         .map(|_| {
+            // simlint::allow(lossy-cast, "link counts are far below u32::MAX; gen_range needs a u32 bound")
             let id = LinkId(rng.gen_range(0u32..g.n_links() as u32));
             let down_at = start + horizon.mul_f64(rng.gen_f64());
             let downtime = mean_downtime.mul_f64(0.5 + rng.gen_f64());
@@ -421,7 +422,7 @@ pub fn tier_members(g: &AsGraph, depth: u32) -> Vec<AsId> {
         .iter()
         .enumerate()
         .filter(|(_, d)| **d == depth)
-        .map(|(i, _)| AsId(i as u32))
+        .map(|(i, _)| AsId::from_usize(i))
         .collect()
 }
 

@@ -9,6 +9,9 @@
 //! cargo run --release --example disjoint_paths -- --caida as-rel.txt
 //! ```
 
+// Examples are terminal demos; printing is their output format.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use stamp_repro::experiments::render::ascii_cdf;
 use stamp_repro::stamp::phi::{phi_all_destinations, PhiConfig};
 use stamp_repro::topology::{caida, generate, GenConfig};

@@ -7,6 +7,9 @@
 //! cargo run --release --example failover_demo -- [n_ases] [seed] [drop%]
 //! ```
 
+// Examples are terminal demos; printing is their output format.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use stamp_repro::bgp::types::PrefixId;
 use stamp_repro::eventsim::{LossModel, SimDuration};
 use stamp_repro::sim::Sim;

@@ -8,6 +8,9 @@
 //! cargo run --release --example inference_pipeline -- [n_ases] [n_vantage]
 //! ```
 
+// Examples are terminal demos; printing is their output format.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use stamp_repro::topology::infer::{accuracy, infer, InferConfig};
 use stamp_repro::topology::{caida, generate, AsId, GenConfig, StaticRoutes};
 

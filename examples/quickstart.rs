@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples are terminal demos; printing is their output format.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use stamp_repro::bgp::types::{Color, PrefixId};
 use stamp_repro::sim::Sim;
 use stamp_repro::topology::path::downhill_node_disjoint;

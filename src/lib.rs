@@ -55,6 +55,8 @@
 //! `EXPERIMENTS.md` for the paper-vs-measured record, and the `examples/`
 //! directory for runnable scenarios.
 
+#![forbid(unsafe_code)]
+
 pub use stamp_bgp as bgp;
 pub use stamp_core as stamp;
 pub use stamp_eventsim as eventsim;
