@@ -89,3 +89,23 @@ if [ "$release_hash" != "$SMOKE_GOLDEN" ] || [ "$debug_hash" != "$SMOKE_GOLDEN" 
     exit 1
 fi
 echo "debug-vs-release determinism cross-check passed ($SMOKE_GOLDEN)"
+
+# --- Warm-start golden-hash gate ------------------------------------------
+# The full default grids (campaign at 500 ASes, campaign_2000 at 2000),
+# each run cold-serial, cold-parallel and warm (every cell forked from a
+# pre-converged checkpoint). The binary itself asserts all three passes
+# hash identically per grid; here we additionally pin the aggregates to
+# the goldens, so a checkpoint/restore field omission that shifts results
+# stops CI even if it shifts them *consistently*. `--check` leaves
+# BENCH_campaign.json untouched.
+CAMPAIGN_GOLDEN="0x21ce716a105a0ebe"
+CAMPAIGN_2000_GOLDEN="0x817234e4f61711b4"
+full_out=$(cargo run --release --offline -q -p stamp_bench --bin campaign -- --check)
+full_hashes=$(printf '%s\n' "$full_out" | grep -o 'hash 0x[0-9a-f]*' | awk '{print $2}')
+if [ "$full_hashes" != "$CAMPAIGN_GOLDEN
+$CAMPAIGN_2000_GOLDEN" ]; then
+    echo "DETERMINISM VIOLATION: campaign goldens $CAMPAIGN_GOLDEN/$CAMPAIGN_2000_GOLDEN, got:" >&2
+    printf '%s\n' "$full_hashes" >&2
+    exit 1
+fi
+echo "warm-start golden-hash gate passed ($CAMPAIGN_GOLDEN, $CAMPAIGN_2000_GOLDEN)"

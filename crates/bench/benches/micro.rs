@@ -222,6 +222,77 @@ fn bench_observe_loop(h: &Harness, report: &mut JsonReport) {
     });
 }
 
+/// The warm-start building blocks at campaign scale (2000 ASes):
+/// `snapshot_2000` / `restore_2000` are the engine-level checkpoint ops
+/// (memcpy-class buffer copies into pre-sized allocations — both are
+/// `simlint::hot`), `warm_cell_2000` is a full campaign cell forked from a
+/// cached baseline (restore + timeline replay, no cold convergence).
+fn bench_checkpoint(h: &Harness, report: &mut JsonReport) {
+    use stamp_bgp::engine::{Engine, EngineConfig};
+    use stamp_bgp::router::BgpRouter;
+    use stamp_bgp::types::PrefixId;
+    use stamp_eventsim::rng::tags;
+    use stamp_eventsim::rng_stream;
+    use stamp_workload::{
+        run_protocol_cell_warm, sample_canned, BaselineCache, FailureScenario, Protocol, RunParams,
+    };
+
+    let g = generate(&GenConfig {
+        n_ases: 2000,
+        ..GenConfig::small(21)
+    })
+    .unwrap();
+    let dest = AsId(1999);
+    let mut e: Engine<BgpRouter> = Engine::new(g.clone(), EngineConfig::fast(5), |v| {
+        let own = if v == dest { vec![PrefixId(0)] } else { vec![] };
+        BgpRouter::new(v, own)
+    });
+    e.start();
+    e.run_to_quiescence(None);
+
+    let mut ck = e.snapshot();
+    report.bench(h, "snapshot_2000", || {
+        e.snapshot_into(black_box(&mut ck));
+    });
+    report.bench(h, "restore_2000", || {
+        e.restore(black_box(&ck));
+    });
+
+    let mut rng = rng_stream(900, tags::WORKLOAD);
+    let w = sample_canned(&g, FailureScenario::SingleLink, &mut rng).expect("scenario fits");
+    let removed = w.timeline.removed_links(&g).expect("timeline resolves");
+    let truth = StaticRoutes::compute(&g.without_links(&removed), w.dest);
+    let reachable: Vec<bool> = (0..g.n())
+        .map(|v| truth.reachable(AsId::from_usize(v)))
+        .collect();
+    let params = RunParams::paper();
+    let cache = BaselineCache::new();
+    // First call converges cold and deposits the baseline; the benched
+    // iterations all fork from the cached checkpoint.
+    run_protocol_cell_warm(
+        &g,
+        &params,
+        &w.timeline,
+        w.dest,
+        &reachable,
+        Protocol::Bgp,
+        5,
+        &cache,
+    );
+    report.bench(h, "warm_cell_2000", || {
+        black_box(run_protocol_cell_warm(
+            &g,
+            &params,
+            &w.timeline,
+            w.dest,
+            &reachable,
+            Protocol::Bgp,
+            5,
+            &cache,
+        ));
+    });
+}
+
 fn main() {
     let h = Harness::new().sample_size(20);
     let mut report = JsonReport::new();
@@ -258,6 +329,7 @@ fn main() {
     bench_session_lookup(&h, &mut report);
     bench_mrai_arm(&h, &mut report);
     bench_observe_loop(&h, &mut report);
+    bench_checkpoint(&h, &mut report);
 
     use stamp_bgp::patharena::PathArena;
     use stamp_bgp::types::{PathAttrs, PrefixId, Route, UpdateKind, UpdateMsg};

@@ -21,8 +21,9 @@ use stamp_eventsim::rng_stream;
 use stamp_topology::gen::generate;
 use stamp_topology::{AsGraph, AsId, GenConfig};
 use stamp_workload::{
-    choose_k, destination_candidates, run_campaign, smoke_grid, standard_families, CampaignConfig,
-    CampaignReport, Protocol, RunParams, Timeline,
+    choose_k, destination_candidates, populate_baselines, run_campaign, run_campaign_with_cache,
+    smoke_grid, standard_families, BaselineCache, CampaignConfig, CampaignReport, Protocol,
+    RunParams, Timeline,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -36,11 +37,19 @@ struct GridRun {
     report: CampaignReport,
     wall_1: f64,
     wall_n: f64,
+    /// Serial wall clock with every baseline pre-converged (cells fork
+    /// from checkpoints instead of converging cold).
+    wall_warm_1: f64,
+    /// Wall clock of the baseline-population pass itself.
+    wall_populate: f64,
     threads_n: usize,
 }
 
-/// Run the grid at one worker, then at `threads_n`, asserting the
-/// byte-identical aggregate.
+/// Run the grid cold at one worker, cold at `threads_n`, then warm (every
+/// cell forked from a pre-converged checkpoint) — asserting the
+/// byte-identical aggregate across all three. The warm-equals-cold check
+/// is the campaign-scale proof that `restore` rewinds everything a replay
+/// depends on.
 fn run_twice(
     g: &AsGraph,
     timelines: &[Timeline],
@@ -62,10 +71,28 @@ fn run_twice(
         serial.hash, parallel.hash,
         "campaign aggregate diverged between 1 and {threads_n} workers"
     );
+
+    let cache = BaselineCache::new();
+    let t0 = Instant::now();
+    populate_baselines(g, timelines.len(), dests, cfg, &cache);
+    let wall_populate = t0.elapsed().as_secs_f64();
+
+    cfg.threads = 1;
+    let t0 = Instant::now();
+    let warm =
+        run_campaign_with_cache(g, timelines, dests, cfg, Some(&cache)).expect("timelines resolve");
+    let wall_warm_1 = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        serial.hash, warm.hash,
+        "warm-start aggregate diverged from cold start"
+    );
+
     GridRun {
         report: parallel,
         wall_1,
         wall_n,
+        wall_warm_1,
+        wall_populate,
         threads_n,
     }
 }
@@ -101,6 +128,7 @@ fn print_report(run: &GridRun, protocols: &[Protocol]) {
     }
     let tp1 = cells as f64 / run.wall_1;
     let tpn = cells as f64 / run.wall_n;
+    let tpw = cells as f64 / run.wall_warm_1;
     println!(
         "wall clock: {:.2} s at 1 worker ({tp1:.2} cells/s), {:.2} s at {} workers \
          ({tpn:.2} cells/s) — speedup {:.2}×",
@@ -109,6 +137,22 @@ fn print_report(run: &GridRun, protocols: &[Protocol]) {
         run.threads_n,
         run.wall_1 / run.wall_n
     );
+    println!(
+        "warm start: {:.2} s populate + {:.2} s at 1 worker ({tpw:.2} cells/s forked \
+         from checkpoints) — {:.2}× cold serial, hash identical",
+        run.wall_populate,
+        run.wall_warm_1,
+        run.wall_1 / run.wall_warm_1
+    );
+}
+
+/// Logical CPUs of the host running the benchmark — recorded so a
+/// speedup ≈ 1 row on a one-core container is legible as a machine
+/// property, not a scaling regression.
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn json_object(s: &mut String, key: &str, run: &GridRun, protocols: &[Protocol]) {
@@ -118,8 +162,11 @@ fn json_object(s: &mut String, key: &str, run: &GridRun, protocols: &[Protocol])
     let _ = writeln!(s, "    \"n_ases\": {},", rep.n_ases);
     let _ = writeln!(s, "    \"cells\": {cells},");
     let _ = writeln!(s, "    \"hash\": \"0x{:016x}\",", rep.hash);
+    let _ = writeln!(s, "    \"cores\": {},", cores());
     let _ = writeln!(s, "    \"wall_s_threads_1\": {:.3},", run.wall_1);
     let _ = writeln!(s, "    \"wall_s_threads_n\": {:.3},", run.wall_n);
+    let _ = writeln!(s, "    \"wall_s_warm_1\": {:.3},", run.wall_warm_1);
+    let _ = writeln!(s, "    \"wall_s_populate\": {:.3},", run.wall_populate);
     let _ = writeln!(s, "    \"threads_n\": {},", run.threads_n);
     let _ = writeln!(
         s,
@@ -131,7 +178,17 @@ fn json_object(s: &mut String, key: &str, run: &GridRun, protocols: &[Protocol])
         "    \"throughput_cells_per_s_n\": {:.3},",
         cells as f64 / run.wall_n
     );
+    let _ = writeln!(
+        s,
+        "    \"throughput_cells_per_s_warm_1\": {:.3},",
+        cells as f64 / run.wall_warm_1
+    );
     let _ = writeln!(s, "    \"speedup\": {:.3},", run.wall_1 / run.wall_n);
+    let _ = writeln!(
+        s,
+        "    \"warm_speedup_vs_cold_1\": {:.3},",
+        run.wall_1 / run.wall_warm_1
+    );
     s.push_str("    \"families\": [\n");
     let mut first = true;
     for (t, name) in rep.timeline_names.iter().enumerate() {
@@ -189,7 +246,9 @@ fn main() {
          aliases: bgp, rbgp-norci, rbgp, stamp; default bgp,rbgp,stamp).\n\
          --scn FILE (repeatable): run timelines parsed from .scn files instead\n\
          of the built-in families (see scenarios/ for samples).\n\
-         --smoke: tiny fast grid, determinism assertion only (the CI gate).",
+         --smoke: tiny fast grid, determinism assertion only (the CI gate).\n\
+         --check: run the full grids and assertions but leave\n\
+         BENCH_campaign.json untouched (the CI golden-hash gate).",
     );
     let seed = args.seed.unwrap_or(0xCA4A16);
     let smoke = args.smoke;
@@ -281,7 +340,8 @@ fn main() {
     let run = run_twice(&g, &timelines, &dests, &mut cfg, threads_n);
     if smoke {
         println!(
-            "smoke campaign OK: {} cells, hash 0x{:016x} identical at 1 and {} workers",
+            "smoke campaign OK: {} cells, hash 0x{:016x} identical at 1 worker, {} workers \
+             and warm-start",
             run.report.cells.len(),
             run.report.hash,
             run.threads_n
@@ -322,6 +382,10 @@ fn main() {
         None
     };
 
+    if args.check {
+        println!("check mode: BENCH_campaign.json left untouched");
+        return;
+    }
     let mut rows: Vec<(&str, &GridRun)> = vec![("campaign", &run)];
     if let Some(r) = &run_2000 {
         rows.push(("campaign_2000", r));

@@ -163,9 +163,14 @@ impl JsonReport {
         self.entries.push((name.to_string(), stats));
     }
 
-    /// Serialise the report.
+    /// Serialise the report. Records the host's logical CPU count so
+    /// absolute timings are legible as a machine property (the CI
+    /// container is often single-core).
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"benchmarks\": [\n");
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut s = format!("{{\n  \"cores\": {cores},\n  \"benchmarks\": [\n");
         for (i, (name, b)) in self.entries.iter().enumerate() {
             s.push_str(&format!(
                 "    {{ \"name\": \"{}\", \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \

@@ -39,6 +39,9 @@ pub struct CommonArgs {
     /// Comma-separated protocol list (`--protocols bgp,stamp`); binaries
     /// parse each entry via `Protocol::from_str` (labels or aliases).
     pub protocols: Option<String>,
+    /// Verification mode (`--check`): run and assert, but do not rewrite
+    /// report files (the CI hash gate runs the full grid this way).
+    pub check: bool,
 }
 
 /// Parse `std::env::args`, exiting with usage on errors.
@@ -54,6 +57,7 @@ pub fn parse_args(usage: &str) -> CommonArgs {
         seeds: None,
         scn: Vec::new(),
         protocols: None,
+        check: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,6 +80,7 @@ pub fn parse_args(usage: &str) -> CommonArgs {
             "--seeds" => out.seeds = Some(value(&mut i).parse().expect("--seeds N")),
             "--scn" => out.scn.push(value(&mut i)),
             "--protocols" => out.protocols = Some(value(&mut i)),
+            "--check" => out.check = true,
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);

@@ -11,7 +11,7 @@
 //! three protocols observe byte-identical topologies, failure choices and
 //! delay sequences.
 
-use crate::patharena::PathArena;
+use crate::patharena::{ArenaMark, PathArena};
 use crate::router::{OutMsg, RouterCtx, RouterLogic, SessionView};
 use crate::types::{PrefixId, ProcId, UpdateKind, UpdateMsg};
 use stamp_eventsim::rng::{tags, Rng};
@@ -109,7 +109,7 @@ impl EngineConfig {
 }
 
 /// Counters and timestamps accumulated over a run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Announcements handed to the transport (after MRAI coalescing).
     pub announcements_sent: u64,
@@ -258,6 +258,15 @@ pub struct Engine<R: RouterLogic> {
     /// Reusable outgoing-update buffer lent to every router event — the
     /// dispatch path allocates nothing in steady state.
     out_scratch: Vec<OutMsg>,
+    /// Per-AS forwarding-view version counter: bumped every time a router
+    /// processes an event (so its FIB may have changed). Never restored or
+    /// rewound — see [`Engine::view_version`].
+    view_touch: Vec<u64>,
+    /// Global forwarding-view epoch: bumped on every liveness change
+    /// (link/node fail/recover) and on every [`Engine::restore`]. Liveness
+    /// is global because forwarding can depend on *non-adjacent* links
+    /// (R-BGP escape circuits check every hop of a pinned path).
+    view_global: u64,
 }
 
 impl<R: RouterLogic> Engine<R> {
@@ -282,6 +291,7 @@ impl<R: RouterLogic> Engine<R> {
             }
         }
         let routers = g.ases().map(&mut make).collect();
+        let n = g.n();
         Engine {
             state: LinkState::new(&g),
             routers,
@@ -299,6 +309,8 @@ impl<R: RouterLogic> Engine<R> {
             stats: RunStats::default(),
             started: false,
             out_scratch: Vec::new(),
+            view_touch: vec![0; n],
+            view_global: 0,
         }
     }
 
@@ -354,6 +366,23 @@ impl<R: RouterLogic> Engine<R> {
     /// Accumulated statistics.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Version of `v`'s forwarding behaviour, for memoising derived
+    /// structures (classification tables): while the version is unchanged,
+    /// `v`'s selections, its liveness environment and therefore every
+    /// forwarding decision it makes are unchanged.
+    ///
+    /// The value is `touch[v] + global` where `touch[v]` counts router
+    /// events at `v` and `global` counts liveness changes plus restores.
+    /// Both counters are monotone non-decreasing and never rewound (a
+    /// [`Engine::restore`] bumps `global` instead of rolling `touch` back),
+    /// so equal versions at two instants imply both addends — and hence the
+    /// cached state — were unchanged in between. Versions are cache keys
+    /// only; they never feed a golden hash.
+    #[inline]
+    pub fn view_version(&self, v: AsId) -> u64 {
+        self.view_touch[v.index()] + self.view_global
     }
 
     /// Current simulation time.
@@ -433,6 +462,102 @@ impl<R: RouterLogic> Engine<R> {
     /// Convenience: run with no observer.
     pub fn run_to_quiescence(&mut self, deadline: Option<SimTime>) -> RunStats {
         self.run_until_quiescent(deadline, |_, _| {})
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore
+    // ------------------------------------------------------------------
+
+    /// Capture the engine's complete mutable state as a [`Checkpoint`]:
+    /// routers, scheduler (pending events and clock), liveness, per-session
+    /// channel/MRAI state, RNG stream positions, counters, and the path
+    /// arena (contents and high-water mark). Restoring it — on this
+    /// engine, a clone, or an identically constructed fresh engine —
+    /// resumes the simulation bit-identically.
+    ///
+    /// Allocating constructor; reuse the buffers of an existing checkpoint
+    /// with [`Engine::snapshot_into`] on repeated captures.
+    pub fn snapshot(&self) -> Checkpoint<R>
+    where
+        R: Clone,
+    {
+        Checkpoint {
+            routers: self.routers.clone(),
+            paths: self.paths.clone(),
+            sched: self.sched.clone(),
+            state: self.state.clone(),
+            channels: self.channels.clone(),
+            mrai: self.mrai.clone(),
+            link_epoch: self.link_epoch.clone(),
+            scenario_seq: self.scenario_seq,
+            delay_rng: self.delay_rng.clone(),
+            loss_rng: self.loss_rng.clone(),
+            stats: self.stats,
+            started: self.started,
+        }
+    }
+
+    /// [`Engine::snapshot`] into caller-owned buffers: repeated captures
+    /// reuse the checkpoint's allocations (`clone_from` all the way down
+    /// the flat `Vec` state).
+    // simlint::hot
+    pub fn snapshot_into(&self, ck: &mut Checkpoint<R>)
+    where
+        R: Clone,
+    {
+        ck.routers.clone_from(&self.routers);
+        ck.paths.clone_from(&self.paths);
+        ck.sched.clone_from(&self.sched);
+        ck.state.link_up.clone_from(&self.state.link_up);
+        ck.state.node_up.clone_from(&self.state.node_up);
+        ck.channels.clone_from(&self.channels);
+        ck.mrai.clone_from(&self.mrai);
+        ck.link_epoch.clone_from(&self.link_epoch);
+        ck.scenario_seq = self.scenario_seq;
+        ck.delay_rng.clone_from(&self.delay_rng);
+        ck.loss_rng.clone_from(&self.loss_rng);
+        ck.stats = self.stats;
+        ck.started = self.started;
+    }
+
+    /// Restore a [`Checkpoint`] taken from this engine (or an identically
+    /// constructed one: same topology, same config). All mutable state is
+    /// overwritten in place — existing buffers are reused, nothing of the
+    /// post-snapshot timeline survives. When this engine's arena is an
+    /// append-only extension of the snapshot's (the same-lineage case,
+    /// verified by a prefix compare), the arena is *truncated* back to the
+    /// snapshot's high-water mark instead of copied; either way paths
+    /// interned after the snapshot are forgotten and a replay re-interns
+    /// them in identical order, so restored runs are bit-identical to a
+    /// cold run reaching the same state and can never observe ids a
+    /// sibling fork interned after the snapshot.
+    ///
+    /// The forwarding-view epoch ([`Engine::view_version`]) is bumped, not
+    /// restored: versions stay monotone so any cached classification built
+    /// against pre-restore state is invalidated.
+    // simlint::hot
+    pub fn restore(&mut self, ck: &Checkpoint<R>)
+    where
+        R: Clone,
+    {
+        self.routers.clone_from(&ck.routers);
+        if self.paths.extends(&ck.paths) {
+            self.paths.truncate_to_mark(ck.paths.mark());
+        } else {
+            self.paths.clone_from(&ck.paths);
+        }
+        self.sched.clone_from(&ck.sched);
+        self.state.link_up.clone_from(&ck.state.link_up);
+        self.state.node_up.clone_from(&ck.state.node_up);
+        self.channels.clone_from(&ck.channels);
+        self.mrai.clone_from(&ck.mrai);
+        self.link_epoch.clone_from(&ck.link_epoch);
+        self.scenario_seq = ck.scenario_seq;
+        self.delay_rng.clone_from(&ck.delay_rng);
+        self.loss_rng.clone_from(&ck.loss_rng);
+        self.stats = ck.stats;
+        self.started = ck.started;
+        self.view_global += 1;
     }
 
     // ------------------------------------------------------------------
@@ -548,6 +673,7 @@ impl<R: RouterLogic> Engine<R> {
         if !self.state.link_up[id.index()] {
             return false;
         }
+        self.view_global += 1;
         self.state.link_up[id.index()] = false;
         self.link_epoch[id.index()] += 1;
         let l = self.g.link(id);
@@ -579,6 +705,7 @@ impl<R: RouterLogic> Engine<R> {
         if self.state.link_up[id.index()] {
             return false;
         }
+        self.view_global += 1;
         self.state.link_up[id.index()] = true;
         let l = self.g.link(id);
         if !self.state.node_ok(l.a) || !self.state.node_ok(l.b) {
@@ -613,6 +740,7 @@ impl<R: RouterLogic> Engine<R> {
         if !self.state.node_up[v.index()] {
             return false;
         }
+        self.view_global += 1;
         self.state.node_up[v.index()] = false;
         let cause = crate::types::CauseInfo {
             cause: crate::types::RootCause::Node(v),
@@ -648,6 +776,7 @@ impl<R: RouterLogic> Engine<R> {
         if self.state.node_up[v.index()] {
             return false;
         }
+        self.view_global += 1;
         self.state.node_up[v.index()] = true;
         let cause = crate::types::CauseInfo {
             cause: crate::types::RootCause::Node(v),
@@ -689,6 +818,9 @@ impl<R: RouterLogic> Engine<R> {
     where
         F: FnOnce(&mut R, &mut RouterCtx),
     {
+        // Any router event may change the router's selections, so its
+        // forwarding-view version advances (cache key only, never hashed).
+        self.view_touch[v.index()] += 1;
         // Destructure to borrow `routers` and the arena mutably while
         // `g`/`state` stay shared — the ctx reads topology and liveness and
         // interns paths.
@@ -794,6 +926,68 @@ impl<R: RouterLogic> Engine<R> {
                 epoch,
             },
         );
+    }
+}
+
+/// A full capture of an [`Engine`]'s mutable state (see
+/// [`Engine::snapshot`]): everything that evolves during a run — router
+/// state, pending events with the clock, liveness, per-session FIFO/MRAI
+/// state, RNG stream positions, counters — plus the path arena (its
+/// nodes and, implicitly, its high-water mark, see
+/// [`Checkpoint::arena_mark`]). What it deliberately does *not* carry:
+/// the topology and config (immutable per engine; restore targets must
+/// match), the per-session MRAI jitter intervals (a pure function of
+/// topology and seed, sampled at construction), and the forwarding-view
+/// version counters (monotone cache keys, never rewound).
+#[derive(Clone)]
+pub struct Checkpoint<R> {
+    routers: Vec<R>,
+    paths: PathArena,
+    sched: Scheduler<Event>,
+    state: LinkState,
+    channels: Vec<FifoChannel>,
+    mrai: Vec<Vec<MraiSlot>>,
+    link_epoch: Vec<u64>,
+    scenario_seq: u32,
+    delay_rng: Rng,
+    loss_rng: Rng,
+    stats: RunStats,
+    started: bool,
+}
+
+impl<R> Checkpoint<R> {
+    /// The arena high-water mark captured at snapshot time: restoring into
+    /// a same-lineage engine truncates its arena back to this point.
+    pub fn arena_mark(&self) -> ArenaMark {
+        self.paths.mark()
+    }
+}
+
+/// Forking an engine (checkpoint-and-branch without disturbing the
+/// original): the clone owns independent copies of everything, including
+/// the full path arena, so both copies may diverge freely.
+impl<R: RouterLogic + Clone> Clone for Engine<R> {
+    fn clone(&self) -> Self {
+        Engine {
+            g: self.g.clone(),
+            routers: self.routers.clone(),
+            paths: self.paths.clone(),
+            sched: self.sched.clone(),
+            state: self.state.clone(),
+            channels: self.channels.clone(),
+            mrai: self.mrai.clone(),
+            mrai_interval: self.mrai_interval.clone(),
+            cfg: self.cfg.clone(),
+            link_epoch: self.link_epoch.clone(),
+            scenario_seq: self.scenario_seq,
+            delay_rng: self.delay_rng.clone(),
+            loss_rng: self.loss_rng.clone(),
+            stats: self.stats,
+            started: self.started,
+            out_scratch: Vec::new(),
+            view_touch: self.view_touch.clone(),
+            view_global: self.view_global,
+        }
     }
 }
 
@@ -1169,6 +1363,70 @@ mod tests {
         let mut observations = 0usize;
         e.run_until_quiescent(None, |_, _| observations += 1);
         assert!(observations > 0, "initial convergence must change FIBs");
+    }
+
+    /// The checkpoint contract at the engine level: snapshot → mutate →
+    /// restore → mutate replays bit-identically, whether the restore
+    /// target is the donor engine (arena truncation path) or a fresh
+    /// identically-constructed engine (arena copy path).
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let g = diamond();
+        let mut e = engine(g.clone(), AsId(4), 11);
+        e.start();
+        e.run_to_quiescence(None);
+        let ck = e.snapshot();
+        let arena_at_ck = e.paths().node_count();
+
+        let id = g.link_between(AsId(4), AsId(2)).unwrap();
+        let play = |e: &mut Engine<BgpRouter>| {
+            e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailLink(id));
+            e.run_to_quiescence(None);
+            e.inject_after(SimDuration::from_secs(5), ScenarioEvent::RecoverLink(id));
+            e.run_to_quiescence(None);
+            let hops: Vec<Option<AsId>> = g
+                .ases()
+                .map(|v| e.router(v).next_hop(PrefixId(0)))
+                .collect();
+            (hops, *e.stats(), e.now(), e.paths().node_count())
+        };
+        let first = play(&mut e);
+        assert!(
+            e.paths().node_count() >= arena_at_ck,
+            "replay only appends to the arena"
+        );
+
+        // Same-lineage restore: the arena extends the snapshot, so the
+        // rewind is a truncation back to the mark.
+        e.restore(&ck);
+        assert_eq!(
+            e.paths().node_count(),
+            arena_at_ck,
+            "arena truncated to the mark"
+        );
+        let second = play(&mut e);
+        assert_eq!(first, second, "same-engine replay diverged");
+
+        // Cross-lineage restore: a fresh engine with an empty arena adopts
+        // the snapshot wholesale (copy path) and replays identically.
+        let mut f = engine(g.clone(), AsId(4), 11);
+        f.restore(&ck);
+        assert_eq!(
+            f.paths().node_count(),
+            arena_at_ck,
+            "arena copied from the snapshot"
+        );
+        let third = play(&mut f);
+        assert_eq!(first, third, "fresh-engine replay diverged");
+
+        // snapshot_into reuses an existing checkpoint's buffers and
+        // captures state a restore reproduces exactly.
+        f.restore(&ck);
+        let mut ck2 = e.snapshot();
+        f.snapshot_into(&mut ck2);
+        let mut h = engine(g.clone(), AsId(4), 11);
+        h.restore(&ck2);
+        assert_eq!(play(&mut h), first, "snapshot_into replay diverged");
     }
 }
 

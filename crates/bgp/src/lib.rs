@@ -42,8 +42,8 @@ pub mod router;
 pub mod types;
 pub mod wire;
 
-pub use engine::{Engine, EngineConfig, RunStats, ScenarioEvent};
-pub use patharena::{PathArena, PathId};
+pub use engine::{Checkpoint, Engine, EngineConfig, RunStats, ScenarioEvent};
+pub use patharena::{ArenaMark, PathArena, PathId};
 pub use policy::{export_ok, local_pref};
 pub use rib::{DecisionOutcome, RibEntry, RibIn};
 pub use router::{BgpRouter, OutMsg, RouterCtx, RouterLogic};

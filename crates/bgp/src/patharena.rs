@@ -46,7 +46,7 @@ impl PathId {
 
 /// One cons cell of the path DAG. `len`, `origin` and the membership
 /// `mask` are denormalised at intern time so the common accessors are O(1).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Node {
     head: AsId,
     tail: PathId,
@@ -66,13 +66,30 @@ fn mask_bit(asn: AsId) -> u64 {
 
 /// The arena. One per simulation engine (shared by every router in it);
 /// standalone unit tests own private ones.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct PathArena {
     nodes: Vec<Node>,
     /// `(head, tail) → id` intern index. Deterministic Fx hashing: the
     /// keys are simulator-generated ids, never untrusted input, and one
     /// multiply beats SipHash rounds on the prepend-heavy intern path.
     index: FxHashMap<(AsId, PathId), PathId>,
+}
+
+impl Clone for PathArena {
+    fn clone(&self) -> PathArena {
+        PathArena {
+            nodes: self.nodes.clone(),
+            index: self.index.clone(),
+        }
+    }
+
+    /// Allocation-reusing copy: checkpoint restore overwrites a live arena
+    /// with a snapshot every warm-started cell, so both containers keep
+    /// their buffers.
+    fn clone_from(&mut self, source: &PathArena) {
+        self.nodes.clone_from(&source.nodes);
+        self.index.clone_from(&source.index);
+    }
 }
 
 impl PathArena {
@@ -218,7 +235,50 @@ impl PathArena {
     pub fn as_vec(&self, id: PathId) -> Vec<AsId> {
         self.iter(id).collect()
     }
+
+    /// Is this arena an append-only extension of `prefix` — same nodes in
+    /// the same order up to `prefix`'s length? When it is, rewinding to
+    /// `prefix` is a [`PathArena::truncate_to_mark`] (pop + index
+    /// eviction, no copying); when it is not, the rewinder must copy the
+    /// snapshot wholesale. The check is one length compare and one
+    /// contiguous slice compare over plain-`Copy` nodes.
+    pub fn extends(&self, prefix: &PathArena) -> bool {
+        self.nodes.len() >= prefix.nodes.len() && self.nodes[..prefix.nodes.len()] == prefix.nodes
+    }
+
+    /// High-water mark of the arena: everything interned so far stays valid
+    /// after a later [`PathArena::truncate_to_mark`] back to this point.
+    pub fn mark(&self) -> ArenaMark {
+        // simlint::allow(panic, "intern already rejects arenas beyond u32::MAX nodes")
+        ArenaMark(u32::try_from(self.nodes.len()).expect("arena capacity exceeded"))
+    }
+
+    /// Roll the arena back to a previously taken [`ArenaMark`]: every node
+    /// interned after the mark is popped and evicted from the intern index,
+    /// so a later re-intern of the same path content is assigned ids purely
+    /// by post-mark intern order again. This is what keeps forked runs
+    /// byte-identical to cold runs: a cell restored from a checkpoint can
+    /// never observe path ids a sibling cell interned after the snapshot.
+    ///
+    /// Panics if the arena is shorter than the mark (the mark belongs to a
+    /// different or newer arena).
+    pub fn truncate_to_mark(&mut self, m: ArenaMark) {
+        let keep = m.0 as usize;
+        assert!(
+            keep <= self.nodes.len(),
+            "arena mark {} beyond arena length {}",
+            m.0,
+            self.nodes.len()
+        );
+        for node in self.nodes.drain(keep..) {
+            self.index.remove(&(node.head, node.tail));
+        }
+    }
 }
+
+/// Opaque arena high-water mark (see [`PathArena::mark`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaMark(u32);
 
 /// Iterator over an interned path's ASes, next hop first.
 pub struct PathIter<'a> {
@@ -312,6 +372,38 @@ mod tests {
         assert_eq!(a.path_len(PathId::NONE), 0);
         assert_eq!(a.iter(PathId::NONE).count(), 0);
         assert!(PathId::NONE.is_none());
+    }
+
+    #[test]
+    fn truncate_to_mark_restores_intern_order() {
+        let mut a = PathArena::new();
+        let base = a.intern_slice(&ids(&[2, 1]));
+        let m = a.mark();
+        // Two divergent futures interned after the mark must produce
+        // identical ids once the first is rolled back.
+        let x = a.intern(AsId(9), base);
+        let x2 = a.intern(AsId(8), x);
+        a.truncate_to_mark(m);
+        assert_eq!(a.node_count(), 2);
+        let y = a.intern(AsId(7), base);
+        assert_eq!(y, x, "post-mark ids restart at the mark");
+        assert_eq!(a.as_vec(y), ids(&[7, 2, 1]));
+        // The evicted (9, base) entry really left the index: re-interning
+        // the old content allocates a fresh node instead of resurrecting x.
+        let z = a.intern(AsId(9), base);
+        assert_eq!(z, x2);
+        assert_eq!(a.as_vec(z), ids(&[9, 2, 1]));
+        // Pre-mark nodes survive untouched.
+        assert_eq!(a.as_vec(base), ids(&[2, 1]));
+    }
+
+    #[test]
+    fn truncate_to_mark_noop_at_current_length() {
+        let mut a = PathArena::new();
+        a.intern_slice(&ids(&[3, 1]));
+        let m = a.mark();
+        a.truncate_to_mark(m);
+        assert_eq!(a.node_count(), 2);
     }
 
     #[test]

@@ -170,8 +170,9 @@ impl Selection {
 }
 
 /// Unmodified BGP: one process, prefer-customer decision, valley-free
-/// export, no extra attributes.
-#[derive(Debug)]
+/// export, no extra attributes. `Clone` so engine checkpoints can carry
+/// router state (all fields are flat tables of `Copy` route handles).
+#[derive(Debug, Clone)]
 pub struct BgpRouter {
     me: AsId,
     /// Prefixes this AS originates.

@@ -39,8 +39,9 @@ type EtByColor = [Option<EventType>; 2];
 /// to announce or `None` to withdraw)` — plus the chosen blue lock target.
 type DesiredExports = (Vec<(AsId, Color, Option<Route>)>, Option<AsId>);
 
-/// A STAMP router (one per AS).
-#[derive(Debug)]
+/// A STAMP router (one per AS). `Clone` so engine checkpoints can carry
+/// router state.
+#[derive(Debug, Clone)]
 pub struct StampRouter {
     me: AsId,
     own: Vec<PrefixId>,

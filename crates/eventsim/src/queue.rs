@@ -6,6 +6,7 @@ use std::collections::BinaryHeap;
 
 /// Internal heap entry: ordered by `(time, seq)` so that simultaneous events
 /// pop in insertion order (determinism) and the payload never needs `Ord`.
+#[derive(Clone)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -45,6 +46,29 @@ pub struct Scheduler<E> {
 impl<E> Default for Scheduler<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Hand-written so `clone_from` reuses the heap's backing allocation — the
+/// engine's checkpoint/restore path restores schedulers in place, and the
+/// derived impl would rebuild the heap from scratch on every restore.
+impl<E: Clone> Clone for Scheduler<E> {
+    fn clone(&self) -> Self {
+        Scheduler {
+            heap: self.heap.clone(),
+            now: self.now,
+            seq: self.seq,
+            scheduled_total: self.scheduled_total,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // BinaryHeap's clone_from delegates to Vec's, which keeps the
+        // existing allocation when capacity suffices.
+        self.heap.clone_from(&source.heap);
+        self.now = source.now;
+        self.seq = source.seq;
+        self.scheduled_total = source.scheduled_total;
     }
 }
 

@@ -25,13 +25,39 @@ enum Mark {
     Done(Outcome),
 }
 
+/// Compiled-successor sentinel: the state delivers.
+const DELIVER: u32 = u32::MAX;
+/// Compiled-successor sentinel: the state drops.
+const DROP: u32 = u32::MAX - 1;
+/// Version sentinel: this AS's compiled row is never valid (the view
+/// could not version it, or it was never compiled).
+const NO_VERSION: u64 = u64::MAX;
+
 /// Reusable working memory for [`classify_all_into`]. One observation loop
 /// classifies the whole network every tick; owning the scratch across
 /// ticks means the loop allocates nothing after the first observation.
+///
+/// Beyond the walk buffers, the scratch memoises a *compiled* successor
+/// table over the view's `(AS, ctx)` states, validated per AS by
+/// [`ForwardingView::version`]: an observation tick only re-evaluates
+/// `step`/`start_ctx` for ASes whose version moved (routers that processed
+/// events, or everyone after a liveness change), and the classification
+/// walk itself chases precomputed integers. A scratch must stay dedicated
+/// to one view lineage (one engine and destination) — versions from
+/// different engines are not comparable.
 #[derive(Debug, Clone, Default)]
 pub struct ClassifyScratch {
     marks: Vec<Mark>,
     path: Vec<usize>,
+    /// Compiled successor state per `(AS, ctx)` (`DELIVER`/`DROP`
+    /// sentinels, otherwise the next state's index).
+    succ: Vec<u32>,
+    /// Compiled start context per AS.
+    starts: Vec<u8>,
+    /// Version each AS's compiled row was built at (`NO_VERSION` = dirty).
+    versions: Vec<u64>,
+    /// The `(n, n_ctx)` shape the compiled table was built for.
+    shape: (usize, usize),
 }
 
 /// Classify the fate of traffic from every AS towards the view's
@@ -51,16 +77,56 @@ pub fn classify_all_into<V: ForwardingView + ?Sized>(
 ) {
     let n = view.n();
     let n_ctx = view.n_ctx() as usize;
+    let states = n * n_ctx;
+    assert!(
+        states < DROP as usize,
+        "state space too large for the compiled successor encoding"
+    );
     let idx = |a: AsId, ctx: u8| -> usize { a.index() * n_ctx + ctx as usize };
+
+    // (Re)compile the successor table: only ASes whose version moved since
+    // the last observation re-evaluate `start_ctx`/`step`.
+    if scratch.shape != (n, n_ctx) {
+        scratch.succ.clear();
+        scratch.succ.resize(states, DROP);
+        scratch.starts.clear();
+        scratch.starts.resize(n, 0);
+        scratch.versions.clear();
+        scratch.versions.resize(n, NO_VERSION);
+        scratch.shape = (n, n_ctx);
+    }
+    for a in 0..n {
+        let v = AsId::from_usize(a);
+        let ver = view.version(v);
+        if let Some(ver) = ver {
+            if scratch.versions[a] == ver {
+                continue;
+            }
+        }
+        scratch.starts[a] = view.start_ctx(v);
+        for ctx in 0..n_ctx {
+            let ctx8 = u8::try_from(ctx).unwrap_or(u8::MAX);
+            scratch.succ[a * n_ctx + ctx] = match view.step(v, ctx8) {
+                Step::Deliver => DELIVER,
+                Step::Drop => DROP,
+                Step::Hop { to, ctx: nctx } => {
+                    debug_assert!(nctx < view.n_ctx());
+                    u32::try_from(idx(to, nctx)).unwrap_or(DROP)
+                }
+            };
+        }
+        scratch.versions[a] = ver.unwrap_or(NO_VERSION);
+    }
+
     scratch.marks.clear();
-    scratch.marks.resize(n * n_ctx, Mark::Unknown);
+    scratch.marks.resize(states, Mark::Unknown);
     let marks = &mut scratch.marks;
+    let succ = &scratch.succ;
     out.clear();
     out.reserve(n);
 
     for src in 0..n {
-        let src = AsId::from_usize(src);
-        let start = idx(src, view.start_ctx(src));
+        let start = src * n_ctx + usize::from(scratch.starts[src]);
         if let Mark::Done(o) = marks[start] {
             out.push(o);
             continue;
@@ -76,21 +142,16 @@ pub fn classify_all_into<V: ForwardingView + ?Sized>(
                 Mark::Unknown => {
                     marks[cur] = Mark::OnPath(u32::try_from(path.len()).unwrap_or(u32::MAX));
                     path.push(cur);
-                    let a = AsId::from_usize(cur / n_ctx);
-                    let ctx = u8::try_from(cur % n_ctx).unwrap_or(u8::MAX);
-                    match view.step(a, ctx) {
-                        Step::Deliver => {
+                    match succ[cur] {
+                        DELIVER => {
                             marks[cur] = Mark::Done(Outcome::Delivered);
                             break Outcome::Delivered;
                         }
-                        Step::Drop => {
+                        DROP => {
                             marks[cur] = Mark::Done(Outcome::Blackhole);
                             break Outcome::Blackhole;
                         }
-                        Step::Hop { to, ctx: nctx } => {
-                            debug_assert!(nctx < view.n_ctx());
-                            cur = idx(to, nctx);
-                        }
+                        next => cur = next as usize,
                     }
                 }
             }

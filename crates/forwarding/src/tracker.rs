@@ -1,9 +1,13 @@
 //! Transient-problem accumulation across a convergence window.
 
 use crate::trace::{classify_all_into, ClassifyScratch, Outcome};
-use crate::view::ForwardingView;
+use crate::view::{ForwardingView, SelectionKey};
 use stamp_bgp::types::RootCause;
 use stamp_topology::AsId;
+
+/// Version sentinel: the AS has not been checked yet (or the view cannot
+/// version it), so the control pass must evaluate it.
+const CONTROL_DIRTY: u64 = u64::MAX;
 
 /// Accumulates "ASes with transient problems" over the observation points
 /// of one convergence episode, per the paper's metric (Figures 2/3):
@@ -24,7 +28,16 @@ pub struct TransientTracker {
     /// table) at some observation instant. Empty `causes` disables it.
     causes: Vec<RootCause>,
     /// Pre-event selection paths per AS (adoption = deviation from these).
+    /// Only populated for ASes the baseline view could not key — when
+    /// compact keys are available the materialised paths are never needed
+    /// (key inequality already proves the selection set changed).
     baseline: Vec<Vec<Vec<AsId>>>,
+    /// Pre-event selection keys per AS (`None` = compare paths instead).
+    baseline_keys: Vec<Option<SelectionKey>>,
+    /// [`ForwardingView::version`] at which each AS was last checked
+    /// (`CONTROL_DIRTY` = never). An unchanged version means an unchanged
+    /// selection, so the previous observation's verdict still holds.
+    control_versions: Vec<u64>,
     control_affected: Vec<bool>,
     /// Total observations in which at least one AS looped.
     pub observations_with_loops: u64,
@@ -54,6 +67,8 @@ impl TransientTracker {
             affected_by_blackhole: vec![false; n],
             causes: Vec::new(),
             baseline: vec![Vec::new(); n],
+            baseline_keys: vec![None; n],
+            control_versions: vec![CONTROL_DIRTY; n],
             control_affected: vec![false; n],
             observations_with_loops: 0,
             observations_with_blackholes: 0,
@@ -73,7 +88,11 @@ impl TransientTracker {
         baseline_view: &V,
     ) -> TransientTracker {
         for i in 0..self.baseline.len() {
-            self.baseline[i] = baseline_view.selection_paths(AsId::from_usize(i));
+            let v = AsId::from_usize(i);
+            self.baseline_keys[i] = baseline_view.selection_key(v);
+            if self.baseline_keys[i].is_none() {
+                self.baseline[i] = baseline_view.selection_paths(v);
+            }
         }
         self.causes = causes;
         self
@@ -127,10 +146,33 @@ impl TransientTracker {
             if v == self.dest || !self.reachable[i] || self.control_affected[i] {
                 continue;
             }
-            let paths = view.selection_paths(v);
-            if paths == self.baseline[i] {
-                continue;
+            // An unmoved version means the selection is identical to the
+            // last observation, whose verdict (not affected) still stands —
+            // causes and reachability are fixed for the tracker's lifetime.
+            let ver = view.version(v);
+            if let Some(ver) = ver {
+                if self.control_versions[i] == ver {
+                    continue;
+                }
+                self.control_versions[i] = ver;
             }
+            // Fast path: when both sides have compact keys, key equality is
+            // path equality and no path is ever materialised. On key
+            // mismatch the selection set *definitely* changed, so the
+            // invalidation check below only needs the current paths.
+            match (view.selection_key(v), self.baseline_keys[i]) {
+                (Some(k), Some(bk)) => {
+                    if k == bk {
+                        continue;
+                    }
+                }
+                _ => {
+                    if view.selection_paths(v) == self.baseline[i] {
+                        continue;
+                    }
+                }
+            }
+            let paths = view.selection_paths(v);
             let all_bad = paths.is_empty()
                 || paths.iter().all(|p| {
                     // The stored path excludes the holder itself; the first

@@ -10,6 +10,7 @@
 use stamp_bgp::engine::Engine;
 use stamp_bgp::router::BgpRouter;
 use stamp_bgp::types::{Color, PrefixId};
+use stamp_bgp::PathId;
 use stamp_core::StampRouter;
 use stamp_rbgp::RbgpRouter;
 use stamp_topology::AsId;
@@ -23,6 +24,45 @@ pub enum Step {
     Hop { to: AsId, ctx: u8 },
     /// No usable route — the packet is dropped.
     Drop,
+}
+
+/// Compact identity of one AS's selected-route set: keys are equal **iff**
+/// the [`ForwardingView::selection_paths`] output is equal (`PathId`s are
+/// content-addressed within one arena, so id equality is path equality).
+/// Lets the control-plane companion metric compare selections against its
+/// baseline without materialising any paths on the unchanged fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionKey {
+    len: u8,
+    ids: [PathId; 2],
+}
+
+impl SelectionKey {
+    /// The key of an empty selection set.
+    pub const EMPTY: SelectionKey = SelectionKey {
+        len: 0,
+        ids: [PathId::NONE; 2],
+    };
+
+    /// Key of a single optional selection (BGP, R-BGP).
+    #[inline]
+    pub fn of_one(id: Option<PathId>) -> SelectionKey {
+        let mut k = SelectionKey::EMPTY;
+        if let Some(p) = id {
+            k.push(p);
+        }
+        k
+    }
+
+    /// Append one selected path id (order-sensitive, max 2).
+    #[inline]
+    pub fn push(&mut self, id: PathId) {
+        debug_assert!((self.len as usize) < self.ids.len());
+        if let Some(slot) = self.ids.get_mut(usize::from(self.len)) {
+            *slot = id;
+            self.len += 1;
+        }
+    }
 }
 
 /// A protocol's data plane towards one destination prefix.
@@ -41,6 +81,25 @@ pub trait ForwardingView {
     /// companion metric (ASes that *adopt* a selection invalidated by the
     /// event during convergence).
     fn selection_paths(&self, v: AsId) -> Vec<Vec<AsId>>;
+
+    /// Version of `v`'s forwarding behaviour, for memoising compiled
+    /// classification state: while the version is unchanged, `start_ctx`
+    /// and every `step` at `v` return what they returned before. `None`
+    /// (the default) means "cannot version — recompute every time". A
+    /// scratch holding versioned state must be dedicated to one view
+    /// lineage (one engine); versions from different engines are not
+    /// comparable.
+    fn version(&self, _v: AsId) -> Option<u64> {
+        None
+    }
+
+    /// Compact key of `v`'s current selection set: equal keys ⇔ equal
+    /// [`ForwardingView::selection_paths`]. `None` (the default) means the
+    /// view cannot key selections and callers must compare materialised
+    /// paths.
+    fn selection_key(&self, _v: AsId) -> Option<SelectionKey> {
+        None
+    }
 }
 
 /// Plain-BGP view over a converging engine.
@@ -78,6 +137,16 @@ impl ForwardingView for BgpView<'_> {
             Some(p) => vec![self.engine.paths().as_vec(p)],
             None => Vec::new(),
         }
+    }
+
+    fn version(&self, v: AsId) -> Option<u64> {
+        Some(self.engine.view_version(v))
+    }
+
+    fn selection_key(&self, v: AsId) -> Option<SelectionKey> {
+        Some(SelectionKey::of_one(
+            self.engine.router(v).selection(self.prefix).path_id(),
+        ))
     }
 }
 
@@ -144,6 +213,16 @@ impl ForwardingView for RbgpView<'_> {
             Some(p) => vec![self.engine.paths().as_vec(p)],
             None => Vec::new(),
         }
+    }
+
+    fn version(&self, v: AsId) -> Option<u64> {
+        Some(self.engine.view_version(v))
+    }
+
+    fn selection_key(&self, v: AsId) -> Option<SelectionKey> {
+        Some(SelectionKey::of_one(
+            self.engine.router(v).selection(self.prefix).path_id(),
+        ))
     }
 }
 
@@ -215,33 +294,36 @@ impl ForwardingView for StampView<'_> {
         let usable = |color: Color| -> Option<AsId> {
             r.next_hop(self.prefix, color).filter(|nh| session_ok(*nh))
         };
-        let same = usable(c);
-        let same_stable = same.filter(|_| !r.is_unstable(self.prefix, c));
-        let other = usable(c.other());
-        let other_stable = other.filter(|_| !r.is_unstable(self.prefix, c.other()));
 
         // Preference order (§5.1 + crate docs rule 3): same colour if
         // stable; else switch once to a stable other colour; else keep the
         // same colour even if unstable; else switch once to an unstable
-        // other colour; else drop.
-        if let Some(to) = same_stable {
+        // other colour; else drop. Evaluated lazily — the common case
+        // (same colour usable and stable) probes one route and one session.
+        if let Some(to) = usable(c) {
+            if !r.is_unstable(self.prefix, c) {
+                return Step::Hop { to, ctx };
+            }
+            // Same colour exists but is unstable: a *stable* other colour
+            // wins the switch; an unstable one loses to staying put.
+            if !switched {
+                if let Some(o) = usable(c.other()) {
+                    if !r.is_unstable(self.prefix, c.other()) {
+                        return Step::Hop {
+                            to: o,
+                            ctx: Self::ctx_of(c.other(), true),
+                        };
+                    }
+                }
+            }
             return Step::Hop { to, ctx };
         }
+        // No same-colour route at all: any other-colour route (stable
+        // preferred or not — it is the only candidate) takes the switch.
         if !switched {
-            if let Some(to) = other_stable {
+            if let Some(o) = usable(c.other()) {
                 return Step::Hop {
-                    to,
-                    ctx: Self::ctx_of(c.other(), true),
-                };
-            }
-        }
-        if let Some(nh) = same {
-            return Step::Hop { to: nh, ctx };
-        }
-        if !switched {
-            if let Some(nh) = other {
-                return Step::Hop {
-                    to: nh,
+                    to: o,
                     ctx: Self::ctx_of(c.other(), true),
                 };
             }
@@ -259,6 +341,23 @@ impl ForwardingView for StampView<'_> {
                     .map(|p| self.engine.paths().as_vec(p))
             })
             .collect()
+    }
+
+    fn version(&self, v: AsId) -> Option<u64> {
+        Some(self.engine.view_version(v))
+    }
+
+    fn selection_key(&self, v: AsId) -> Option<SelectionKey> {
+        // Same filtered traversal order as `selection_paths`, so the key
+        // equivalence holds: `[red, —]` and `[—, red]` both key as one id.
+        let r = self.engine.router(v);
+        let mut k = SelectionKey::EMPTY;
+        for c in Color::ALL.iter() {
+            if let Some(p) = r.selection(self.prefix, *c).path_id() {
+                k.push(p);
+            }
+        }
+        Some(k)
     }
 }
 

@@ -31,8 +31,9 @@ impl Default for RbgpConfig {
     }
 }
 
-/// One R-BGP router (single process; `ProcId::ONLY`).
-#[derive(Debug)]
+/// One R-BGP router (single process; `ProcId::ONLY`). `Clone` so engine
+/// checkpoints can carry router state.
+#[derive(Debug, Clone)]
 pub struct RbgpRouter {
     me: AsId,
     own: Vec<PrefixId>,

@@ -11,27 +11,28 @@
 //! argument: randomness is derived per cell from the cell's coordinates,
 //! never from worker identity or wall-clock.
 
-use crate::sim::Sim;
+use crate::sim::{Sim, SimCheckpoint};
 use crate::timeline::{
     background_churn, choose_k, correlated_node_outage, flap_train, maintenance_windows,
     provider_cone, staggered_link_failures, Timeline, TimelineError,
 };
 use stamp_bgp::engine::EngineConfig;
 use stamp_bgp::types::PrefixId;
+use stamp_eventsim::fxhash::FxHashMap;
 use stamp_eventsim::rng::{tags, Rng};
 use stamp_eventsim::{derive_seed, DelayModel, LossModel, SimDuration};
 use stamp_topology::{AsGraph, AsId, StaticRoutes};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The prefix every run converges (one destination at a time, as in the
 /// paper).
 pub const PREFIX: PrefixId = PrefixId(0);
 
 /// Protocols compared by campaigns and the figure experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Protocol {
     Bgp,
     RbgpNoRci,
@@ -277,17 +278,120 @@ pub fn run_protocol_cell(
     protocol: Protocol,
     seed: u64,
 ) -> InstanceMetrics {
-    Sim::on(g)
+    run_protocol_cell_inner(g, params, timeline, dest, reachable, protocol, seed, None)
+}
+
+/// [`run_protocol_cell`] with a warm-start cache: if `cache` holds the
+/// converged baseline for this `(protocol, dest, seed)`, the cell forks
+/// from it instead of replaying convergence; otherwise the cell converges
+/// cold and deposits its checkpoint for the next taker. Either way the
+/// returned metrics are bit-identical to the cold path (the restore
+/// contract, proven by `tests/warmstart.rs` and the campaign binary's
+/// cold-vs-warm hash assertion).
+#[allow(clippy::too_many_arguments)]
+pub fn run_protocol_cell_warm(
+    g: &AsGraph,
+    params: &RunParams,
+    timeline: &Timeline,
+    dest: AsId,
+    reachable: &[bool],
+    protocol: Protocol,
+    seed: u64,
+    cache: &BaselineCache,
+) -> InstanceMetrics {
+    run_protocol_cell_inner(
+        g,
+        params,
+        timeline,
+        dest,
+        reachable,
+        protocol,
+        seed,
+        Some(cache),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_protocol_cell_inner(
+    g: &AsGraph,
+    params: &RunParams,
+    timeline: &Timeline,
+    dest: AsId,
+    reachable: &[bool],
+    protocol: Protocol,
+    seed: u64,
+    cache: Option<&BaselineCache>,
+) -> InstanceMetrics {
+    let mut sim = Sim::on(g)
         .protocol(protocol)
         .originate(dest, PREFIX)
         .seed(seed)
         .params(params.clone())
         .build()
         // simlint::allow(panic, "destinations come from the campaign's own topology scan")
-        .expect("campaign destinations are in range")
-        .measure(timeline, reachable)
+        .expect("campaign destinations are in range");
+    if let Some(cache) = cache {
+        match cache.get(protocol, dest, seed) {
+            Some(ck) => sim
+                .restore(&ck)
+                // simlint::allow(panic, "the cache key includes the protocol, so the kinds match")
+                .expect("cached checkpoint matches the session protocol"),
+            None => {
+                sim.converge();
+                cache.put(protocol, dest, seed, sim.checkpoint());
+            }
+        }
+    }
+    sim.measure(timeline, reachable)
         // simlint::allow(panic, "timelines are generated against this same graph")
         .expect("timeline must resolve against the campaign topology")
+}
+
+/// Warm-start cache of converged baselines: `(protocol, dest, engine
+/// seed) → checkpoint taken right after initial convergence`. Shared
+/// across workers (internally locked; checkpoints are handed out as
+/// `Arc`s, so the lock is never held during a restore) and across grid
+/// passes — the second run of the same grid converges nothing.
+///
+/// Contract: one cache serves exactly one `(topology, params)` pair. The
+/// key deliberately does not re-encode them (hashing a whole `AsGraph`
+/// per lookup would dwarf the restore it guards); reusing a cache across
+/// topologies or params is a caller bug, same as [`Sim::restore`] across
+/// sessions of different shape.
+#[derive(Default)]
+pub struct BaselineCache {
+    map: Mutex<FxHashMap<(Protocol, AsId, u64), Arc<SimCheckpoint>>>,
+}
+
+impl BaselineCache {
+    /// An empty cache.
+    pub fn new() -> BaselineCache {
+        BaselineCache::default()
+    }
+
+    /// Number of converged baselines held.
+    pub fn len(&self) -> usize {
+        // simlint::allow(panic, "poison means a sibling worker already panicked")
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when no baseline has been deposited yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, p: Protocol, dest: AsId, seed: u64) -> Option<Arc<SimCheckpoint>> {
+        // simlint::allow(panic, "poison means a sibling worker already panicked")
+        self.map.lock().unwrap().get(&(p, dest, seed)).cloned()
+    }
+
+    fn put(&self, p: Protocol, dest: AsId, seed: u64, ck: SimCheckpoint) {
+        self.map
+            .lock()
+            // simlint::allow(panic, "poison means a sibling worker already panicked")
+            .unwrap()
+            .insert((p, dest, seed), Arc::new(ck));
+    }
 }
 
 /// The five built-in scenario-timeline families the `campaign` binary (and
@@ -505,6 +609,61 @@ pub fn run_campaign(
     dests: &[AsId],
     cfg: &CampaignConfig,
 ) -> Result<CampaignReport, TimelineError> {
+    run_campaign_with_cache(g, timelines, dests, cfg, None)
+}
+
+/// Converge every baseline of the grid into `cache` without playing any
+/// timeline: afterwards a [`run_campaign_with_cache`] pass over the same
+/// grid forks every cell instead of converging it. Idempotent — already
+/// cached baselines are skipped.
+pub fn populate_baselines(
+    g: &AsGraph,
+    n_timelines: usize,
+    dests: &[AsId],
+    cfg: &CampaignConfig,
+    cache: &BaselineCache,
+) {
+    for t in 0..n_timelines {
+        for &dest in dests {
+            for &seed in &cfg.seeds {
+                let cell = CampaignCell {
+                    timeline: t,
+                    dest,
+                    seed,
+                };
+                let seed = cell_seed(&cell);
+                for &p in &cfg.protocols {
+                    if cache.get(p, dest, seed).is_some() {
+                        continue;
+                    }
+                    let mut sim = Sim::on(g)
+                        .protocol(p)
+                        .originate(dest, PREFIX)
+                        .seed(seed)
+                        .params(cfg.params.clone())
+                        .build()
+                        // simlint::allow(panic, "destinations come from the campaign's own topology scan")
+                        .expect("campaign destinations are in range");
+                    sim.converge();
+                    cache.put(p, dest, seed, sim.checkpoint());
+                }
+            }
+        }
+    }
+}
+
+/// [`run_campaign`] with an optional warm-start [`BaselineCache`]: cells
+/// whose converged baseline is cached fork from the checkpoint instead of
+/// replaying convergence; missing baselines converge cold and are
+/// deposited. The report — including its aggregate hash — is byte-
+/// identical with or without a cache, at any worker count.
+pub fn run_campaign_with_cache(
+    g: &AsGraph,
+    timelines: &[Timeline],
+    dests: &[AsId],
+    cfg: &CampaignConfig,
+    cache: Option<&BaselineCache>,
+) -> Result<CampaignReport, TimelineError> {
     // Validate the whole grid up front; workers may then expect().
     let mut removed_per_timeline = Vec::with_capacity(timelines.len());
     for t in timelines {
@@ -572,7 +731,7 @@ pub fn run_campaign(
                     .map(|&p| {
                         (
                             p,
-                            run_protocol_cell(
+                            run_protocol_cell_inner(
                                 g,
                                 &cfg.params,
                                 &timelines[cell.timeline],
@@ -580,6 +739,7 @@ pub fn run_campaign(
                                 &reachable[cell.timeline][di],
                                 p,
                                 seed,
+                                cache,
                             ),
                         )
                     })

@@ -38,7 +38,8 @@ pub mod sim;
 pub mod timeline;
 
 pub use campaign::{
-    run_campaign, run_protocol_cell, smoke_grid, standard_families, Aggregate, CampaignCell,
+    populate_baselines, run_campaign, run_campaign_with_cache, run_protocol_cell,
+    run_protocol_cell_warm, smoke_grid, standard_families, Aggregate, BaselineCache, CampaignCell,
     CampaignConfig, CampaignReport, CellResult, InstanceMetrics, ParseProtocolError, Protocol,
     RunParams, PREFIX,
 };
@@ -46,7 +47,7 @@ pub use canned::{destination_candidates, sample_canned, CannedWorkload, FailureS
 pub use dsl::{parse_scn, ScnError, ScnErrorKind};
 pub use sim::{
     MetricsProbe, NullProbe, Phase, Played, Probe, ProtocolEngine, ProtocolSpec, Sim, SimBuilder,
-    SimError, SimEvent, SnapshotCause,
+    SimCheckpoint, SimError, SimEvent, SnapshotCause,
 };
 pub use timeline::{
     background_churn, choose_k, correlated_node_outage, flap_train, maintenance_windows,

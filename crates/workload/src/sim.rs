@@ -40,7 +40,7 @@
 
 use crate::campaign::{InstanceMetrics, Protocol, RunParams};
 use crate::timeline::{Timeline, TimelineError};
-use stamp_bgp::engine::{Engine, EngineConfig, RunStats, ScenarioEvent};
+use stamp_bgp::engine::{Checkpoint, Engine, EngineConfig, RunStats, ScenarioEvent};
 use stamp_bgp::router::{BgpRouter, RouterLogic};
 use stamp_bgp::types::{PrefixId, RootCause};
 use stamp_core::{LockStrategy, StampRouter};
@@ -64,6 +64,9 @@ pub enum SimError {
     DestinationOutOfRange { dest: AsId, n_ases: usize },
     /// A played timeline does not resolve against the session's topology.
     Timeline(TimelineError),
+    /// A checkpoint from one protocol was restored into a session running
+    /// another.
+    CheckpointMismatch { expected: Protocol, got: Protocol },
 }
 
 impl fmt::Display for SimError {
@@ -80,6 +83,10 @@ impl fmt::Display for SimError {
                 "destination {dest} is out of range for a topology of {n_ases} ASes"
             ),
             SimError::Timeline(e) => write!(f, "timeline does not resolve: {e}"),
+            SimError::CheckpointMismatch { expected, got } => write!(
+                f,
+                "checkpoint protocol mismatch: session runs {expected}, checkpoint holds {got}"
+            ),
         }
     }
 }
@@ -148,6 +155,7 @@ impl ProtocolEngine for StampRouter {
 /// One engine, protocol erased. The single place the workspace matches on
 /// router types; everything below the match is generic over
 /// [`ProtocolEngine`].
+#[derive(Clone)]
 enum EngineKind {
     Bgp(Engine<BgpRouter>),
     Rbgp(Engine<RbgpRouter>),
@@ -571,7 +579,10 @@ impl<'g> SimBuilder<'g> {
 /// [`Sim::converge`] / [`Sim::play`] / [`Sim::measure`], observe it with a
 /// [`Probe`], and reach the concrete engine through the typed accessors
 /// ([`Sim::bgp`], [`Sim::rbgp`], [`Sim::stamp`]) when protocol-specific
-/// state matters.
+/// state matters. Warm-start a grid with [`Sim::checkpoint`] /
+/// [`Sim::restore`] / [`Sim::fork`]: a restored or forked session replays
+/// bit-identically to the one it branched from.
+#[derive(Clone)]
 pub struct Sim {
     protocol: Protocol,
     dest: AsId,
@@ -810,6 +821,80 @@ impl Sim {
             interned_paths: self.interned_paths(),
         })
     }
+
+    /// Capture the whole session — engine state (routers, in-flight
+    /// messages, scheduler, RNG stream positions, path-arena high-water
+    /// mark) plus the facade's convergence bookkeeping — as a
+    /// protocol-erased checkpoint. Typical use: converge once, checkpoint,
+    /// then [`Sim::restore`] before each timeline of a grid.
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        SimCheckpoint {
+            protocol: self.protocol,
+            engine: match &self.engine {
+                EngineKind::Bgp(e) => CheckpointKind::Bgp(e.snapshot()),
+                EngineKind::Rbgp(e) => CheckpointKind::Rbgp(e.snapshot()),
+                EngineKind::Stamp(e) => CheckpointKind::Stamp(e.snapshot()),
+            },
+            converged: self.converged,
+            updates_initial: self.updates_initial,
+        }
+    }
+
+    /// Rewind the session to `ck`, reusing this session's buffers (no
+    /// steady-state allocation). Replay after a restore is bit-identical
+    /// to replay from the instant the checkpoint was taken — see
+    /// DESIGN.md §12 for the argument. The checkpoint must come from a
+    /// session of the same protocol (typed error otherwise) running the
+    /// same topology and params (caller contract, not re-validated here).
+    pub fn restore(&mut self, ck: &SimCheckpoint) -> Result<(), SimError> {
+        let mismatch = || SimError::CheckpointMismatch {
+            expected: self.protocol,
+            got: ck.protocol,
+        };
+        if self.protocol != ck.protocol {
+            return Err(mismatch());
+        }
+        match (&mut self.engine, &ck.engine) {
+            (EngineKind::Bgp(e), CheckpointKind::Bgp(c)) => e.restore(c),
+            (EngineKind::Rbgp(e), CheckpointKind::Rbgp(c)) => e.restore(c),
+            (EngineKind::Stamp(e), CheckpointKind::Stamp(c)) => e.restore(c),
+            _ => return Err(mismatch()),
+        }
+        self.converged = ck.converged;
+        self.updates_initial = ck.updates_initial;
+        Ok(())
+    }
+
+    /// A fully independent copy of the session (fresh allocations, shared
+    /// nothing). The fork continues bit-identically to the original: both
+    /// replay the same events to the same metrics.
+    pub fn fork(&self) -> Sim {
+        self.clone()
+    }
+}
+
+/// Protocol-erased session checkpoint from [`Sim::checkpoint`]. Opaque:
+/// its only consumer is [`Sim::restore`] on a compatible session.
+#[derive(Clone)]
+pub struct SimCheckpoint {
+    protocol: Protocol,
+    engine: CheckpointKind,
+    converged: bool,
+    updates_initial: u64,
+}
+
+impl SimCheckpoint {
+    /// The protocol of the session this checkpoint was taken from.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+}
+
+#[derive(Clone)]
+enum CheckpointKind {
+    Bgp(Checkpoint<BgpRouter>),
+    Rbgp(Checkpoint<RbgpRouter>),
+    Stamp(Checkpoint<StampRouter>),
 }
 
 /// Where a [`Sim::play`] landed on the simulation clock.
