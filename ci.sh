@@ -73,6 +73,19 @@ echo "tier-1 gate passed (offline, incl. doctests)"
 cargo run --release --offline -q -p stamp_bench --bin campaign -- --smoke
 echo "smoke campaign passed (deterministic aggregate hash)"
 
+# --- queryd daemon smoke gate ---------------------------------------------
+# Launch the resident what-if daemon on the smoke topology, pipe the
+# scripted transcript through it, and require the response stream to match
+# the golden byte for byte — exercising startup convergence, every query
+# verb, typed refusals, and clean shutdown on EOF/QUIT in one shot.
+queryd_out=$(cargo run --release --offline -q -p stamp_queryd -- --smoke \
+    < crates/queryd/transcripts/smoke.in)
+if ! diff <(printf '%s\n' "$queryd_out") crates/queryd/transcripts/smoke.golden; then
+    echo "QUERYD VIOLATION: daemon transcript diverged from crates/queryd/transcripts/smoke.golden" >&2
+    exit 1
+fi
+echo "queryd daemon smoke gate passed (golden transcript byte-identical)"
+
 # --- Debug-vs-release determinism cross-check ----------------------------
 # The same smoke grid must hash identically under both profiles: a
 # divergence means results depend on debug_assertions-gated code, an

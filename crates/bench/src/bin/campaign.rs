@@ -18,12 +18,13 @@
 use stamp_bench::parse_args;
 use stamp_eventsim::rng::tags;
 use stamp_eventsim::rng_stream;
+use stamp_queryd::{proto_token, serve, QueryEngine, QuerydConfig};
 use stamp_topology::gen::generate;
 use stamp_topology::{AsGraph, AsId, GenConfig};
 use stamp_workload::{
     choose_k, destination_candidates, populate_baselines, run_campaign, run_campaign_with_cache,
-    smoke_grid, standard_families, BaselineCache, CampaignConfig, CampaignReport, Protocol,
-    RunParams, Timeline,
+    smoke_grid, standard_families, BaselineCache, CacheStats, CampaignConfig, CampaignReport,
+    Protocol, RunParams, Timeline,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -146,6 +147,112 @@ fn print_report(run: &GridRun, protocols: &[Protocol]) {
     );
 }
 
+/// One `query_throughput` measurement: a resident queryd engine on the
+/// default grid's topology, fed a batch of single-cell `WHATIF` lines
+/// through the in-memory serving loop (the same `serve` the daemon binary
+/// wires to stdin — batch mode *is* the line protocol).
+struct QueryRun {
+    n_ases: usize,
+    baselines: usize,
+    queries: usize,
+    /// Wall clock of the batch (banner to BYE).
+    wall_s: f64,
+    /// Wall clock of engine startup (topology + every baseline converged).
+    wall_s_startup: f64,
+    cache: CacheStats,
+}
+
+/// Converge a resident engine on the campaign's own grid axes, then time
+/// a batch of `n_queries` what-ifs (alternating FAIL-LINK / DRAIN-NODE,
+/// cycling destinations, providers and protocols, every one an explicit
+/// single cell with `PROTO`/`DEST`). Every query forks from a resident
+/// checkpoint — the run asserts the cache never missed.
+fn run_query_throughput(
+    g: &AsGraph,
+    dests: &[AsId],
+    protocols: &[Protocol],
+    seed: u64,
+    n_queries: usize,
+) -> QueryRun {
+    let t0 = Instant::now();
+    let mut cfg = QuerydConfig::new(protocols.to_vec(), dests.to_vec());
+    cfg.seed = seed;
+    let engine = QueryEngine::new(g.clone(), cfg).expect("baselines converge");
+    let wall_s_startup = t0.elapsed().as_secs_f64();
+
+    let mut input = String::new();
+    for i in 0..n_queries {
+        let d = dests[i % dests.len()];
+        let p = protocols[(i / dests.len()) % protocols.len()];
+        let provs = g.providers(d);
+        let pr = provs[i % provs.len()];
+        if i % 2 == 0 {
+            let _ = writeln!(
+                input,
+                "WHATIF FAIL-LINK {} {} PROTO {} DEST {}",
+                d.0,
+                pr.0,
+                proto_token(p),
+                d.0
+            );
+        } else {
+            let _ = writeln!(
+                input,
+                "WHATIF DRAIN-NODE {} PROTO {} DEST {}",
+                pr.0,
+                proto_token(p),
+                d.0
+            );
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut out = Vec::new();
+    serve(&engine, input.as_bytes(), &mut out).expect("in-memory serving cannot fail");
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let text = String::from_utf8(out).expect("responses are UTF-8");
+    let frames = text.lines().filter(|l| *l == "END").count();
+    assert_eq!(frames, n_queries + 1, "one frame per query plus BYE");
+    assert!(
+        !text.contains("\nERR "),
+        "a benchmark query was refused:\n{text}"
+    );
+    let cache = engine.cache_stats();
+    assert_eq!(
+        (cache.hits, cache.misses),
+        (n_queries as u64, 0),
+        "every query must fork from a resident baseline"
+    );
+    QueryRun {
+        n_ases: g.n(),
+        baselines: dests.len() * protocols.len(),
+        queries: n_queries,
+        wall_s,
+        wall_s_startup,
+        cache,
+    }
+}
+
+fn query_json(s: &mut String, key: &str, q: &QueryRun) {
+    let _ = writeln!(s, "  \"{key}\": {{");
+    let _ = writeln!(s, "    \"n_ases\": {},", q.n_ases);
+    let _ = writeln!(s, "    \"cores\": {},", cores());
+    let _ = writeln!(s, "    \"baselines\": {},", q.baselines);
+    let _ = writeln!(s, "    \"queries\": {},", q.queries);
+    let _ = writeln!(s, "    \"wall_s\": {:.3},", q.wall_s);
+    let _ = writeln!(s, "    \"wall_s_startup\": {:.3},", q.wall_s_startup);
+    let _ = writeln!(
+        s,
+        "    \"queries_per_s\": {:.3},",
+        q.queries as f64 / q.wall_s
+    );
+    let _ = writeln!(s, "    \"cache_hits\": {},", q.cache.hits);
+    let _ = writeln!(s, "    \"cache_misses\": {},", q.cache.misses);
+    let _ = writeln!(s, "    \"cache_evictions\": {}", q.cache.evictions);
+    s.push_str("  }");
+}
+
 /// Logical CPUs of the host running the benchmark — recorded so a
 /// speedup ≈ 1 row on a one-core container is legible as a machine
 /// property, not a scaling regression.
@@ -219,14 +326,24 @@ fn json_object(s: &mut String, key: &str, run: &GridRun, protocols: &[Protocol])
 }
 
 /// Write one JSON object per recorded grid (`campaign` = the primary grid;
-/// `campaign_2000` = the scale row, when run).
-fn write_json(runs: &[(&str, &GridRun)], protocols: &[Protocol], path: &str) {
+/// `campaign_2000` = the scale row and `query_throughput` the resident-
+/// daemon row, when run).
+fn write_json(
+    runs: &[(&str, &GridRun)],
+    query: Option<&QueryRun>,
+    protocols: &[Protocol],
+    path: &str,
+) {
     let mut s = String::from("{\n");
     for (i, (key, run)) in runs.iter().enumerate() {
         if i > 0 {
             s.push_str(",\n");
         }
         json_object(&mut s, key, run, protocols);
+    }
+    if let Some(q) = query {
+        s.push_str(",\n");
+        query_json(&mut s, "query_throughput", q);
     }
     s.push_str("\n}\n");
     std::fs::write(path, s).expect("write BENCH_campaign.json");
@@ -382,6 +499,30 @@ fn main() {
         None
     };
 
+    // The resident-daemon row: converge the default grid's cells once in a
+    // queryd engine, then stream a batch of single-cell what-ifs through
+    // the serving loop. The bar: answering a warm query must beat the warm
+    // campaign path per cell (a query is one protocol measure; a campaign
+    // cell runs all of them — a resident daemon that lost to the batch
+    // runner would have no reason to exist).
+    let query_run = if default_grid {
+        let q = run_query_throughput(&g, &dests, &protocols, seed, 120);
+        let rate = q.queries as f64 / q.wall_s;
+        let warm_rate = run.report.cells.len() as f64 / run.wall_warm_1;
+        println!(
+            "query throughput: {} baselines converged in {:.2} s, then {} queries in {:.2} s \
+             ({rate:.2} queries/s vs {warm_rate:.2} warm cells/s)",
+            q.baselines, q.wall_s_startup, q.queries, q.wall_s
+        );
+        assert!(
+            rate >= warm_rate,
+            "resident queries ({rate:.2}/s) slower than the warm campaign path ({warm_rate:.2} cells/s)"
+        );
+        Some(q)
+    } else {
+        None
+    };
+
     if args.check {
         println!("check mode: BENCH_campaign.json left untouched");
         return;
@@ -390,5 +531,5 @@ fn main() {
     if let Some(r) = &run_2000 {
         rows.push(("campaign_2000", r));
     }
-    write_json(&rows, &protocols, "BENCH_campaign.json");
+    write_json(&rows, query_run.as_ref(), &protocols, "BENCH_campaign.json");
 }

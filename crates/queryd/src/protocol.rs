@@ -1,0 +1,1074 @@
+//! The queryd wire protocol: typed requests and responses over a
+//! line-oriented plain-text format with an exact parse/format round-trip.
+//!
+//! Requests are one line each (keywords case-insensitive on parse,
+//! upper-case canonical; AS ids are the dense `u32` values, protocols the
+//! registry's primary lower-case alias):
+//!
+//! ```text
+//! WHATIF FAIL-LINK <a> <b> [PROTO <p>] [DEST <d>]
+//! WHATIF DRAIN-NODE <v> [PROTO <p>] [DEST <d>]
+//! WHATIF SCN [PROTO <p>] [DEST <d>] <inline .scn, lines joined by "; ">
+//! SHOW BASELINES
+//! SHOW CACHE
+//! SHOW ROUTE <dest> FROM <from>
+//! SHOW DISJOINTNESS <dest>
+//! QUIT
+//! ```
+//!
+//! Responses are a header line, zero or more body rows of space-separated
+//! `key=value` fields in a fixed order, and a closing `END` line — so a
+//! client can frame a response without knowing its kind. Floats print via
+//! Rust's shortest-round-trip `Display`, which is why format→parse→format
+//! is byte-identical (the same guarantee the `.scn` DSL makes, proven by
+//! the property suite in `tests/queryd.rs`).
+
+use stamp_topology::AsId;
+use stamp_workload::sim::ProtocolSpec;
+use stamp_workload::{parse_scn, CacheStats, InstanceMetrics, Protocol, ScnError, Timeline};
+use std::fmt;
+use std::str::FromStr;
+
+/// The canonical wire token of a protocol: the registry's first alias
+/// (lower-case, no spaces — labels like "R-BGP without RCI" would not
+/// survive whitespace tokenization).
+pub fn proto_token(p: Protocol) -> &'static str {
+    ProtocolSpec::of(p).aliases[0]
+}
+
+/// The failure shape of a `WHATIF` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhatIfShape {
+    /// `FAIL-LINK a b`: the link fails at the epoch and stays down.
+    FailLink(AsId, AsId),
+    /// `DRAIN-NODE v`: the node fails at the epoch and restores after the
+    /// daemon's configured drain window.
+    DrainNode(AsId),
+    /// `SCN …`: an arbitrary inline `.scn` timeline.
+    Scn(Timeline),
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Play a failure shape against the resident baselines and report the
+    /// paper's disruption metrics. `proto`/`dest` narrow the fan-out;
+    /// omitted, the query runs every served protocol/destination.
+    WhatIf {
+        shape: WhatIfShape,
+        proto: Option<Protocol>,
+        dest: Option<AsId>,
+    },
+    /// List the resident converged baselines.
+    ShowBaselines,
+    /// Report the baseline cache's occupancy and hit/miss counters.
+    ShowCache,
+    /// The selected AS path(s) from `from` towards `dest`, per protocol.
+    ShowRoute { dest: AsId, from: AsId },
+    /// Topology-level disjointness of `dest`'s uphill paths.
+    ShowDisjointness { dest: AsId },
+    /// Close the session (the server answers `BYE` and stops reading).
+    Quit,
+}
+
+/// Typed rejection of a request line (queryd's junk-rejection contract:
+/// every malformed line maps to one of these, never a panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The line had no tokens.
+    Empty,
+    /// The first word was not `WHATIF`/`SHOW`/`QUIT`.
+    UnknownCommand(String),
+    /// `SHOW` was followed by an unknown subject.
+    UnknownShow(String),
+    /// `WHATIF` was followed by an unknown shape.
+    UnknownWhatIf(String),
+    /// A required argument was missing.
+    MissingArg(&'static str),
+    /// An AS id argument was not a `u32`.
+    BadAsId(String),
+    /// A `PROTO` value matched no registry label or alias.
+    BadProtocol(String),
+    /// The inline `.scn` body of `WHATIF SCN` failed to parse.
+    BadScn(ScnError),
+    /// Unexpected tokens after a complete request.
+    Trailing(String),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Empty => write!(f, "empty request"),
+            RequestError::UnknownCommand(w) => {
+                write!(f, "unknown command {w:?} (want WHATIF, SHOW or QUIT)")
+            }
+            RequestError::UnknownShow(w) => write!(
+                f,
+                "unknown SHOW subject {w:?} (want BASELINES, CACHE, ROUTE or DISJOINTNESS)"
+            ),
+            RequestError::UnknownWhatIf(w) => write!(
+                f,
+                "unknown WHATIF shape {w:?} (want FAIL-LINK, DRAIN-NODE or SCN)"
+            ),
+            RequestError::MissingArg(what) => write!(f, "missing argument: {what}"),
+            RequestError::BadAsId(t) => write!(f, "bad AS id {t:?} (want a u32)"),
+            RequestError::BadProtocol(t) => write!(f, "bad protocol {t:?}"),
+            RequestError::BadScn(e) => write!(f, "bad inline scenario: {e}"),
+            RequestError::Trailing(t) => write!(f, "unexpected trailing input {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl RequestError {
+    /// The wire form: every parse failure answers as an `ERR` response.
+    pub fn to_response(&self) -> Response {
+        Response::Error {
+            code: "parse".to_string(),
+            message: self.to_string(),
+        }
+    }
+}
+
+/// A timeline as a single-line `.scn`: lines joined by `"; "` (the name
+/// charset excludes `;`, so the joint is unambiguous).
+fn inline_scn(t: &Timeline) -> String {
+    let s = t.to_scn();
+    s.trim_end_matches('\n').replace('\n', "; ")
+}
+
+fn parse_inline_scn(body: &str) -> Result<Timeline, RequestError> {
+    let doc = body
+        .split(';')
+        .map(str::trim)
+        .collect::<Vec<_>>()
+        .join("\n");
+    parse_scn(&doc).map_err(RequestError::BadScn)
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let opts = |f: &mut fmt::Formatter<'_>,
+                    proto: &Option<Protocol>,
+                    dest: &Option<AsId>|
+         -> fmt::Result {
+            if let Some(p) = proto {
+                write!(f, " PROTO {}", proto_token(*p))?;
+            }
+            if let Some(d) = dest {
+                write!(f, " DEST {}", d.0)?;
+            }
+            Ok(())
+        };
+        match self {
+            Request::WhatIf { shape, proto, dest } => match shape {
+                WhatIfShape::FailLink(a, b) => {
+                    write!(f, "WHATIF FAIL-LINK {} {}", a.0, b.0)?;
+                    opts(f, proto, dest)
+                }
+                WhatIfShape::DrainNode(v) => {
+                    write!(f, "WHATIF DRAIN-NODE {}", v.0)?;
+                    opts(f, proto, dest)
+                }
+                WhatIfShape::Scn(t) => {
+                    write!(f, "WHATIF SCN")?;
+                    opts(f, proto, dest)?;
+                    write!(f, " {}", inline_scn(t))
+                }
+            },
+            Request::ShowBaselines => write!(f, "SHOW BASELINES"),
+            Request::ShowCache => write!(f, "SHOW CACHE"),
+            Request::ShowRoute { dest, from } => {
+                write!(f, "SHOW ROUTE {} FROM {}", dest.0, from.0)
+            }
+            Request::ShowDisjointness { dest } => write!(f, "SHOW DISJOINTNESS {}", dest.0),
+            Request::Quit => write!(f, "QUIT"),
+        }
+    }
+}
+
+fn parse_as_id(tok: Option<&str>, what: &'static str) -> Result<AsId, RequestError> {
+    let t = tok.ok_or(RequestError::MissingArg(what))?;
+    t.parse::<u32>()
+        .map(AsId)
+        .map_err(|_| RequestError::BadAsId(t.to_string()))
+}
+
+/// Consume leading `PROTO <p>` / `DEST <d>` options (each at most once,
+/// any order) and return how many tokens they took.
+#[allow(clippy::type_complexity)]
+fn parse_opts_prefix(
+    toks: &[&str],
+) -> Result<(Option<Protocol>, Option<AsId>, usize), RequestError> {
+    let mut proto = None;
+    let mut dest = None;
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].to_ascii_uppercase().as_str() {
+            "PROTO" if proto.is_none() => {
+                let t = toks
+                    .get(i + 1)
+                    .ok_or(RequestError::MissingArg("PROTO value"))?;
+                proto = Some(
+                    t.parse::<Protocol>()
+                        .map_err(|_| RequestError::BadProtocol(t.to_string()))?,
+                );
+                i += 2;
+            }
+            "DEST" if dest.is_none() => {
+                dest = Some(parse_as_id(toks.get(i + 1).copied(), "DEST value")?);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    Ok((proto, dest, i))
+}
+
+/// Like [`parse_opts_prefix`] but the options must consume the whole
+/// remainder (shapes whose arguments precede the options).
+fn parse_opts_all(toks: &[&str]) -> Result<(Option<Protocol>, Option<AsId>), RequestError> {
+    let (proto, dest, used) = parse_opts_prefix(toks)?;
+    if used < toks.len() {
+        return Err(RequestError::Trailing(toks[used..].join(" ")));
+    }
+    Ok((proto, dest))
+}
+
+fn expect_end(toks: &[&str]) -> Result<(), RequestError> {
+    if toks.is_empty() {
+        Ok(())
+    } else {
+        Err(RequestError::Trailing(toks.join(" ")))
+    }
+}
+
+impl FromStr for Request {
+    type Err = RequestError;
+
+    fn from_str(s: &str) -> Result<Request, RequestError> {
+        let toks: Vec<&str> = s.split_ascii_whitespace().collect();
+        let head = toks.first().ok_or(RequestError::Empty)?;
+        match head.to_ascii_uppercase().as_str() {
+            "WHATIF" => {
+                let shape_tok = toks
+                    .get(1)
+                    .ok_or(RequestError::MissingArg("WHATIF shape"))?;
+                match shape_tok.to_ascii_uppercase().as_str() {
+                    "FAIL-LINK" => {
+                        let a = parse_as_id(toks.get(2).copied(), "FAIL-LINK endpoint a")?;
+                        let b = parse_as_id(toks.get(3).copied(), "FAIL-LINK endpoint b")?;
+                        let (proto, dest) = parse_opts_all(&toks[4..])?;
+                        Ok(Request::WhatIf {
+                            shape: WhatIfShape::FailLink(a, b),
+                            proto,
+                            dest,
+                        })
+                    }
+                    "DRAIN-NODE" => {
+                        let v = parse_as_id(toks.get(2).copied(), "DRAIN-NODE node")?;
+                        let (proto, dest) = parse_opts_all(&toks[3..])?;
+                        Ok(Request::WhatIf {
+                            shape: WhatIfShape::DrainNode(v),
+                            proto,
+                            dest,
+                        })
+                    }
+                    "SCN" => {
+                        let (proto, dest, used) = parse_opts_prefix(&toks[2..])?;
+                        let body = toks[2 + used..].join(" ");
+                        if body.is_empty() {
+                            return Err(RequestError::MissingArg("inline .scn timeline"));
+                        }
+                        Ok(Request::WhatIf {
+                            shape: WhatIfShape::Scn(parse_inline_scn(&body)?),
+                            proto,
+                            dest,
+                        })
+                    }
+                    other => Err(RequestError::UnknownWhatIf(other.to_string())),
+                }
+            }
+            "SHOW" => {
+                let what = toks
+                    .get(1)
+                    .ok_or(RequestError::MissingArg("SHOW subject"))?;
+                match what.to_ascii_uppercase().as_str() {
+                    "BASELINES" => {
+                        expect_end(&toks[2..])?;
+                        Ok(Request::ShowBaselines)
+                    }
+                    "CACHE" => {
+                        expect_end(&toks[2..])?;
+                        Ok(Request::ShowCache)
+                    }
+                    "ROUTE" => {
+                        let dest = parse_as_id(toks.get(2).copied(), "ROUTE destination")?;
+                        match toks.get(3).map(|t| t.to_ascii_uppercase()) {
+                            Some(ref kw) if kw == "FROM" => {}
+                            _ => return Err(RequestError::MissingArg("FROM keyword")),
+                        }
+                        let from = parse_as_id(toks.get(4).copied(), "ROUTE source")?;
+                        expect_end(&toks[5..])?;
+                        Ok(Request::ShowRoute { dest, from })
+                    }
+                    "DISJOINTNESS" => {
+                        let dest = parse_as_id(toks.get(2).copied(), "DISJOINTNESS destination")?;
+                        expect_end(&toks[3..])?;
+                        Ok(Request::ShowDisjointness { dest })
+                    }
+                    other => Err(RequestError::UnknownShow(other.to_string())),
+                }
+            }
+            "QUIT" => {
+                expect_end(&toks[1..])?;
+                Ok(Request::Quit)
+            }
+            other => Err(RequestError::UnknownCommand(other.to_string())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// One `(dest, protocol)` row of a `WHATIF` answer. `metrics` is exactly
+/// the [`InstanceMetrics`] of the matching campaign cell (the bit-identity
+/// contract); `delta_affected` is `affected` relative to the destination's
+/// first protocol row (the per-protocol delta the paper's bars compare).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfRow {
+    pub dest: AsId,
+    pub proto: Protocol,
+    /// ASes with no path to `dest` once the timeline has fully played out
+    /// (ground truth from static routing, not a protocol artifact).
+    pub unreachable: usize,
+    pub metrics: InstanceMetrics,
+    pub delta_affected: i64,
+}
+
+/// One resident baseline of `SHOW BASELINES`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineRow {
+    pub proto: Protocol,
+    pub dest: AsId,
+    pub updates_initial: u64,
+    pub paths: usize,
+}
+
+/// One per-protocol path row of `SHOW ROUTE` (empty `hops` = no route;
+/// STAMP contributes one row per colour).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteRow {
+    pub proto: Protocol,
+    pub hops: Vec<AsId>,
+}
+
+/// One framed response. Every variant serializes as a header line, body
+/// rows, and a closing `END` line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    WhatIf {
+        scenario: String,
+        events: usize,
+        rows: Vec<WhatIfRow>,
+    },
+    Baselines {
+        ases: usize,
+        links: usize,
+        seed: u64,
+        rows: Vec<BaselineRow>,
+    },
+    Cache(CacheStats),
+    Route {
+        dest: AsId,
+        from: AsId,
+        rows: Vec<RouteRow>,
+    },
+    Disjointness {
+        dest: AsId,
+        two_disjoint: bool,
+        max_disjoint: u32,
+    },
+    Error {
+        code: String,
+        message: String,
+    },
+    Bye,
+}
+
+fn fmt_hops(hops: &[AsId]) -> String {
+    if hops.is_empty() {
+        "none".to_string()
+    } else {
+        hops.iter()
+            .map(|v| v.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::WhatIf {
+                scenario,
+                events,
+                rows,
+            } => {
+                writeln!(
+                    f,
+                    "WHATIF scenario={scenario} events={events} rows={}",
+                    rows.len()
+                )?;
+                for r in rows {
+                    let m = &r.metrics;
+                    writeln!(
+                        f,
+                        "row dest={} proto={} unreachable={} affected={} loops={} \
+                         blackholes={} control={} updates_initial={} updates_failure={} \
+                         convergence_s={} recovery_s={} paths={} delta_affected={}",
+                        r.dest.0,
+                        proto_token(r.proto),
+                        r.unreachable,
+                        m.affected,
+                        m.affected_loops,
+                        m.affected_blackholes,
+                        m.control_affected,
+                        m.updates_initial,
+                        m.updates_failure,
+                        m.convergence_delay_s,
+                        m.data_recovery_s,
+                        m.interned_paths,
+                        r.delta_affected,
+                    )?;
+                }
+            }
+            Response::Baselines {
+                ases,
+                links,
+                seed,
+                rows,
+            } => {
+                writeln!(
+                    f,
+                    "BASELINES ases={ases} links={links} seed={seed} rows={}",
+                    rows.len()
+                )?;
+                for r in rows {
+                    writeln!(
+                        f,
+                        "baseline proto={} dest={} updates_initial={} paths={}",
+                        proto_token(r.proto),
+                        r.dest.0,
+                        r.updates_initial,
+                        r.paths,
+                    )?;
+                }
+            }
+            Response::Cache(s) => {
+                let cap = match s.capacity {
+                    Some(c) => c.to_string(),
+                    None => "unbounded".to_string(),
+                };
+                writeln!(
+                    f,
+                    "CACHE capacity={cap} len={} hits={} misses={} evictions={}",
+                    s.len, s.hits, s.misses, s.evictions
+                )?;
+            }
+            Response::Route { dest, from, rows } => {
+                writeln!(
+                    f,
+                    "ROUTE dest={} from={} rows={}",
+                    dest.0,
+                    from.0,
+                    rows.len()
+                )?;
+                for r in rows {
+                    writeln!(
+                        f,
+                        "path proto={} hops={}",
+                        proto_token(r.proto),
+                        fmt_hops(&r.hops)
+                    )?;
+                }
+            }
+            Response::Disjointness {
+                dest,
+                two_disjoint,
+                max_disjoint,
+            } => {
+                writeln!(
+                    f,
+                    "DISJOINTNESS dest={} two_disjoint={two_disjoint} max_disjoint={max_disjoint}",
+                    dest.0
+                )?;
+            }
+            Response::Error { code, message } => {
+                // The message rides to the end of the line; keep it one line.
+                writeln!(f, "ERR code={code} msg={}", message.replace('\n', " "))?;
+            }
+            Response::Bye => writeln!(f, "BYE")?,
+        }
+        writeln!(f, "END")
+    }
+}
+
+/// Failure to parse a response document (used by clients and the
+/// round-trip property suite).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseParseError {
+    /// 1-based line of the offence (0 = document-level).
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ResponseParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "response line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ResponseParseError {}
+
+/// A strict in-order `key=value` field reader over one line's tokens.
+struct Fields<'a> {
+    toks: std::str::SplitAsciiWhitespace<'a>,
+    line: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn new(line_text: &'a str, line: usize) -> Fields<'a> {
+        Fields {
+            toks: line_text.split_ascii_whitespace(),
+            line,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ResponseParseError {
+        ResponseParseError {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    /// The next raw token (the line's leading keyword).
+    fn word(&mut self, want: &str) -> Result<(), ResponseParseError> {
+        match self.toks.next() {
+            Some(t) if t == want => Ok(()),
+            other => Err(self.err(format!("expected {want:?}, got {other:?}"))),
+        }
+    }
+
+    /// The next token must be `key=<value>`; returns the value.
+    fn value(&mut self, key: &str) -> Result<&'a str, ResponseParseError> {
+        let t = self
+            .toks
+            .next()
+            .ok_or_else(|| self.err(format!("missing field {key}=")))?;
+        t.strip_prefix(key)
+            .and_then(|r| r.strip_prefix('='))
+            .ok_or_else(|| self.err(format!("expected field {key}=, got {t:?}")))
+    }
+
+    fn parse<T: FromStr>(&mut self, key: &str) -> Result<T, ResponseParseError> {
+        let v = self.value(key)?;
+        v.parse::<T>()
+            .map_err(|_| self.err(format!("bad value {v:?} for field {key}")))
+    }
+
+    fn as_id(&mut self, key: &str) -> Result<AsId, ResponseParseError> {
+        self.parse::<u32>(key).map(AsId)
+    }
+
+    fn proto(&mut self, key: &str) -> Result<Protocol, ResponseParseError> {
+        let v = self.value(key)?;
+        v.parse::<Protocol>()
+            .map_err(|_| self.err(format!("unknown protocol {v:?}")))
+    }
+
+    fn done(mut self) -> Result<(), ResponseParseError> {
+        match self.toks.next() {
+            None => Ok(()),
+            Some(t) => Err(ResponseParseError {
+                line: self.line,
+                msg: format!("unexpected trailing token {t:?}"),
+            }),
+        }
+    }
+}
+
+fn parse_hops(v: &str, line: usize) -> Result<Vec<AsId>, ResponseParseError> {
+    if v == "none" {
+        return Ok(Vec::new());
+    }
+    v.split(',')
+        .map(|t| {
+            t.parse::<u32>().map(AsId).map_err(|_| ResponseParseError {
+                line,
+                msg: format!("bad hop {t:?}"),
+            })
+        })
+        .collect()
+}
+
+impl Response {
+    /// Parse one complete response document (header, body rows, `END`).
+    pub fn parse(text: &str) -> Result<Response, ResponseParseError> {
+        let doc_err = |msg: &str| ResponseParseError {
+            line: 0,
+            msg: msg.to_string(),
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        let (&last, body_and_header) = lines
+            .split_last()
+            .ok_or_else(|| doc_err("empty response"))?;
+        if last != "END" {
+            return Err(doc_err("response does not end with END"));
+        }
+        let (&header, body) = body_and_header
+            .split_first()
+            .ok_or_else(|| doc_err("response has no header before END"))?;
+        let kind = header.split_ascii_whitespace().next().unwrap_or("");
+        match kind {
+            "WHATIF" => {
+                let mut h = Fields::new(header, 1);
+                h.word("WHATIF")?;
+                let scenario = h.value("scenario")?.to_string();
+                let events: usize = h.parse("events")?;
+                let n: usize = h.parse("rows")?;
+                h.done()?;
+                let mut rows = Vec::with_capacity(n);
+                for (i, &line_text) in body.iter().enumerate() {
+                    let mut r = Fields::new(line_text, i + 2);
+                    r.word("row")?;
+                    let dest = r.as_id("dest")?;
+                    let proto = r.proto("proto")?;
+                    let unreachable: usize = r.parse("unreachable")?;
+                    let metrics = InstanceMetrics {
+                        affected: r.parse("affected")?,
+                        affected_loops: r.parse("loops")?,
+                        affected_blackholes: r.parse("blackholes")?,
+                        control_affected: r.parse("control")?,
+                        updates_initial: r.parse("updates_initial")?,
+                        updates_failure: r.parse("updates_failure")?,
+                        convergence_delay_s: r.parse("convergence_s")?,
+                        data_recovery_s: r.parse("recovery_s")?,
+                        interned_paths: r.parse("paths")?,
+                    };
+                    let delta_affected: i64 = r.parse("delta_affected")?;
+                    r.done()?;
+                    rows.push(WhatIfRow {
+                        dest,
+                        proto,
+                        unreachable,
+                        metrics,
+                        delta_affected,
+                    });
+                }
+                if rows.len() != n {
+                    return Err(doc_err("row count does not match rows= header"));
+                }
+                Ok(Response::WhatIf {
+                    scenario,
+                    events,
+                    rows,
+                })
+            }
+            "BASELINES" => {
+                let mut h = Fields::new(header, 1);
+                h.word("BASELINES")?;
+                let ases: usize = h.parse("ases")?;
+                let links: usize = h.parse("links")?;
+                let seed: u64 = h.parse("seed")?;
+                let n: usize = h.parse("rows")?;
+                h.done()?;
+                let mut rows = Vec::with_capacity(n);
+                for (i, &line_text) in body.iter().enumerate() {
+                    let mut r = Fields::new(line_text, i + 2);
+                    r.word("baseline")?;
+                    let proto = r.proto("proto")?;
+                    let dest = r.as_id("dest")?;
+                    let updates_initial: u64 = r.parse("updates_initial")?;
+                    let paths: usize = r.parse("paths")?;
+                    r.done()?;
+                    rows.push(BaselineRow {
+                        proto,
+                        dest,
+                        updates_initial,
+                        paths,
+                    });
+                }
+                if rows.len() != n {
+                    return Err(doc_err("row count does not match rows= header"));
+                }
+                Ok(Response::Baselines {
+                    ases,
+                    links,
+                    seed,
+                    rows,
+                })
+            }
+            "CACHE" => {
+                let mut h = Fields::new(header, 1);
+                h.word("CACHE")?;
+                let cap = h.value("capacity")?;
+                let capacity = if cap == "unbounded" {
+                    None
+                } else {
+                    Some(cap.parse::<usize>().map_err(|_| ResponseParseError {
+                        line: 1,
+                        msg: format!("bad capacity {cap:?}"),
+                    })?)
+                };
+                let len: usize = h.parse("len")?;
+                let hits: u64 = h.parse("hits")?;
+                let misses: u64 = h.parse("misses")?;
+                let evictions: u64 = h.parse("evictions")?;
+                h.done()?;
+                if !body.is_empty() {
+                    return Err(doc_err("CACHE response has no body rows"));
+                }
+                Ok(Response::Cache(CacheStats {
+                    capacity,
+                    len,
+                    hits,
+                    misses,
+                    evictions,
+                }))
+            }
+            "ROUTE" => {
+                let mut h = Fields::new(header, 1);
+                h.word("ROUTE")?;
+                let dest = h.as_id("dest")?;
+                let from = h.as_id("from")?;
+                let n: usize = h.parse("rows")?;
+                h.done()?;
+                let mut rows = Vec::with_capacity(n);
+                for (i, &line_text) in body.iter().enumerate() {
+                    let mut r = Fields::new(line_text, i + 2);
+                    r.word("path")?;
+                    let proto = r.proto("proto")?;
+                    let hops = parse_hops(r.value("hops")?, i + 2)?;
+                    r.done()?;
+                    rows.push(RouteRow { proto, hops });
+                }
+                if rows.len() != n {
+                    return Err(doc_err("row count does not match rows= header"));
+                }
+                Ok(Response::Route { dest, from, rows })
+            }
+            "DISJOINTNESS" => {
+                let mut h = Fields::new(header, 1);
+                h.word("DISJOINTNESS")?;
+                let dest = h.as_id("dest")?;
+                let two_disjoint: bool = h.parse("two_disjoint")?;
+                let max_disjoint: u32 = h.parse("max_disjoint")?;
+                h.done()?;
+                if !body.is_empty() {
+                    return Err(doc_err("DISJOINTNESS response has no body rows"));
+                }
+                Ok(Response::Disjointness {
+                    dest,
+                    two_disjoint,
+                    max_disjoint,
+                })
+            }
+            "ERR" => {
+                let rest = header
+                    .strip_prefix("ERR ")
+                    .ok_or_else(|| ResponseParseError {
+                        line: 1,
+                        msg: "malformed ERR header".to_string(),
+                    })?;
+                let (code_kv, msg_kv) = rest.split_once(' ').ok_or_else(|| ResponseParseError {
+                    line: 1,
+                    msg: "ERR header needs code= and msg=".to_string(),
+                })?;
+                let code = code_kv
+                    .strip_prefix("code=")
+                    .ok_or_else(|| ResponseParseError {
+                        line: 1,
+                        msg: "missing code= field".to_string(),
+                    })?;
+                let message = msg_kv
+                    .strip_prefix("msg=")
+                    .ok_or_else(|| ResponseParseError {
+                        line: 1,
+                        msg: "missing msg= field".to_string(),
+                    })?;
+                if !body.is_empty() {
+                    return Err(doc_err("ERR response has no body rows"));
+                }
+                Ok(Response::Error {
+                    code: code.to_string(),
+                    message: message.to_string(),
+                })
+            }
+            "BYE" => {
+                if header != "BYE" || !body.is_empty() {
+                    return Err(doc_err("malformed BYE response"));
+                }
+                Ok(Response::Bye)
+            }
+            other => Err(ResponseParseError {
+                line: 1,
+                msg: format!("unknown response kind {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stamp_eventsim::SimDuration;
+    use stamp_workload::single_link_failure;
+
+    fn roundtrip_request(r: &Request) {
+        let text = r.to_string();
+        let back: Request = text.parse().unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        assert_eq!(&back, r, "{text:?}");
+        assert_eq!(back.to_string(), text, "second format drifted");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let t = Timeline::from_events("inline-demo", single_link_failure(AsId(3), AsId(7)));
+        let shapes = [
+            WhatIfShape::FailLink(AsId(1), AsId(2)),
+            WhatIfShape::DrainNode(AsId(9)),
+            WhatIfShape::Scn(t),
+        ];
+        for shape in &shapes {
+            for proto in [None, Some(Protocol::Stamp)] {
+                for dest in [None, Some(AsId(42))] {
+                    roundtrip_request(&Request::WhatIf {
+                        shape: shape.clone(),
+                        proto,
+                        dest,
+                    });
+                }
+            }
+        }
+        roundtrip_request(&Request::ShowBaselines);
+        roundtrip_request(&Request::ShowCache);
+        roundtrip_request(&Request::ShowRoute {
+            dest: AsId(5),
+            from: AsId(17),
+        });
+        roundtrip_request(&Request::ShowDisjointness { dest: AsId(5) });
+        roundtrip_request(&Request::Quit);
+    }
+
+    #[test]
+    fn requests_parse_case_insensitively() {
+        let r: Request = "whatif fail-link 3 7 proto BGP dest 4".parse().unwrap();
+        assert_eq!(
+            r,
+            Request::WhatIf {
+                shape: WhatIfShape::FailLink(AsId(3), AsId(7)),
+                proto: Some(Protocol::Bgp),
+                dest: Some(AsId(4)),
+            }
+        );
+        assert_eq!(r.to_string(), "WHATIF FAIL-LINK 3 7 PROTO bgp DEST 4");
+        let r: Request = "show route 4 from 9".parse().unwrap();
+        assert_eq!(
+            r,
+            Request::ShowRoute {
+                dest: AsId(4),
+                from: AsId(9)
+            }
+        );
+    }
+
+    #[test]
+    fn inline_scn_round_trips_multi_event_timelines() {
+        let t = Timeline::from_events(
+            "drill",
+            vec![
+                stamp_workload::TimelineEvent {
+                    at: SimDuration::ZERO,
+                    ev: stamp_workload::NetEvent::NodeDown(AsId(9)),
+                },
+                stamp_workload::TimelineEvent {
+                    at: SimDuration::from_millis(1500),
+                    ev: stamp_workload::NetEvent::NodeUp(AsId(9)),
+                },
+            ],
+        );
+        let req = Request::WhatIf {
+            shape: WhatIfShape::Scn(t.clone()),
+            proto: None,
+            dest: None,
+        };
+        let text = req.to_string();
+        assert_eq!(
+            text,
+            "WHATIF SCN scenario drill; at 0s fail-node 9; at 1500ms recover-node 9"
+        );
+        let back: Request = text.parse().unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn junk_is_rejected_with_typed_errors() {
+        let cases: &[(&str, RequestError)] = &[
+            ("", RequestError::Empty),
+            ("   ", RequestError::Empty),
+            (
+                "DELETE EVERYTHING",
+                RequestError::UnknownCommand("DELETE".to_string()),
+            ),
+            (
+                "SHOW TABLES",
+                RequestError::UnknownShow("TABLES".to_string()),
+            ),
+            (
+                "WHATIF MELT-DOWN 1",
+                RequestError::UnknownWhatIf("MELT-DOWN".to_string()),
+            ),
+            (
+                "WHATIF FAIL-LINK 1",
+                RequestError::MissingArg("FAIL-LINK endpoint b"),
+            ),
+            (
+                "WHATIF FAIL-LINK 1 x",
+                RequestError::BadAsId("x".to_string()),
+            ),
+            (
+                "WHATIF FAIL-LINK 1 2 PROTO ospf",
+                RequestError::BadProtocol("ospf".to_string()),
+            ),
+            (
+                "WHATIF FAIL-LINK 1 2 3",
+                RequestError::Trailing("3".to_string()),
+            ),
+            (
+                "WHATIF SCN",
+                RequestError::MissingArg("inline .scn timeline"),
+            ),
+            ("SHOW ROUTE 4", RequestError::MissingArg("FROM keyword")),
+            ("QUIT now", RequestError::Trailing("now".to_string())),
+        ];
+        for (text, want) in cases {
+            let got = text.parse::<Request>().unwrap_err();
+            assert_eq!(&got, want, "{text:?}");
+        }
+        // Malformed inline scenarios surface the .scn error, typed.
+        let got = "WHATIF SCN scenario x; at 5 fail-node 1"
+            .parse::<Request>()
+            .unwrap_err();
+        assert!(matches!(got, RequestError::BadScn(_)), "{got:?}");
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let m = InstanceMetrics {
+            affected: 12,
+            affected_loops: 3,
+            affected_blackholes: 9,
+            control_affected: 17,
+            updates_initial: 4021,
+            updates_failure: 133,
+            convergence_delay_s: 31.0625,
+            data_recovery_s: 0.10000000000000009,
+            interned_paths: 812,
+        };
+        let cases = [
+            Response::WhatIf {
+                scenario: "whatif-fail-link-3-7".to_string(),
+                events: 1,
+                rows: vec![
+                    WhatIfRow {
+                        dest: AsId(4),
+                        proto: Protocol::Bgp,
+                        unreachable: 0,
+                        metrics: m,
+                        delta_affected: 0,
+                    },
+                    WhatIfRow {
+                        dest: AsId(4),
+                        proto: Protocol::Stamp,
+                        unreachable: 0,
+                        metrics: m,
+                        delta_affected: -12,
+                    },
+                ],
+            },
+            Response::Baselines {
+                ases: 200,
+                links: 406,
+                seed: 0xCA4A16,
+                rows: vec![BaselineRow {
+                    proto: Protocol::Rbgp,
+                    dest: AsId(4),
+                    updates_initial: 900,
+                    paths: 411,
+                }],
+            },
+            Response::Cache(CacheStats {
+                capacity: Some(8),
+                len: 6,
+                hits: 41,
+                misses: 7,
+                evictions: 2,
+            }),
+            Response::Cache(CacheStats::default()),
+            Response::Route {
+                dest: AsId(4),
+                from: AsId(9),
+                rows: vec![
+                    RouteRow {
+                        proto: Protocol::Bgp,
+                        hops: vec![AsId(7), AsId(3), AsId(4)],
+                    },
+                    RouteRow {
+                        proto: Protocol::Stamp,
+                        hops: Vec::new(),
+                    },
+                ],
+            },
+            Response::Disjointness {
+                dest: AsId(4),
+                two_disjoint: true,
+                max_disjoint: 2,
+            },
+            Response::Error {
+                code: "unserved-dest".to_string(),
+                message: "no resident baseline for AS 77".to_string(),
+            },
+            Response::Bye,
+        ];
+        for r in &cases {
+            let text = r.to_string();
+            assert!(text.ends_with("END\n"), "{text:?}");
+            let back = Response::parse(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            assert_eq!(&back, r, "{text:?}");
+            assert_eq!(back.to_string(), text, "second format drifted");
+        }
+    }
+
+    #[test]
+    fn response_parser_rejects_frame_violations() {
+        assert!(Response::parse("").is_err());
+        assert!(Response::parse("BYE\n").is_err(), "missing END");
+        assert!(Response::parse("END\n").is_err(), "no header");
+        assert!(Response::parse("NOPE x=1\nEND\n").is_err());
+        assert!(
+            Response::parse("WHATIF scenario=x events=1 rows=1\nEND\n").is_err(),
+            "row count mismatch"
+        );
+        assert!(
+            Response::parse(
+                "CACHE capacity=unbounded len=0 hits=0 misses=0 evictions=0 x=1\nEND\n"
+            )
+            .is_err(),
+            "trailing field"
+        );
+    }
+}

@@ -37,6 +37,7 @@ pub const SIM_CRATES: &[&str] = &[
     "forwarding",
     "workload",
     "experiments",
+    "queryd",
     "stamp_repro",
 ];
 
@@ -51,6 +52,7 @@ pub const LIB_CRATES: &[&str] = &[
     "forwarding",
     "workload",
     "experiments",
+    "queryd",
     "stamp_repro",
     "simlint",
 ];
@@ -64,6 +66,7 @@ const ALL_CRATES: &[&str] = &[
     "forwarding",
     "workload",
     "experiments",
+    "queryd",
     "stamp_repro",
     "simlint",
     "bench",

@@ -347,32 +347,94 @@ fn run_protocol_cell_inner(
         .expect("timeline must resolve against the campaign topology")
 }
 
+/// Point-in-time occupancy and traffic counters of a [`BaselineCache`]
+/// (see [`BaselineCache::stats`]). Counters are monotone over the cache's
+/// lifetime; `len` is instantaneous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Configured bound (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Baselines currently resident.
+    pub len: usize,
+    /// Lookups that found a checkpoint.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller converges cold).
+    pub misses: u64,
+    /// Baselines dropped by the FIFO bound.
+    pub evictions: u64,
+}
+
+type CacheKey = (Protocol, AsId, u64);
+
+struct CacheInner {
+    map: FxHashMap<CacheKey, Arc<SimCheckpoint>>,
+    /// Deposit order, oldest first — the FIFO eviction queue. Re-depositing
+    /// an existing key replaces the checkpoint without renewing its slot.
+    order: std::collections::VecDeque<CacheKey>,
+    capacity: Option<usize>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
 /// Warm-start cache of converged baselines: `(protocol, dest, engine
 /// seed) → checkpoint taken right after initial convergence`. Shared
 /// across workers (internally locked; checkpoints are handed out as
 /// `Arc`s, so the lock is never held during a restore) and across grid
 /// passes — the second run of the same grid converges nothing.
 ///
+/// [`BaselineCache::new`] is unbounded; [`BaselineCache::with_capacity`]
+/// bounds residency with deterministic FIFO eviction (deposit order, never
+/// recency — so occupancy is a pure function of the put sequence, not of
+/// lookup interleaving). Hit/miss/eviction counters are surfaced via
+/// [`BaselineCache::stats`] (queryd's `SHOW CACHE`, the campaign JSON).
+/// Evicting a baseline never changes results: the next taker converges
+/// cold and re-deposits, and the warm path is bit-identical to cold.
+///
 /// Contract: one cache serves exactly one `(topology, params)` pair. The
 /// key deliberately does not re-encode them (hashing a whole `AsGraph`
 /// per lookup would dwarf the restore it guards); reusing a cache across
 /// topologies or params is a caller bug, same as [`Sim::restore`] across
 /// sessions of different shape.
-#[derive(Default)]
 pub struct BaselineCache {
-    map: Mutex<FxHashMap<(Protocol, AsId, u64), Arc<SimCheckpoint>>>,
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for BaselineCache {
+    fn default() -> Self {
+        BaselineCache::new()
+    }
 }
 
 impl BaselineCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> BaselineCache {
-        BaselineCache::default()
+        BaselineCache::bounded(None)
+    }
+
+    /// An empty cache holding at most `capacity` baselines (clamped to at
+    /// least 1), evicting the oldest deposit first.
+    pub fn with_capacity(capacity: usize) -> BaselineCache {
+        BaselineCache::bounded(Some(capacity.max(1)))
+    }
+
+    fn bounded(capacity: Option<usize>) -> BaselineCache {
+        BaselineCache {
+            inner: Mutex::new(CacheInner {
+                map: FxHashMap::default(),
+                order: std::collections::VecDeque::new(),
+                capacity,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
     }
 
     /// Number of converged baselines held.
     pub fn len(&self) -> usize {
         // simlint::allow(panic, "poison means a sibling worker already panicked")
-        self.map.lock().unwrap().len()
+        self.inner.lock().unwrap().map.len()
     }
 
     /// True when no baseline has been deposited yet.
@@ -380,17 +442,51 @@ impl BaselineCache {
         self.len() == 0
     }
 
-    fn get(&self, p: Protocol, dest: AsId, seed: u64) -> Option<Arc<SimCheckpoint>> {
+    /// Occupancy plus lifetime hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
         // simlint::allow(panic, "poison means a sibling worker already panicked")
-        self.map.lock().unwrap().get(&(p, dest, seed)).cloned()
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            capacity: inner.capacity,
+            len: inner.map.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
     }
 
-    fn put(&self, p: Protocol, dest: AsId, seed: u64, ck: SimCheckpoint) {
-        self.map
-            .lock()
-            // simlint::allow(panic, "poison means a sibling worker already panicked")
-            .unwrap()
-            .insert((p, dest, seed), Arc::new(ck));
+    /// Look up the converged baseline of `(p, dest, seed)`, counting a hit
+    /// or a miss. The checkpoint is shared out as an `Arc`, so the lock is
+    /// released before any restore happens.
+    pub fn get(&self, p: Protocol, dest: AsId, seed: u64) -> Option<Arc<SimCheckpoint>> {
+        // simlint::allow(panic, "poison means a sibling worker already panicked")
+        let mut inner = self.inner.lock().unwrap();
+        let hit = inner.map.get(&(p, dest, seed)).cloned();
+        match hit {
+            Some(_) => inner.hits += 1,
+            None => inner.misses += 1,
+        }
+        hit
+    }
+
+    /// Deposit a converged baseline. A fresh key joins the FIFO queue (and
+    /// may evict the oldest deposit when bounded); re-depositing an
+    /// existing key replaces the checkpoint without renewing its slot.
+    pub fn put(&self, p: Protocol, dest: AsId, seed: u64, ck: SimCheckpoint) {
+        let key = (p, dest, seed);
+        // simlint::allow(panic, "poison means a sibling worker already panicked")
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key, Arc::new(ck)).is_none() {
+            inner.order.push_back(key);
+            while inner.capacity.is_some_and(|cap| inner.map.len() > cap) {
+                // The queue only grows on fresh inserts, so it cannot be
+                // empty while the map is over capacity.
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                    inner.evictions += 1;
+                }
+            }
+        }
     }
 }
 

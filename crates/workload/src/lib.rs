@@ -39,9 +39,9 @@ pub mod timeline;
 
 pub use campaign::{
     populate_baselines, run_campaign, run_campaign_with_cache, run_protocol_cell,
-    run_protocol_cell_warm, smoke_grid, standard_families, Aggregate, BaselineCache, CampaignCell,
-    CampaignConfig, CampaignReport, CellResult, InstanceMetrics, ParseProtocolError, Protocol,
-    RunParams, PREFIX,
+    run_protocol_cell_warm, smoke_grid, standard_families, Aggregate, BaselineCache, CacheStats,
+    CampaignCell, CampaignConfig, CampaignReport, CellResult, InstanceMetrics, ParseProtocolError,
+    Protocol, RunParams, PREFIX,
 };
 pub use canned::{destination_candidates, sample_canned, CannedWorkload, FailureScenario};
 pub use dsl::{parse_scn, ScnError, ScnErrorKind};
@@ -51,6 +51,6 @@ pub use sim::{
 };
 pub use timeline::{
     background_churn, choose_k, correlated_node_outage, flap_train, maintenance_windows,
-    provider_cone, staggered_link_failures, tier_members, NetEvent, Timeline, TimelineError,
-    TimelineEvent,
+    node_drain, provider_cone, single_link_failure, staggered_link_failures, tier_members,
+    NetEvent, Timeline, TimelineError, TimelineEvent,
 };

@@ -656,6 +656,13 @@ impl Sim {
         self.updates_initial
     }
 
+    /// Has this session completed initial convergence (via
+    /// [`Sim::converge`] or by restoring a converged checkpoint)? Resident
+    /// baselines — queryd's `SHOW BASELINES` — assert this.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
     /// Run a protocol-erased closure over the current forwarding view
     /// (built on the stack; ad-hoc inspection outside the probe path).
     pub fn with_view<T>(&self, f: impl FnOnce(&dyn ForwardingView) -> T) -> T {

@@ -359,6 +359,24 @@ pub fn maintenance_windows(
     out
 }
 
+/// The simplest what-if shape: the `a`–`b` link fails at the epoch and
+/// never recovers (queryd's `WHATIF FAIL-LINK a b`). One event, so the
+/// settle point is the injection instant — recovery metrics read as "time
+/// to route around the loss".
+pub fn single_link_failure(a: AsId, b: AsId) -> Vec<TimelineEvent> {
+    vec![TimelineEvent {
+        at: SimDuration::ZERO,
+        ev: NetEvent::LinkDown(a, b),
+    }]
+}
+
+/// A single maintenance drain: `v` fails at the epoch and restores `drain`
+/// later (queryd's `WHATIF DRAIN-NODE x`; the one-node special case of
+/// [`maintenance_windows`]).
+pub fn node_drain(v: AsId, drain: SimDuration) -> Vec<TimelineEvent> {
+    maintenance_windows(&[v], SimDuration::ZERO, drain, SimDuration::ZERO)
+}
+
 /// Random background churn: up to `flaps` link outages at uniform times in
 /// `[start, start + horizon)`, each lasting `mean_downtime × U[0.5, 1.5)`.
 /// Outages that would overlap an earlier outage of the same link are

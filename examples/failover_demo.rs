@@ -10,11 +10,10 @@
 // Examples are terminal demos; printing is their output format.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
-use stamp_repro::bgp::types::PrefixId;
 use stamp_repro::eventsim::{LossModel, SimDuration};
-use stamp_repro::sim::Sim;
-use stamp_repro::topology::{generate, AsId, GenConfig, StaticRoutes};
-use stamp_repro::workload::{NetEvent, Protocol, RunParams, Timeline, TimelineEvent};
+use stamp_repro::queryd::{QueryEngine, QuerydConfig, Response, WhatIfShape};
+use stamp_repro::topology::{generate, AsId, GenConfig};
+use stamp_repro::workload::{Protocol, RunParams};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -52,7 +51,6 @@ fn main() {
             }
         })
         .expect("generated topologies have multi-homed ASes");
-    let failed = g.link_between(dest, provider).unwrap();
     println!(
         "topology: {} ASes, {} links; destination {}, failing link to provider {}",
         g.n(),
@@ -64,18 +62,6 @@ fn main() {
         println!("fault injection: dropping {drop_pct}% of protocol messages");
     }
 
-    // The scenario is data: a one-event timeline both protocols play.
-    let timeline = Timeline::from_events(
-        "provider-link-failure",
-        vec![TimelineEvent {
-            at: SimDuration::ZERO,
-            ev: NetEvent::LinkDown(dest, provider),
-        }],
-    );
-    let reachable: Vec<bool> = {
-        let r = StaticRoutes::compute(&g.without_links(&[failed]), dest);
-        (0..g.n() as u32).map(|v| r.reachable(AsId(v))).collect()
-    };
     // Paper parameters, but observe every FIB-changing batch (no
     // throttle), inject 5 s after quiescence, and apply the loss knob.
     let params = RunParams {
@@ -87,25 +73,32 @@ fn main() {
         ..RunParams::paper()
     };
 
+    // The comparison is one what-if against a resident query engine: both
+    // baselines converge once, then the failure plays as a fork of each
+    // checkpoint (`WHATIF FAIL-LINK` on the wire; see examples/whatif.rs
+    // for the full grammar tour).
+    let mut cfg = QuerydConfig::new(vec![Protocol::Bgp, Protocol::Stamp], vec![dest]);
+    cfg.seed = seed;
+    cfg.params = params;
+    let engine = QueryEngine::new(g, cfg).expect("baselines converge");
+    let rows = match engine
+        .whatif(&WhatIfShape::FailLink(dest, provider), None, None)
+        .expect("the chosen provider link exists")
+    {
+        Response::WhatIf { rows, .. } => rows,
+        other => panic!("expected WHATIF rows, got {other:?}"),
+    };
+
     println!();
     println!(
         "{:<8} {:>14} {:>8} {:>12} {:>10}",
         "protocol", "affected ASes", "loops", "blackholes", "updates"
     );
-    for protocol in [Protocol::Bgp, Protocol::Stamp] {
-        let mut sim = Sim::on(&g)
-            .protocol(protocol)
-            .originate(dest, PrefixId(0))
-            .seed(seed)
-            .params(params.clone())
-            .build()
-            .expect("destination is in range");
-        let m = sim
-            .measure(&timeline, &reachable)
-            .expect("timeline resolves by construction");
+    for row in &rows {
+        let m = &row.metrics;
         println!(
             "{:<8} {:>14} {:>8} {:>12} {:>10}",
-            protocol,
+            row.proto,
             m.affected,
             m.affected_loops,
             m.affected_blackholes,
