@@ -67,6 +67,14 @@ cargo test -q --offline
 cargo test --doc --offline
 echo "tier-1 gate passed (offline, incl. doctests)"
 
+# --- Policy DSL round-trip gate -------------------------------------------
+# Every built-in regime must print a canonical .pol document that parses
+# back to the same value and re-prints byte-identically, compile to dense
+# tables, and keep a distinct fingerprint; malformed documents must come
+# back as typed errors. The binary exits non-zero on any violation.
+cargo run --release --offline -q -p stamp_bench --bin polcheck
+echo "policy .pol round-trip gate passed"
+
 # --- Workload smoke campaign ---------------------------------------------
 # Tiny (timeline × destination × seed) grid at 1 and 4 workers; the binary
 # asserts the byte-identical aggregate hash (exits non-zero on divergence).
@@ -111,14 +119,27 @@ echo "debug-vs-release determinism cross-check passed ($SMOKE_GOLDEN)"
 # the goldens, so a checkpoint/restore field omission that shifts results
 # stops CI even if it shifts them *consistently*. `--check` leaves
 # BENCH_campaign.json untouched.
+# Naming the default regime must be a no-op (`--policy gao-rexford` runs
+# the identical default grids), and the policy sweep appends one pinned
+# hash per built-in regime after the two grid aggregates — six goldens in
+# a fixed order, every one byte-exact.
 CAMPAIGN_GOLDEN="0x21ce716a105a0ebe"
 CAMPAIGN_2000_GOLDEN="0x817234e4f61711b4"
-full_out=$(cargo run --release --offline -q -p stamp_bench --bin campaign -- --check)
+SWEEP_GAO_GOLDEN="0xb326703a963aa9ec"
+SWEEP_SHORTEST_GOLDEN="0x800dbb531a835932"
+SWEEP_PREFER_PEER_GOLDEN="0x85e700ff012eef8f"
+SWEEP_LONG_PATH_GOLDEN="0xbe4941aa876c1b61"
+full_out=$(cargo run --release --offline -q -p stamp_bench --bin campaign -- \
+    --policy gao-rexford --check)
 full_hashes=$(printf '%s\n' "$full_out" | grep -o 'hash 0x[0-9a-f]*' | awk '{print $2}')
 if [ "$full_hashes" != "$CAMPAIGN_GOLDEN
-$CAMPAIGN_2000_GOLDEN" ]; then
-    echo "DETERMINISM VIOLATION: campaign goldens $CAMPAIGN_GOLDEN/$CAMPAIGN_2000_GOLDEN, got:" >&2
+$CAMPAIGN_2000_GOLDEN
+$SWEEP_GAO_GOLDEN
+$SWEEP_SHORTEST_GOLDEN
+$SWEEP_PREFER_PEER_GOLDEN
+$SWEEP_LONG_PATH_GOLDEN" ]; then
+    echo "DETERMINISM VIOLATION: campaign goldens (grids + policy sweep), got:" >&2
     printf '%s\n' "$full_hashes" >&2
     exit 1
 fi
-echo "warm-start golden-hash gate passed ($CAMPAIGN_GOLDEN, $CAMPAIGN_2000_GOLDEN)"
+echo "warm-start golden-hash gate passed ($CAMPAIGN_GOLDEN, $CAMPAIGN_2000_GOLDEN, 4 sweep hashes)"

@@ -51,18 +51,91 @@ fn bench_route_propagation(h: &Harness, report: &mut JsonReport) {
         .collect();
 
     let prefix = PrefixId(0);
+    let policy = stamp_policy::CompiledRegime::default_static();
     let mut rib = RibIn::new();
     report.bench(h, "route_propagation", || {
         for (i, t) in templates.iter().enumerate() {
             let n = AsId(i as u32 + 1);
             // One relation lookup per received update, as `on_update` pays.
             let rel = g.relation(me, n).expect("adjacent");
-            rib.insert(prefix, ProcId::ONLY, n, *t, rel);
+            rib.insert(prefix, ProcId::ONLY, n, *t, rel, policy.base_pref(rel));
             let d = rib
                 .decide(&arena, me, prefix, ProcId::ONLY, |_| true)
                 .expect("routes present");
             black_box(d.route.prepend(&mut arena, me));
         }
+    });
+}
+
+/// The policy subsystem's two costs. `policy_compile` is the whole
+/// regime-to-dense-tables pipeline (parse-free: the builtin is already a
+/// value) — a once-per-campaign cost. `decide_with_policy` is the
+/// per-update path under a *rule-bearing* regime: a full import (rule
+/// scan, community tagging) plus RIB install and decision, the worst-case
+/// counterpart of `route_propagation`'s rule-free default.
+fn bench_policy(h: &Harness, report: &mut JsonReport) {
+    use stamp_bgp::patharena::PathArena;
+    use stamp_bgp::rib::RibIn;
+    use stamp_bgp::router::{RouterCtx, SessionView};
+    use stamp_bgp::types::{PathAttrs, PrefixId, ProcId, Route};
+    use stamp_policy::PolicyRegime;
+    use stamp_topology::Relation;
+
+    struct AllUp;
+    impl SessionView for AllUp {
+        fn session_up(&self, _: AsId, _: AsId) -> bool {
+            true
+        }
+    }
+
+    let regime = PolicyRegime::long_path_tax();
+    report.bench(h, "policy_compile", || {
+        black_box(black_box(&regime).compile().expect("builtin compiles"));
+    });
+
+    const NEIGHBORS: u32 = 16;
+    let me = AsId(0);
+    let mut b = GraphBuilder::new();
+    b.preregister(NEIGHBORS + 1);
+    for n in 1..=NEIGHBORS {
+        match n % 3 {
+            0 => b.customer_of(n, 0).unwrap(),
+            1 => b.peering(0, n).unwrap(),
+            _ => b.customer_of(0, n).unwrap(),
+        };
+    }
+    let g = b.build().unwrap();
+    let mut arena = PathArena::new();
+    // 8-hop paths: long enough to trip long-path-tax's path-longer-than 5
+    // rule, so every import walks the rule list and tags communities.
+    let templates: Vec<Route> = (1..=NEIGHBORS)
+        .map(|n| {
+            let mut path = vec![AsId(n)];
+            for hop in 0..6u32 {
+                path.push(AsId(100 + n * 8 + hop));
+            }
+            path.push(AsId(99));
+            Route {
+                path: arena.intern_slice(&path),
+                attrs: PathAttrs::default(),
+            }
+        })
+        .collect();
+    let compiled = regime.compile().expect("builtin compiles");
+    let prefix = PrefixId(0);
+    let mut rib = RibIn::new();
+    report.bench(h, "decide_with_policy", || {
+        let ctx = RouterCtx::with_policy(me, &g, &AllUp, &mut arena, &compiled);
+        for (i, t) in templates.iter().enumerate() {
+            let n = AsId(i as u32 + 1);
+            let rel = ctx.relation(n).expect("adjacent");
+            let (route, pref) = ctx.import(prefix, *t, rel).expect("import accepts");
+            rib.insert(prefix, ProcId::ONLY, n, route, rel, pref);
+        }
+        let d = rib
+            .decide(&*ctx.arena, me, prefix, ProcId::ONLY, |_| true)
+            .expect("routes present");
+        black_box(ctx.export_ok(Some(d.learned_from), Relation::Customer, &d.route));
     });
 }
 
@@ -324,6 +397,7 @@ fn main() {
     });
 
     bench_route_propagation(&h, &mut report);
+    bench_policy(&h, &mut report);
     bench_convergence(&h, &mut report);
     bench_convergence_2000(&h, &mut report);
     bench_session_lookup(&h, &mut report);
@@ -343,8 +417,7 @@ fn main() {
             attrs: PathAttrs {
                 lock: true,
                 et: Some(stamp_bgp::types::EventType::NotLost),
-                root_cause: None,
-                failover: false,
+                ..Default::default()
             },
         }),
     };

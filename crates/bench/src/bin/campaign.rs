@@ -24,7 +24,7 @@ use stamp_topology::{AsGraph, AsId, GenConfig};
 use stamp_workload::{
     choose_k, destination_candidates, populate_baselines, run_campaign, run_campaign_with_cache,
     smoke_grid, standard_families, BaselineCache, CacheStats, CampaignConfig, CampaignReport,
-    Protocol, RunParams, Timeline,
+    PolicyRegime, Protocol, RunParams, Timeline,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -253,6 +253,90 @@ fn query_json(s: &mut String, key: &str, q: &QueryRun) {
     s.push_str("  }");
 }
 
+/// One regime's slice of the policy sweep: the same grid, re-converged
+/// under a different `PolicyRegime`, keyed by the regime's canonical-DSL
+/// fingerprint (the value that also keys the baseline cache).
+struct PolicySweepRow {
+    name: String,
+    fingerprint: u64,
+    hash: u64,
+    wall_s: f64,
+    /// Grid-wide mean of affected ASes per protocol, config order.
+    affected: Vec<(Protocol, f64)>,
+}
+
+/// Re-run one grid under each regime (one parallel pass per regime — the
+/// determinism assertions already ran on the primary grid) and report the
+/// per-regime aggregate hashes. Distinct hashes are the evidence that the
+/// policy axis actually reaches every router's decision process.
+fn run_policy_sweep(
+    g: &AsGraph,
+    timelines: &[Timeline],
+    dests: &[AsId],
+    base_cfg: &CampaignConfig,
+    threads_n: usize,
+    regimes: &[PolicyRegime],
+) -> (usize, Vec<PolicySweepRow>) {
+    let mut rows = Vec::with_capacity(regimes.len());
+    let mut cells = 0;
+    for regime in regimes {
+        let mut cfg = base_cfg.clone();
+        cfg.params.policy = regime.clone();
+        cfg.threads = threads_n;
+        let t0 = Instant::now();
+        let rep = run_campaign(g, timelines, dests, &cfg).expect("timelines resolve");
+        let wall_s = t0.elapsed().as_secs_f64();
+        cells = rep.cells.len();
+        let affected = cfg
+            .protocols
+            .iter()
+            .map(|&p| {
+                let (mut sum, mut n) = (0.0, 0usize);
+                for c in &rep.cells {
+                    if let Some((_, m)) = c.metrics.iter().find(|(q, _)| *q == p) {
+                        sum += m.affected as f64;
+                        n += 1;
+                    }
+                }
+                (p, if n == 0 { 0.0 } else { sum / n as f64 })
+            })
+            .collect();
+        rows.push(PolicySweepRow {
+            name: regime.name.clone(),
+            fingerprint: regime.fingerprint(),
+            hash: rep.hash,
+            wall_s,
+            affected,
+        });
+    }
+    (cells, rows)
+}
+
+fn policy_sweep_json(s: &mut String, cells: usize, rows: &[PolicySweepRow]) {
+    let _ = writeln!(s, "  \"policy_sweep\": {{");
+    let _ = writeln!(s, "    \"cells\": {cells},");
+    let _ = writeln!(s, "    \"cores\": {},", cores());
+    s.push_str("    \"regimes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        let affected = r
+            .affected
+            .iter()
+            .map(|(p, a)| format!("\"{}\": {a:.3}", p.label()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            s,
+            "      {{ \"policy\": \"{}\", \"fingerprint\": \"0x{:016x}\", \
+             \"hash\": \"0x{:016x}\", \"wall_s\": {:.3}, \"affected_mean\": {{ {affected} }} }}",
+            r.name, r.fingerprint, r.hash, r.wall_s
+        );
+    }
+    s.push_str("\n    ]\n  }");
+}
+
 /// Logical CPUs of the host running the benchmark — recorded so a
 /// speedup ≈ 1 row on a one-core container is legible as a machine
 /// property, not a scaling regression.
@@ -331,6 +415,7 @@ fn json_object(s: &mut String, key: &str, run: &GridRun, protocols: &[Protocol])
 fn write_json(
     runs: &[(&str, &GridRun)],
     query: Option<&QueryRun>,
+    sweep: Option<&(usize, Vec<PolicySweepRow>)>,
     protocols: &[Protocol],
     path: &str,
 ) {
@@ -344,6 +429,10 @@ fn write_json(
     if let Some(q) = query {
         s.push_str(",\n");
         query_json(&mut s, "query_throughput", q);
+    }
+    if let Some((cells, rows)) = sweep {
+        s.push_str(",\n");
+        policy_sweep_json(&mut s, *cells, rows);
     }
     s.push_str("\n}\n");
     std::fs::write(path, s).expect("write BENCH_campaign.json");
@@ -361,6 +450,11 @@ fn main() {
          writes BENCH_campaign.json.\n\
          --protocols LIST: comma-separated protocols to compare (labels or\n\
          aliases: bgp, rbgp-norci, rbgp, stamp; default bgp,rbgp,stamp).\n\
+         --policy LIST: comma-separated policy regimes (built-ins:\n\
+         gao-rexford, shortest-path, prefer-peer, long-path-tax; default\n\
+         gao-rexford). The first entry is the regime the grids run under;\n\
+         the full default run also sweeps every built-in into a\n\
+         policy_sweep row of BENCH_campaign.json.\n\
          --scn FILE (repeatable): run timelines parsed from .scn files instead\n\
          of the built-in families (see scenarios/ for samples).\n\
          --smoke: tiny fast grid, determinism assertion only (the CI gate).\n\
@@ -369,6 +463,26 @@ fn main() {
     );
     let seed = args.seed.unwrap_or(0xCA4A16);
     let smoke = args.smoke;
+    let regimes: Vec<PolicyRegime> = match &args.policy {
+        None => vec![PolicyRegime::gao_rexford()],
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                PolicyRegime::by_name(name.trim()).unwrap_or_else(|| {
+                    let known = PolicyRegime::builtins()
+                        .iter()
+                        .map(|r| r.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    eprintln!("unknown policy regime {name:?} (built-ins: {known})");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+    // `--policy gao-rexford` is the default spelled out: it must not
+    // change grid selection (the CI golden gate runs `--check` both ways).
+    let policy_default = regimes.len() == 1 && regimes[0].is_default();
     let protocols: Vec<Protocol> = match &args.protocols {
         None => PROTOCOLS.to_vec(),
         Some(list) => list
@@ -391,7 +505,8 @@ fn main() {
         && args.ases.is_none()
         && args.dests.is_none()
         && args.seeds.is_none()
-        && args.protocols.is_none();
+        && args.protocols.is_none()
+        && policy_default;
     let (g, timelines, dests, mut cfg) = if smoke_default {
         smoke_grid(seed)
     } else {
@@ -433,12 +548,14 @@ fn main() {
         let n_seeds = args.seeds.unwrap_or(if smoke { 1 } else { 2 });
         let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| seed ^ (i << 17)).collect();
 
+        let mut params = if smoke {
+            RunParams::fast()
+        } else {
+            RunParams::paper()
+        };
+        params.policy = regimes[0].clone();
         let cfg = CampaignConfig {
-            params: if smoke {
-                RunParams::fast()
-            } else {
-                RunParams::paper()
-            },
+            params,
             protocols: protocols.clone(),
             seeds,
             threads: 0,
@@ -476,7 +593,8 @@ fn main() {
         && args.ases.is_none()
         && args.dests.is_none()
         && args.seeds.is_none()
-        && args.protocols.is_none();
+        && args.protocols.is_none()
+        && policy_default;
     let run_2000 = if default_grid {
         let gen = GenConfig {
             n_ases: 2000,
@@ -523,6 +641,47 @@ fn main() {
         None
     };
 
+    // The policy axis: re-run a reduced grid (2 destinations, 1 seed —
+    // the regime axis replaces the seed axis as the thing being varied)
+    // under every built-in regime on a full default run, or under the
+    // `--policy` list when the caller named several.
+    let sweep_regimes: Vec<PolicyRegime> = if default_grid {
+        PolicyRegime::builtins()
+    } else if regimes.len() > 1 {
+        regimes.clone()
+    } else {
+        Vec::new()
+    };
+    let policy_sweep = if sweep_regimes.is_empty() {
+        None
+    } else {
+        let sweep_dests = &dests[..dests.len().min(2)];
+        let mut base = cfg.clone();
+        base.seeds.truncate(1);
+        let (cells, rows) = run_policy_sweep(
+            &g,
+            &timelines,
+            sweep_dests,
+            &base,
+            threads_n,
+            &sweep_regimes,
+        );
+        println!("policy sweep: {cells} cells per regime");
+        for r in &rows {
+            let affected = r
+                .affected
+                .iter()
+                .map(|(p, a)| format!("{} {a:.2}", p.label()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "{:<16} fingerprint 0x{:016x} hash 0x{:016x} {:>7.2} s  affected mean: {affected}",
+                r.name, r.fingerprint, r.hash, r.wall_s
+            );
+        }
+        Some((cells, rows))
+    };
+
     if args.check {
         println!("check mode: BENCH_campaign.json left untouched");
         return;
@@ -531,5 +690,11 @@ fn main() {
     if let Some(r) = &run_2000 {
         rows.push(("campaign_2000", r));
     }
-    write_json(&rows, query_run.as_ref(), &protocols, "BENCH_campaign.json");
+    write_json(
+        &rows,
+        query_run.as_ref(),
+        policy_sweep.as_ref(),
+        &protocols,
+        "BENCH_campaign.json",
+    );
 }

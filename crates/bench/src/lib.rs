@@ -39,6 +39,11 @@ pub struct CommonArgs {
     /// Comma-separated protocol list (`--protocols bgp,stamp`); binaries
     /// parse each entry via `Protocol::from_str` (labels or aliases).
     pub protocols: Option<String>,
+    /// Comma-separated policy-regime list (`--policy gao-rexford,...`);
+    /// binaries resolve each entry via `PolicyRegime::by_name`. Mirrors
+    /// `--protocols`: the first entry is the regime the grids run under,
+    /// the full list is the sweep axis.
+    pub policy: Option<String>,
     /// Verification mode (`--check`): run and assert, but do not rewrite
     /// report files (the CI hash gate runs the full grid this way).
     pub check: bool,
@@ -57,6 +62,7 @@ pub fn parse_args(usage: &str) -> CommonArgs {
         seeds: None,
         scn: Vec::new(),
         protocols: None,
+        policy: None,
         check: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +86,7 @@ pub fn parse_args(usage: &str) -> CommonArgs {
             "--seeds" => out.seeds = Some(value(&mut i).parse().expect("--seeds N")),
             "--scn" => out.scn.push(value(&mut i)),
             "--protocols" => out.protocols = Some(value(&mut i)),
+            "--policy" => out.policy = Some(value(&mut i)),
             "--check" => out.check = true,
             "--help" | "-h" => {
                 println!("{usage}");

@@ -18,6 +18,7 @@ use stamp_eventsim::rng::{tags, Rng};
 use stamp_eventsim::{
     rng_stream, DelayModel, FifoChannel, LossModel, Scheduler, SimDuration, SimTime,
 };
+use stamp_policy::CompiledRegime;
 use stamp_topology::{AsGraph, AsId, LinkId, SessEnds, SessEntry, SessId};
 
 /// Maximum routing processes per AS the engine provisions per-session
@@ -79,6 +80,12 @@ pub struct EngineConfig {
     pub mrai_withdrawals: bool,
     /// Message loss fault injection (zero in the paper's experiments).
     pub loss: LossModel,
+    /// Compiled policy regime every router consults for import preference
+    /// and export gating. The default (`gao-rexford`) reproduces the
+    /// paper's hardwired prefer-customer + valley-free semantics exactly.
+    /// Deliberately *not* part of checkpoints: a checkpoint restores into
+    /// an engine that already carries its regime.
+    pub policy: CompiledRegime,
 }
 
 impl Default for EngineConfig {
@@ -90,6 +97,7 @@ impl Default for EngineConfig {
             mrai_enabled: true,
             mrai_withdrawals: true,
             loss: LossModel::none(),
+            policy: CompiledRegime::default_static().clone(),
         }
     }
 }
@@ -104,6 +112,7 @@ impl EngineConfig {
             mrai_enabled: false,
             mrai_withdrawals: false,
             loss: LossModel::none(),
+            policy: CompiledRegime::default_static().clone(),
         }
     }
 }
@@ -831,13 +840,14 @@ impl<R: RouterLogic> Engine<R> {
                 state,
                 paths,
                 out_scratch,
+                cfg,
                 ..
             } = self;
             let sessions = Sessions {
                 g: &*g,
                 state: &*state,
             };
-            let mut ctx = RouterCtx::new(v, &*g, &sessions, paths);
+            let mut ctx = RouterCtx::with_policy(v, &*g, &sessions, paths, &cfg.policy);
             // Lend the engine's scratch buffer: `Vec::new()` above never
             // allocated, and the swap hands routers a warm buffer.
             ctx.out = std::mem::take(out_scratch);

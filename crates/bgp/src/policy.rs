@@ -1,18 +1,26 @@
-//! The paper's two standing routing policies (§2.1): prefer-customer and
-//! valley-free export.
+//! The paper's two standing routing policies (§2.1) — now thin shims over
+//! the default `gao-rexford` regime in `stamp_policy`.
+//!
+//! **Deprecated in favour of [`stamp_policy`]**: these free functions
+//! survive as the conformance surface pinning the compiled default regime
+//! to the paper's hardwired semantics (prefer-customer local preference,
+//! valley-free export). New code should consult the regime on the
+//! [`RouterCtx`](crate::router::RouterCtx) instead — it honours whatever
+//! policy the engine was configured with; these shims always answer for
+//! the default.
 
+use stamp_policy::CompiledRegime;
 use stamp_topology::Relation;
 
 /// Local preference assigned to a route by the relation of the session it
 /// was learned over: customer 300 > peer 200 > provider 100. These are the
 /// conventional values; only the ordering matters.
+///
+/// Shim over the default regime's preference table; ignores import rules
+/// (the default regime has none).
 #[inline]
 pub fn local_pref(learned_from: Relation) -> u32 {
-    match learned_from {
-        Relation::Customer => 300,
-        Relation::Peer => 200,
-        Relation::Provider => 100,
-    }
+    CompiledRegime::default_static().base_pref(learned_from)
 }
 
 /// Local preference of a self-originated prefix (beats everything).
@@ -24,17 +32,24 @@ pub const LOCAL_PREF_ORIGIN: u32 = 1000;
 /// * Own prefixes (`learned_from = None`) and customer routes export to
 ///   everyone.
 /// * Peer and provider routes export to customers only.
+///
+/// Shim over the default regime's export matrix with an empty community
+/// word (the default regime tags nothing).
 #[inline]
 pub fn export_ok(learned_from: Option<Relation>, to: Relation) -> bool {
-    match learned_from {
-        None | Some(Relation::Customer) => true,
-        Some(Relation::Peer) | Some(Relation::Provider) => to == Relation::Customer,
-    }
+    CompiledRegime::default_static().export_allowed(
+        learned_from,
+        to,
+        stamp_policy::CommunityBits::EMPTY,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // These two tests are the conformance pin: the compiled default regime
+    // must keep reproducing the paper's hardwired §2.1 tables exactly.
 
     #[test]
     fn prefer_customer_ordering() {
@@ -62,5 +77,16 @@ mod tests {
         assert!(export_ok(Some(Provider), Customer));
         assert!(!export_ok(Some(Provider), Peer));
         assert!(!export_ok(Some(Provider), Provider));
+    }
+
+    #[test]
+    fn exact_conventional_values() {
+        assert_eq!(local_pref(Relation::Customer), 300);
+        assert_eq!(local_pref(Relation::Peer), 200);
+        assert_eq!(local_pref(Relation::Provider), 100);
+        assert_eq!(
+            CompiledRegime::default_static().origin_pref(),
+            LOCAL_PREF_ORIGIN
+        );
     }
 }

@@ -18,7 +18,6 @@
 //! binary search — no hashing anywhere.
 
 use crate::patharena::PathArena;
-use crate::policy::local_pref;
 use crate::types::{PrefixId, ProcId, Route};
 use stamp_topology::{AsId, Relation};
 
@@ -30,6 +29,10 @@ pub struct RibEntry {
     /// Relation of the announcing neighbour (fixed per session; cached so
     /// `decide` skips the graph's link lookup).
     pub learned_from: Relation,
+    /// Local preference, computed by the active policy regime's import
+    /// side when the route was accepted — `decide` reads it back instead
+    /// of interpreting policy per call.
+    pub pref: u32,
 }
 
 /// One `(prefix, process)` group: a dense slot table indexed by the RIB's
@@ -107,7 +110,8 @@ impl RibIn {
     }
 
     /// Install (replacing) the route announced by `neighbor`, learned over
-    /// `learned_from`.
+    /// `learned_from` with import-time local preference `pref` (see
+    /// [`RibEntry::pref`]).
     // simlint::hot
     pub fn insert(
         &mut self,
@@ -116,6 +120,7 @@ impl RibIn {
         neighbor: AsId,
         route: Route,
         learned_from: Relation,
+        pref: u32,
     ) {
         let slot = self.slot_of(neighbor);
         let gi = match self
@@ -135,6 +140,7 @@ impl RibIn {
         let entry = RibEntry {
             route,
             learned_from,
+            pref,
         };
         if group.slots[slot].replace(entry).is_none() {
             group.filled += 1;
@@ -237,7 +243,8 @@ impl RibIn {
     /// 1. reject routes whose AS path already contains `me` (loop),
     /// 2. reject routes from neighbours for which `usable` is false
     ///    (session down),
-    /// 3. highest local-pref (prefer-customer),
+    /// 3. highest local-pref (assigned by the policy regime at import,
+    ///    stored in the entry — prefer-customer under the default),
     /// 4. shortest AS path,
     /// 5. lowest neighbour id.
     // simlint::hot
@@ -257,8 +264,7 @@ impl RibIn {
             if e.route.contains(arena, me) || !usable(n) {
                 continue;
             }
-            let pref = local_pref(e.learned_from);
-            let cand = (pref, e.route.len(arena), n, e);
+            let cand = (e.pref, e.route.len(arena), n, e);
             best = match best {
                 None => Some(cand),
                 Some(cur) => {
@@ -281,6 +287,7 @@ impl RibIn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::local_pref;
     use crate::types::PathAttrs;
     use stamp_topology::{AsGraph, GraphBuilder};
 
@@ -292,10 +299,11 @@ mod tests {
         }
     }
 
-    /// Insert resolving the relation from the graph, as routers do.
+    /// Insert resolving the relation from the graph, as routers do; the
+    /// preference is the default regime's, as the import path computes it.
     fn learn(rib: &mut RibIn, g: &AsGraph, me: AsId, p: PrefixId, pr: ProcId, r: Route, n: AsId) {
         let rel = g.relation(me, n).expect("adjacent");
-        rib.insert(p, pr, n, r, rel);
+        rib.insert(p, pr, n, r, rel, local_pref(rel));
     }
 
     /// me = 0 with customer 1, peer 2, provider 3; origin 4 somewhere below.
@@ -387,10 +395,10 @@ mod tests {
         let r14 = route(&mut a, &[1, 4]);
         let r18 = route(&mut a, &[1, 8]);
         let r24 = route(&mut a, &[2, 4]);
-        rib.insert(P, PR, AsId(1), r14, Relation::Customer);
-        rib.insert(PrefixId(1), PR, AsId(1), r18, Relation::Customer);
-        rib.insert(P, ProcId(1), AsId(1), r14, Relation::Customer);
-        rib.insert(P, PR, AsId(2), r24, Relation::Peer);
+        rib.insert(P, PR, AsId(1), r14, Relation::Customer, 300);
+        rib.insert(PrefixId(1), PR, AsId(1), r18, Relation::Customer, 300);
+        rib.insert(P, ProcId(1), AsId(1), r14, Relation::Customer, 300);
+        rib.insert(P, PR, AsId(2), r24, Relation::Peer, 200);
         let dropped = rib.remove_neighbor(AsId(1));
         assert_eq!(
             dropped,
@@ -406,8 +414,8 @@ mod tests {
         let mut rib = RibIn::new();
         let bad = route(&mut a, &[1, 5, 9]);
         let good = route(&mut a, &[2, 4]);
-        rib.insert(P, PR, AsId(1), bad, Relation::Customer);
-        rib.insert(P, PR, AsId(2), good, Relation::Peer);
+        rib.insert(P, PR, AsId(1), bad, Relation::Customer, 300);
+        rib.insert(P, PR, AsId(2), good, Relation::Peer, 200);
         let dropped = rib.purge(|r| !r.contains(&a, AsId(5)));
         assert_eq!(dropped, vec![(P, PR, AsId(1))]);
         assert_eq!(rib.len(), 1);
@@ -420,9 +428,9 @@ mod tests {
         let r9 = route(&mut a, &[9, 4]);
         let r1 = route(&mut a, &[1, 4]);
         let r5 = route(&mut a, &[5, 4]);
-        rib.insert(P, PR, AsId(9), r9, Relation::Provider);
-        rib.insert(P, PR, AsId(1), r1, Relation::Provider);
-        rib.insert(P, PR, AsId(5), r5, Relation::Provider);
+        rib.insert(P, PR, AsId(9), r9, Relation::Provider, 100);
+        rib.insert(P, PR, AsId(1), r1, Relation::Provider, 100);
+        rib.insert(P, PR, AsId(5), r5, Relation::Provider, 100);
         let order: Vec<AsId> = rib.routes(P, PR).map(|(n, _)| n).collect();
         assert_eq!(order, vec![AsId(1), AsId(5), AsId(9)]);
     }

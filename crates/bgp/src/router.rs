@@ -7,10 +7,10 @@
 //! measures against and the template R-BGP and STAMP extend.
 
 use crate::patharena::{PathArena, PathId};
-use crate::policy::export_ok;
 use crate::rib::{DecisionOutcome, RibIn};
 use crate::types::{CauseInfo, PrefixId, ProcId, Route, UpdateKind, UpdateMsg, WithdrawInfo};
 use stamp_eventsim::FxHashMap;
+use stamp_policy::CompiledRegime;
 use stamp_topology::{AsGraph, AsId, Relation, SessEntry};
 
 /// An update a router wants delivered to a neighbour.
@@ -58,15 +58,32 @@ pub struct RouterCtx<'a> {
     /// Set by the router whenever its forwarding state changed — the engine
     /// batches these to know when to re-run data-plane checks.
     pub fib_changed: bool,
+    /// The compiled policy regime every import and export decision goes
+    /// through (dense tables — see `stamp_policy`). The engine hands in
+    /// its configured regime via [`RouterCtx::with_policy`];
+    /// [`RouterCtx::new`] wires the default (`gao-rexford`).
+    pub policy: &'a CompiledRegime,
 }
 
 impl<'a> RouterCtx<'a> {
-    /// Fresh context for one event at router `me`.
+    /// Fresh context for one event at router `me`, under the default
+    /// (`gao-rexford`) policy regime.
     pub fn new(
         me: AsId,
         topo: &'a AsGraph,
         sessions: &'a dyn SessionView,
         arena: &'a mut PathArena,
+    ) -> RouterCtx<'a> {
+        RouterCtx::with_policy(me, topo, sessions, arena, CompiledRegime::default_static())
+    }
+
+    /// Fresh context for one event at router `me`, under `policy`.
+    pub fn with_policy(
+        me: AsId,
+        topo: &'a AsGraph,
+        sessions: &'a dyn SessionView,
+        arena: &'a mut PathArena,
+        policy: &'a CompiledRegime,
     ) -> RouterCtx<'a> {
         RouterCtx {
             me,
@@ -76,6 +93,7 @@ impl<'a> RouterCtx<'a> {
             arena,
             out: Vec::new(),
             fib_changed: false,
+            policy,
         }
     }
 
@@ -100,6 +118,37 @@ impl<'a> RouterCtx<'a> {
             .iter()
             .filter(move |e| sessions.session_entry_up(me, e))
             .map(|e| (e.neighbor, e.rel))
+    }
+
+    /// Run the policy regime's import side on an announcement learned over
+    /// `rel`: `None` means a `reject` rule fired and the route must not
+    /// enter the RIB; otherwise the (possibly community-tagged) route and
+    /// the local preference to store with it. Rule-free regimes reduce to
+    /// one array read — the path-membership closure is never called.
+    // simlint::hot
+    pub fn import(&self, prefix: PrefixId, route: Route, rel: Relation) -> Option<(Route, u32)> {
+        let arena: &PathArena = self.arena;
+        let path_contains = |asn: u32| route.contains(arena, AsId(asn));
+        let outcome = self.policy.import(&stamp_policy::ImportCtx {
+            prefix: prefix.0,
+            learned_from: rel,
+            path_len: route.len(arena),
+            communities: route.attrs.communities,
+            path_contains: &path_contains,
+        })?;
+        let mut accepted = route;
+        accepted.attrs.communities = outcome.communities;
+        Some((accepted, outcome.pref))
+    }
+
+    /// The policy regime's export gate: may a route learned over `learned`
+    /// (`None` = originated here) be announced toward a `to` neighbour?
+    /// One 2-D array read plus a community-mask AND.
+    // simlint::hot
+    #[inline]
+    pub fn export_ok(&self, learned: Option<Relation>, to: Relation, route: &Route) -> bool {
+        self.policy
+            .export_allowed(learned, to, route.attrs.communities)
     }
 }
 
@@ -169,9 +218,10 @@ impl Selection {
     }
 }
 
-/// Unmodified BGP: one process, prefer-customer decision, valley-free
-/// export, no extra attributes. `Clone` so engine checkpoints can carry
-/// router state (all fields are flat tables of `Copy` route handles).
+/// Unmodified BGP: one process, policy-driven decision and export gate
+/// (prefer-customer + valley-free under the default regime), no extra
+/// attributes. `Clone` so engine checkpoints can carry router state (all
+/// fields are flat tables of `Copy` route handles).
 #[derive(Debug, Clone)]
 pub struct BgpRouter {
     me: AsId,
@@ -239,19 +289,26 @@ impl BgpRouter {
         self.update_exports(ctx, prefix);
     }
 
-    /// Desired advertisement towards `n` under the valley-free gate.
+    /// Desired advertisement towards `n` under the regime's export gate.
     fn export_for(&self, ctx: &mut RouterCtx, prefix: PrefixId, n: AsId) -> Option<Route> {
         let to_rel = ctx.relation(n)?;
         match self.selection(prefix) {
             Selection::None => None,
-            Selection::Own => Some(Route::originate(ctx.arena, self.me)),
+            Selection::Own => {
+                let r = Route::originate(ctx.arena, self.me);
+                if ctx.export_ok(None, to_rel, &r) {
+                    Some(r)
+                } else {
+                    None
+                }
+            }
             Selection::Learned(d) => {
                 if d.neighbor == n {
                     // Never reflect a route back to its sender (split
                     // horizon; the path would loop anyway).
                     return None;
                 }
-                if export_ok(Some(d.learned_from), to_rel) {
+                if ctx.export_ok(Some(d.learned_from), to_rel, &d.route) {
                     Some(d.route.prepend(ctx.arena, self.me))
                 } else {
                     None
@@ -320,9 +377,18 @@ impl RouterLogic for BgpRouter {
                 // The relation is fixed per session; caching it in the RIB
                 // entry keeps the decision process free of graph lookups.
                 // A non-adjacent sender (impossible under the engine) is
-                // simply not stored.
+                // simply not stored. A rejecting import acts like a
+                // withdraw: any earlier route from that neighbour is gone.
                 if let Some(rel) = ctx.relation(from) {
-                    self.rib.insert(msg.prefix, ProcId::ONLY, from, route, rel);
+                    match ctx.import(msg.prefix, route, rel) {
+                        Some((route, pref)) => {
+                            self.rib
+                                .insert(msg.prefix, ProcId::ONLY, from, route, rel, pref);
+                        }
+                        None => {
+                            self.rib.remove(msg.prefix, ProcId::ONLY, from);
+                        }
+                    }
                 }
             }
             UpdateKind::Withdraw(_) => {

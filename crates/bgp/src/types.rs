@@ -167,7 +167,8 @@ impl RootCause {
 }
 
 /// Optional path attributes carried by announcements. Plain BGP leaves all
-/// of them unset; STAMP uses `lock`/`et`; R-BGP uses `root_cause`/`failover`.
+/// of them unset; STAMP uses `lock`/`et`; R-BGP uses `root_cause`/`failover`;
+/// `communities` is set only by policy regimes with tagging import rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct PathAttrs {
     /// STAMP Lock attribute (§4.1): guarantees one blue downhill path.
@@ -178,6 +179,11 @@ pub struct PathAttrs {
     pub root_cause: Option<CauseInfo>,
     /// R-BGP: this is a failover (backup) path, not the sender's best.
     pub failover: bool,
+    /// Community tags, as bits of the active policy regime's community
+    /// table (`stamp_policy::CompiledRegime::community_bit`). Empty under
+    /// rule-free regimes, and non-transitive: `prepend` resets attributes,
+    /// so each AS re-derives tags through its own import rules.
+    pub communities: stamp_policy::CommunityBits,
 }
 
 /// A route as stored in a RIB or carried in an announcement.

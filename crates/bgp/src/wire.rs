@@ -467,8 +467,7 @@ mod tests {
                 PathAttrs {
                     lock: true,
                     et: Some(et),
-                    root_cause: None,
-                    failover: false,
+                    ..Default::default()
                 },
             );
             let bytes = encode(&a, &msg);
@@ -484,14 +483,13 @@ mod tests {
             3,
             &[5, 6],
             PathAttrs {
-                lock: false,
-                et: None,
                 root_cause: Some(CauseInfo {
                     cause: RootCause::Link(AsId(1), AsId(2)),
                     seq: 3,
                     up: false,
                 }),
                 failover: true,
+                ..Default::default()
             },
         );
         let bytes = encode(&a, &msg);
@@ -563,6 +561,7 @@ mod tests {
                     up: false,
                 }),
                 failover: true,
+                ..Default::default()
             },
         );
         let raw = encode(&a, &msg);

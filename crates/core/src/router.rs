@@ -21,8 +21,6 @@
 //!   uses.
 
 use crate::lock::LockStrategy;
-use stamp_bgp::patharena::PathArena;
-use stamp_bgp::policy::export_ok;
 use stamp_bgp::rib::RibIn;
 use stamp_bgp::router::{RouterCtx, RouterLogic, Selection};
 use stamp_bgp::types::{
@@ -184,25 +182,31 @@ impl StampRouter {
     // ------------------------------------------------------------------
 
     /// The route colour `c` would announce *upward* (to a provider), if
-    /// any: own prefixes and customer-learned routes only (valley-free).
+    /// the policy's export gate allows it: own prefixes and
+    /// customer-learned routes under the default (valley-free) regime.
     /// The Lock bit is set per the sticky-lock rule (crate docs, rule 2).
     fn up_route(
         &self,
-        arena: &mut PathArena,
+        ctx: &mut RouterCtx,
         prefix: PrefixId,
         c: Color,
         lock_eligible: bool,
     ) -> Option<Route> {
         match self.selection(prefix, c) {
-            Selection::Own => Some(Route {
-                path: arena.origin_path(self.me),
-                attrs: PathAttrs {
-                    lock: c == Color::Blue,
-                    ..PathAttrs::default()
-                },
-            }),
-            Selection::Learned(d) if d.learned_from == Relation::Customer => {
-                let mut r = d.route.prepend(arena, self.me);
+            Selection::Own => {
+                let r = Route {
+                    path: ctx.arena.origin_path(self.me),
+                    attrs: PathAttrs {
+                        lock: c == Color::Blue,
+                        ..PathAttrs::default()
+                    },
+                };
+                ctx.export_ok(None, Relation::Provider, &r).then_some(r)
+            }
+            Selection::Learned(d)
+                if ctx.export_ok(Some(d.learned_from), Relation::Provider, &d.route) =>
+            {
+                let mut r = d.route.prepend(ctx.arena, self.me);
                 r.attrs.lock = c == Color::Blue && lock_eligible;
                 Some(r)
             }
@@ -238,15 +242,19 @@ impl StampRouter {
             }
             for c in Color::ALL {
                 let desired = match self.selection(prefix, c) {
-                    Selection::Own => Some(Route {
-                        path: ctx.arena.origin_path(self.me),
-                        attrs: PathAttrs {
-                            lock: c == Color::Blue,
-                            ..PathAttrs::default()
-                        },
-                    }),
+                    Selection::Own => {
+                        let r = Route {
+                            path: ctx.arena.origin_path(self.me),
+                            attrs: PathAttrs {
+                                lock: c == Color::Blue,
+                                ..PathAttrs::default()
+                            },
+                        };
+                        ctx.export_ok(None, rel, &r).then_some(r)
+                    }
                     Selection::Learned(d)
-                        if d.neighbor != n && export_ok(Some(d.learned_from), rel) =>
+                        if d.neighbor != n
+                            && ctx.export_ok(Some(d.learned_from), rel, &d.route) =>
                     {
                         let mut r = d.route.prepend(ctx.arena, self.me);
                         r.attrs.lock = d.route.attrs.lock;
@@ -260,8 +268,8 @@ impl StampRouter {
 
         // Providers: the selective announcement rules.
         let lock_eligible = self.lock_eligible(prefix);
-        let red_up = self.up_route(ctx.arena, prefix, Color::Red, false);
-        let blue_up = self.up_route(ctx.arena, prefix, Color::Blue, lock_eligible);
+        let red_up = self.up_route(ctx, prefix, Color::Red, false);
+        let blue_up = self.up_route(ctx, prefix, Color::Blue, lock_eligible);
 
         let mut lock_target = None;
         match providers.len() {
@@ -428,7 +436,15 @@ impl RouterLogic for StampRouter {
         let loss = match msg.kind {
             UpdateKind::Announce(route) => {
                 if let Some(rel) = ctx.relation(from) {
-                    self.rib.insert(msg.prefix, proc, from, route, rel);
+                    // A policy reject acts as an implicit withdrawal.
+                    match ctx.import(msg.prefix, route, rel) {
+                        Some((route, pref)) => {
+                            self.rib.insert(msg.prefix, proc, from, route, rel, pref);
+                        }
+                        None => {
+                            self.rib.remove(msg.prefix, proc, from);
+                        }
+                    }
                 }
                 route.attrs.et == Some(EventType::Lost)
             }
@@ -732,6 +748,7 @@ mod tests {
 #[cfg(test)]
 mod et_tests {
     use super::*;
+    use stamp_bgp::patharena::PathArena;
     use stamp_bgp::router::SessionView;
     use stamp_topology::{AsGraph, GraphBuilder};
 

@@ -12,15 +12,15 @@
 //! rows against `run_protocol_cell` cold, bit for bit.
 
 use crate::protocol::{
-    BaselineRow, Request, RequestError, Response, RouteRow, WhatIfRow, WhatIfShape,
+    BaselineRow, PolicyRow, Request, RequestError, Response, RouteRow, WhatIfRow, WhatIfShape,
 };
 use stamp_eventsim::SimDuration;
 use stamp_topology::disjoint::{max_disjoint_uphill_paths, two_disjoint_uphill_paths};
 use stamp_topology::{AsGraph, AsId, StaticRoutes};
 use stamp_workload::sim::{Sim, SimError};
 use stamp_workload::{
-    node_drain, run_protocol_cell_warm, single_link_failure, BaselineCache, CacheStats, Protocol,
-    RunParams, Timeline, TimelineError, PREFIX,
+    node_drain, run_protocol_cell_warm, single_link_failure, BaselineCache, CacheStats,
+    PolicyRegime, Protocol, RunParams, Timeline, TimelineError, PREFIX,
 };
 use std::fmt;
 
@@ -72,6 +72,8 @@ pub enum QueryError {
     UnservedDest(AsId),
     /// An AS id outside the served topology.
     NoSuchAs(AsId),
+    /// `POLICY` named no built-in regime.
+    NoSuchPolicy(String),
     /// The sim facade rejected the query.
     Sim(SimError),
 }
@@ -90,6 +92,10 @@ impl fmt::Display for QueryError {
                 write!(f, "destination {} has no resident baseline", d.0)
             }
             QueryError::NoSuchAs(v) => write!(f, "no AS {} in the topology", v.0),
+            QueryError::NoSuchPolicy(name) => write!(
+                f,
+                "no policy regime {name:?} (SHOW POLICIES lists the built-ins)"
+            ),
             QueryError::Sim(e) => write!(f, "{e}"),
         }
     }
@@ -107,6 +113,7 @@ impl QueryError {
             QueryError::UnservedProtocol(_) => "unserved-protocol",
             QueryError::UnservedDest(_) => "unserved-dest",
             QueryError::NoSuchAs(_) => "no-such-as",
+            QueryError::NoSuchPolicy(_) => "no-such-policy",
             QueryError::Sim(_) => "sim",
         }
     }
@@ -148,6 +155,7 @@ impl QueryEngine {
             Some(cap) => BaselineCache::with_capacity(cap),
             None => BaselineCache::new(),
         };
+        let policy_fp = cfg.params.policy.fingerprint();
         let mut baselines = Vec::with_capacity(cfg.dests.len() * cfg.protocols.len());
         for &dest in &cfg.dests {
             for &proto in &cfg.protocols {
@@ -160,7 +168,7 @@ impl QueryEngine {
                     .map_err(QueryError::Sim)?;
                 sim.converge();
                 debug_assert!(sim.converged());
-                cache.put(proto, dest, cfg.seed, sim.checkpoint());
+                cache.put(proto, dest, cfg.seed, policy_fp, sim.checkpoint());
                 baselines.push(Baseline { proto, dest, sim });
             }
         }
@@ -235,12 +243,29 @@ impl QueryEngine {
     /// Answer a `WHATIF`: play the shape's timeline against every selected
     /// `(dest, protocol)` baseline (all served combinations when
     /// unspecified) and report the paper's disruption metrics per row.
+    ///
+    /// `policy` swaps every router onto a named built-in regime for this
+    /// query. Non-default cells miss the resident baselines the first
+    /// time, converge cold and deposit under the regime's own cache
+    /// fingerprint — so a repeated `POLICY` query forks warm like any
+    /// other.
     pub fn whatif(
         &self,
         shape: &WhatIfShape,
         proto: Option<Protocol>,
         dest: Option<AsId>,
+        policy: Option<&str>,
     ) -> Result<Response, QueryError> {
+        let params = match policy {
+            Some(name) => {
+                let regime = PolicyRegime::by_name(name)
+                    .ok_or_else(|| QueryError::NoSuchPolicy(name.to_string()))?;
+                let mut p = self.cfg.params.clone();
+                p.policy = regime;
+                p
+            }
+            None => self.cfg.params.clone(),
+        };
         let timeline = self.timeline_of(shape);
         let removed = timeline
             .removed_links(&self.g)
@@ -269,7 +294,7 @@ impl QueryEngine {
             for &p in &protos {
                 let metrics = run_protocol_cell_warm(
                     &self.g,
-                    &self.cfg.params,
+                    &params,
                     &timeline,
                     d,
                     &reachable,
@@ -293,6 +318,24 @@ impl QueryEngine {
             events: timeline.events().len(),
             rows,
         })
+    }
+
+    /// `SHOW POLICIES`: the built-in regimes `WHATIF … POLICY` can name,
+    /// flagged with which one the daemon's baselines run, plus the cache
+    /// fingerprint each would converge under.
+    pub fn show_policies(&self) -> Response {
+        let default_fp = self.cfg.params.policy.fingerprint();
+        Response::Policies {
+            rows: PolicyRegime::builtins()
+                .iter()
+                .map(|r| PolicyRow {
+                    name: r.name.clone(),
+                    default: r.fingerprint() == default_fp,
+                    rules: r.imports.rules.len(),
+                    fingerprint: r.fingerprint(),
+                })
+                .collect(),
+        }
     }
 
     /// `SHOW BASELINES`: every resident converged session.
@@ -361,9 +404,15 @@ impl QueryEngine {
     /// Execute one request; refusals become `ERR` responses, never panics.
     pub fn execute(&self, req: &Request) -> Response {
         let result = match req {
-            Request::WhatIf { shape, proto, dest } => self.whatif(shape, *proto, *dest),
+            Request::WhatIf {
+                shape,
+                proto,
+                dest,
+                policy,
+            } => self.whatif(shape, *proto, *dest, policy.as_deref()),
             Request::ShowBaselines => Ok(self.show_baselines()),
             Request::ShowCache => Ok(Response::Cache(self.cache.stats())),
+            Request::ShowPolicies => Ok(self.show_policies()),
             Request::ShowRoute { dest, from } => self.show_route(*dest, *from),
             Request::ShowDisjointness { dest } => self.show_disjointness(*dest),
             Request::Quit => Ok(Response::Bye),
@@ -414,6 +463,7 @@ mod tests {
             shape: WhatIfShape::FailLink(dest, provider),
             proto: None,
             dest: None,
+            policy: None,
         });
         match &resp {
             Response::WhatIf {
@@ -450,6 +500,7 @@ mod tests {
             shape: WhatIfShape::FailLink(dest, provider),
             proto: Some(Protocol::Stamp),
             dest: Some(dest),
+            policy: None,
         });
         match resp {
             Response::WhatIf { rows, .. } => {
@@ -466,6 +517,7 @@ mod tests {
                     shape: WhatIfShape::FailLink(dest, provider),
                     proto: Some(Protocol::Rbgp),
                     dest: None,
+                    policy: None,
                 }),
                 "unserved-protocol",
             ),
@@ -474,6 +526,7 @@ mod tests {
                     shape: WhatIfShape::DrainNode(provider),
                     proto: None,
                     dest: Some(AsId(199)),
+                    policy: None,
                 }),
                 "unserved-dest",
             ),
@@ -482,6 +535,7 @@ mod tests {
                     shape: WhatIfShape::FailLink(AsId(0), AsId(1999)),
                     proto: None,
                     dest: None,
+                    policy: None,
                 }),
                 "no-such-link",
             ),
@@ -498,6 +552,84 @@ mod tests {
                 Response::Error { code, .. } => assert_eq!(code, want),
                 other => panic!("expected ERR {want}, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn policy_queries_run_named_regimes_and_reject_unknown_names() {
+        let e = small_engine(39);
+        let dest = e.config().dests[0];
+        let provider = e.topology().providers(dest)[0];
+        // SHOW POLICIES lists every built-in, exactly one default, and
+        // round-trips byte-exactly.
+        let resp = e.execute(&Request::ShowPolicies);
+        match &resp {
+            Response::Policies { rows } => {
+                assert!(rows.len() >= 4);
+                assert_eq!(rows.iter().filter(|r| r.default).count(), 1);
+                assert!(rows.iter().any(|r| r.name == "gao-rexford" && r.default));
+                // Fingerprints are pairwise distinct (they key the cache).
+                for (i, a) in rows.iter().enumerate() {
+                    for b in &rows[i + 1..] {
+                        assert_ne!(a.fingerprint, b.fingerprint, "{} vs {}", a.name, b.name);
+                    }
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let text = resp.to_string();
+        assert_eq!(Response::parse(&text).unwrap().to_string(), text);
+
+        // POLICY naming the default regime is byte-identical to omitting it
+        // and forks the resident baselines (hits, no misses).
+        let shape = WhatIfShape::FailLink(dest, provider);
+        let plain = e.execute(&Request::WhatIf {
+            shape: shape.clone(),
+            proto: Some(Protocol::Bgp),
+            dest: Some(dest),
+            policy: None,
+        });
+        let named = e.execute(&Request::WhatIf {
+            shape: shape.clone(),
+            proto: Some(Protocol::Bgp),
+            dest: Some(dest),
+            policy: Some("gao-rexford".to_string()),
+        });
+        assert_eq!(plain, named);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 0);
+
+        // A non-default regime converges cold once (a miss that deposits
+        // under its own fingerprint), then forks warm — and both runs
+        // answer identically.
+        let req = Request::WhatIf {
+            shape,
+            proto: Some(Protocol::Bgp),
+            dest: Some(dest),
+            policy: Some("shortest-path".to_string()),
+        };
+        let cold = e.execute(&req);
+        assert_eq!(e.cache_stats().misses, 1);
+        let warm = e.execute(&req);
+        assert_eq!(cold, warm);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 3, "the second run forks the deposit");
+        assert_eq!(stats.misses, 1);
+        match cold {
+            Response::WhatIf { rows, .. } => assert_eq!(rows.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Unknown regimes refuse with a typed code; service continues.
+        match e.execute(&Request::WhatIf {
+            shape: WhatIfShape::DrainNode(provider),
+            proto: None,
+            dest: None,
+            policy: Some("hot-potato".to_string()),
+        }) {
+            Response::Error { code, .. } => assert_eq!(code, "no-such-policy"),
+            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -552,6 +684,7 @@ mod tests {
             shape: WhatIfShape::FailLink(dests[0], provider),
             proto: None,
             dest: None,
+            policy: None,
         };
         let bounded = e.execute(&req);
         let stats = e.cache_stats();

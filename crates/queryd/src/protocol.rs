@@ -6,11 +6,12 @@
 //! registry's primary lower-case alias):
 //!
 //! ```text
-//! WHATIF FAIL-LINK <a> <b> [PROTO <p>] [DEST <d>]
-//! WHATIF DRAIN-NODE <v> [PROTO <p>] [DEST <d>]
-//! WHATIF SCN [PROTO <p>] [DEST <d>] <inline .scn, lines joined by "; ">
+//! WHATIF FAIL-LINK <a> <b> [PROTO <p>] [DEST <d>] [POLICY <r>]
+//! WHATIF DRAIN-NODE <v> [PROTO <p>] [DEST <d>] [POLICY <r>]
+//! WHATIF SCN [PROTO <p>] [DEST <d>] [POLICY <r>] <inline .scn, lines joined by "; ">
 //! SHOW BASELINES
 //! SHOW CACHE
+//! SHOW POLICIES
 //! SHOW ROUTE <dest> FROM <from>
 //! SHOW DISJOINTNESS <dest>
 //! QUIT
@@ -58,11 +59,17 @@ pub enum Request {
         shape: WhatIfShape,
         proto: Option<Protocol>,
         dest: Option<AsId>,
+        /// Run the query under this policy regime instead of the daemon's
+        /// default. Named cells cold-converge on first use and deposit
+        /// their baselines under the regime's own cache fingerprint.
+        policy: Option<String>,
     },
     /// List the resident converged baselines.
     ShowBaselines,
     /// Report the baseline cache's occupancy and hit/miss counters.
     ShowCache,
+    /// List the built-in policy regimes a `WHATIF … POLICY` can name.
+    ShowPolicies,
     /// The selected AS path(s) from `from` towards `dest`, per protocol.
     ShowRoute { dest: AsId, from: AsId },
     /// Topology-level disjointness of `dest`'s uphill paths.
@@ -104,7 +111,7 @@ impl fmt::Display for RequestError {
             }
             RequestError::UnknownShow(w) => write!(
                 f,
-                "unknown SHOW subject {w:?} (want BASELINES, CACHE, ROUTE or DISJOINTNESS)"
+                "unknown SHOW subject {w:?} (want BASELINES, CACHE, POLICIES, ROUTE or DISJOINTNESS)"
             ),
             RequestError::UnknownWhatIf(w) => write!(
                 f,
@@ -151,7 +158,8 @@ impl fmt::Display for Request {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let opts = |f: &mut fmt::Formatter<'_>,
                     proto: &Option<Protocol>,
-                    dest: &Option<AsId>|
+                    dest: &Option<AsId>,
+                    policy: &Option<String>|
          -> fmt::Result {
             if let Some(p) = proto {
                 write!(f, " PROTO {}", proto_token(*p))?;
@@ -159,26 +167,35 @@ impl fmt::Display for Request {
             if let Some(d) = dest {
                 write!(f, " DEST {}", d.0)?;
             }
+            if let Some(r) = policy {
+                write!(f, " POLICY {r}")?;
+            }
             Ok(())
         };
         match self {
-            Request::WhatIf { shape, proto, dest } => match shape {
+            Request::WhatIf {
+                shape,
+                proto,
+                dest,
+                policy,
+            } => match shape {
                 WhatIfShape::FailLink(a, b) => {
                     write!(f, "WHATIF FAIL-LINK {} {}", a.0, b.0)?;
-                    opts(f, proto, dest)
+                    opts(f, proto, dest, policy)
                 }
                 WhatIfShape::DrainNode(v) => {
                     write!(f, "WHATIF DRAIN-NODE {}", v.0)?;
-                    opts(f, proto, dest)
+                    opts(f, proto, dest, policy)
                 }
                 WhatIfShape::Scn(t) => {
                     write!(f, "WHATIF SCN")?;
-                    opts(f, proto, dest)?;
+                    opts(f, proto, dest, policy)?;
                     write!(f, " {}", inline_scn(t))
                 }
             },
             Request::ShowBaselines => write!(f, "SHOW BASELINES"),
             Request::ShowCache => write!(f, "SHOW CACHE"),
+            Request::ShowPolicies => write!(f, "SHOW POLICIES"),
             Request::ShowRoute { dest, from } => {
                 write!(f, "SHOW ROUTE {} FROM {}", dest.0, from.0)
             }
@@ -195,45 +212,56 @@ fn parse_as_id(tok: Option<&str>, what: &'static str) -> Result<AsId, RequestErr
         .map_err(|_| RequestError::BadAsId(t.to_string()))
 }
 
-/// Consume leading `PROTO <p>` / `DEST <d>` options (each at most once,
-/// any order) and return how many tokens they took.
-#[allow(clippy::type_complexity)]
-fn parse_opts_prefix(
-    toks: &[&str],
-) -> Result<(Option<Protocol>, Option<AsId>, usize), RequestError> {
-    let mut proto = None;
-    let mut dest = None;
+/// The optional narrowers of a `WHATIF` query.
+#[derive(Default)]
+struct WhatIfOpts {
+    proto: Option<Protocol>,
+    dest: Option<AsId>,
+    policy: Option<String>,
+}
+
+/// Consume leading `PROTO <p>` / `DEST <d>` / `POLICY <r>` options (each
+/// at most once, any order) and return how many tokens they took.
+fn parse_opts_prefix(toks: &[&str]) -> Result<(WhatIfOpts, usize), RequestError> {
+    let mut opts = WhatIfOpts::default();
     let mut i = 0;
     while i < toks.len() {
         match toks[i].to_ascii_uppercase().as_str() {
-            "PROTO" if proto.is_none() => {
+            "PROTO" if opts.proto.is_none() => {
                 let t = toks
                     .get(i + 1)
                     .ok_or(RequestError::MissingArg("PROTO value"))?;
-                proto = Some(
+                opts.proto = Some(
                     t.parse::<Protocol>()
                         .map_err(|_| RequestError::BadProtocol(t.to_string()))?,
                 );
                 i += 2;
             }
-            "DEST" if dest.is_none() => {
-                dest = Some(parse_as_id(toks.get(i + 1).copied(), "DEST value")?);
+            "DEST" if opts.dest.is_none() => {
+                opts.dest = Some(parse_as_id(toks.get(i + 1).copied(), "DEST value")?);
+                i += 2;
+            }
+            "POLICY" if opts.policy.is_none() => {
+                let t = toks
+                    .get(i + 1)
+                    .ok_or(RequestError::MissingArg("POLICY value"))?;
+                opts.policy = Some(t.to_string());
                 i += 2;
             }
             _ => break,
         }
     }
-    Ok((proto, dest, i))
+    Ok((opts, i))
 }
 
 /// Like [`parse_opts_prefix`] but the options must consume the whole
 /// remainder (shapes whose arguments precede the options).
-fn parse_opts_all(toks: &[&str]) -> Result<(Option<Protocol>, Option<AsId>), RequestError> {
-    let (proto, dest, used) = parse_opts_prefix(toks)?;
+fn parse_opts_all(toks: &[&str]) -> Result<WhatIfOpts, RequestError> {
+    let (opts, used) = parse_opts_prefix(toks)?;
     if used < toks.len() {
         return Err(RequestError::Trailing(toks[used..].join(" ")));
     }
-    Ok((proto, dest))
+    Ok(opts)
 }
 
 fn expect_end(toks: &[&str]) -> Result<(), RequestError> {
@@ -259,32 +287,35 @@ impl FromStr for Request {
                     "FAIL-LINK" => {
                         let a = parse_as_id(toks.get(2).copied(), "FAIL-LINK endpoint a")?;
                         let b = parse_as_id(toks.get(3).copied(), "FAIL-LINK endpoint b")?;
-                        let (proto, dest) = parse_opts_all(&toks[4..])?;
+                        let opts = parse_opts_all(&toks[4..])?;
                         Ok(Request::WhatIf {
                             shape: WhatIfShape::FailLink(a, b),
-                            proto,
-                            dest,
+                            proto: opts.proto,
+                            dest: opts.dest,
+                            policy: opts.policy,
                         })
                     }
                     "DRAIN-NODE" => {
                         let v = parse_as_id(toks.get(2).copied(), "DRAIN-NODE node")?;
-                        let (proto, dest) = parse_opts_all(&toks[3..])?;
+                        let opts = parse_opts_all(&toks[3..])?;
                         Ok(Request::WhatIf {
                             shape: WhatIfShape::DrainNode(v),
-                            proto,
-                            dest,
+                            proto: opts.proto,
+                            dest: opts.dest,
+                            policy: opts.policy,
                         })
                     }
                     "SCN" => {
-                        let (proto, dest, used) = parse_opts_prefix(&toks[2..])?;
+                        let (opts, used) = parse_opts_prefix(&toks[2..])?;
                         let body = toks[2 + used..].join(" ");
                         if body.is_empty() {
                             return Err(RequestError::MissingArg("inline .scn timeline"));
                         }
                         Ok(Request::WhatIf {
                             shape: WhatIfShape::Scn(parse_inline_scn(&body)?),
-                            proto,
-                            dest,
+                            proto: opts.proto,
+                            dest: opts.dest,
+                            policy: opts.policy,
                         })
                     }
                     other => Err(RequestError::UnknownWhatIf(other.to_string())),
@@ -302,6 +333,10 @@ impl FromStr for Request {
                     "CACHE" => {
                         expect_end(&toks[2..])?;
                         Ok(Request::ShowCache)
+                    }
+                    "POLICIES" => {
+                        expect_end(&toks[2..])?;
+                        Ok(Request::ShowPolicies)
                     }
                     "ROUTE" => {
                         let dest = parse_as_id(toks.get(2).copied(), "ROUTE destination")?;
@@ -358,6 +393,19 @@ pub struct BaselineRow {
     pub paths: usize,
 }
 
+/// One built-in regime of `SHOW POLICIES`. The fingerprint is the
+/// regime's canonical-`.pol` FNV-1a hash — the same value that keys the
+/// baseline cache, so a client can predict cache aliasing from this
+/// listing alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyRow {
+    pub name: String,
+    pub default: bool,
+    /// Import rules beyond the relation-preference base table.
+    pub rules: usize,
+    pub fingerprint: u64,
+}
+
 /// One per-protocol path row of `SHOW ROUTE` (empty `hops` = no route;
 /// STAMP contributes one row per colour).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -382,6 +430,9 @@ pub enum Response {
         rows: Vec<BaselineRow>,
     },
     Cache(CacheStats),
+    Policies {
+        rows: Vec<PolicyRow>,
+    },
     Route {
         dest: AsId,
         from: AsId,
@@ -478,6 +529,16 @@ impl fmt::Display for Response {
                     "CACHE capacity={cap} len={} hits={} misses={} evictions={}",
                     s.len, s.hits, s.misses, s.evictions
                 )?;
+            }
+            Response::Policies { rows } => {
+                writeln!(f, "POLICIES rows={}", rows.len())?;
+                for r in rows {
+                    writeln!(
+                        f,
+                        "policy name={} default={} rules={} fingerprint={:016x}",
+                        r.name, r.default, r.rules, r.fingerprint,
+                    )?;
+                }
             }
             Response::Route { dest, from, rows } => {
                 writeln!(
@@ -740,6 +801,37 @@ impl Response {
                     evictions,
                 }))
             }
+            "POLICIES" => {
+                let mut h = Fields::new(header, 1);
+                h.word("POLICIES")?;
+                let n: usize = h.parse("rows")?;
+                h.done()?;
+                let mut rows = Vec::with_capacity(n);
+                for (i, &line_text) in body.iter().enumerate() {
+                    let mut r = Fields::new(line_text, i + 2);
+                    r.word("policy")?;
+                    let name = r.value("name")?.to_string();
+                    let default: bool = r.parse("default")?;
+                    let rules: usize = r.parse("rules")?;
+                    let fp = r.value("fingerprint")?;
+                    let fingerprint =
+                        u64::from_str_radix(fp, 16).map_err(|_| ResponseParseError {
+                            line: i + 2,
+                            msg: format!("bad fingerprint {fp:?}"),
+                        })?;
+                    r.done()?;
+                    rows.push(PolicyRow {
+                        name,
+                        default,
+                        rules,
+                        fingerprint,
+                    });
+                }
+                if rows.len() != n {
+                    return Err(doc_err("row count does not match rows= header"));
+                }
+                Ok(Response::Policies { rows })
+            }
             "ROUTE" => {
                 let mut h = Fields::new(header, 1);
                 h.word("ROUTE")?;
@@ -846,16 +938,20 @@ mod tests {
         for shape in &shapes {
             for proto in [None, Some(Protocol::Stamp)] {
                 for dest in [None, Some(AsId(42))] {
-                    roundtrip_request(&Request::WhatIf {
-                        shape: shape.clone(),
-                        proto,
-                        dest,
-                    });
+                    for policy in [None, Some("prefer-peer".to_string())] {
+                        roundtrip_request(&Request::WhatIf {
+                            shape: shape.clone(),
+                            proto,
+                            dest,
+                            policy,
+                        });
+                    }
                 }
             }
         }
         roundtrip_request(&Request::ShowBaselines);
         roundtrip_request(&Request::ShowCache);
+        roundtrip_request(&Request::ShowPolicies);
         roundtrip_request(&Request::ShowRoute {
             dest: AsId(5),
             from: AsId(17),
@@ -866,16 +962,22 @@ mod tests {
 
     #[test]
     fn requests_parse_case_insensitively() {
-        let r: Request = "whatif fail-link 3 7 proto BGP dest 4".parse().unwrap();
+        let r: Request = "whatif fail-link 3 7 proto BGP dest 4 policy prefer-peer"
+            .parse()
+            .unwrap();
         assert_eq!(
             r,
             Request::WhatIf {
                 shape: WhatIfShape::FailLink(AsId(3), AsId(7)),
                 proto: Some(Protocol::Bgp),
                 dest: Some(AsId(4)),
+                policy: Some("prefer-peer".to_string()),
             }
         );
-        assert_eq!(r.to_string(), "WHATIF FAIL-LINK 3 7 PROTO bgp DEST 4");
+        assert_eq!(
+            r.to_string(),
+            "WHATIF FAIL-LINK 3 7 PROTO bgp DEST 4 POLICY prefer-peer"
+        );
         let r: Request = "show route 4 from 9".parse().unwrap();
         assert_eq!(
             r,
@@ -905,6 +1007,7 @@ mod tests {
             shape: WhatIfShape::Scn(t.clone()),
             proto: None,
             dest: None,
+            policy: None,
         };
         let text = req.to_string();
         assert_eq!(
@@ -947,6 +1050,10 @@ mod tests {
             (
                 "WHATIF FAIL-LINK 1 2 3",
                 RequestError::Trailing("3".to_string()),
+            ),
+            (
+                "WHATIF FAIL-LINK 1 2 POLICY",
+                RequestError::MissingArg("POLICY value"),
             ),
             (
                 "WHATIF SCN",
@@ -1019,6 +1126,22 @@ mod tests {
                 evictions: 2,
             }),
             Response::Cache(CacheStats::default()),
+            Response::Policies {
+                rows: vec![
+                    PolicyRow {
+                        name: "gao-rexford".to_string(),
+                        default: true,
+                        rules: 0,
+                        fingerprint: 0x0123_4567_89ab_cdef,
+                    },
+                    PolicyRow {
+                        name: "long-path-tax".to_string(),
+                        default: false,
+                        rules: 1,
+                        fingerprint: 0xfedc_ba98_7654_3210,
+                    },
+                ],
+            },
             Response::Route {
                 dest: AsId(4),
                 from: AsId(9),

@@ -1,7 +1,6 @@
 //! The R-BGP router.
 
 use stamp_bgp::patharena::PathArena;
-use stamp_bgp::policy::export_ok;
 use stamp_bgp::rib::RibIn;
 use stamp_bgp::router::{RouterCtx, RouterLogic, Selection};
 use stamp_bgp::types::{
@@ -232,7 +231,7 @@ impl RbgpRouter {
             if !self.cfg.relaxed_failover_export {
                 // Standard gate: only routes we could legitimately export
                 // to the best next hop.
-                if !export_ok(Some(e.learned_from), best.learned_from) {
+                if !ctx.export_ok(Some(e.learned_from), best.learned_from, &r) {
                     continue;
                 }
             }
@@ -346,7 +345,7 @@ impl RbgpRouter {
                 // for the *targeted* one-hop failover advertisements, not
                 // for flooding backup paths network-wide (which melts the
                 // message budget during convergence).
-                let gate_ok = export_ok(Some(d.learned_from), to_rel);
+                let gate_ok = ctx.export_ok(Some(d.learned_from), to_rel, &d.route);
                 if gate_ok {
                     let mut r = d.route.prepend(ctx.arena, self.me);
                     r.attrs.failover = d.route.attrs.failover;
@@ -531,7 +530,16 @@ impl RouterLogic for RbgpRouter {
                     // A stale announcement acts as an implicit withdrawal.
                     self.rib.remove(prefix, ProcId::ONLY, from);
                 } else if let Some(rel) = ctx.relation(from) {
-                    self.rib.insert(prefix, ProcId::ONLY, from, route, rel);
+                    // A policy reject also acts as an implicit withdrawal.
+                    match ctx.import(prefix, route, rel) {
+                        Some((route, pref)) => {
+                            self.rib
+                                .insert(prefix, ProcId::ONLY, from, route, rel, pref);
+                        }
+                        None => {
+                            self.rib.remove(prefix, ProcId::ONLY, from);
+                        }
+                    }
                 }
             }
             UpdateKind::Withdraw(info) => {

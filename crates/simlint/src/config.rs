@@ -31,6 +31,7 @@ pub struct Rule {
 pub const SIM_CRATES: &[&str] = &[
     "eventsim",
     "topology",
+    "policy",
     "bgp",
     "core",
     "rbgp",
@@ -46,6 +47,7 @@ pub const SIM_CRATES: &[&str] = &[
 pub const LIB_CRATES: &[&str] = &[
     "eventsim",
     "topology",
+    "policy",
     "bgp",
     "core",
     "rbgp",
@@ -60,6 +62,7 @@ pub const LIB_CRATES: &[&str] = &[
 const ALL_CRATES: &[&str] = &[
     "eventsim",
     "topology",
+    "policy",
     "bgp",
     "core",
     "rbgp",

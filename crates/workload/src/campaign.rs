@@ -21,6 +21,7 @@ use stamp_bgp::types::PrefixId;
 use stamp_eventsim::fxhash::FxHashMap;
 use stamp_eventsim::rng::{tags, Rng};
 use stamp_eventsim::{derive_seed, DelayModel, LossModel, SimDuration};
+use stamp_policy::PolicyRegime;
 use stamp_topology::{AsGraph, AsId, StaticRoutes};
 use std::fmt;
 use std::str::FromStr;
@@ -202,6 +203,10 @@ pub struct RunParams {
     /// Message loss fault injection (zero in the paper's experiments; the
     /// failover demo exposes the knob).
     pub loss: LossModel,
+    /// Policy regime every router runs (default: `gao-rexford`, the
+    /// paper's hardwired prefer-customer + valley-free world). Compiled to
+    /// dense tables once per cell by [`RunParams::engine_config`].
+    pub policy: PolicyRegime,
 }
 
 impl Default for RunParams {
@@ -215,6 +220,7 @@ impl Default for RunParams {
             observe_interval: SimDuration::from_millis(100),
             phase_deadline: SimDuration::from_secs(4 * 3600),
             loss: LossModel::none(),
+            policy: PolicyRegime::gao_rexford(),
         }
     }
 }
@@ -238,6 +244,7 @@ impl RunParams {
             observe_interval: SimDuration::from_micros(1),
             phase_deadline: SimDuration::from_secs(3600),
             loss: LossModel::none(),
+            policy: PolicyRegime::gao_rexford(),
         }
     }
 
@@ -250,6 +257,11 @@ impl RunParams {
             mrai_enabled: self.mrai_enabled,
             mrai_withdrawals: self.mrai_withdrawals,
             loss: self.loss,
+            policy: self
+                .policy
+                .compile()
+                // simlint::allow(panic, "builtins and parse_pol both bound community counts; only a hand-built regime can exceed them")
+                .expect("policy regime compiles"),
         }
     }
 }
@@ -331,14 +343,15 @@ fn run_protocol_cell_inner(
         // simlint::allow(panic, "destinations come from the campaign's own topology scan")
         .expect("campaign destinations are in range");
     if let Some(cache) = cache {
-        match cache.get(protocol, dest, seed) {
+        let fp = params.policy.fingerprint();
+        match cache.get(protocol, dest, seed, fp) {
             Some(ck) => sim
                 .restore(&ck)
                 // simlint::allow(panic, "the cache key includes the protocol, so the kinds match")
                 .expect("cached checkpoint matches the session protocol"),
             None => {
                 sim.converge();
-                cache.put(protocol, dest, seed, sim.checkpoint());
+                cache.put(protocol, dest, seed, fp, sim.checkpoint());
             }
         }
     }
@@ -364,7 +377,7 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-type CacheKey = (Protocol, AsId, u64);
+type CacheKey = (Protocol, AsId, u64, u64);
 
 struct CacheInner {
     map: FxHashMap<CacheKey, Arc<SimCheckpoint>>,
@@ -378,7 +391,8 @@ struct CacheInner {
 }
 
 /// Warm-start cache of converged baselines: `(protocol, dest, engine
-/// seed) → checkpoint taken right after initial convergence`. Shared
+/// seed, policy fingerprint) → checkpoint taken right after initial
+/// convergence`. Shared
 /// across workers (internally locked; checkpoints are handed out as
 /// `Arc`s, so the lock is never held during a restore) and across grid
 /// passes — the second run of the same grid converges nothing.
@@ -455,13 +469,21 @@ impl BaselineCache {
         }
     }
 
-    /// Look up the converged baseline of `(p, dest, seed)`, counting a hit
-    /// or a miss. The checkpoint is shared out as an `Arc`, so the lock is
-    /// released before any restore happens.
-    pub fn get(&self, p: Protocol, dest: AsId, seed: u64) -> Option<Arc<SimCheckpoint>> {
+    /// Look up the converged baseline of `(p, dest, seed, policy_fp)`,
+    /// counting a hit or a miss. `policy_fp` is the regime's
+    /// [`PolicyRegime::fingerprint`] — baselines converged under different
+    /// regimes never alias. The checkpoint is shared out as an `Arc`, so
+    /// the lock is released before any restore happens.
+    pub fn get(
+        &self,
+        p: Protocol,
+        dest: AsId,
+        seed: u64,
+        policy_fp: u64,
+    ) -> Option<Arc<SimCheckpoint>> {
         // simlint::allow(panic, "poison means a sibling worker already panicked")
         let mut inner = self.inner.lock().unwrap();
-        let hit = inner.map.get(&(p, dest, seed)).cloned();
+        let hit = inner.map.get(&(p, dest, seed, policy_fp)).cloned();
         match hit {
             Some(_) => inner.hits += 1,
             None => inner.misses += 1,
@@ -472,8 +494,8 @@ impl BaselineCache {
     /// Deposit a converged baseline. A fresh key joins the FIFO queue (and
     /// may evict the oldest deposit when bounded); re-depositing an
     /// existing key replaces the checkpoint without renewing its slot.
-    pub fn put(&self, p: Protocol, dest: AsId, seed: u64, ck: SimCheckpoint) {
-        let key = (p, dest, seed);
+    pub fn put(&self, p: Protocol, dest: AsId, seed: u64, policy_fp: u64, ck: SimCheckpoint) {
+        let key = (p, dest, seed, policy_fp);
         // simlint::allow(panic, "poison means a sibling worker already panicked")
         let mut inner = self.inner.lock().unwrap();
         if inner.map.insert(key, Arc::new(ck)).is_none() {
@@ -719,6 +741,7 @@ pub fn populate_baselines(
     cfg: &CampaignConfig,
     cache: &BaselineCache,
 ) {
+    let fp = cfg.params.policy.fingerprint();
     for t in 0..n_timelines {
         for &dest in dests {
             for &seed in &cfg.seeds {
@@ -729,7 +752,7 @@ pub fn populate_baselines(
                 };
                 let seed = cell_seed(&cell);
                 for &p in &cfg.protocols {
-                    if cache.get(p, dest, seed).is_some() {
+                    if cache.get(p, dest, seed, fp).is_some() {
                         continue;
                     }
                     let mut sim = Sim::on(g)
@@ -741,7 +764,7 @@ pub fn populate_baselines(
                         // simlint::allow(panic, "destinations come from the campaign's own topology scan")
                         .expect("campaign destinations are in range");
                     sim.converge();
-                    cache.put(p, dest, seed, sim.checkpoint());
+                    cache.put(p, dest, seed, fp, sim.checkpoint());
                 }
             }
         }

@@ -49,6 +49,7 @@ pub use sim::{
     MetricsProbe, NullProbe, Phase, Played, Probe, ProtocolEngine, ProtocolSpec, Sim, SimBuilder,
     SimCheckpoint, SimError, SimEvent, SnapshotCause,
 };
+pub use stamp_policy::PolicyRegime;
 pub use timeline::{
     background_churn, choose_k, correlated_node_outage, flap_train, maintenance_windows,
     node_drain, provider_cone, single_link_failure, staggered_link_failures, tier_members,

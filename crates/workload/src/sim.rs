@@ -540,6 +540,15 @@ impl<'g> SimBuilder<'g> {
         self
     }
 
+    /// Which policy regime every router runs (default: `gao-rexford`).
+    /// Shorthand for setting [`RunParams::policy`]; call after
+    /// [`SimBuilder::params`]/[`SimBuilder::fast`] or the regime is
+    /// overwritten with theirs.
+    pub fn policy(mut self, regime: stamp_policy::PolicyRegime) -> Self {
+        self.params.policy = regime;
+        self
+    }
+
     /// Shorthand for `.params(RunParams::fast())` — the fixed-delay,
     /// MRAI-off configuration unit tests use.
     pub fn fast(self) -> Self {

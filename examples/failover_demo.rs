@@ -82,7 +82,7 @@ fn main() {
     cfg.params = params;
     let engine = QueryEngine::new(g, cfg).expect("baselines converge");
     let rows = match engine
-        .whatif(&WhatIfShape::FailLink(dest, provider), None, None)
+        .whatif(&WhatIfShape::FailLink(dest, provider), None, None, None)
         .expect("the chosen provider link exists")
     {
         Response::WhatIf { rows, .. } => rows,

@@ -62,6 +62,7 @@ pub use stamp_core as stamp;
 pub use stamp_eventsim as eventsim;
 pub use stamp_experiments as experiments;
 pub use stamp_forwarding as forwarding;
+pub use stamp_policy as policy;
 pub use stamp_queryd as queryd;
 pub use stamp_rbgp as rbgp;
 pub use stamp_topology as topology;

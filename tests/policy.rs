@@ -1,0 +1,338 @@
+//! Property suite for the `stamp_policy` subsystem (PR 9).
+//!
+//! Three pins, in dependency order:
+//!
+//! 1. the `.pol` DSL is a fixed point: every printable regime — the four
+//!    built-ins plus randomized rule-laden regimes — parses back to the
+//!    value that printed it, and the second print is byte-identical;
+//!    malformed documents come back as typed errors, never a panic;
+//! 2. the compiled dense-table form ([`CompiledRegime`]) agrees with the
+//!    naive reference interpreter on randomized routes, import and
+//!    export both;
+//! 3. the default `gao-rexford` regime reproduces the paper's hardwired
+//!    §2.1 policy — the old `local_pref`/`export_ok` free functions —
+//!    over the full relation matrix.
+
+use stamp_repro::eventsim::check::cases;
+use stamp_repro::eventsim::Rng;
+use stamp_repro::policy::{
+    parse_pol, Action, CommunityBits, CommunitySet, Matcher, PolicyRegime, PrefixSet, Rule,
+    LEARNED_RELS, TO_RELS,
+};
+use stamp_repro::topology::Relation;
+
+/// Every distinct community value a regime's rules or denials mention —
+/// the universe the compiled bit assignment covers.
+fn community_universe(r: &PolicyRegime) -> Vec<u32> {
+    let mut vals: Vec<u32> = r.deny_communities.iter().map(|(c, _)| *c).collect();
+    for rule in &r.imports.rules {
+        for m in &rule.matchers {
+            if let Matcher::Community(set) = m {
+                vals.extend_from_slice(set.values());
+            }
+        }
+        for a in &rule.actions {
+            match a {
+                Action::AddCommunity(c) | Action::StripCommunity(c) => vals.push(*c),
+                _ => {}
+            }
+        }
+    }
+    vals.sort_unstable();
+    vals.dedup();
+    vals
+}
+
+fn arb_matcher(rng: &mut Rng, universe: &[u32]) -> Matcher {
+    let comm = |rng: &mut Rng| {
+        if universe.is_empty() || rng.gen_bool(0.3) {
+            rng.gen_range(0u32..8)
+        } else {
+            *rng.choose(universe).expect("non-empty")
+        }
+    };
+    match rng.gen_range(0u32..5) {
+        0 => Matcher::Prefix(PrefixSet::new(
+            (0..rng.gen_range(1usize..4))
+                .map(|_| rng.gen_range(0u32..40))
+                .collect(),
+        )),
+        1 => Matcher::Community(CommunitySet::new(
+            (0..rng.gen_range(1usize..3)).map(|_| comm(rng)).collect(),
+        )),
+        2 => Matcher::AsInPath(rng.gen_range(0u32..40)),
+        3 => Matcher::LearnedFrom(*rng.choose(&TO_RELS).expect("non-empty")),
+        _ => Matcher::PathLongerThan(rng.gen_range(0u32..6)),
+    }
+}
+
+fn arb_action(rng: &mut Rng) -> Action {
+    match rng.gen_range(0u32..4) {
+        0 => Action::SetLocalPref(rng.gen_range(0u32..2000)),
+        1 => Action::AddCommunity(rng.gen_range(0u32..8)),
+        2 => Action::StripCommunity(rng.gen_range(0u32..8)),
+        _ => Action::Reject,
+    }
+}
+
+/// A randomized rule-laden regime grown from the default's skeleton. All
+/// sets go through the canonicalizing constructors, so the value is in
+/// the same normal form `parse_pol` produces.
+fn arb_regime(rng: &mut Rng) -> PolicyRegime {
+    let mut r = PolicyRegime::gao_rexford();
+    r.name = format!("rand-{}", rng.gen_range(0u32..1000));
+    r.origin_pref = rng.gen_range(500u32..3000);
+    for p in r.rel_pref.iter_mut() {
+        *p = rng.gen_range(0u32..500);
+    }
+    let n_rules = rng.gen_range(0usize..4);
+    r.imports.rules = (0..n_rules)
+        .map(|_| {
+            let matchers = if rng.gen_bool(0.15) {
+                vec![Matcher::Any]
+            } else {
+                let mut seed = Vec::new();
+                for _ in 0..rng.gen_range(1usize..3) {
+                    seed.push(arb_matcher(rng, &[]));
+                }
+                seed
+            };
+            Rule {
+                matchers,
+                actions: (0..rng.gen_range(1usize..3))
+                    .map(|_| arb_action(rng))
+                    .collect(),
+            }
+        })
+        .collect();
+    for learned in 0..4 {
+        for to in 0..3 {
+            if rng.gen_bool(0.2) {
+                r.export_allow[learned][to] = !r.export_allow[learned][to];
+            }
+        }
+    }
+    for _ in 0..rng.gen_range(0usize..3) {
+        r.deny_communities.push((
+            rng.gen_range(0u32..8),
+            *rng.choose(&TO_RELS).expect("non-empty"),
+        ));
+    }
+    // Denials are a set; hold them in the parser's canonical order.
+    r.deny_communities
+        .sort_by_key(|(c, rel)| (*c, stamp_repro::policy::rel_idx(*rel)));
+    r.deny_communities.dedup();
+    r
+}
+
+#[test]
+fn builtin_regimes_round_trip_exactly() {
+    for regime in PolicyRegime::builtins() {
+        let doc = regime.to_pol();
+        let back = parse_pol(&doc).expect("builtin must parse");
+        assert_eq!(
+            back, regime,
+            "{}: parse drifted from printed value",
+            regime.name
+        );
+        assert_eq!(
+            back.to_pol(),
+            doc,
+            "{}: second print not byte-identical",
+            regime.name
+        );
+    }
+}
+
+#[test]
+fn randomized_regimes_round_trip_to_a_fixed_point() {
+    cases(200, 0x9017AB, |rng| {
+        let regime = arb_regime(rng);
+        let doc = regime.to_pol();
+        let back =
+            parse_pol(&doc).unwrap_or_else(|e| panic!("printed regime must parse, got {e}\n{doc}"));
+        // Value equality is only guaranteed for canonical-form inputs;
+        // the print itself must always be a fixed point.
+        assert_eq!(back.to_pol(), doc, "print is not a parse/print fixed point");
+        assert_eq!(back.fingerprint(), regime.fingerprint());
+    });
+}
+
+#[test]
+fn junk_documents_are_rejected_with_typed_errors() {
+    let junk = [
+        "",
+        "regime\n",
+        "regime two words\n",
+        "regime x!\nprefer origin 1000\n",
+        "regime x\nprefer origin many\n",
+        "regime x\nprefer customer -3\n",
+        "regime x\nprefer sibling 100\n",
+        "regime x\nexport own to everyone\n",
+        "regime x\nimport match path-longer-than\n",
+        "regime x\nimport match community banana then reject\n",
+        "regime x\nimport match any then\n",
+        "regime x\nprefer origin 1000\nwhat even is this line\n",
+    ];
+    for doc in junk {
+        let err = parse_pol(doc).expect_err("junk must not parse");
+        // The Display form is the queryd/CLI surface; it must render.
+        assert!(!err.to_string().is_empty(), "error for {doc:?} renders");
+    }
+}
+
+/// Compiled dense tables ≡ naive reference interpreter, import side.
+/// Routes draw communities from the regime's own universe (plus noise
+/// values the regime never mentions, which both sides must ignore).
+#[test]
+fn compiled_import_matches_reference_interpreter() {
+    cases(400, 0x51AA7, |rng| {
+        let regime = if rng.gen_bool(0.4) {
+            rng.choose(&PolicyRegime::builtins())
+                .expect("non-empty")
+                .clone()
+        } else {
+            arb_regime(rng)
+        };
+        let compiled = regime
+            .compile()
+            .expect("arb regimes stay within compile limits");
+        let universe = community_universe(&regime);
+
+        let prefix = rng.gen_range(0u32..40);
+        let learned_from = *rng.choose(&TO_RELS).expect("non-empty");
+        let path: Vec<u32> = (0..rng.gen_range(1usize..8))
+            .map(|_| rng.gen_range(0u32..40))
+            .collect();
+        let mut comms: Vec<u32> = Vec::new();
+        for c in &universe {
+            if rng.gen_bool(0.4) {
+                comms.push(*c);
+            }
+        }
+
+        let mut bits = CommunityBits::EMPTY;
+        for c in &comms {
+            bits = bits.with(
+                compiled
+                    .community_bit(*c)
+                    .expect("universe value has a bit"),
+            );
+        }
+        // Noise the regime never mentions: inert for the reference, and
+        // unrepresentable (hence equally inert) for the compiled form.
+        if rng.gen_bool(0.3) {
+            comms.push(10_000 + rng.gen_range(0u32..5));
+            comms.sort_unstable();
+        }
+
+        let reference = regime.import_reference(prefix, learned_from, &path, &comms);
+        let ctx = stamp_repro::policy::ImportCtx {
+            prefix,
+            learned_from,
+            path_len: u32::try_from(path.len()).expect("short test paths"),
+            communities: bits,
+            path_contains: &|v| path.contains(&v),
+        };
+        let compiled_out = compiled.import(&ctx);
+
+        match (reference, compiled_out) {
+            (None, None) => {}
+            (Some((ref_pref, ref_comms)), Some(out)) => {
+                assert_eq!(out.pref, ref_pref, "{}: local-pref drift", regime.name);
+                let mentioned: Vec<u32> = ref_comms
+                    .iter()
+                    .copied()
+                    .filter(|c| compiled.community_bit(*c).is_some())
+                    .collect();
+                assert_eq!(
+                    compiled.community_values(out.communities),
+                    mentioned,
+                    "{}: community drift",
+                    regime.name
+                );
+            }
+            (r, c) => panic!(
+                "{}: accept/reject drift: reference {r:?} compiled {c:?}",
+                regime.name
+            ),
+        }
+    });
+}
+
+/// Compiled export gate ≡ naive reference, over every (learned, to) cell
+/// and randomized community words.
+#[test]
+fn compiled_export_matches_reference_interpreter() {
+    cases(200, 0xE4B0, |rng| {
+        let regime = if rng.gen_bool(0.4) {
+            rng.choose(&PolicyRegime::builtins())
+                .expect("non-empty")
+                .clone()
+        } else {
+            arb_regime(rng)
+        };
+        let compiled = regime
+            .compile()
+            .expect("arb regimes stay within compile limits");
+        let universe = community_universe(&regime);
+
+        let mut comms: Vec<u32> = Vec::new();
+        let mut bits = CommunityBits::EMPTY;
+        for c in &universe {
+            if rng.gen_bool(0.4) {
+                comms.push(*c);
+                bits = bits.with(
+                    compiled
+                        .community_bit(*c)
+                        .expect("universe value has a bit"),
+                );
+            }
+        }
+
+        for learned in LEARNED_RELS {
+            for to in TO_RELS {
+                assert_eq!(
+                    compiled.export_allowed(learned, to, bits),
+                    regime.export_reference(learned, to, &comms),
+                    "{}: export drift at learned={learned:?} to={to:?}",
+                    regime.name
+                );
+            }
+        }
+    });
+}
+
+/// The compiled default regime must keep answering exactly like the
+/// paper's hardwired §2.1 policy functions, everywhere they are defined.
+#[test]
+fn default_regime_reproduces_the_hardwired_paper_policy() {
+    let compiled = PolicyRegime::gao_rexford()
+        .compile()
+        .expect("default compiles");
+    assert!(compiled.is_default());
+    assert_eq!(
+        compiled.origin_pref(),
+        stamp_repro::bgp::policy::LOCAL_PREF_ORIGIN
+    );
+    for rel in TO_RELS {
+        assert_eq!(
+            compiled.base_pref(rel),
+            stamp_repro::bgp::policy::local_pref(rel),
+            "base pref drift at {rel:?}"
+        );
+    }
+    for learned in LEARNED_RELS {
+        for to in TO_RELS {
+            assert_eq!(
+                compiled.export_allowed(learned, to, CommunityBits::EMPTY),
+                stamp_repro::bgp::policy::export_ok(learned, to),
+                "export drift at learned={learned:?} to={to:?}"
+            );
+        }
+    }
+    // And the classical orderings the paper relies on hold by value.
+    assert!(compiled.base_pref(Relation::Customer) > compiled.base_pref(Relation::Peer));
+    assert!(compiled.base_pref(Relation::Peer) > compiled.base_pref(Relation::Provider));
+    assert!(compiled.origin_pref() > compiled.base_pref(Relation::Customer));
+}

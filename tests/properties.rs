@@ -52,6 +52,7 @@ fn arb_attrs(rng: &mut Rng) -> PathAttrs {
         et: gen::option(rng, arb_et),
         root_cause: gen::option(rng, arb_cause),
         failover: gen::bool(rng),
+        ..Default::default()
     }
 }
 
@@ -146,6 +147,7 @@ fn codec_roundtrip_attribute_bearing() {
             et: Some(arb_et(rng)),
             root_cause: Some(arb_cause(rng)),
             failover: gen::bool(rng),
+            ..Default::default()
         };
         let msg = UpdateMsg {
             prefix: PrefixId(rng.next_u64() as u32),
@@ -746,7 +748,7 @@ mod rib_slots {
                             attrs: PathAttrs::default(),
                         };
                         let rel = arb_rel(rng);
-                        rib.insert(prefix, proc, neighbor, route, rel);
+                        rib.insert(prefix, proc, neighbor, route, rel, 100);
                         reference
                             .entry((prefix, proc))
                             .or_default()

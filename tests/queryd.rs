@@ -70,6 +70,7 @@ fn query_answers_are_bit_identical_to_cold_batch_runs() {
             shape: shape.clone(),
             proto: None,
             dest: None,
+            policy: None,
         });
         let rows = match resp {
             Response::WhatIf { rows, .. } => rows,
@@ -101,6 +102,47 @@ fn query_answers_are_bit_identical_to_cold_batch_runs() {
     }
 }
 
+/// The same bit-identity holds under a named non-default regime: a
+/// `WHATIF … POLICY <r>` row equals `run_protocol_cell` cold with
+/// `RunParams::policy` set to that regime — the daemon's policy axis is
+/// pure parameterization, not a second code path.
+#[test]
+fn policy_query_answers_match_cold_runs_under_that_regime() {
+    let e = engine(67);
+    let g = e.topology().clone();
+    let cfg = e.config().clone();
+    let dest = cfg.dests[0];
+    let provider = g.providers(dest)[0];
+    let shape = WhatIfShape::FailLink(dest, provider);
+    let timeline = e.timeline_of(&shape);
+    for name in ["shortest-path", "prefer-peer", "long-path-tax"] {
+        let resp = e.execute(&Request::WhatIf {
+            shape: shape.clone(),
+            proto: None,
+            dest: Some(dest),
+            policy: Some(name.to_string()),
+        });
+        let rows = match resp {
+            Response::WhatIf { rows, .. } => rows,
+            other => panic!("expected WHATIF rows, got {other:?}"),
+        };
+        assert_eq!(rows.len(), cfg.protocols.len());
+        let mut params = cfg.params.clone();
+        params.policy = stamp_repro::policy::PolicyRegime::by_name(name).expect("built-in");
+        for row in &rows {
+            let reachable = reachability(&g, &timeline, row.dest);
+            let cold = run_protocol_cell(
+                &g, &params, &timeline, row.dest, &reachable, row.proto, cfg.seed,
+            );
+            assert_bit_identical(
+                &row.metrics,
+                &cold,
+                &format!("{} / {} under {}", row.dest.0, row.proto.label(), name),
+            );
+        }
+    }
+}
+
 /// `WHATIF FAIL-LINK a b` is *defined* as a one-event timeline; prove the
 /// equivalence both at the timeline level and at the answer level against
 /// an inline `WHATIF SCN` carrying the hand-built event.
@@ -125,11 +167,13 @@ fn fail_link_query_equals_hand_built_one_event_timeline() {
         shape: WhatIfShape::FailLink(dest, provider),
         proto: None,
         dest: Some(dest),
+        policy: None,
     });
     let via_scn = e.execute(&Request::WhatIf {
         shape: WhatIfShape::Scn(hand_built),
         proto: None,
         dest: Some(dest),
+        policy: None,
     });
     assert_eq!(via_fail_link, via_scn);
     // And the equality survives the wire: both serialize identically
@@ -178,12 +222,23 @@ fn random_requests_round_trip_byte_identically() {
                 WhatIfShape::Scn(Timeline::from_events("prop-scn", events))
             }
         };
-        let req = match rng.gen_range(0u32..6) {
+        let regimes = [
+            "gao-rexford",
+            "shortest-path",
+            "prefer-peer",
+            "long-path-tax",
+        ];
+        let req = match rng.gen_range(0u32..7) {
             0 | 1 => Request::WhatIf {
                 shape,
                 proto: proto(rng),
                 dest: if rng.gen_bool(0.5) {
                     Some(as_id(rng))
+                } else {
+                    None
+                },
+                policy: if rng.gen_bool(0.5) {
+                    Some(rng.choose(&regimes).expect("non-empty").to_string())
                 } else {
                     None
                 },
@@ -194,6 +249,7 @@ fn random_requests_round_trip_byte_identically() {
                 dest: as_id(rng),
                 from: as_id(rng),
             },
+            5 => Request::ShowPolicies,
             _ => Request::ShowDisjointness { dest: as_id(rng) },
         };
         let canonical = req.to_string();
