@@ -81,6 +81,38 @@ echo "policy .pol round-trip gate passed"
 cargo run --release --offline -q -p stamp_bench --bin campaign -- --smoke
 echo "smoke campaign passed (deterministic aggregate hash)"
 
+# --- Adversarial smoke sweep ----------------------------------------------
+# The hijack / prepend-hijack / route-leak / policy-misconfig grid, run
+# with the same three-way determinism assertion (1 worker, N workers,
+# warm-start) and pinned to its own aggregate golden — the same value
+# tests/determinism.rs pins. A drift here means an adversarial event's
+# injection order, RNG draw or metric changed.
+ADVERSARIAL_GOLDEN="0xfd8467442b256d70"
+adv_hash=$(cargo run --release --offline -q -p stamp_bench --bin campaign -- \
+        --smoke --adversarial \
+    | grep 'adversarial smoke OK' | grep -o 'hash 0x[0-9a-f]*' | awk '{print $2}')
+if [ "$adv_hash" != "$ADVERSARIAL_GOLDEN" ]; then
+    echo "DETERMINISM VIOLATION: adversarial smoke hash golden=$ADVERSARIAL_GOLDEN got=$adv_hash" >&2
+    exit 1
+fi
+echo "adversarial smoke sweep passed ($ADVERSARIAL_GOLDEN)"
+
+# --- Divergence watchdog gate ---------------------------------------------
+# A known-diverging configuration (Griffin's BAD GADGET under the
+# naive-prefer-peer regime) must terminate with a *typed* Diverged outcome
+# in bounded sim time: the binary exits non-zero if the run converges,
+# exhausts its budget, or reaches the sim-time deadline — i.e. if the
+# convergence watchdog ever stops turning divergence into data.
+div_out=$(cargo run --release --offline -q -p stamp_bench --bin divergence)
+case "$div_out" in
+    *Diverged*) ;;
+    *)
+        echo "WATCHDOG VIOLATION: divergence gate output lacked a Diverged report: $div_out" >&2
+        exit 1
+        ;;
+esac
+echo "divergence watchdog gate passed (typed Diverged in bounded sim time)"
+
 # --- queryd daemon smoke gate ---------------------------------------------
 # Launch the resident what-if daemon on the smoke topology, pipe the
 # scripted transcript through it, and require the response stream to match

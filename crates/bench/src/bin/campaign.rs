@@ -22,9 +22,9 @@ use stamp_queryd::{proto_token, serve, QueryEngine, QuerydConfig};
 use stamp_topology::gen::generate;
 use stamp_topology::{AsGraph, AsId, GenConfig};
 use stamp_workload::{
-    choose_k, destination_candidates, populate_baselines, run_campaign, run_campaign_with_cache,
-    smoke_grid, standard_families, BaselineCache, CacheStats, CampaignConfig, CampaignReport,
-    PolicyRegime, Protocol, RunParams, Timeline,
+    adversarial_grid, choose_k, destination_candidates, populate_baselines, run_campaign,
+    run_campaign_with_cache, smoke_grid, standard_families, BaselineCache, CacheStats,
+    CampaignConfig, CampaignReport, PolicyRegime, Protocol, RunParams, Timeline,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -109,21 +109,29 @@ fn print_report(run: &GridRun, protocols: &[Protocol]) {
         rep.hash
     );
     println!(
-        "{:<20} {:<18} {:>9} {:>9} {:>12} {:>12} {:>12}",
-        "timeline", "protocol", "affected", "loops", "recovery_s", "converge_s", "updates"
+        "{:<20} {:<18} {:>9} {:>9} {:>12} {:>12} {:>12} {:>9}",
+        "timeline",
+        "protocol",
+        "affected",
+        "loops",
+        "recovery_s",
+        "converge_s",
+        "updates",
+        "diverged"
     );
     for (t, name) in rep.timeline_names.iter().enumerate() {
         for &p in protocols {
             let a = rep.aggregate(t, p);
             println!(
-                "{:<20} {:<18} {:>9.2} {:>9.2} {:>12.2} {:>12.2} {:>12.1}",
+                "{:<20} {:<18} {:>9.2} {:>9.2} {:>12.2} {:>12.2} {:>12.1} {:>9}",
                 name,
                 p.label(),
                 a.affected_mean,
                 a.loops_mean,
                 a.data_recovery_mean_s,
                 a.convergence_mean_s,
-                a.updates_failure_mean
+                a.updates_failure_mean,
+                a.diverged
             );
         }
     }
@@ -337,6 +345,26 @@ fn policy_sweep_json(s: &mut String, cells: usize, rows: &[PolicySweepRow]) {
     s.push_str("\n    ]\n  }");
 }
 
+/// The adversarial sweep: hijack / route-leak / policy-misconfig families
+/// on the smoke topology (the grid is fixed by `adversarial_grid`, whose
+/// protocol axis matches [`PROTOCOLS`]), with the same three-way
+/// determinism assertion as every other grid. Returns the run plus the
+/// number of `(cell, protocol)` measures that did not converge — the
+/// watchdog turning a wedged control plane into a typed, countable
+/// outcome is the point of the sweep.
+fn run_adversarial(seed: u64, threads_n: usize) -> (GridRun, usize) {
+    let (g, timelines, dests, mut cfg) = adversarial_grid(seed);
+    let run = run_twice(&g, &timelines, &dests, &mut cfg, threads_n);
+    let diverged = run
+        .report
+        .cells
+        .iter()
+        .flat_map(|c| c.metrics.iter())
+        .filter(|(_, m)| !m.outcome.is_converged())
+        .count();
+    (run, diverged)
+}
+
 /// Logical CPUs of the host running the benchmark — recorded so a
 /// speedup ≈ 1 row on a one-core container is legible as a machine
 /// property, not a scaling regression.
@@ -394,7 +422,8 @@ fn json_object(s: &mut String, key: &str, run: &GridRun, protocols: &[Protocol])
                 "      {{ \"timeline\": \"{name}\", \"protocol\": \"{}\", \
                  \"cells\": {}, \"affected_mean\": {:.3}, \"loops_mean\": {:.3}, \
                  \"blackholes_mean\": {:.3}, \"data_recovery_mean_s\": {:.3}, \
-                 \"convergence_mean_s\": {:.3}, \"updates_failure_mean\": {:.3} }}",
+                 \"convergence_mean_s\": {:.3}, \"updates_failure_mean\": {:.3}, \
+                 \"diverged\": {} }}",
                 p.label(),
                 a.cells,
                 a.affected_mean,
@@ -402,7 +431,8 @@ fn json_object(s: &mut String, key: &str, run: &GridRun, protocols: &[Protocol])
                 a.blackholes_mean,
                 a.data_recovery_mean_s,
                 a.convergence_mean_s,
-                a.updates_failure_mean
+                a.updates_failure_mean,
+                a.diverged
             );
         }
     }
@@ -457,6 +487,11 @@ fn main() {
          policy_sweep row of BENCH_campaign.json.\n\
          --scn FILE (repeatable): run timelines parsed from .scn files instead\n\
          of the built-in families (see scenarios/ for samples).\n\
+         --adversarial: also run the adversarial sweep (prefix hijack,\n\
+         prepend hijack, route leak, policy misconfig) and record its\n\
+         per-protocol blackholed/affected/diverged counts — an extra\n\
+         \"adversarial\" object in BENCH_campaign.json, or an extra pinned\n\
+         hash line under --smoke.\n\
          --smoke: tiny fast grid, determinism assertion only (the CI gate).\n\
          --check: run the full grids and assertions but leave\n\
          BENCH_campaign.json untouched (the CI golden-hash gate).",
@@ -580,6 +615,17 @@ fn main() {
             run.report.hash,
             run.threads_n
         );
+        if args.adversarial {
+            let (adv, diverged) = run_adversarial(seed, threads_n);
+            println!(
+                "adversarial smoke OK: {} cells, {} diverged, hash 0x{:016x} identical at \
+                 1 worker, {} workers and warm-start",
+                adv.report.cells.len(),
+                diverged,
+                adv.report.hash,
+                adv.threads_n
+            );
+        }
         return;
     }
     print_report(&run, &protocols);
@@ -682,6 +728,27 @@ fn main() {
         Some((cells, rows))
     };
 
+    // The adversarial axis: hijacks, route leaks and a policy misconfig
+    // as first-class timeline events, recorded per protocol (STAMP's
+    // blue process never sees the forged announcement, so its blackhole
+    // column is the paper's robustness claim in one number). The grid's
+    // `diverged` counts prove the watchdog folds non-convergence into
+    // the aggregate instead of wedging the sweep.
+    let adversarial_run = if args.adversarial {
+        let (adv, diverged) = run_adversarial(seed, threads_n);
+        println!(
+            "adversarial sweep: {} cells, {} diverged (hijack / route-leak / policy-misconfig)",
+            adv.report.cells.len(),
+            diverged
+        );
+        // The adversarial grid's protocol axis is fixed by its
+        // constructor and matches the default set.
+        print_report(&adv, &PROTOCOLS);
+        Some(adv)
+    } else {
+        None
+    };
+
     if args.check {
         println!("check mode: BENCH_campaign.json left untouched");
         return;
@@ -689,6 +756,9 @@ fn main() {
     let mut rows: Vec<(&str, &GridRun)> = vec![("campaign", &run)];
     if let Some(r) = &run_2000 {
         rows.push(("campaign_2000", r));
+    }
+    if let Some(r) = &adversarial_run {
+        rows.push(("adversarial", r));
     }
     write_json(
         &rows,

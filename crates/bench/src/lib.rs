@@ -47,6 +47,10 @@ pub struct CommonArgs {
     /// Verification mode (`--check`): run and assert, but do not rewrite
     /// report files (the CI hash gate runs the full grid this way).
     pub check: bool,
+    /// Adversarial sweep (`campaign --adversarial`): run the hijack /
+    /// leak / policy-misconfig families instead of (or in addition to)
+    /// the physical-failure families.
+    pub adversarial: bool,
 }
 
 /// Parse `std::env::args`, exiting with usage on errors.
@@ -64,6 +68,7 @@ pub fn parse_args(usage: &str) -> CommonArgs {
         protocols: None,
         policy: None,
         check: false,
+        adversarial: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -88,6 +93,7 @@ pub fn parse_args(usage: &str) -> CommonArgs {
             "--protocols" => out.protocols = Some(value(&mut i)),
             "--policy" => out.policy = Some(value(&mut i)),
             "--check" => out.check = true,
+            "--adversarial" => out.adversarial = true,
             "--help" | "-h" => {
                 println!("{usage}");
                 std::process::exit(0);

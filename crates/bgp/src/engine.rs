@@ -12,8 +12,8 @@
 //! delay sequences.
 
 use crate::patharena::{ArenaMark, PathArena};
-use crate::router::{OutMsg, RouterCtx, RouterLogic, SessionView};
-use crate::types::{PrefixId, ProcId, UpdateKind, UpdateMsg};
+use crate::router::{OutMsg, RouterCtx, RouterLogic, SessionView, StateFingerprint};
+use crate::types::{PrefixId, ProcId, Route, UpdateKind, UpdateMsg};
 use stamp_eventsim::rng::{tags, Rng};
 use stamp_eventsim::{
     rng_stream, DelayModel, FifoChannel, LossModel, Scheduler, SimDuration, SimTime,
@@ -59,6 +59,105 @@ pub enum ScenarioEvent {
     /// were failed individually — before or during the node's downtime —
     /// stay down until their own [`ScenarioEvent::RecoverLink`].
     RecoverNode(AsId),
+    /// Prefix hijack: `attacker` announces `prefix` to every live
+    /// neighbour on process 0 as if it originated it. `forged_origin =
+    /// None` is an *origin* hijack (path `[attacker]`); `Some(victim)` is
+    /// the stealthier *path-prepend* (type-2) hijack announcing
+    /// `[attacker, victim]` — the forged edge keeps the true origin on the
+    /// path, defeating origin validation. One-shot and unrepentant: the
+    /// forged routes sit in neighbours' RIBs until the attacker's honest
+    /// machinery replaces them (same `(prefix, proc, neighbour)` RIB slot)
+    /// or the sessions reset. Injected on process 0 only — STAMP's second
+    /// process is untouched, which is exactly the paper's redundancy
+    /// argument under control-plane compromise.
+    Hijack {
+        attacker: AsId,
+        prefix: PrefixId,
+        forged_origin: Option<AsId>,
+    },
+    /// Route leak: `leaker` re-exports its currently selected route for
+    /// `prefix` to *every* live neighbour except the one it learned the
+    /// route from, ignoring the policy regime's export gate — the classic
+    /// Gao–Rexford violation (provider route leaked to other providers and
+    /// peers). A no-op if the leaker holds no learned route.
+    Leak { leaker: AsId, prefix: PrefixId },
+    /// Mid-run policy misconfiguration: replace the engine's compiled
+    /// regime with `PolicyRegime::named()[index]` (see
+    /// `stamp_policy::PolicyRegime::index_of`; an out-of-range index is a
+    /// no-op). Affects every import/export decision from the next
+    /// delivered message on; nothing is re-evaluated retroactively. The
+    /// engine config is deliberately not checkpointed, so a restore across
+    /// a flip keeps the flipped regime — timelines that flip policy should
+    /// not be mixed with snapshot/rollback within one run.
+    FlipPolicy(u16),
+}
+
+/// Typed result of a `run_*` call: how the run ended, not just that it
+/// ended. `Converged` is the only outcome that means "the network is
+/// quiescent"; the other two are the watchdog turning what used to be an
+/// infinite loop (or a silent deadline truncation) into data. Folded into
+/// campaign aggregate hashes only when `Diverged` — see
+/// `InstanceMetrics::fnv_into` in the workload crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RunOutcome {
+    /// The scheduler drained: every router is stable and silent.
+    #[default]
+    Converged,
+    /// The oscillation detector fired: the global best-route fingerprint
+    /// repeated at unchanged liveness with routing churn in between — a
+    /// policy dispute wheel (BAD GADGET) or equivalent livelock.
+    Diverged {
+        /// Time between the two matching fingerprint samples: an upper
+        /// bound on (and multiple of) the true oscillation period.
+        period: SimDuration,
+        /// Events processed between the matching samples — how hard the
+        /// network is spinning per cycle.
+        churn: u64,
+    },
+    /// The run hit its deadline or per-run event budget before either
+    /// quiescence or a detected cycle.
+    BudgetExhausted,
+}
+
+impl RunOutcome {
+    /// Did the run actually reach a stable state?
+    pub fn is_converged(&self) -> bool {
+        matches!(self, RunOutcome::Converged)
+    }
+
+    /// Did the watchdog detect an oscillation?
+    pub fn is_diverged(&self) -> bool {
+        matches!(self, RunOutcome::Diverged { .. })
+    }
+}
+
+/// Convergence-watchdog tuning (see DESIGN.md §15). The defaults are
+/// conservative: sampling starts only after [`WatchdogConfig::arm_after`]
+/// of continuous churn with no scenario event — far beyond any observed
+/// default-regime convergence tail — so converging runs never get
+/// fingerprinted at all, and the detector provably cannot perturb them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Churn duration (no scenario event, scheduler never empty) before the
+    /// detector arms and takes its first fingerprint sample. Every scenario
+    /// event resets the window.
+    pub arm_after: SimDuration,
+    /// Interval between fingerprint samples once armed.
+    pub sample_every: SimDuration,
+    /// Hard per-run event budget; exceeding it ends the run with
+    /// [`RunOutcome::BudgetExhausted`]. Backstop for divergent dynamics
+    /// whose state never exactly repeats (or that defeat fingerprinting).
+    pub max_events: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            arm_after: SimDuration::from_secs(600),
+            sample_every: SimDuration::from_secs(30),
+            max_events: 200_000_000,
+        }
+    }
 }
 
 /// Engine configuration. Defaults mirror the paper.
@@ -86,6 +185,9 @@ pub struct EngineConfig {
     /// Deliberately *not* part of checkpoints: a checkpoint restores into
     /// an engine that already carries its regime.
     pub policy: CompiledRegime,
+    /// Convergence-watchdog thresholds (oscillation detector + event
+    /// budget) applied by every `run_*` call.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for EngineConfig {
@@ -98,6 +200,7 @@ impl Default for EngineConfig {
             mrai_withdrawals: true,
             loss: LossModel::none(),
             policy: CompiledRegime::default_static().clone(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -113,6 +216,7 @@ impl EngineConfig {
             mrai_withdrawals: false,
             loss: LossModel::none(),
             policy: CompiledRegime::default_static().clone(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -436,20 +540,60 @@ impl<R: RouterLogic> Engine<R> {
         self.sched.schedule_at(at, Event::Scenario(ev));
     }
 
-    /// Run until no events remain or `deadline` passes. `observer` is called
-    /// after each batch of simultaneous events that changed any FIB.
+    /// The global best-route fingerprint the convergence watchdog samples:
+    /// every router's [`RouterLogic::fingerprint`] contribution, mixed
+    /// order-independently. Read-only. `0` means "no data" — either no
+    /// router holds any selection, or the logic opted out of
+    /// fingerprinting — and is never matched against.
+    pub fn fingerprint(&self) -> StateFingerprint {
+        let mut fp = StateFingerprint::new();
+        for r in &self.routers {
+            r.fingerprint(&mut fp);
+        }
+        fp
+    }
+
+    /// Run until no events remain, the convergence watchdog detects an
+    /// oscillation, or a budget (the `deadline`, or the watchdog's event
+    /// budget) runs out — see [`RunOutcome`]. `observer` is called after
+    /// each batch of simultaneous events that changed any FIB. Accumulated
+    /// stats remain queryable via [`Engine::stats`] whatever the outcome.
     ///
-    /// Returns the accumulated stats (also queryable via [`Engine::stats`]).
+    /// Watchdog operation (DESIGN.md §15): after
+    /// [`WatchdogConfig::arm_after`] of churn with no scenario event it
+    /// samples the global [`Engine::fingerprint`] every
+    /// [`WatchdogConfig::sample_every`] at a batch boundary; a sample equal
+    /// to an earlier one in the window means routing state came back to a
+    /// place it already left — at unchanged liveness the dynamics are
+    /// deterministic from (state, pending events), so the run is cycling
+    /// and ends [`RunOutcome::Diverged`]. Sampling is read-only (no RNG
+    /// draws, no arena writes, no scheduling): a run that converges
+    /// executes bit-identically to one under an engine without the
+    /// watchdog, and every scenario event resets the window, so converging
+    /// runs are typically never even sampled.
     // simlint::hot
-    pub fn run_until_quiescent<F>(&mut self, deadline: Option<SimTime>, mut observer: F) -> RunStats
+    pub fn run_until_quiescent<F>(
+        &mut self,
+        deadline: Option<SimTime>,
+        mut observer: F,
+    ) -> RunOutcome
     where
         F: FnMut(&Engine<R>, SimTime),
     {
         assert!(self.started, "call start() first");
+        let wd = self.cfg.watchdog;
+        // Fingerprint history as (fingerprint, sample time, events-so-far):
+        // fixed-size window, newest last — no allocation on the run path.
+        const WD_HISTORY: usize = 32;
+        let mut history = [(0u64, SimTime::ZERO, 0u64); WD_HISTORY];
+        let mut n_hist = 0usize;
+        let mut run_events = 0u64;
+        let mut last_seq = self.scenario_seq;
+        let mut next_sample: Option<SimTime> = None;
         while let Some(t) = self.sched.peek_time() {
             if let Some(d) = deadline {
                 if t > d {
-                    break;
+                    return RunOutcome::BudgetExhausted;
                 }
             }
             // Process the full batch of events at timestamp t, then observe.
@@ -458,18 +602,54 @@ impl<R: RouterLogic> Engine<R> {
                 // simlint::allow(panic, "peek_time just returned Some, and nothing popped in between")
                 let (_, ev) = self.sched.pop().expect("peeked");
                 self.stats.events += 1;
+                run_events += 1;
                 fib_changed |= self.handle(ev);
             }
             if fib_changed {
                 self.stats.last_fib_change = t;
                 observer(self, t);
             }
+            if run_events >= wd.max_events {
+                return RunOutcome::BudgetExhausted;
+            }
+            if self.scenario_seq != last_seq {
+                // Liveness (or policy) just changed: the old samples
+                // describe a different system. Restart the churn window.
+                last_seq = self.scenario_seq;
+                n_hist = 0;
+                next_sample = Some(t + wd.arm_after);
+            } else {
+                match next_sample {
+                    None => next_sample = Some(t + wd.arm_after),
+                    Some(s) if t >= s => {
+                        next_sample = Some(t + wd.sample_every);
+                        let fp = self.fingerprint().value();
+                        if fp != 0 {
+                            if let Some(&(_, pt, pe)) =
+                                history[..n_hist].iter().find(|&&(f, _, _)| f == fp)
+                            {
+                                return RunOutcome::Diverged {
+                                    period: t.since(pt),
+                                    churn: run_events - pe,
+                                };
+                            }
+                            if n_hist == WD_HISTORY {
+                                history.copy_within(1.., 0);
+                                n_hist -= 1;
+                            }
+                            history[n_hist] = (fp, t, run_events);
+                            n_hist += 1;
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
         }
-        self.stats
+        RunOutcome::Converged
     }
 
     /// Convenience: run with no observer.
-    pub fn run_to_quiescence(&mut self, deadline: Option<SimTime>) -> RunStats {
+    pub fn run_to_quiescence(&mut self, deadline: Option<SimTime>) -> RunOutcome {
         self.run_until_quiescent(deadline, |_, _| {})
     }
 
@@ -674,7 +854,99 @@ impl<R: RouterLogic> Engine<R> {
             ScenarioEvent::RecoverLink(id) => self.recover_link(id),
             ScenarioEvent::FailNode(v) => self.fail_node(v),
             ScenarioEvent::RecoverNode(v) => self.recover_node(v),
+            ScenarioEvent::Hijack {
+                attacker,
+                prefix,
+                forged_origin,
+            } => self.hijack(attacker, prefix, forged_origin),
+            ScenarioEvent::Leak { leaker, prefix } => self.leak(leaker, prefix),
+            ScenarioEvent::FlipPolicy(idx) => self.flip_policy(idx),
         }
+    }
+
+    /// Inject a prefix hijack (see [`ScenarioEvent::Hijack`]): forged
+    /// announcements go straight to the transport, bypassing the
+    /// attacker's own MRAI and export machinery — a compromised control
+    /// plane is not polite. FIB changes surface only when victims process
+    /// the deliveries, so this returns `false` itself.
+    fn hijack(&mut self, attacker: AsId, prefix: PrefixId, forged_origin: Option<AsId>) -> bool {
+        if !self.state.node_ok(attacker) {
+            return false;
+        }
+        let path = match forged_origin {
+            None => self.paths.origin_path(attacker),
+            // Forged edge attacker→victim: the true origin stays terminal
+            // on the announced path.
+            Some(victim) => {
+                let tail = self.paths.origin_path(victim);
+                self.paths.intern(attacker, tail)
+            }
+        };
+        let route = Route {
+            path,
+            attrs: Default::default(),
+        };
+        for i in 0..self.g.degree(attacker) {
+            let e = self.g.neighbor_entries(attacker)[i];
+            if self.state.link_ok(e.link) && self.state.node_ok(e.neighbor) {
+                self.transmit(
+                    e.sess,
+                    ProcId::ONLY,
+                    UpdateMsg {
+                        prefix,
+                        kind: UpdateKind::Announce(route),
+                    },
+                );
+            }
+        }
+        false
+    }
+
+    /// Inject a route leak (see [`ScenarioEvent::Leak`]): the leaker's
+    /// current best route goes to every live neighbour except its sender,
+    /// export gate ignored. Protocols whose logic doesn't expose a
+    /// selected route (`RouterLogic::selected_route` default) cannot leak.
+    fn leak(&mut self, leaker: AsId, prefix: PrefixId) -> bool {
+        if !self.state.node_ok(leaker) {
+            return false;
+        }
+        let Some((learned_from, route)) = self.routers[leaker.index()].selected_route(prefix)
+        else {
+            return false;
+        };
+        let adv = route.prepend(&mut self.paths, leaker);
+        for i in 0..self.g.degree(leaker) {
+            let e = self.g.neighbor_entries(leaker)[i];
+            // Split horizon still holds — reflecting the route to its
+            // sender would only be dropped as a loop anyway.
+            if e.neighbor == learned_from {
+                continue;
+            }
+            if self.state.link_ok(e.link) && self.state.node_ok(e.neighbor) {
+                self.transmit(
+                    e.sess,
+                    ProcId::ONLY,
+                    UpdateMsg {
+                        prefix,
+                        kind: UpdateKind::Announce(adv),
+                    },
+                );
+            }
+        }
+        false
+    }
+
+    /// Swap the live policy regime (see [`ScenarioEvent::FlipPolicy`]).
+    /// An index that doesn't resolve — or a regime that fails to compile —
+    /// is a no-op rather than a panic: timelines are data, and bad data
+    /// must not kill a campaign worker.
+    fn flip_policy(&mut self, idx: u16) -> bool {
+        if let Some(compiled) =
+            stamp_policy::PolicyRegime::by_index(idx).and_then(|r| r.compile().ok())
+        {
+            self.cfg.policy = compiled;
+        }
+        false
     }
 
     /// Fail one link: tear state, notify both (live) endpoints.
@@ -1016,7 +1288,7 @@ mod tests {
     ///    \    /
     ///      4        multi-homed origin
     /// ```
-    fn diamond() -> AsGraph {
+    pub(crate) fn diamond() -> AsGraph {
         let mut b = GraphBuilder::new();
         b.preregister(5);
         b.peering(0, 1).unwrap();
@@ -1027,7 +1299,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn engine(g: AsGraph, origin: AsId, seed: u64) -> Engine<BgpRouter> {
+    pub(crate) fn engine(g: AsGraph, origin: AsId, seed: u64) -> Engine<BgpRouter> {
         Engine::new(g, EngineConfig::fast(seed), |v| {
             let own = if v == origin {
                 vec![PrefixId(0)]
@@ -1442,6 +1714,7 @@ mod tests {
 
 #[cfg(test)]
 mod more_tests {
+    use super::tests::{diamond, engine};
     use super::*;
     use crate::router::BgpRouter;
     use stamp_topology::{GraphBuilder, StaticRoutes};
@@ -1582,7 +1855,9 @@ mod more_tests {
             )
         });
         e.start();
-        let stats = e.run_to_quiescence(Some(SimTime::from_secs(3600)));
+        let outcome = e.run_to_quiescence(Some(SimTime::from_secs(3600)));
+        assert_eq!(outcome, RunOutcome::Converged);
+        let stats = *e.stats();
         assert!(stats.dropped > 0, "loss injection must drop something");
         // `dropped` counts loss-injected messages (never transmitted) as
         // well as in-flight losses, so it can exceed sent − delivered; the
@@ -1593,5 +1868,271 @@ mod more_tests {
             stats.delivered,
             stats.announcements_sent + stats.withdrawals_sent
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Convergence watchdog + adversarial scenario events
+    // ------------------------------------------------------------------
+
+    /// The dispute-wheel gadget: origin `3` is a customer of `0`, `1`, `2`,
+    /// which form a peering triangle. Under `naive-prefer-peer` (peer >
+    /// customer with plain valley-free export) and the `fast` config's
+    /// synchronous dynamics (fixed delay, no MRAI) the triangle announces,
+    /// adopts and withdraws peer routes in perfect lockstep forever —
+    /// Griffin's BAD GADGET, the exact regime PR 9 had to back out.
+    fn gadget() -> AsGraph {
+        let mut b = GraphBuilder::new();
+        b.preregister(4);
+        b.peering(0, 1).unwrap();
+        b.peering(1, 2).unwrap();
+        b.peering(0, 2).unwrap();
+        b.customer_of(3, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(3, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    fn naive_engine(seed: u64) -> Engine<BgpRouter> {
+        let cfg = EngineConfig {
+            policy: stamp_policy::PolicyRegime::by_name("naive-prefer-peer")
+                .unwrap()
+                .compile()
+                .unwrap(),
+            watchdog: WatchdogConfig {
+                arm_after: SimDuration::from_secs(10),
+                sample_every: SimDuration::from_secs(1),
+                max_events: 10_000_000,
+            },
+            ..EngineConfig::fast(seed)
+        };
+        Engine::new(gadget(), cfg, |v| {
+            let own = if v == AsId(3) {
+                vec![PrefixId(0)]
+            } else {
+                vec![]
+            };
+            BgpRouter::new(v, own)
+        })
+    }
+
+    #[test]
+    fn bad_gadget_terminates_diverged() {
+        let mut e = naive_engine(7);
+        e.start();
+        let outcome = e.run_to_quiescence(Some(SimTime::from_secs(3600)));
+        match outcome {
+            RunOutcome::Diverged { period, churn } => {
+                assert!(period > SimDuration::ZERO);
+                assert!(churn > 0, "a cycle with no events is impossible");
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        // Bounded sim time: detection well before the deadline.
+        assert!(e.now() < SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn bad_gadget_divergence_is_seed_deterministic() {
+        let run = |seed| {
+            let mut e = naive_engine(seed);
+            e.start();
+            let o = e.run_to_quiescence(Some(SimTime::from_secs(3600)));
+            (o, *e.stats(), e.now())
+        };
+        assert_eq!(run(7), run(7));
+        // A different seed still diverges (fixed delays: identical
+        // dynamics), and the detector reports the same shape.
+        assert_eq!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn default_regime_on_gadget_converges() {
+        // Same topology, default (gao-rexford) policy: customer routes
+        // win, no wheel — the watchdog must stay silent.
+        let mut e = engine(gadget(), AsId(3), 7);
+        e.start();
+        assert_eq!(e.run_to_quiescence(None), RunOutcome::Converged);
+    }
+
+    #[test]
+    fn event_budget_backstops_divergence() {
+        let mut e = naive_engine(7);
+        // A watchdog that never arms leaves only the event budget.
+        e.cfg.watchdog = WatchdogConfig {
+            arm_after: SimDuration::from_secs(1_000_000),
+            sample_every: SimDuration::from_secs(1),
+            max_events: 50_000,
+        };
+        e.start();
+        let outcome = e.run_to_quiescence(None);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        assert!(e.stats().events >= 50_000);
+    }
+
+    #[test]
+    fn origin_hijack_captures_traffic() {
+        let g = diamond();
+        let mut e = engine(g, AsId(4), 3);
+        e.start();
+        e.run_to_quiescence(None);
+        // 3 forges origination of 4's prefix. 1's honest route already
+        // goes via customer 3 ([3, 4]); the forged [3] lands in the same
+        // (prefix, neighbour) RIB slot and replaces it.
+        e.inject_after(
+            SimDuration::from_secs(1),
+            ScenarioEvent::Hijack {
+                attacker: AsId(3),
+                prefix: PrefixId(0),
+                forged_origin: None,
+            },
+        );
+        let outcome = e.run_to_quiescence(None);
+        assert_eq!(outcome, RunOutcome::Converged);
+        // 1 still forwards to 3 (the attacker), but 3 now claims origin:
+        // its own selection dropped the honest route? No — the forged
+        // announcement went *out* from 3; 3's own state is untouched.
+        assert_eq!(e.router(AsId(3)).next_hop(PrefixId(0)), Some(AsId(4)));
+        // The poisoned path is what 1 believes: [3], not [3, 4].
+        let sel = e.router(AsId(1)).selection(PrefixId(0));
+        let path = sel.path_id().map(|p| e.paths().as_vec(p)).unwrap();
+        assert_eq!(path, vec![AsId(3)]);
+    }
+
+    #[test]
+    fn prepend_hijack_keeps_origin_on_path() {
+        let g = diamond();
+        let mut e = engine(g, AsId(4), 3);
+        e.start();
+        e.run_to_quiescence(None);
+        // 2 forges the edge 2→4 (it has a real route via 4, so the forged
+        // path equals the honest one here; the point is the mechanics).
+        e.inject_after(
+            SimDuration::from_secs(1),
+            ScenarioEvent::Hijack {
+                attacker: AsId(2),
+                prefix: PrefixId(0),
+                forged_origin: Some(AsId(4)),
+            },
+        );
+        let outcome = e.run_to_quiescence(None);
+        assert_eq!(outcome, RunOutcome::Converged);
+        let sel = e.router(AsId(0)).selection(PrefixId(0));
+        let path = sel.path_id().map(|p| e.paths().as_vec(p)).unwrap();
+        assert_eq!(path, vec![AsId(2), AsId(4)]);
+    }
+
+    #[test]
+    fn hijack_from_dead_node_is_noop() {
+        let g = diamond();
+        let mut e = engine(g, AsId(4), 3);
+        e.start();
+        e.run_to_quiescence(None);
+        e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FailNode(AsId(3)));
+        e.run_to_quiescence(None);
+        let sent_before = e.stats().announcements_sent;
+        e.inject_after(
+            SimDuration::from_secs(1),
+            ScenarioEvent::Hijack {
+                attacker: AsId(3),
+                prefix: PrefixId(0),
+                forged_origin: None,
+            },
+        );
+        e.run_to_quiescence(None);
+        assert_eq!(e.stats().announcements_sent, sent_before);
+    }
+
+    #[test]
+    fn route_leak_spreads_against_export_gate() {
+        // Fail link 2–4 so node 2's only route to the prefix arrives from
+        // its *provider* 0 ([0, 1, 3, 4]). Gao–Rexford forbids exporting a
+        // provider-learned route back toward a provider, so 0 is 2's only
+        // neighbour and nothing observable changes — instead leak at 1:
+        // after the failure 1 still holds the customer route [3, 4], so
+        // use the peering edge. The cleanest violation on this topology:
+        // fail 3–4, leaving 1 with only the *peer*-learned route via 0;
+        // a leak at 1 then re-exports it to customer 3, which is legal,
+        // and to no one else. So instead assert the direct mechanical
+        // contract: a leak at 3 (selection [4] from customer 4) transmits
+        // [3, 4] to provider 1 bypassing rib_out, and the network
+        // re-converges to the same state (the leaked copy is what 1
+        // already believes).
+        let g = diamond();
+        let mut e = engine(g, AsId(4), 3);
+        e.start();
+        e.run_to_quiescence(None);
+        let before = e.router(AsId(1)).selection(PrefixId(0)).path_id();
+        let sent_before = e.stats().announcements_sent;
+        e.inject_after(
+            SimDuration::from_secs(1),
+            ScenarioEvent::Leak {
+                leaker: AsId(3),
+                prefix: PrefixId(0),
+            },
+        );
+        let outcome = e.run_to_quiescence(None);
+        assert_eq!(outcome, RunOutcome::Converged);
+        // The leak really hit the wire...
+        assert!(e.stats().announcements_sent > sent_before);
+        // ...and the re-imported duplicate left the selection unchanged.
+        assert_eq!(e.router(AsId(1)).selection(PrefixId(0)).path_id(), before);
+    }
+
+    #[test]
+    fn leak_with_no_learned_route_is_noop() {
+        let g = diamond();
+        let mut e = engine(g, AsId(4), 3);
+        e.start();
+        e.run_to_quiescence(None);
+        let sent_before = e.stats().announcements_sent;
+        // 4 originates the prefix: nothing learned, nothing to leak.
+        e.inject_after(
+            SimDuration::from_secs(1),
+            ScenarioEvent::Leak {
+                leaker: AsId(4),
+                prefix: PrefixId(0),
+            },
+        );
+        e.run_to_quiescence(None);
+        assert_eq!(e.stats().announcements_sent, sent_before);
+    }
+
+    #[test]
+    fn policy_flip_applies_to_future_updates() {
+        let idx = stamp_policy::PolicyRegime::index_of("naive-prefer-peer").unwrap();
+        let mut e = naive_engine(11);
+        // Start under the default regime instead: flip mid-run.
+        e.cfg.policy = CompiledRegime::default_static().clone();
+        e.start();
+        assert_eq!(e.run_to_quiescence(None), RunOutcome::Converged);
+        e.inject_after(SimDuration::from_secs(1), ScenarioEvent::FlipPolicy(idx));
+        // Kick the network so the new regime is exercised: restart the
+        // origin. Its recovery re-announces [3] to all three providers in
+        // one batch — the same synchronous start that drives the wheel.
+        e.inject_after(SimDuration::from_secs(2), ScenarioEvent::FailNode(AsId(3)));
+        e.inject_after(
+            SimDuration::from_secs(3),
+            ScenarioEvent::RecoverNode(AsId(3)),
+        );
+        let outcome = e.run_to_quiescence(Some(SimTime::from_secs(7200)));
+        // Under naive-prefer-peer the kicked triangle re-enters the wheel.
+        assert!(
+            outcome.is_diverged(),
+            "expected post-flip divergence, got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_equal_states() {
+        let run = |seed| {
+            let mut e = engine(diamond(), AsId(4), seed);
+            e.start();
+            e.run_to_quiescence(None);
+            e.fingerprint().value()
+        };
+        // Different seeds draw different delays but settle into the same
+        // routing state: equal fingerprints.
+        assert_eq!(run(1), run(2));
+        assert_ne!(run(1), 0);
     }
 }

@@ -152,6 +152,89 @@ impl<'a> RouterCtx<'a> {
     }
 }
 
+/// Order-independent accumulator for the convergence watchdog's periodic
+/// best-route fingerprints (see DESIGN.md §15).
+///
+/// Routers fold one FNV-1a digest per selection record via
+/// [`StateFingerprint::mix`]; `mix` is a wrapping add, so the fingerprint
+/// is identical no matter what order a router's internal hash maps iterate
+/// in. Two semantically equal global states therefore always produce equal
+/// fingerprints, which is the property the oscillation detector rests on.
+/// The empty fingerprint is `0`; the engine treats `0` as "no data" and
+/// never declares divergence from it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StateFingerprint(u64);
+
+impl StateFingerprint {
+    /// Fresh (empty) accumulator.
+    pub fn new() -> StateFingerprint {
+        StateFingerprint(0)
+    }
+
+    /// FNV-1a digest of one state record (little-endian u64 words).
+    pub fn digest(words: &[u64]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Fold one record digest in (commutative).
+    pub fn mix(&mut self, digest: u64) {
+        self.0 = self.0.wrapping_add(digest);
+    }
+
+    /// The accumulated fingerprint (`0` when nothing was mixed in).
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Digest of one `(prefix, proc)` selection at router `me`, or `None`
+    /// for [`Selection::None`] (absent and explicitly-empty selections must
+    /// fingerprint identically — hash maps may keep tombstone entries).
+    /// Covers everything externally visible about the selection: the
+    /// winning neighbour, the interned path identity and the attribute
+    /// word, so any routing change moves the fingerprint.
+    pub fn selection_digest(me: AsId, prefix: PrefixId, proc: u64, sel: &Selection) -> Option<u64> {
+        match sel {
+            Selection::None => None,
+            Selection::Own => Some(StateFingerprint::digest(&[
+                u64::from(me.0),
+                u64::from(prefix.0),
+                proc,
+                1,
+            ])),
+            Selection::Learned(d) => Some(StateFingerprint::digest(&[
+                u64::from(me.0),
+                u64::from(prefix.0),
+                proc,
+                2,
+                u64::from(d.neighbor.0),
+                u64::from(d.route.path.raw()),
+                route_attr_word(&d.route),
+            ])),
+        }
+    }
+}
+
+/// The route's attributes packed into one digest word (path identity is
+/// hashed separately).
+pub fn route_attr_word(r: &Route) -> u64 {
+    let et = match r.attrs.et {
+        None => 0u64,
+        Some(crate::types::EventType::Lost) => 1,
+        Some(crate::types::EventType::NotLost) => 2,
+    };
+    u64::from(r.attrs.lock)
+        | u64::from(r.attrs.failover) << 1
+        | et << 2
+        | r.attrs.communities.bits() << 4
+}
+
 /// Protocol logic of one AS. The engine is generic over this trait, so a
 /// whole simulation runs one protocol (as in the paper: each experiment
 /// compares protocol A's network against protocol B's network on identical
@@ -172,6 +255,26 @@ pub trait RouterLogic {
     /// The link to `neighbor` came (back) up — re-advertise. `cause`
     /// records the recovery event (state `up = true`).
     fn on_link_up(&mut self, ctx: &mut RouterCtx, neighbor: AsId, cause: CauseInfo);
+
+    /// Fold a digest of this router's externally visible route selections
+    /// into the convergence watchdog's fingerprint. Must be read-only and
+    /// order-independent (mix per-record digests; never hash map iteration
+    /// order). The default contributes nothing — a protocol that opts out
+    /// this way is still bounded by the engine's event/deadline budget,
+    /// just without typed oscillation detection.
+    fn fingerprint(&self, fp: &mut StateFingerprint) {
+        let _ = fp;
+    }
+
+    /// The route this router currently forwards on for `prefix`, with the
+    /// neighbour it was learned from — what a route leak re-exports. `None`
+    /// when the router has no learned route (own/no selection), or by
+    /// default for protocols that don't expose one (such routers simply
+    /// cannot be picked as leakers).
+    fn selected_route(&self, prefix: PrefixId) -> Option<(AsId, Route)> {
+        let _ = prefix;
+        None
+    }
 }
 
 /// Current selection for one `(prefix, proc)` at a router.
@@ -433,6 +536,21 @@ impl RouterLogic for BgpRouter {
                     },
                 );
             }
+        }
+    }
+
+    fn fingerprint(&self, fp: &mut StateFingerprint) {
+        for (&p, sel) in &self.best {
+            if let Some(d) = StateFingerprint::selection_digest(self.me, p, 0, sel) {
+                fp.mix(d);
+            }
+        }
+    }
+
+    fn selected_route(&self, prefix: PrefixId) -> Option<(AsId, Route)> {
+        match self.selection(prefix) {
+            Selection::Learned(d) => Some((d.neighbor, d.route)),
+            _ => None,
         }
     }
 }

@@ -22,7 +22,7 @@
 
 use crate::lock::LockStrategy;
 use stamp_bgp::rib::RibIn;
-use stamp_bgp::router::{RouterCtx, RouterLogic, Selection};
+use stamp_bgp::router::{RouterCtx, RouterLogic, Selection, StateFingerprint};
 use stamp_bgp::types::{
     CauseInfo, Color, EventType, PathAttrs, PrefixId, ProcId, Route, UpdateKind, UpdateMsg,
     WithdrawInfo,
@@ -506,6 +506,44 @@ impl RouterLogic for StampRouter {
         // every known prefix; new sessions simply receive announcements.
         for p in self.known_prefixes() {
             self.handle_prefix_event(ctx, p, &[(Color::Red, false), (Color::Blue, false)], true);
+        }
+    }
+
+    fn fingerprint(&self, fp: &mut StateFingerprint) {
+        for (&(p, c), sel) in &self.best {
+            let proc = u64::from(c.proc().0);
+            if let Some(d) = StateFingerprint::selection_digest(self.me, p, proc, sel) {
+                fp.mix(d);
+            }
+        }
+        // The active colour and instability flags steer forwarding (§5.2):
+        // a cycle must repeat them too, or it isn't the same state.
+        for (&p, &c) in &self.active {
+            fp.mix(StateFingerprint::digest(&[
+                u64::from(self.me.0),
+                u64::from(p.0),
+                5,
+                u64::from(c.proc().0),
+            ]));
+        }
+        for (&(p, c), &flag) in &self.unstable {
+            if flag {
+                fp.mix(StateFingerprint::digest(&[
+                    u64::from(self.me.0),
+                    u64::from(p.0),
+                    6,
+                    u64::from(c.proc().0),
+                ]));
+            }
+        }
+    }
+
+    fn selected_route(&self, prefix: PrefixId) -> Option<(AsId, Route)> {
+        // A leak comes from the red process — the paper's "ordinary BGP"
+        // side, the one a misconfigured exporter would re-advertise from.
+        match self.selection(prefix, Color::Red) {
+            Selection::Learned(d) => Some((d.neighbor, d.route)),
+            _ => None,
         }
     }
 }

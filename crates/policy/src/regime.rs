@@ -159,6 +159,31 @@ impl PolicyRegime {
         }
     }
 
+    /// The naive prefer-peer regime [`PolicyRegime::prefer_peer`]'s doc
+    /// comment warns about: peer routes outrank customer routes *and* the
+    /// export gate stays plain valley-free, so customer-learned routes
+    /// still cross peer edges. On a peer cycle whose members all hold a
+    /// customer route to the destination this is Griffin's BAD GADGET —
+    /// every member prefers the next member's customer route, selecting it
+    /// closes the valley-free channel that advertised it, and the wheel
+    /// spins forever (the regime violates Gao–Rexford guideline A).
+    ///
+    /// Deliberately **not** a builtin: it must never ride into default
+    /// campaign sweeps or the policy-sweep hash. It is resolvable through
+    /// [`PolicyRegime::by_name`] as the tracked known-diverging fixture the
+    /// convergence watchdog is pinned against (the exact regime PR 9 had
+    /// to back out because it hung the simulator).
+    pub fn naive_prefer_peer() -> PolicyRegime {
+        PolicyRegime {
+            name: "naive-prefer-peer".to_string(),
+            origin_pref: 1000,
+            rel_pref: [200, 300, 100],
+            imports: PolicyList::default(),
+            export_allow: VALLEY_FREE,
+            deny_communities: Vec::new(),
+        }
+    }
+
     /// The four built-in regimes, default first.
     pub fn builtins() -> Vec<PolicyRegime> {
         vec![
@@ -169,11 +194,36 @@ impl PolicyRegime {
         ]
     }
 
-    /// Look up a built-in regime by name.
+    /// Every regime resolvable by name: the builtins plus tracked
+    /// non-builtin fixtures (regimes deliberately kept out of default
+    /// sweeps — today only [`PolicyRegime::naive_prefer_peer`]). The order
+    /// is stable and append-only: positions double as the wire encoding of
+    /// `PolicyFlip` scenario events, which are `Copy` and therefore carry
+    /// an index into this list rather than a name.
+    pub fn named() -> Vec<PolicyRegime> {
+        let mut v = PolicyRegime::builtins();
+        v.push(PolicyRegime::naive_prefer_peer());
+        v
+    }
+
+    /// Look up a named regime ([`PolicyRegime::named`]) by name.
     pub fn by_name(name: &str) -> Option<PolicyRegime> {
-        PolicyRegime::builtins()
-            .into_iter()
-            .find(|r| r.name == name)
+        PolicyRegime::named().into_iter().find(|r| r.name == name)
+    }
+
+    /// Index of `name` in [`PolicyRegime::named`] — the stable token a
+    /// `PolicyFlip` scenario event carries.
+    pub fn index_of(name: &str) -> Option<u16> {
+        PolicyRegime::named()
+            .iter()
+            .position(|r| r.name == name)
+            // simlint::allow(lossy-cast, "the named-regime list is a handful of entries, far below u16::MAX")
+            .map(|i| i as u16)
+    }
+
+    /// The regime at [`PolicyRegime::named`] index `idx`.
+    pub fn by_index(idx: u16) -> Option<PolicyRegime> {
+        PolicyRegime::named().into_iter().nth(idx as usize)
     }
 
     /// The default regime's name.

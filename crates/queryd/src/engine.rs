@@ -43,6 +43,12 @@ pub struct QuerydConfig {
     /// `protocols × dests` still answers correctly — evicted baselines
     /// re-converge cold on demand — it just stops being warm.
     pub cache_capacity: Option<usize>,
+    /// Per-query ceiling on each convergence phase's simulated time
+    /// (clamps [`RunParams::phase_deadline`] for `WHATIF` runs). Together
+    /// with the engine's convergence watchdog this is why a query over a
+    /// divergent regime answers with a `DIVERGED` frame instead of
+    /// wedging the daemon.
+    pub query_deadline: SimDuration,
 }
 
 impl QuerydConfig {
@@ -55,6 +61,7 @@ impl QuerydConfig {
             seed: 0xCA4A16,
             drain: SimDuration::from_secs(60),
             cache_capacity: None,
+            query_deadline: SimDuration::from_secs(3600),
         }
     }
 }
@@ -256,7 +263,7 @@ impl QueryEngine {
         dest: Option<AsId>,
         policy: Option<&str>,
     ) -> Result<Response, QueryError> {
-        let params = match policy {
+        let mut params = match policy {
             Some(name) => {
                 let regime = PolicyRegime::by_name(name)
                     .ok_or_else(|| QueryError::NoSuchPolicy(name.to_string()))?;
@@ -266,6 +273,11 @@ impl QueryEngine {
             }
             None => self.cfg.params.clone(),
         };
+        // The per-query deadline: a cell that neither quiesces nor trips
+        // the watchdog still hands control back (as `BudgetExhausted`)
+        // within bounded simulated time, so one bad query cannot wedge
+        // the daemon. Converging cells never see the clamp.
+        params.phase_deadline = params.phase_deadline.min(self.cfg.query_deadline);
         let timeline = self.timeline_of(shape);
         let removed = timeline
             .removed_links(&self.g)
@@ -320,13 +332,14 @@ impl QueryEngine {
         })
     }
 
-    /// `SHOW POLICIES`: the built-in regimes `WHATIF … POLICY` can name,
+    /// `SHOW POLICIES`: every named regime `WHATIF … POLICY` can use
+    /// (the defaults plus research regimes like `naive-prefer-peer`),
     /// flagged with which one the daemon's baselines run, plus the cache
     /// fingerprint each would converge under.
     pub fn show_policies(&self) -> Response {
         let default_fp = self.cfg.params.policy.fingerprint();
         Response::Policies {
-            rows: PolicyRegime::builtins()
+            rows: PolicyRegime::named()
                 .iter()
                 .map(|r| PolicyRow {
                     name: r.name.clone(),
@@ -553,6 +566,69 @@ mod tests {
                 other => panic!("expected ERR {want}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn divergent_policy_answers_a_diverged_frame() {
+        use stamp_topology::GraphBuilder;
+        use stamp_workload::WatchdogConfig;
+
+        // The dispute-wheel gadget: origin 3 a customer of the peering
+        // triangle 0-1-2. Baselines converge under the default regime;
+        // the same cell under naive-prefer-peer cycles forever, and the
+        // watchdog must turn that into a typed answer, not a wedged
+        // daemon.
+        let mut b = GraphBuilder::new();
+        b.preregister(4);
+        b.peering(0, 1).unwrap();
+        b.peering(1, 2).unwrap();
+        b.peering(0, 2).unwrap();
+        b.customer_of(3, 0).unwrap();
+        b.customer_of(3, 1).unwrap();
+        b.customer_of(3, 2).unwrap();
+        let g = b.build().unwrap();
+        let mut cfg = QuerydConfig::new(vec![Protocol::Bgp], vec![AsId(3)]);
+        cfg.params = RunParams::fast();
+        cfg.params.watchdog = WatchdogConfig {
+            arm_after: SimDuration::from_secs(10),
+            sample_every: SimDuration::from_secs(1),
+            max_events: 10_000_000,
+        };
+        cfg.seed = 5;
+        let e = QueryEngine::new(g, cfg).unwrap();
+
+        let whatif = |policy: Option<String>| {
+            e.execute(&Request::WhatIf {
+                shape: WhatIfShape::DrainNode(AsId(0)),
+                proto: Some(Protocol::Bgp),
+                dest: Some(AsId(3)),
+                policy,
+            })
+        };
+        let resp = whatif(Some("naive-prefer-peer".to_string()));
+        let text = resp.to_string();
+        assert!(text.starts_with("DIVERGED "), "{text}");
+        assert!(text.contains(" outcome=diverged "), "{text}");
+        match &resp {
+            Response::WhatIf { rows, .. } => {
+                assert_eq!(rows.len(), 1);
+                match rows[0].metrics.outcome {
+                    stamp_workload::RunOutcome::Diverged { period, churn } => {
+                        assert!(period > SimDuration::ZERO);
+                        assert!(churn > 0);
+                    }
+                    other => panic!("expected Diverged, got {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The DIVERGED frame is a first-class citizen of the round-trip
+        // contract.
+        assert_eq!(Response::parse(&text).unwrap().to_string(), text);
+        // Same query, default regime: plain WHATIF, converged rows.
+        let text = whatif(None).to_string();
+        assert!(text.starts_with("WHATIF "), "{text}");
+        assert!(text.contains(" outcome=converged "), "{text}");
     }
 
     #[test]

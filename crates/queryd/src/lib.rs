@@ -33,5 +33,8 @@ pub mod protocol;
 pub mod server;
 
 pub use engine::{QueryEngine, QueryError, QuerydConfig};
-pub use protocol::{proto_token, Request, RequestError, Response, ResponseParseError, WhatIfShape};
+pub use protocol::{
+    proto_token, Request, RequestError, Response, ResponseParseError, WhatIfShape,
+    MAX_REQUEST_LINE, MAX_SCN_EVENTS,
+};
 pub use server::{serve, serve_tcp};

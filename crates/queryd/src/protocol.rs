@@ -24,11 +24,34 @@
 //! is byte-identical (the same guarantee the `.scn` DSL makes, proven by
 //! the property suite in `tests/queryd.rs`).
 
+use stamp_eventsim::SimDuration;
 use stamp_topology::AsId;
 use stamp_workload::sim::ProtocolSpec;
-use stamp_workload::{parse_scn, CacheStats, InstanceMetrics, Protocol, ScnError, Timeline};
+use stamp_workload::{
+    parse_scn, CacheStats, InstanceMetrics, Protocol, RunOutcome, ScnError, Timeline,
+};
 use std::fmt;
 use std::str::FromStr;
+
+/// Longest request line the daemon will parse. Anything longer answers
+/// `ERR code=too-large` without ever reaching the tokenizer — the cap is
+/// the first check in [`Request::from_str`], so every entry point (stdin,
+/// TCP, embedding) inherits it.
+pub const MAX_REQUEST_LINE: usize = 4096;
+
+/// Most events an inline `WHATIF SCN` timeline may carry. Each event costs
+/// a full engine phase at query time; an unbounded inline scenario is a
+/// resource-exhaustion vector, not a bigger question.
+pub const MAX_SCN_EVENTS: usize = 64;
+
+/// The wire token of a [`RunOutcome`] discriminant.
+fn outcome_token(o: RunOutcome) -> &'static str {
+    match o {
+        RunOutcome::Converged => "converged",
+        RunOutcome::Diverged { .. } => "diverged",
+        RunOutcome::BudgetExhausted => "budget-exhausted",
+    }
+}
 
 /// The canonical wire token of a protocol: the registry's first alias
 /// (lower-case, no spaces — labels like "R-BGP without RCI" would not
@@ -68,7 +91,7 @@ pub enum Request {
     ShowBaselines,
     /// Report the baseline cache's occupancy and hit/miss counters.
     ShowCache,
-    /// List the built-in policy regimes a `WHATIF … POLICY` can name.
+    /// List the named policy regimes a `WHATIF … POLICY` can use.
     ShowPolicies,
     /// The selected AS path(s) from `from` towards `dest`, per protocol.
     ShowRoute { dest: AsId, from: AsId },
@@ -100,6 +123,13 @@ pub enum RequestError {
     BadScn(ScnError),
     /// Unexpected tokens after a complete request.
     Trailing(String),
+    /// The request exceeded a hard input bound ([`MAX_REQUEST_LINE`] or
+    /// [`MAX_SCN_EVENTS`]); answers with `code=too-large`, not `parse`.
+    TooLarge {
+        what: &'static str,
+        actual: usize,
+        limit: usize,
+    },
 }
 
 impl fmt::Display for RequestError {
@@ -122,6 +152,11 @@ impl fmt::Display for RequestError {
             RequestError::BadProtocol(t) => write!(f, "bad protocol {t:?}"),
             RequestError::BadScn(e) => write!(f, "bad inline scenario: {e}"),
             RequestError::Trailing(t) => write!(f, "unexpected trailing input {t:?}"),
+            RequestError::TooLarge {
+                what,
+                actual,
+                limit,
+            } => write!(f, "{what} too large: {actual} exceeds the limit of {limit}"),
         }
     }
 }
@@ -130,9 +165,15 @@ impl std::error::Error for RequestError {}
 
 impl RequestError {
     /// The wire form: every parse failure answers as an `ERR` response.
+    /// Oversize input gets its own code so clients can tell "rejected by
+    /// policy" from "malformed".
     pub fn to_response(&self) -> Response {
+        let code = match self {
+            RequestError::TooLarge { .. } => "too-large",
+            _ => "parse",
+        };
         Response::Error {
-            code: "parse".to_string(),
+            code: code.to_string(),
             message: self.to_string(),
         }
     }
@@ -276,6 +317,13 @@ impl FromStr for Request {
     type Err = RequestError;
 
     fn from_str(s: &str) -> Result<Request, RequestError> {
+        if s.len() > MAX_REQUEST_LINE {
+            return Err(RequestError::TooLarge {
+                what: "request line",
+                actual: s.len(),
+                limit: MAX_REQUEST_LINE,
+            });
+        }
         let toks: Vec<&str> = s.split_ascii_whitespace().collect();
         let head = toks.first().ok_or(RequestError::Empty)?;
         match head.to_ascii_uppercase().as_str() {
@@ -311,8 +359,16 @@ impl FromStr for Request {
                         if body.is_empty() {
                             return Err(RequestError::MissingArg("inline .scn timeline"));
                         }
+                        let t = parse_inline_scn(&body)?;
+                        if t.events().len() > MAX_SCN_EVENTS {
+                            return Err(RequestError::TooLarge {
+                                what: "inline .scn event count",
+                                actual: t.events().len(),
+                                limit: MAX_SCN_EVENTS,
+                            });
+                        }
                         Ok(Request::WhatIf {
-                            shape: WhatIfShape::Scn(parse_inline_scn(&body)?),
+                            shape: WhatIfShape::Scn(t),
                             proto: opts.proto,
                             dest: opts.dest,
                             policy: opts.policy,
@@ -469,18 +525,31 @@ impl fmt::Display for Response {
                 events,
                 rows,
             } => {
+                // A divergence anywhere in the fan-out promotes the whole
+                // frame: the header keyword is derived from the rows, so
+                // the exact parse/format round-trip is preserved.
+                let keyword = if rows.iter().any(|r| r.metrics.outcome.is_diverged()) {
+                    "DIVERGED"
+                } else {
+                    "WHATIF"
+                };
                 writeln!(
                     f,
-                    "WHATIF scenario={scenario} events={events} rows={}",
+                    "{keyword} scenario={scenario} events={events} rows={}",
                     rows.len()
                 )?;
                 for r in rows {
                     let m = &r.metrics;
+                    let (period_us, churn) = match m.outcome {
+                        RunOutcome::Diverged { period, churn } => (period.as_micros(), churn),
+                        _ => (0, 0),
+                    };
                     writeln!(
                         f,
                         "row dest={} proto={} unreachable={} affected={} loops={} \
                          blackholes={} control={} updates_initial={} updates_failure={} \
-                         convergence_s={} recovery_s={} paths={} delta_affected={}",
+                         convergence_s={} recovery_s={} paths={} outcome={} period_us={} \
+                         churn={} delta_affected={}",
                         r.dest.0,
                         proto_token(r.proto),
                         r.unreachable,
@@ -493,6 +562,9 @@ impl fmt::Display for Response {
                         m.convergence_delay_s,
                         m.data_recovery_s,
                         m.interned_paths,
+                        outcome_token(m.outcome),
+                        period_us,
+                        churn,
                         r.delta_affected,
                     )?;
                 }
@@ -695,9 +767,9 @@ impl Response {
             .ok_or_else(|| doc_err("response has no header before END"))?;
         let kind = header.split_ascii_whitespace().next().unwrap_or("");
         match kind {
-            "WHATIF" => {
+            "WHATIF" | "DIVERGED" => {
                 let mut h = Fields::new(header, 1);
-                h.word("WHATIF")?;
+                h.word(kind)?;
                 let scenario = h.value("scenario")?.to_string();
                 let events: usize = h.parse("events")?;
                 let n: usize = h.parse("rows")?;
@@ -709,16 +781,43 @@ impl Response {
                     let dest = r.as_id("dest")?;
                     let proto = r.proto("proto")?;
                     let unreachable: usize = r.parse("unreachable")?;
+                    let affected = r.parse("affected")?;
+                    let affected_loops = r.parse("loops")?;
+                    let affected_blackholes = r.parse("blackholes")?;
+                    let control_affected = r.parse("control")?;
+                    let updates_initial = r.parse("updates_initial")?;
+                    let updates_failure = r.parse("updates_failure")?;
+                    let convergence_delay_s = r.parse("convergence_s")?;
+                    let data_recovery_s = r.parse("recovery_s")?;
+                    let interned_paths = r.parse("paths")?;
+                    let outcome_tok = r.value("outcome")?;
+                    let period_us: u64 = r.parse("period_us")?;
+                    let churn: u64 = r.parse("churn")?;
+                    let outcome = match outcome_tok {
+                        "converged" => RunOutcome::Converged,
+                        "diverged" => RunOutcome::Diverged {
+                            period: SimDuration::from_micros(period_us),
+                            churn,
+                        },
+                        "budget-exhausted" => RunOutcome::BudgetExhausted,
+                        other => {
+                            return Err(ResponseParseError {
+                                line: i + 2,
+                                msg: format!("unknown outcome {other:?}"),
+                            })
+                        }
+                    };
                     let metrics = InstanceMetrics {
-                        affected: r.parse("affected")?,
-                        affected_loops: r.parse("loops")?,
-                        affected_blackholes: r.parse("blackholes")?,
-                        control_affected: r.parse("control")?,
-                        updates_initial: r.parse("updates_initial")?,
-                        updates_failure: r.parse("updates_failure")?,
-                        convergence_delay_s: r.parse("convergence_s")?,
-                        data_recovery_s: r.parse("recovery_s")?,
-                        interned_paths: r.parse("paths")?,
+                        affected,
+                        affected_loops,
+                        affected_blackholes,
+                        control_affected,
+                        updates_initial,
+                        updates_failure,
+                        convergence_delay_s,
+                        data_recovery_s,
+                        interned_paths,
+                        outcome,
                     };
                     let delta_affected: i64 = r.parse("delta_affected")?;
                     r.done()?;
@@ -1074,6 +1173,53 @@ mod tests {
     }
 
     #[test]
+    fn oversize_input_is_rejected_with_too_large() {
+        // A request line beyond the byte cap never reaches the tokenizer.
+        let line = format!("WHATIF FAIL-LINK 1 {}", "2".repeat(MAX_REQUEST_LINE));
+        let got = line.parse::<Request>().unwrap_err();
+        assert!(
+            matches!(
+                got,
+                RequestError::TooLarge {
+                    what: "request line",
+                    ..
+                }
+            ),
+            "{got:?}"
+        );
+        assert!(got
+            .to_response()
+            .to_string()
+            .starts_with("ERR code=too-large "));
+
+        // An inline scenario over the event cap parses as .scn but is
+        // refused as a query (each event costs an engine phase).
+        let mut scn = "WHATIF SCN scenario big".to_string();
+        for i in 0..=MAX_SCN_EVENTS {
+            scn.push_str(&format!("; at {i}s fail-node 1; at {i}s recover-node 1"));
+        }
+        // Keep the line itself under the byte cap to isolate the event cap.
+        assert!(scn.len() <= MAX_REQUEST_LINE, "test setup: {}", scn.len());
+        let got = scn.parse::<Request>().unwrap_err();
+        assert!(
+            matches!(
+                got,
+                RequestError::TooLarge {
+                    what: "inline .scn event count",
+                    ..
+                }
+            ),
+            "{got:?}"
+        );
+        // At the cap exactly, the query is accepted.
+        let mut ok = "WHATIF SCN scenario big".to_string();
+        for i in 0..MAX_SCN_EVENTS / 2 {
+            ok.push_str(&format!("; at {i}s fail-node 1; at {i}s recover-node 1"));
+        }
+        assert!(ok.parse::<Request>().is_ok());
+    }
+
+    #[test]
     fn responses_round_trip() {
         let m = InstanceMetrics {
             affected: 12,
@@ -1085,6 +1231,14 @@ mod tests {
             convergence_delay_s: 31.0625,
             data_recovery_s: 0.10000000000000009,
             interned_paths: 812,
+            outcome: RunOutcome::Converged,
+        };
+        let diverged = InstanceMetrics {
+            outcome: RunOutcome::Diverged {
+                period: SimDuration::from_secs(2),
+                churn: 144,
+            },
+            ..m
         };
         let cases = [
             Response::WhatIf {
@@ -1104,6 +1258,31 @@ mod tests {
                         unreachable: 0,
                         metrics: m,
                         delta_affected: -12,
+                    },
+                ],
+            },
+            // A frame with any diverged row prints (and re-parses) under
+            // the DIVERGED header keyword.
+            Response::WhatIf {
+                scenario: "whatif-scn-wheel".to_string(),
+                events: 1,
+                rows: vec![
+                    WhatIfRow {
+                        dest: AsId(4),
+                        proto: Protocol::Bgp,
+                        unreachable: 0,
+                        metrics: diverged,
+                        delta_affected: 0,
+                    },
+                    WhatIfRow {
+                        dest: AsId(4),
+                        proto: Protocol::Stamp,
+                        unreachable: 0,
+                        metrics: InstanceMetrics {
+                            outcome: RunOutcome::BudgetExhausted,
+                            ..m
+                        },
+                        delta_affected: 3,
                     },
                 ],
             },

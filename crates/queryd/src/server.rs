@@ -9,18 +9,69 @@
 //! file of N queries *is* the batch mode, and it is what the bench times.
 
 use crate::engine::QueryEngine;
-use crate::protocol::Request;
+use crate::protocol::{Request, RequestError, MAX_REQUEST_LINE};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
 
+/// Read one newline-terminated line, buffering at most
+/// `MAX_REQUEST_LINE + 1` bytes of it — the tail of an oversized line is
+/// consumed and discarded, so a hostile gigabyte line costs bounded
+/// memory, not a buffered copy. Returns the (possibly truncated) text and
+/// the line's true byte length; `None` at EOF with nothing read. Invalid
+/// UTF-8 is replaced rather than erroring — junk input must answer a
+/// typed `ERR`, never kill the connection loop.
+fn read_line_capped<R: BufRead>(input: &mut R) -> io::Result<Option<(String, usize)>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut total = 0usize;
+    let mut saw_any = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        if let Some(p) = chunk.iter().position(|&b| b == b'\n') {
+            let keep = (MAX_REQUEST_LINE + 1).saturating_sub(buf.len()).min(p);
+            buf.extend_from_slice(&chunk[..keep]);
+            total += p;
+            input.consume(p + 1);
+            break;
+        }
+        let n = chunk.len();
+        let keep = (MAX_REQUEST_LINE + 1).saturating_sub(buf.len()).min(n);
+        buf.extend_from_slice(&chunk[..keep]);
+        total += n;
+        input.consume(n);
+    }
+    Ok(Some((String::from_utf8_lossy(&buf).into_owned(), total)))
+}
+
 /// Serve one connection: write the banner, then answer each request line
 /// until `QUIT` or EOF (both say `BYE`). Blank lines and `#` comments are
-/// skipped so recorded transcripts can annotate themselves.
-pub fn serve<R: BufRead, W: Write>(engine: &QueryEngine, input: R, mut out: W) -> io::Result<()> {
+/// skipped so recorded transcripts can annotate themselves. Lines longer
+/// than [`MAX_REQUEST_LINE`] bytes answer `ERR code=too-large` and the
+/// session keeps serving.
+pub fn serve<R: BufRead, W: Write>(
+    engine: &QueryEngine,
+    mut input: R,
+    mut out: W,
+) -> io::Result<()> {
     out.write_all(engine.banner().as_bytes())?;
     out.flush()?;
-    for line in input.lines() {
-        let line = line?;
+    while let Some((line, len)) = read_line_capped(&mut input)? {
+        if len > MAX_REQUEST_LINE {
+            let e = RequestError::TooLarge {
+                what: "request line",
+                actual: len,
+                limit: MAX_REQUEST_LINE,
+            };
+            out.write_all(e.to_response().to_string().as_bytes())?;
+            out.flush()?;
+            continue;
+        }
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -100,6 +151,37 @@ mod tests {
         let out = transcript(&e, "FROBNICATE\nSHOW CACHE\n");
         assert!(out.contains("ERR code=parse "));
         assert!(out.contains("\nCACHE "));
+    }
+
+    #[test]
+    fn oversized_lines_answer_too_large_and_keep_serving() {
+        let e = engine(59);
+        // A line far beyond the cap: typed refusal, bounded buffering,
+        // and the session keeps answering afterwards.
+        let mut input = "A".repeat(MAX_REQUEST_LINE * 4);
+        input.push_str("\nSHOW CACHE\n");
+        let out = transcript(&e, &input);
+        assert!(out.contains("ERR code=too-large "), "{out}");
+        assert!(out.contains("\nCACHE "), "{out}");
+        // An oversized *final* line without a newline still answers.
+        let out = transcript(&e, &"B".repeat(MAX_REQUEST_LINE + 1));
+        assert!(out.contains("ERR code=too-large "), "{out}");
+        assert!(out.ends_with("BYE\nEND\n"), "{out}");
+        // Exactly at the cap is not oversized (it is merely unknown).
+        let out = transcript(&e, &format!("{}\n", "C".repeat(MAX_REQUEST_LINE)));
+        assert!(out.contains("ERR code=parse "), "{out}");
+    }
+
+    #[test]
+    fn invalid_utf8_answers_a_typed_error_not_an_io_error() {
+        let e = engine(61);
+        let mut input: Vec<u8> = vec![0xff, 0xfe, b'\n'];
+        input.extend_from_slice(b"SHOW CACHE\n");
+        let mut out = Vec::new();
+        serve(&e, &input[..], &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("ERR code=parse "), "{out}");
+        assert!(out.contains("\nCACHE "), "{out}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use stamp_bgp::patharena::PathArena;
 use stamp_bgp::rib::RibIn;
-use stamp_bgp::router::{RouterCtx, RouterLogic, Selection};
+use stamp_bgp::router::{route_attr_word, RouterCtx, RouterLogic, Selection, StateFingerprint};
 use stamp_bgp::types::{
     CauseInfo, PrefixId, ProcId, RootCause, Route, UpdateKind, UpdateMsg, WithdrawInfo,
 };
@@ -620,6 +620,44 @@ impl RouterLogic for RbgpRouter {
                     },
                 );
             }
+        }
+    }
+
+    fn fingerprint(&self, fp: &mut StateFingerprint) {
+        for (&p, sel) in &self.best {
+            if let Some(d) = StateFingerprint::selection_digest(self.me, p, 0, sel) {
+                fp.mix(d);
+            }
+        }
+        // Failover state is externally visible forwarding state too: an
+        // oscillation that only rotates failover paths must still repeat
+        // exactly to count as a cycle.
+        for (&(p, n), r) in &self.failover_in {
+            fp.mix(StateFingerprint::digest(&[
+                u64::from(self.me.0),
+                u64::from(p.0),
+                3,
+                u64::from(n.0),
+                u64::from(r.path.raw()),
+                route_attr_word(r),
+            ]));
+        }
+        for (&p, &(n, r)) in &self.failover_out {
+            fp.mix(StateFingerprint::digest(&[
+                u64::from(self.me.0),
+                u64::from(p.0),
+                4,
+                u64::from(n.0),
+                u64::from(r.path.raw()),
+                route_attr_word(&r),
+            ]));
+        }
+    }
+
+    fn selected_route(&self, prefix: PrefixId) -> Option<(AsId, Route)> {
+        match self.selection(prefix) {
+            Selection::Learned(d) => Some((d.neighbor, d.route)),
+            _ => None,
         }
     }
 }

@@ -14,9 +14,10 @@
 use crate::sim::{Sim, SimCheckpoint};
 use crate::timeline::{
     background_churn, choose_k, correlated_node_outage, flap_train, maintenance_windows,
-    provider_cone, staggered_link_failures, Timeline, TimelineError,
+    policy_flip, prefix_hijack, prepend_hijack, provider_cone, random_attacker, route_leak,
+    single_link_failure, staggered_link_failures, NetEvent, Timeline, TimelineError,
 };
-use stamp_bgp::engine::EngineConfig;
+use stamp_bgp::engine::{EngineConfig, RunOutcome, WatchdogConfig};
 use stamp_bgp::types::PrefixId;
 use stamp_eventsim::fxhash::FxHashMap;
 use stamp_eventsim::rng::{tags, Rng};
@@ -148,11 +149,22 @@ pub struct InstanceMetrics {
     /// whole run — deterministic (intern order is event order), so it
     /// participates in the byte-identical regression checks.
     pub interned_paths: usize,
+    /// How the cell's run ended: the first non-`Converged` outcome of its
+    /// phases (initial convergence, then the timeline phase). A diverging
+    /// cell is a *result*, not an error — campaigns keep running and the
+    /// outcome folds into the aggregate hash.
+    pub outcome: RunOutcome,
 }
 
 impl InstanceMetrics {
     /// Feed every field into an FNV-1a accumulator (f64s by bit pattern),
     /// so aggregate hashes detect any metric drift.
+    ///
+    /// The outcome contributes bytes **only when `Diverged`** — a marker
+    /// word plus the detected period and churn. Converged cells (and
+    /// deadline-truncated ones, which existed before outcomes were typed
+    /// and already shape the other metrics) write nothing, keeping every
+    /// pre-watchdog golden hash byte-identical.
     fn fnv_into(&self, h: &mut Fnv1a) {
         h.write_u64(self.affected as u64);
         h.write_u64(self.affected_loops as u64);
@@ -163,6 +175,11 @@ impl InstanceMetrics {
         h.write_u64(self.convergence_delay_s.to_bits());
         h.write_u64(self.data_recovery_s.to_bits());
         h.write_u64(self.interned_paths as u64);
+        if let RunOutcome::Diverged { period, churn } = self.outcome {
+            h.write_u64(0xD1FE_D1FE_D1FE_D1FE);
+            h.write_u64(period.as_micros());
+            h.write_u64(churn);
+        }
     }
 }
 
@@ -207,6 +224,9 @@ pub struct RunParams {
     /// paper's hardwired prefer-customer + valley-free world). Compiled to
     /// dense tables once per cell by [`RunParams::engine_config`].
     pub policy: PolicyRegime,
+    /// Convergence-watchdog thresholds (oscillation detector + per-run
+    /// event budget) — see `stamp_bgp::engine::WatchdogConfig`.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for RunParams {
@@ -221,6 +241,7 @@ impl Default for RunParams {
             phase_deadline: SimDuration::from_secs(4 * 3600),
             loss: LossModel::none(),
             policy: PolicyRegime::gao_rexford(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -245,6 +266,7 @@ impl RunParams {
             phase_deadline: SimDuration::from_secs(3600),
             loss: LossModel::none(),
             policy: PolicyRegime::gao_rexford(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -262,6 +284,7 @@ impl RunParams {
                 .compile()
                 // simlint::allow(panic, "builtins and parse_pol both bound community counts; only a hand-built regime can exceed them")
                 .expect("policy regime compiles"),
+            watchdog: self.watchdog,
         }
     }
 }
@@ -602,6 +625,87 @@ pub fn smoke_grid(seed: u64) -> (AsGraph, Vec<Timeline>, Vec<AsId>, CampaignConf
     (g, timelines, dests, cfg)
 }
 
+/// The adversarial control-plane families: the same shape as
+/// [`standard_families`] but nothing physical ever fails — routers lie
+/// instead. Which AS goes rogue is the seeded variable (drawn from `rng`);
+/// what it does is the family:
+///
+/// 1. `origin-hijack` — a random non-destination AS originates the
+///    measured prefix outright;
+/// 2. `prepend-hijack` — a random AS forges the path `[attacker, victim]`
+///    against the second destination (the type-2 variant that survives
+///    origin validation);
+/// 3. `route-leak` — a multi-homed AS re-exports its selected route to
+///    every neighbor, then a provider link of the first destination fails
+///    while the leak is live (leaks bite hardest under re-convergence);
+/// 4. `policy-misconfig` — every router flips to `shortest-path` (a safe
+///    regime — the grid must terminate), followed by the same link
+///    failure, measuring how a global preference change amplifies a
+///    routine outage.
+pub fn adversarial_families(
+    g: &AsGraph,
+    rng: &mut Rng,
+    dests: &[AsId],
+    smoke: bool,
+) -> Vec<Timeline> {
+    let dest = |i: usize| dests[i % dests.len()];
+    let s = SimDuration::from_secs;
+
+    let fail_at = s(if smoke { 5 } else { 30 });
+
+    let hijacker = random_attacker(g, rng, dest(0));
+    let hijack = Timeline::from_events("origin-hijack", prefix_hijack(hijacker, s(0)));
+
+    let prepender = random_attacker(g, rng, dest(1));
+    let prepend = Timeline::from_events("prepend-hijack", prepend_hijack(prepender, dest(1), s(0)));
+
+    // Leak from a multi-homed AS (the destination candidates are exactly
+    // the multi-homed population) that is not a measured destination.
+    let candidates = crate::canned::destination_candidates(g);
+    let leaker = *candidates
+        .iter()
+        .find(|v| !dests.contains(v))
+        .unwrap_or(&hijacker);
+    let la = dest(0);
+    let lb = g.providers(la)[0];
+    let mut leak_events = route_leak(leaker, s(0));
+    leak_events.extend(single_link_failure(la, lb));
+    for e in &mut leak_events {
+        if matches!(e.ev, NetEvent::LinkDown(..)) {
+            e.at = fail_at;
+        }
+    }
+    let leak = Timeline::from_events("route-leak", leak_events);
+
+    let flip_idx = PolicyRegime::index_of("shortest-path")
+        // simlint::allow(panic, "shortest-path is a built-in regime")
+        .expect("shortest-path is a named regime");
+    let mut flip_events = policy_flip(flip_idx, s(0));
+    flip_events.extend(single_link_failure(la, lb));
+    for e in &mut flip_events {
+        if matches!(e.ev, NetEvent::LinkDown(..)) {
+            e.at = fail_at;
+        }
+    }
+    let flip = Timeline::from_events("policy-misconfig", flip_events);
+
+    vec![hijack, prepend, leak, flip]
+}
+
+/// The `campaign --adversarial --smoke` CI grid: the same topology,
+/// destinations and fast params as [`smoke_grid`] but running the four
+/// [`adversarial_families`] instead of the physical-failure families. One
+/// constructor serves the binary's gate and the determinism tests, so the
+/// pinned hash always corresponds to the grid CI actually runs.
+pub fn adversarial_grid(seed: u64) -> (AsGraph, Vec<Timeline>, Vec<AsId>, CampaignConfig) {
+    let (g, _, dests, cfg) = smoke_grid(seed);
+    // A salted stream: the adversarial draws must not depend on how many
+    // draws the standard families consumed from the unsalted one.
+    let mut rng = stamp_eventsim::rng_stream(seed ^ 0xAD5E_ACA1, tags::TIMELINE);
+    let timelines = adversarial_families(&g, &mut rng, &dests, true);
+    (g, timelines, dests, cfg)
+}
+
 /// Campaign configuration: the seed axis of the grid plus shared knobs.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -665,6 +769,9 @@ pub struct Aggregate {
     pub updates_failure_mean: f64,
     pub convergence_mean_s: f64,
     pub data_recovery_mean_s: f64,
+    /// Cells whose run did not converge (watchdog divergence or budget
+    /// exhaustion) — a count, not a mean: one is already news.
+    pub diverged: usize,
 }
 
 /// A complete campaign: merged cells (grid order) and the aggregate hash.
@@ -694,6 +801,9 @@ impl CampaignReport {
                 agg.updates_failure_mean += m.updates_failure as f64;
                 agg.convergence_mean_s += m.convergence_delay_s;
                 agg.data_recovery_mean_s += m.data_recovery_s;
+                if !m.outcome.is_converged() {
+                    agg.diverged += 1;
+                }
             }
         }
         if agg.cells > 0 {

@@ -8,13 +8,20 @@
 //! at <time> recover-link <a> <b>
 //! at <time> fail-node <v>
 //! at <time> recover-node <v>
+//! at <time> hijack <attacker>
+//! at <time> hijack-prepend <attacker> <victim>
+//! at <time> route-leak <leaker>
+//! at <time> flip-policy <regime>
 //! ```
 //!
 //! * `<name>` — `[A-Za-z0-9_.-]+`;
 //! * `<time>` — a non-negative integer with a unit: `us`, `ms` or `s`
 //!   (microsecond resolution, matching [`SimDuration`]); offsets must be
 //!   non-decreasing down the file;
-//! * `<a> <b> <v>` — dense AS ids (`u32`).
+//! * `<a> <b> <v> <attacker> <victim> <leaker>` — dense AS ids (`u32`);
+//! * `<regime>` — a regime name from [`PolicyRegime::named`] (canonical)
+//!   or its numeric index (accepted alias; the printer always emits the
+//!   name, so the value round-trip is preserved either way).
 //!
 //! Round-trip guarantee: for every well-formed [`Timeline`] `t`,
 //! `parse_scn(&t.to_scn()).unwrap() == t`. The printer always emits the
@@ -24,6 +31,7 @@
 
 use crate::timeline::{NetEvent, Timeline, TimelineEvent};
 use stamp_eventsim::SimDuration;
+use stamp_policy::PolicyRegime;
 use stamp_topology::AsId;
 use std::fmt;
 
@@ -53,6 +61,9 @@ pub enum ScnErrorKind {
     BadArgs,
     /// The offset went backwards relative to the previous event.
     DecreasingTime,
+    /// `flip-policy` named a regime that is not in
+    /// [`PolicyRegime::named`] (and is not a valid numeric index).
+    UnknownPolicy(String),
 }
 
 impl fmt::Display for ScnError {
@@ -67,6 +78,7 @@ impl fmt::Display for ScnError {
             ScnErrorKind::UnknownVerb(v) => write!(f, "unknown event {v:?}"),
             ScnErrorKind::BadArgs => write!(f, "bad event arguments"),
             ScnErrorKind::DecreasingTime => write!(f, "event offsets must be non-decreasing"),
+            ScnErrorKind::UnknownPolicy(p) => write!(f, "unknown policy regime {p:?}"),
         }
     }
 }
@@ -123,6 +135,22 @@ impl Timeline {
                 NetEvent::LinkUp(a, b) => format!("recover-link {} {}", a.0, b.0),
                 NetEvent::NodeDown(v) => format!("fail-node {}", v.0),
                 NetEvent::NodeUp(v) => format!("recover-node {}", v.0),
+                NetEvent::PrefixHijack {
+                    attacker,
+                    forged_origin: None,
+                } => format!("hijack {}", attacker.0),
+                NetEvent::PrefixHijack {
+                    attacker,
+                    forged_origin: Some(victim),
+                } => format!("hijack-prepend {} {}", attacker.0, victim.0),
+                NetEvent::RouteLeak(v) => format!("route-leak {}", v.0),
+                // The canonical form is the regime's name; a raw index is
+                // only printed when it names no known regime (a value the
+                // engine treats as a no-op, kept representable anyway).
+                NetEvent::PolicyFlip(idx) => match PolicyRegime::by_index(idx) {
+                    Some(r) => format!("flip-policy {}", r.name),
+                    None => format!("flip-policy {idx}"),
+                },
             };
             out.push_str(&format!("at {} {}\n", fmt_duration(e.at), line));
         }
@@ -200,6 +228,27 @@ pub fn parse_scn(text: &str) -> Result<Timeline, ScnError> {
             "recover-link" => NetEvent::LinkUp(arg(&mut tok)?, arg(&mut tok)?),
             "fail-node" => NetEvent::NodeDown(arg(&mut tok)?),
             "recover-node" => NetEvent::NodeUp(arg(&mut tok)?),
+            "hijack" => NetEvent::PrefixHijack {
+                attacker: arg(&mut tok)?,
+                forged_origin: None,
+            },
+            "hijack-prepend" => NetEvent::PrefixHijack {
+                attacker: arg(&mut tok)?,
+                forged_origin: Some(arg(&mut tok)?),
+            },
+            "route-leak" => NetEvent::RouteLeak(arg(&mut tok)?),
+            "flip-policy" => {
+                let r = tok
+                    .next()
+                    .ok_or_else(|| err(lineno, ScnErrorKind::BadArgs))?;
+                let idx = match PolicyRegime::index_of(r) {
+                    Some(i) => i,
+                    None => r
+                        .parse::<u16>()
+                        .map_err(|_| err(lineno, ScnErrorKind::UnknownPolicy(r.to_string())))?,
+                };
+                NetEvent::PolicyFlip(idx)
+            }
             other => return Err(err(lineno, ScnErrorKind::UnknownVerb(other.to_string()))),
         };
         if tok.next().is_some() {
@@ -301,6 +350,57 @@ mod tests {
             let got = text.parse::<Timeline>().unwrap_err();
             assert_eq!(&got.kind, want, "doc {text:?} → {got}");
         }
+    }
+
+    #[test]
+    fn adversarial_verbs_round_trip_with_canonical_policy_names() {
+        let text = "scenario attack\nat 0s hijack 7\nat 1s hijack-prepend 7 3\n\
+                    at 2s route-leak 9\nat 3s flip-policy shortest-path\n";
+        let t: Timeline = text.parse().unwrap();
+        assert_eq!(
+            t.events()[0].ev,
+            NetEvent::PrefixHijack {
+                attacker: AsId(7),
+                forged_origin: None
+            }
+        );
+        assert_eq!(
+            t.events()[1].ev,
+            NetEvent::PrefixHijack {
+                attacker: AsId(7),
+                forged_origin: Some(AsId(3))
+            }
+        );
+        assert_eq!(t.events()[2].ev, NetEvent::RouteLeak(AsId(9)));
+        let idx = PolicyRegime::index_of("shortest-path").unwrap();
+        assert_eq!(t.events()[3].ev, NetEvent::PolicyFlip(idx));
+        // The file is already canonical: print is the identity.
+        assert_eq!(t.to_scn(), text);
+        // The numeric index is an accepted alias that canonicalises to
+        // the name.
+        let via_index = format!("scenario attack2\nat 0s flip-policy {idx}\n");
+        let t2: Timeline = via_index.parse().unwrap();
+        assert_eq!(t2.events()[0].ev, NetEvent::PolicyFlip(idx));
+        assert!(t2.to_scn().contains("flip-policy shortest-path"));
+        // An index no regime owns still round-trips as a number.
+        let t3: Timeline = "scenario noop\nat 0s flip-policy 999\n".parse().unwrap();
+        assert_eq!(t3.events()[0].ev, NetEvent::PolicyFlip(999));
+        assert_eq!(t3.to_scn().parse::<Timeline>().unwrap(), t3);
+    }
+
+    #[test]
+    fn flip_policy_rejects_unknown_names() {
+        let got = "scenario x\nat 0s flip-policy chaos-monkey\n"
+            .parse::<Timeline>()
+            .unwrap_err();
+        assert_eq!(
+            got.kind,
+            ScnErrorKind::UnknownPolicy("chaos-monkey".to_string())
+        );
+        let got = "scenario x\nat 0s hijack-prepend 1\n"
+            .parse::<Timeline>()
+            .unwrap_err();
+        assert_eq!(got.kind, ScnErrorKind::BadArgs);
     }
 
     #[test]

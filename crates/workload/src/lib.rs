@@ -38,10 +38,10 @@ pub mod sim;
 pub mod timeline;
 
 pub use campaign::{
-    populate_baselines, run_campaign, run_campaign_with_cache, run_protocol_cell,
-    run_protocol_cell_warm, smoke_grid, standard_families, Aggregate, BaselineCache, CacheStats,
-    CampaignCell, CampaignConfig, CampaignReport, CellResult, InstanceMetrics, ParseProtocolError,
-    Protocol, RunParams, PREFIX,
+    adversarial_families, adversarial_grid, populate_baselines, run_campaign,
+    run_campaign_with_cache, run_protocol_cell, run_protocol_cell_warm, smoke_grid,
+    standard_families, Aggregate, BaselineCache, CacheStats, CampaignCell, CampaignConfig,
+    CampaignReport, CellResult, InstanceMetrics, ParseProtocolError, Protocol, RunParams, PREFIX,
 };
 pub use canned::{destination_candidates, sample_canned, CannedWorkload, FailureScenario};
 pub use dsl::{parse_scn, ScnError, ScnErrorKind};
@@ -49,9 +49,11 @@ pub use sim::{
     MetricsProbe, NullProbe, Phase, Played, Probe, ProtocolEngine, ProtocolSpec, Sim, SimBuilder,
     SimCheckpoint, SimError, SimEvent, SnapshotCause,
 };
+pub use stamp_bgp::engine::{RunOutcome, WatchdogConfig};
 pub use stamp_policy::PolicyRegime;
 pub use timeline::{
     background_churn, choose_k, correlated_node_outage, flap_train, maintenance_windows,
-    node_drain, provider_cone, single_link_failure, staggered_link_failures, tier_members,
-    NetEvent, Timeline, TimelineError, TimelineEvent,
+    node_drain, policy_flip, prefix_hijack, prepend_hijack, provider_cone, random_attacker,
+    route_leak, single_link_failure, staggered_link_failures, tier_members, NetEvent, Timeline,
+    TimelineError, TimelineEvent,
 };

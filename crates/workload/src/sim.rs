@@ -40,7 +40,7 @@
 
 use crate::campaign::{InstanceMetrics, Protocol, RunParams};
 use crate::timeline::{Timeline, TimelineError};
-use stamp_bgp::engine::{Checkpoint, Engine, EngineConfig, RunStats, ScenarioEvent};
+use stamp_bgp::engine::{Checkpoint, Engine, EngineConfig, RunOutcome, RunStats, ScenarioEvent};
 use stamp_bgp::router::{BgpRouter, RouterLogic};
 use stamp_bgp::types::{PrefixId, RootCause};
 use stamp_core::{LockStrategy, StampRouter};
@@ -461,9 +461,9 @@ fn run_phase<R: ProtocolEngine, P: Probe>(
     observe_interval: SimDuration,
     mut pending: VecDeque<(SimTime, ScenarioEvent)>,
     probe: &mut P,
-) {
+) -> RunOutcome {
     let mut last_obs: Option<SimTime> = None;
-    e.run_until_quiescent(deadline, |eng, t| {
+    let outcome = e.run_until_quiescent(deadline, |eng, t| {
         while pending.front().is_some_and(|&(at, _)| at <= t) {
             // simlint::allow(panic, "front checked non-empty by the while condition")
             let (at, event) = pending.pop_front().expect("front checked");
@@ -496,6 +496,7 @@ fn run_phase<R: ProtocolEngine, P: Probe>(
         view: &view,
     });
     probe.on_event::<R::View<'_>>(SimEvent::PhaseSettled { at: now, phase });
+    outcome
 }
 
 // ---------------------------------------------------------------------
@@ -579,6 +580,7 @@ impl<'g> SimBuilder<'g> {
             engine,
             converged: false,
             updates_initial: 0,
+            outcome: RunOutcome::Converged,
         })
     }
 }
@@ -600,6 +602,7 @@ pub struct Sim {
     engine: EngineKind,
     converged: bool,
     updates_initial: u64,
+    outcome: RunOutcome,
 }
 
 impl Sim {
@@ -672,6 +675,20 @@ impl Sim {
         self.converged
     }
 
+    /// The session's composite run outcome: `Converged` until some phase
+    /// fails to quiesce, then sticky at the *first* non-converged outcome
+    /// (a later phase cannot un-diverge a session — the watchdog verdict
+    /// is about this timeline's history, not the latest instant).
+    pub fn outcome(&self) -> RunOutcome {
+        self.outcome
+    }
+
+    fn record_outcome(&mut self, o: RunOutcome) {
+        if self.outcome == RunOutcome::Converged {
+            self.outcome = o;
+        }
+    }
+
     /// Run a protocol-erased closure over the current forwarding view
     /// (built on the stack; ad-hoc inspection outside the probe path).
     pub fn with_view<T>(&self, f: impl FnOnce(&dyn ForwardingView) -> T) -> T {
@@ -738,10 +755,11 @@ impl Sim {
             let deadline = Some(SimTime::ZERO + self.params.phase_deadline);
             let interval = self.params.observe_interval;
             let prefix = self.prefix;
-            with_engine!(&mut self.engine, e => {
+            let outcome = with_engine!(&mut self.engine, e => {
                 e.start();
-                run_phase(e, prefix, Phase::Initial, deadline, interval, VecDeque::new(), probe);
+                run_phase(e, prefix, Phase::Initial, deadline, interval, VecDeque::new(), probe)
             });
+            self.record_outcome(outcome);
             let s = self.stats();
             self.updates_initial = s.announcements_sent + s.withdrawals_sent;
         }
@@ -780,7 +798,7 @@ impl Sim {
         let deadline = Some(settle + self.params.phase_deadline);
         let interval = self.params.observe_interval;
         let prefix = self.prefix;
-        with_engine!(&mut self.engine, e => {
+        let outcome = with_engine!(&mut self.engine, e => {
             let mut pending = VecDeque::with_capacity(schedule.len());
             for (at, ev) in schedule {
                 e.inject_at(epoch + at, ev);
@@ -794,9 +812,14 @@ impl Sim {
                     view: &view,
                 });
             }
-            run_phase(e, prefix, Phase::Timeline, deadline, interval, pending, probe);
+            run_phase(e, prefix, Phase::Timeline, deadline, interval, pending, probe)
         });
-        Ok(Played { epoch, settle })
+        self.record_outcome(outcome);
+        Ok(Played {
+            epoch,
+            settle,
+            outcome,
+        })
     }
 
     /// The one-stop paper measurement: converge, reset measurement state,
@@ -823,6 +846,7 @@ impl Sim {
         let played = self.play(timeline, &mut probe)?;
         let s = self.stats();
         Ok(InstanceMetrics {
+            outcome: self.outcome,
             affected: probe.tracker().affected_count(),
             affected_loops: probe.tracker().loop_count(),
             affected_blackholes: probe.tracker().blackhole_count(),
@@ -853,6 +877,7 @@ impl Sim {
             },
             converged: self.converged,
             updates_initial: self.updates_initial,
+            outcome: self.outcome,
         }
     }
 
@@ -878,6 +903,7 @@ impl Sim {
         }
         self.converged = ck.converged;
         self.updates_initial = ck.updates_initial;
+        self.outcome = ck.outcome;
         Ok(())
     }
 
@@ -897,6 +923,7 @@ pub struct SimCheckpoint {
     engine: CheckpointKind,
     converged: bool,
     updates_initial: u64,
+    outcome: RunOutcome,
 }
 
 impl SimCheckpoint {
@@ -921,6 +948,9 @@ pub struct Played {
     /// The settle point: the timeline's last event. Recovery metrics
     /// measure from here.
     pub settle: SimTime,
+    /// How this phase's run ended: quiescent, caught cycling by the
+    /// convergence watchdog, or out of budget.
+    pub outcome: RunOutcome,
 }
 
 #[cfg(test)]

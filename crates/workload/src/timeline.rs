@@ -27,6 +27,14 @@ use std::collections::VecDeque;
 use std::fmt;
 
 /// A network state change, graph-independent (ASes by dense id).
+///
+/// The first four variants are *physical* — they change which sessions
+/// exist. The last three are *adversarial control-plane* events: the
+/// topology stays intact while a router originates or propagates routes
+/// it should not. They have no [`RootCause`] (nothing failed) and remove
+/// no links (reachability ground truth is unchanged — that asymmetry
+/// between "the packet could get there" and "the RIB sends it elsewhere"
+/// is precisely what the hijack metrics measure).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetEvent {
     /// The link between two ASes fails.
@@ -37,21 +45,50 @@ pub enum NetEvent {
     NodeDown(AsId),
     /// A failed AS comes back (live incident links re-establish sessions).
     NodeUp(AsId),
+    /// `attacker` originates the measured prefix itself. With
+    /// `forged_origin` set, it instead announces the forged path
+    /// `[attacker, victim]` — a path-prepend (type-2) hijack that
+    /// survives origin validation.
+    PrefixHijack {
+        attacker: AsId,
+        forged_origin: Option<AsId>,
+    },
+    /// The AS re-exports its selected route to *every* neighbor,
+    /// violating the valley-free export rule (a classic route leak).
+    RouteLeak(AsId),
+    /// Every router swaps to the policy regime at this index in
+    /// [`stamp_policy::PolicyRegime::named`] — a global misconfiguration
+    /// event (out-of-range indices are ignored by the engine).
+    PolicyFlip(u16),
 }
 
 impl NetEvent {
     /// The root cause this event asserts or retracts (link events of either
-    /// direction share one cause, as do node down/up pairs).
-    pub fn root_cause(self) -> RootCause {
+    /// direction share one cause, as do node down/up pairs). Adversarial
+    /// events return `None`: nothing physical failed, so the control-plane
+    /// "affected" metric has no cause to key on.
+    pub fn root_cause(self) -> Option<RootCause> {
         match self {
-            NetEvent::LinkDown(a, b) | NetEvent::LinkUp(a, b) => RootCause::link(a, b),
-            NetEvent::NodeDown(v) | NetEvent::NodeUp(v) => RootCause::Node(v),
+            NetEvent::LinkDown(a, b) | NetEvent::LinkUp(a, b) => Some(RootCause::link(a, b)),
+            NetEvent::NodeDown(v) | NetEvent::NodeUp(v) => Some(RootCause::Node(v)),
+            NetEvent::PrefixHijack { .. } | NetEvent::RouteLeak(_) | NetEvent::PolicyFlip(_) => {
+                None
+            }
         }
     }
 
     /// Whether this is a failure (down) event.
     pub fn is_failure(self) -> bool {
         matches!(self, NetEvent::LinkDown(..) | NetEvent::NodeDown(_))
+    }
+
+    /// Whether this is an adversarial control-plane event (topology
+    /// untouched, routing state attacked).
+    pub fn is_adversarial(self) -> bool {
+        matches!(
+            self,
+            NetEvent::PrefixHijack { .. } | NetEvent::RouteLeak(_) | NetEvent::PolicyFlip(_)
+        )
     }
 }
 
@@ -191,6 +228,19 @@ impl Timeline {
                     NetEvent::LinkUp(a, b) => ScenarioEvent::RecoverLink(link(a, b)?),
                     NetEvent::NodeDown(v) => ScenarioEvent::FailNode(node(v)?),
                     NetEvent::NodeUp(v) => ScenarioEvent::RecoverNode(node(v)?),
+                    NetEvent::PrefixHijack {
+                        attacker,
+                        forged_origin,
+                    } => ScenarioEvent::Hijack {
+                        attacker: node(attacker)?,
+                        prefix: crate::campaign::PREFIX,
+                        forged_origin: forged_origin.map(node).transpose()?,
+                    },
+                    NetEvent::RouteLeak(v) => ScenarioEvent::Leak {
+                        leaker: node(v)?,
+                        prefix: crate::campaign::PREFIX,
+                    },
+                    NetEvent::PolicyFlip(idx) => ScenarioEvent::FlipPolicy(idx),
                 };
                 Ok((e.at, ev))
             })
@@ -231,6 +281,12 @@ impl Timeline {
                     }
                     node_down[v.index()] = false;
                 }
+                // Adversarial events never touch the physical topology:
+                // a hijacked prefix is still *reachable*, the RIB just
+                // points the wrong way.
+                NetEvent::PrefixHijack { .. }
+                | NetEvent::RouteLeak(_)
+                | NetEvent::PolicyFlip(_) => {}
             }
         }
         let removed: Vec<LinkId> = g
@@ -249,9 +305,10 @@ impl Timeline {
     pub fn root_causes(&self) -> Vec<RootCause> {
         let mut seen = Vec::new();
         for e in &self.events {
-            let c = e.ev.root_cause();
-            if !seen.contains(&c) {
-                seen.push(c);
+            if let Some(c) = e.ev.root_cause() {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
             }
         }
         seen
@@ -375,6 +432,66 @@ pub fn single_link_failure(a: AsId, b: AsId) -> Vec<TimelineEvent> {
 /// [`maintenance_windows`]).
 pub fn node_drain(v: AsId, drain: SimDuration) -> Vec<TimelineEvent> {
     maintenance_windows(&[v], SimDuration::ZERO, drain, SimDuration::ZERO)
+}
+
+/// An origin hijack: `attacker` starts originating the measured prefix at
+/// `at` (`.scn` verb `hijack <as>`). One event — the interesting dynamics
+/// are in whose RIBs the forged route wins, not in the timeline.
+pub fn prefix_hijack(attacker: AsId, at: SimDuration) -> Vec<TimelineEvent> {
+    vec![TimelineEvent {
+        at,
+        ev: NetEvent::PrefixHijack {
+            attacker,
+            forged_origin: None,
+        },
+    }]
+}
+
+/// A path-prepend (type-2) hijack: `attacker` announces the forged path
+/// `[attacker, victim]` at `at` (`.scn` verb `hijack-prepend`), claiming
+/// adjacency to the true origin so origin-validation filters pass.
+pub fn prepend_hijack(attacker: AsId, victim: AsId, at: SimDuration) -> Vec<TimelineEvent> {
+    vec![TimelineEvent {
+        at,
+        ev: NetEvent::PrefixHijack {
+            attacker,
+            forged_origin: Some(victim),
+        },
+    }]
+}
+
+/// A route leak: `leaker` re-exports its selected route to every neighbor
+/// at `at` (`.scn` verb `route-leak`), turning a customer or peer route
+/// into transit it never sold.
+pub fn route_leak(leaker: AsId, at: SimDuration) -> Vec<TimelineEvent> {
+    vec![TimelineEvent {
+        at,
+        ev: NetEvent::RouteLeak(leaker),
+    }]
+}
+
+/// A global policy misconfiguration: every router swaps to the regime at
+/// `index` in [`stamp_policy::PolicyRegime::named`] at `at` (`.scn` verb
+/// `flip-policy`).
+pub fn policy_flip(index: u16, at: SimDuration) -> Vec<TimelineEvent> {
+    vec![TimelineEvent {
+        at,
+        ev: NetEvent::PolicyFlip(index),
+    }]
+}
+
+/// A uniformly chosen attacker AS distinct from `avoid` (the victim
+/// origin) — the seeded half of the adversarial generators: which AS goes
+/// rogue is the random variable, what it does is the family.
+pub fn random_attacker(g: &AsGraph, rng: &mut Rng, avoid: AsId) -> AsId {
+    assert!(g.n() > 1, "need a second AS to be the attacker");
+    loop {
+        // simlint::allow(lossy-cast, "AS counts are far below u32::MAX; gen_range needs a u32 bound")
+        let v = AsId(rng.gen_range(0u32..g.n() as u32));
+        if v != avoid {
+            return v;
+        }
+    }
 }
 
 /// Random background churn: up to `flaps` link outages at uniform times in
@@ -635,6 +752,64 @@ mod tests {
             .map(|v| cone.iter().position(|c| c == v).unwrap())
             .collect();
         assert!(pos.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn adversarial_events_leave_the_topology_alone() {
+        let g = diamond();
+        let mut t = Timeline::new("adv");
+        t.extend_with(prefix_hijack(AsId(2), SimDuration::ZERO));
+        t.extend_with(route_leak(AsId(3), SimDuration::from_secs(1)));
+        t.extend_with(policy_flip(1, SimDuration::from_secs(2)));
+        assert!(t.is_well_formed());
+        assert!(t.events().iter().all(|e| e.ev.is_adversarial()));
+        assert!(t.events().iter().all(|e| !e.ev.is_failure()));
+        // No physical change: nothing removed, no root causes to key on.
+        assert_eq!(t.removed_links(&g).unwrap(), Vec::<LinkId>::new());
+        assert!(t.root_causes().is_empty());
+        let resolved = t.resolve(&g).unwrap();
+        assert!(matches!(
+            resolved[0].1,
+            ScenarioEvent::Hijack {
+                attacker: AsId(2),
+                forged_origin: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            resolved[1].1,
+            ScenarioEvent::Leak {
+                leaker: AsId(3),
+                ..
+            }
+        ));
+        assert_eq!(resolved[2].1, ScenarioEvent::FlipPolicy(1));
+    }
+
+    #[test]
+    fn adversarial_events_validate_their_ases() {
+        let g = diamond();
+        let mut t = Timeline::new("bad-leaker");
+        t.push(SimDuration::ZERO, NetEvent::RouteLeak(AsId(99)));
+        assert_eq!(t.resolve(&g), Err(TimelineError::NoSuchNode(AsId(99))));
+        let mut t2 = Timeline::new("bad-victim");
+        t2.extend_with(prepend_hijack(AsId(2), AsId(99), SimDuration::ZERO));
+        assert_eq!(t2.resolve(&g), Err(TimelineError::NoSuchNode(AsId(99))));
+    }
+
+    #[test]
+    fn random_attacker_avoids_the_victim_and_is_seeded() {
+        let g = diamond();
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..32 {
+            assert_ne!(random_attacker(&g, &mut rng, AsId(4)), AsId(4));
+        }
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        assert_eq!(
+            random_attacker(&g, &mut a, AsId(0)),
+            random_attacker(&g, &mut b, AsId(0))
+        );
     }
 
     #[test]

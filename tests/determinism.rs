@@ -26,8 +26,9 @@ use stamp_repro::experiments::{run_failure_experiment, FailureConfig, FailureSce
 use stamp_repro::sim::{NullProbe, Sim};
 use stamp_repro::topology::{generate, AsId, GenConfig, StaticRoutes};
 use stamp_repro::workload::{
-    destination_candidates, flap_train, run_campaign, run_protocol_cell, sample_canned, smoke_grid,
-    CampaignConfig, RunParams, Timeline,
+    adversarial_grid, destination_candidates, flap_train, run_campaign, run_protocol_cell,
+    sample_canned, smoke_grid, CampaignConfig, PolicyRegime, RunOutcome, RunParams, Timeline,
+    WatchdogConfig,
 };
 
 /// The full single-link-failure workload, run twice with identical
@@ -254,5 +255,85 @@ fn smoke_campaign_hash_matches_pre_redesign_golden() {
     assert_eq!(
         rep.hash, 0x288f67a39b590c8d,
         "smoke-campaign aggregate drifted from the pre-redesign golden"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Divergence as data: the watchdog's typed outcome in the campaign layer
+// ---------------------------------------------------------------------
+
+/// The `campaign --smoke --adversarial` grid (the second CI hash gate),
+/// built by the same `adversarial_grid` constructor the binary uses,
+/// pinned to its aggregate hash. Hijacks, leaks and the policy flip are
+/// timeline *data* — this pins their injection order, RNG draws and
+/// per-protocol metrics in one number, at any worker count.
+#[test]
+fn adversarial_campaign_hash_is_pinned_and_worker_independent() {
+    let (g, timelines, dests, mut cfg) = adversarial_grid(0xCA4A16);
+    cfg.threads = 1;
+    let serial = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+    cfg.threads = 4;
+    let parallel = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+    assert_eq!(serial.hash, parallel.hash, "aggregate hash diverged");
+    assert_eq!(
+        serial.hash, 0xfd8467442b256d70,
+        "adversarial-campaign aggregate drifted from its pinned golden"
+    );
+}
+
+/// A campaign grid whose cells *diverge*: the dispute-wheel gadget under
+/// `naive-prefer-peer` with a tight watchdog. The grid must terminate (no
+/// wedged worker), every BGP cell must carry a typed `Diverged` outcome,
+/// and the aggregate hash — which folds in the divergence period and
+/// churn — must be byte-identical run over run and across worker counts.
+#[test]
+fn diverging_cells_fold_into_the_aggregate_deterministically() {
+    use stamp_repro::topology::GraphBuilder;
+
+    let mut b = GraphBuilder::new();
+    b.preregister(4);
+    b.peering(0, 1).unwrap();
+    b.peering(1, 2).unwrap();
+    b.peering(0, 2).unwrap();
+    b.customer_of(3, 0).unwrap();
+    b.customer_of(3, 1).unwrap();
+    b.customer_of(3, 2).unwrap();
+    let g = b.build().unwrap();
+
+    let mut params = RunParams::fast();
+    params.policy = PolicyRegime::by_name("naive-prefer-peer").unwrap();
+    params.watchdog = WatchdogConfig {
+        arm_after: SimDuration::from_secs(10),
+        sample_every: SimDuration::from_secs(1),
+        max_events: 10_000_000,
+    };
+    let timelines = vec![Timeline::from_events("noop", Vec::new())];
+    let dests = vec![AsId(3)];
+    let mut cfg = CampaignConfig {
+        params,
+        protocols: vec![Protocol::Bgp],
+        seeds: vec![5, 6],
+        threads: 1,
+    };
+    let serial = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+    for cell in &serial.cells {
+        for (p, m) in &cell.metrics {
+            match m.outcome {
+                RunOutcome::Diverged { period, churn } => {
+                    assert!(period > SimDuration::ZERO);
+                    assert!(churn > 0);
+                }
+                other => panic!("{} cell expected Diverged, got {other:?}", p.label()),
+            }
+        }
+    }
+    assert_eq!(serial.aggregate(0, Protocol::Bgp).diverged, 2);
+    let again = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+    assert_eq!(serial.hash, again.hash, "divergence hash not reproducible");
+    cfg.threads = 4;
+    let parallel = run_campaign(&g, &timelines, &dests, &cfg).unwrap();
+    assert_eq!(
+        serial.hash, parallel.hash,
+        "divergence hash depends on worker count"
     );
 }
